@@ -1,0 +1,75 @@
+// Ablation C: dimension dependence -- Algorithm 1's exponential mechanism
+// (error growing like log d) versus the [WXDX20]-style full-vector
+// Gaussian-noise release (error growing polynomially in d), the comparison
+// Remark 1 makes: "we improve the error bound from O(d) to O(log d)".
+//
+// Both methods use the SAME coordinate-wise Catoni robust gradient on the
+// same disjoint-fold schedule; only the privatization differs.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace htdp;
+using namespace htdp::bench;
+
+double RobustGdTrial(std::size_t n, std::size_t d, double epsilon,
+                     const LinearWorkload& workload, std::uint64_t seed) {
+  Rng rng(seed);
+  SyntheticConfig config{n, d, workload.features, workload.noise};
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  const SquaredLoss loss;
+  DpRobustGdOptions options;
+  options.epsilon = epsilon;
+  options.delta = PaperDelta(n);
+  options.tau =
+      EstimateGradientSecondMoment(loss, FullView(data), Vector(d, 0.0));
+  options.projection = PgdOptions::Projection::kL1Ball;
+  options.radius = 1.0;
+  const auto result =
+      MinimizeDpRobustGd(loss, data, Vector(d, 0.0), options, rng);
+  return ExcessEmpiricalRisk(loss, data, result.w, w_star);
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Ablation C",
+              "exponential mechanism (log d) vs full-vector Gaussian noise "
+              "(poly d)",
+              env);
+
+  const LinearWorkload workload;  // lognormal LASSO
+  const std::size_t n = ScaledN(30000, env);
+  const double epsilon = 1.0;
+
+  PrintSection("excess risk vs dimension  (n = " + std::to_string(n) +
+               ", epsilon = 1)");
+  TablePrinter table({"d", "Alg.1 (exp mech)", "robust GD (Gauss)"});
+  table.PrintHeader();
+  for (const std::size_t d : {50u, 200u, 800u, 3200u}) {
+    const Summary alg1 = RunTrials(
+        env.trials, env.seed + d, [&](std::uint64_t seed) {
+          return Alg1LinearTrial(n, d, epsilon, workload, seed);
+        });
+    const Summary gauss = RunTrials(
+        env.trials, env.seed + d, [&](std::uint64_t seed) {
+          return RobustGdTrial(n, d, epsilon, workload, seed);
+        });
+    table.PrintRow({TablePrinter::Cell(d), MeanStd(alg1), MeanStd(gauss)});
+  }
+
+  std::printf(
+      "\nReading: both columns share the Catoni robust gradient; the left\n"
+      "column privatizes by selecting one of 2d vertices (score noise\n"
+      "~ log d), the right adds N(0, sigma^2 I_d) to the gradient (noise\n"
+      "norm ~ sqrt(d) sigma). The left column should stay nearly flat in d\n"
+      "while the right degrades -- Remark 1's O(d) -> O(log d) improvement\n"
+      "and the reason the paper's methods survive d >> n.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation A: the robust mean estimator against its simpler alternatives.
+//
+// Remark 1 argues that the Catoni-smoothed estimator with the paper's
+// scale schedule beats naive truncation/clipping. This bench measures the
+// MSE of five one-dimensional mean estimators across heavy-tailed families
+// and truncation scales:
+//   empirical  -- the plain sample mean (no privacy-compatible sensitivity)
+//   clip       -- mean of values clipped to [-s, s] (robust/trimmed_mean.h)
+//   trunc      -- mean of values with |x| > s discarded
+//   mom        -- median-of-means (robust/median_of_means.h; sub-Gaussian
+//                 deviation but unbounded replace-one sensitivity)
+//   catoni     -- the paper's smoothed phi estimator (Eqs. (2)-(5))
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace htdp;
+using namespace htdp::bench;
+
+struct Family {
+  const char* name;
+  ScalarDistribution dist;
+  double mean;
+};
+
+double EmpiricalMean(const Vector& values) {
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Ablation A", "robust mean estimator vs clip/truncate/naive",
+              env);
+
+  const std::vector<Family> families = {
+      {"Pareto(1.5)", ScalarDistribution::Pareto(1.5), 3.0},
+      {"Lognormal(0,1)", ScalarDistribution::Lognormal(0.0, 1.0),
+       std::exp(0.5)},
+      {"StudentT(2.5)", ScalarDistribution::StudentT(2.5), 0.0},
+  };
+  const std::size_t n = ScaledN(20000, env, 2000);
+  const int trials = std::max(env.trials * 4, 20);
+
+  for (const Family& family : families) {
+    PrintSection(std::string(family.name) + "  (n = " + std::to_string(n) +
+                 ", MSE over " + std::to_string(trials) + " trials)");
+    TablePrinter table(
+        {"scale s", "empirical", "clip", "trunc", "mom", "catoni"}, 14);
+    table.PrintHeader();
+    const std::size_t mom_blocks = MomBlocksForConfidence(n, 0.05);
+    for (const double scale : {2.0, 8.0, 32.0, 128.0}) {
+      const RobustMeanEstimator catoni(scale, 1.0);
+      std::vector<double> se_emp, se_clip, se_trunc, se_mom, se_catoni;
+      Rng rng(env.seed + static_cast<std::uint64_t>(scale));
+      for (int t = 0; t < trials; ++t) {
+        Vector values(n);
+        for (double& v : values) v = family.dist.Sample(rng);
+        auto push = [&](std::vector<double>& out, double estimate) {
+          const double err = estimate - family.mean;
+          out.push_back(err * err);
+        };
+        push(se_emp, EmpiricalMean(values));
+        push(se_clip, ClippedMean(values, scale));
+        push(se_trunc, TruncatedMean(values, scale));
+        push(se_mom, MedianOfMeans(values, mom_blocks));
+        push(se_catoni, catoni.Estimate(values));
+      }
+      table.PrintRow({TablePrinter::Cell(scale),
+                      TablePrinter::Cell(Summarize(se_emp).mean),
+                      TablePrinter::Cell(Summarize(se_clip).mean),
+                      TablePrinter::Cell(Summarize(se_trunc).mean),
+                      TablePrinter::Cell(Summarize(se_mom).mean),
+                      TablePrinter::Cell(Summarize(se_catoni).mean)});
+    }
+  }
+
+  std::printf(
+      "\nReading: the truncation-based columns (clip/trunc/catoni) are\n"
+      "bias-dominated at small s and converge to the empirical mean as s\n"
+      "grows -- the tau/(2s) + s(beta/2 + log(2/zeta))/n trade-off of\n"
+      "Lemma 4, which is why the paper ties s to (n, eps, T) rather than\n"
+      "to tail constants. The empirical mean and median-of-means columns\n"
+      "have no such bias but also no O(1/n) replace-one sensitivity, so\n"
+      "neither can be released privately; the catoni column is the only\n"
+      "one that is simultaneously consistent and DP-compatible.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 1: Algorithm 1 (Heavy-tailed DP-FW) on linear regression with
+// x ~ Lognormal(0, 0.6) and N(0, 0.1) label noise.
+//   (a) excess risk vs epsilon for d in {200, 400, 800} at n = 10^4
+//   (b) excess risk vs n for d in {200, 400, 800} at epsilon = 1
+//   (c) private vs non-private vs n at epsilon = 1, d = 400
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace htdp;
+  using namespace htdp::bench;
+
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 1", "Alg.1, linear regression, lognormal features",
+              env);
+  const LinearWorkload workload;  // lognormal(0,0.6) + N(0,0.1)
+  const std::vector<std::size_t> dims = {200, 400, 800};
+
+  // ---- Panel (a): error vs epsilon, n = 10^4. --------------------------
+  {
+    const std::size_t n = ScaledN(10000, env);
+    PrintSection("(a) excess risk vs epsilon  (n = " + std::to_string(n) +
+                 ")");
+    TablePrinter table({"epsilon", "d=200", "d=400", "d=800"});
+    table.PrintHeader();
+    for (const double epsilon : {0.5, 1.0, 1.5, 2.0}) {
+      std::vector<std::string> row = {TablePrinter::Cell(epsilon)};
+      for (const std::size_t d : dims) {
+        const Summary summary = RunTrials(
+            env.trials, env.seed + d, [&](std::uint64_t seed) {
+              return Alg1LinearTrial(n, d, epsilon, workload, seed);
+            });
+        row.push_back(MeanStd(summary));
+      }
+      table.PrintRow(row);
+    }
+  }
+
+  // ---- Panel (b): error vs n, epsilon = 1. -----------------------------
+  {
+    PrintSection("(b) excess risk vs n  (epsilon = 1)");
+    TablePrinter table({"n", "d=200", "d=400", "d=800"});
+    table.PrintHeader();
+    for (const std::size_t paper_n : {10000u, 30000u, 90000u}) {
+      const std::size_t n = ScaledN(paper_n, env);
+      std::vector<std::string> row = {TablePrinter::Cell(n)};
+      for (const std::size_t d : dims) {
+        const Summary summary = RunTrials(
+            env.trials, env.seed + paper_n + d, [&](std::uint64_t seed) {
+              return Alg1LinearTrial(n, d, 1.0, workload, seed);
+            });
+        row.push_back(MeanStd(summary));
+      }
+      table.PrintRow(row);
+    }
+  }
+
+  // ---- Panel (c): private vs non-private, epsilon = 1, d = 400. --------
+  {
+    PrintSection("(c) private vs non-private  (epsilon = 1, d = 400)");
+    TablePrinter table({"n", "private", "non-private"});
+    table.PrintHeader();
+    for (const std::size_t paper_n : {10000u, 30000u, 90000u}) {
+      const std::size_t n = ScaledN(paper_n, env);
+      const Summary priv = RunTrials(
+          env.trials, env.seed + 7 * paper_n, [&](std::uint64_t seed) {
+            return Alg1LinearTrial(n, 400, 1.0, workload, seed);
+          });
+      const Summary nonpriv = RunTrials(
+          env.trials, env.seed + 7 * paper_n, [&](std::uint64_t seed) {
+            return NonPrivateTrial(n, 400, /*logistic=*/false, workload,
+                                   seed);
+          });
+      table.PrintRow({TablePrinter::Cell(n), MeanStd(priv),
+                      MeanStd(nonpriv)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 2: Algorithm 1 (Heavy-tailed DP-FW) on logistic regression with
+// x ~ Lognormal(0, 0.6) and noiseless labels y = sign(sigmoid(<x,w*>)-1/2).
+//   (a) excess risk vs epsilon for d in {200, 400, 800} at n = 10^4
+//   (b) excess risk vs n for d in {200, 400, 800} at epsilon = 1
+//   (c) private vs non-private vs n at epsilon = 1, d = 400
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace htdp;
+  using namespace htdp::bench;
+
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 2", "Alg.1, logistic regression, lognormal features",
+              env);
+  const ScalarDistribution features = ScalarDistribution::Lognormal(0.0, 0.6);
+  LinearWorkload fw_workload;
+  fw_workload.features = features;
+  fw_workload.noise = ScalarDistribution::None();
+  const std::vector<std::size_t> dims = {200, 400, 800};
+
+  {
+    const std::size_t n = ScaledN(10000, env);
+    PrintSection("(a) excess risk vs epsilon  (n = " + std::to_string(n) +
+                 ")");
+    TablePrinter table({"epsilon", "d=200", "d=400", "d=800"});
+    table.PrintHeader();
+    for (const double epsilon : {0.5, 1.0, 1.5, 2.0}) {
+      std::vector<std::string> row = {TablePrinter::Cell(epsilon)};
+      for (const std::size_t d : dims) {
+        const Summary summary = RunTrials(
+            env.trials, env.seed + d, [&](std::uint64_t seed) {
+              return Alg1LogisticTrial(n, d, epsilon, features, seed);
+            });
+        row.push_back(MeanStd(summary));
+      }
+      table.PrintRow(row);
+    }
+  }
+
+  {
+    PrintSection("(b) excess risk vs n  (epsilon = 1)");
+    TablePrinter table({"n", "d=200", "d=400", "d=800"});
+    table.PrintHeader();
+    for (const std::size_t paper_n : {10000u, 30000u, 90000u}) {
+      const std::size_t n = ScaledN(paper_n, env);
+      std::vector<std::string> row = {TablePrinter::Cell(n)};
+      for (const std::size_t d : dims) {
+        const Summary summary = RunTrials(
+            env.trials, env.seed + paper_n + d, [&](std::uint64_t seed) {
+              return Alg1LogisticTrial(n, d, 1.0, features, seed);
+            });
+        row.push_back(MeanStd(summary));
+      }
+      table.PrintRow(row);
+    }
+  }
+
+  {
+    PrintSection("(c) private vs non-private  (epsilon = 1, d = 400)");
+    TablePrinter table({"n", "private", "non-private"});
+    table.PrintHeader();
+    for (const std::size_t paper_n : {10000u, 30000u, 90000u}) {
+      const std::size_t n = ScaledN(paper_n, env);
+      const Summary priv = RunTrials(
+          env.trials, env.seed + 7 * paper_n, [&](std::uint64_t seed) {
+            return Alg1LogisticTrial(n, 400, 1.0, features, seed);
+          });
+      const Summary nonpriv = RunTrials(
+          env.trials, env.seed + 7 * paper_n, [&](std::uint64_t seed) {
+            return NonPrivateTrial(n, 400, /*logistic=*/true, fw_workload,
+                                   seed);
+          });
+      table.PrintRow({TablePrinter::Cell(n), MeanStd(priv),
+                      MeanStd(nonpriv)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 4: Algorithm 1 on (simulated) real-world classification datasets --
+// Winnipeg (n=325834, d=175) and Year Prediction (n=515345, d=90) -- with
+// the logistic loss. Same protocol and substitution notes as Figure 3.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace htdp;
+using namespace htdp::bench;
+
+void RunDataset(const RealWorldSpec& spec, const BenchEnv& env) {
+  Rng rng(env.seed);
+  const std::size_t cap = ScaledN(spec.n, env, /*floor_n=*/5000);
+  const Dataset full = SimulateRealWorld(spec, cap, rng);
+  const std::size_t d = full.dim();
+  const LogisticLoss loss;
+  const L1Ball ball(d, 1.0);
+
+  FrankWolfeOptions fw;
+  fw.iterations = 80;
+  const Vector w_ref =
+      MinimizeFrankWolfe(loss, full, ball, Vector(d, 0.0), fw).w;
+  const double ref_risk = EmpiricalRisk(loss, full, w_ref);
+
+  PrintSection(spec.name + "  (simulated stand-in, n_cap = " +
+               std::to_string(cap) + ", d = " + std::to_string(d) + ")");
+  TablePrinter table({"n", "eps=0.5", "eps=1", "eps=2"});
+  table.PrintHeader();
+  for (const double fraction : {0.2, 0.4, 0.7, 1.0}) {
+    const std::size_t n =
+        std::max<std::size_t>(1000, static_cast<std::size_t>(
+                                        fraction * static_cast<double>(cap)));
+    const Dataset subset = Prefix(full, n);
+    std::vector<std::string> row = {TablePrinter::Cell(n)};
+    for (const double epsilon : {0.5, 1.0, 2.0}) {
+      const Summary summary = RunTrials(
+          env.trials, env.seed + n + static_cast<std::uint64_t>(10 * epsilon),
+          [&](std::uint64_t seed) {
+            Rng trial_rng(seed);
+            HtDpFwOptions options;
+            options.epsilon = epsilon;
+            options.tau = EstimateGradientSecondMoment(
+                loss, FullView(subset), Vector(d, 0.0));
+            const auto result = RunHtDpFw(loss, subset, ball,
+                                          Vector(d, 0.0), options, trial_rng);
+            return EmpiricalRisk(loss, full, result.w) - ref_risk;
+          });
+      row.push_back(MeanStd(summary));
+    }
+    table.PrintRow(row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 4", "Alg.1, logistic regression, real-data stand-ins",
+              env);
+  RunDataset(WinnipegSpec(), env);
+  RunDataset(YearPredictionSpec(), env);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 5: Algorithm 2 (Heavy-tailed Private LASSO) on linear regression
+// with x ~ Lognormal(0, 0.6) and N(0, 0.1) noise.
+//   (a) excess risk vs epsilon for d in {100, 200, 400} at n = 10^4
+//   (b) excess risk vs n for d at epsilon = 1
+//   (c) private vs non-private vs n at epsilon = 1, d = 200
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace htdp;
+  using namespace htdp::bench;
+
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 5", "Alg.2, linear regression, lognormal features",
+              env);
+  const LinearWorkload workload;
+  const std::vector<std::size_t> dims = {100, 200, 400};
+
+  {
+    const std::size_t n = ScaledN(10000, env);
+    PrintSection("(a) excess risk vs epsilon  (n = " + std::to_string(n) +
+                 ")");
+    TablePrinter table({"epsilon", "d=100", "d=200", "d=400"});
+    table.PrintHeader();
+    for (const double epsilon : {0.5, 1.0, 1.5, 2.0}) {
+      std::vector<std::string> row = {TablePrinter::Cell(epsilon)};
+      for (const std::size_t d : dims) {
+        const Summary summary = RunTrials(
+            env.trials, env.seed + d, [&](std::uint64_t seed) {
+              return Alg2Trial(n, d, epsilon, workload, seed);
+            });
+        row.push_back(MeanStd(summary));
+      }
+      table.PrintRow(row);
+    }
+  }
+
+  {
+    PrintSection("(b) excess risk vs n  (epsilon = 1)");
+    TablePrinter table({"n", "d=100", "d=200", "d=400"});
+    table.PrintHeader();
+    for (const std::size_t paper_n : {10000u, 30000u, 90000u}) {
+      const std::size_t n = ScaledN(paper_n, env);
+      std::vector<std::string> row = {TablePrinter::Cell(n)};
+      for (const std::size_t d : dims) {
+        const Summary summary = RunTrials(
+            env.trials, env.seed + paper_n + d, [&](std::uint64_t seed) {
+              return Alg2Trial(n, d, 1.0, workload, seed);
+            });
+        row.push_back(MeanStd(summary));
+      }
+      table.PrintRow(row);
+    }
+  }
+
+  {
+    PrintSection("(c) private vs non-private  (epsilon = 1, d = 200)");
+    TablePrinter table({"n", "private", "non-private"});
+    table.PrintHeader();
+    for (const std::size_t paper_n : {10000u, 30000u, 90000u}) {
+      const std::size_t n = ScaledN(paper_n, env);
+      const Summary priv = RunTrials(
+          env.trials, env.seed + 7 * paper_n, [&](std::uint64_t seed) {
+            return Alg2Trial(n, 200, 1.0, workload, seed);
+          });
+      const Summary nonpriv = RunTrials(
+          env.trials, env.seed + 7 * paper_n, [&](std::uint64_t seed) {
+            return NonPrivateTrial(n, 200, /*logistic=*/false, workload,
+                                   seed);
+          });
+      table.PrintRow({TablePrinter::Cell(n), MeanStd(priv),
+                      MeanStd(nonpriv)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 6: Algorithm 2 (Heavy-tailed Private LASSO) on linear regression
+// with x ~ Student-t(nu = 10) and N(0, 0.1) noise (paper n = 10^5).
+//   (a) excess risk vs epsilon for d in {100, 200, 400}
+//   (b) excess risk vs n for several epsilon
+//   (c) private vs non-private vs n at epsilon = 1, d = 200
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace htdp;
+  using namespace htdp::bench;
+
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 6", "Alg.2, linear regression, Student-t(10) features",
+              env);
+  LinearWorkload workload;
+  workload.features = ScalarDistribution::StudentT(10.0);
+  const std::vector<std::size_t> dims = {100, 200, 400};
+
+  {
+    const std::size_t n = ScaledN(100000, env);
+    PrintSection("(a) excess risk vs epsilon  (n = " + std::to_string(n) +
+                 ")");
+    TablePrinter table({"epsilon", "d=100", "d=200", "d=400"});
+    table.PrintHeader();
+    for (const double epsilon : {0.5, 1.0, 1.5, 2.0}) {
+      std::vector<std::string> row = {TablePrinter::Cell(epsilon)};
+      for (const std::size_t d : dims) {
+        const Summary summary = RunTrials(
+            env.trials, env.seed + d, [&](std::uint64_t seed) {
+              return Alg2Trial(n, d, epsilon, workload, seed);
+            });
+        row.push_back(MeanStd(summary));
+      }
+      table.PrintRow(row);
+    }
+  }
+
+  {
+    PrintSection("(b) excess risk vs n, d = 200");
+    TablePrinter table({"n", "eps=0.5", "eps=1", "eps=2"});
+    table.PrintHeader();
+    for (const std::size_t paper_n : {20000u, 50000u, 100000u}) {
+      const std::size_t n = ScaledN(paper_n, env);
+      std::vector<std::string> row = {TablePrinter::Cell(n)};
+      for (const double epsilon : {0.5, 1.0, 2.0}) {
+        const Summary summary = RunTrials(
+            env.trials,
+            env.seed + paper_n + static_cast<std::uint64_t>(10 * epsilon),
+            [&](std::uint64_t seed) {
+              return Alg2Trial(n, 200, epsilon, workload, seed);
+            });
+        row.push_back(MeanStd(summary));
+      }
+      table.PrintRow(row);
+    }
+  }
+
+  {
+    PrintSection("(c) private vs non-private  (epsilon = 1, d = 200)");
+    TablePrinter table({"n", "private", "non-private"});
+    table.PrintHeader();
+    for (const std::size_t paper_n : {20000u, 50000u, 100000u}) {
+      const std::size_t n = ScaledN(paper_n, env);
+      const Summary priv = RunTrials(
+          env.trials, env.seed + 7 * paper_n, [&](std::uint64_t seed) {
+            return Alg2Trial(n, 200, 1.0, workload, seed);
+          });
+      const Summary nonpriv = RunTrials(
+          env.trials, env.seed + 7 * paper_n, [&](std::uint64_t seed) {
+            return NonPrivateTrial(n, 200, /*logistic=*/false, workload,
+                                   seed);
+          });
+      table.PrintRow({TablePrinter::Cell(n), MeanStd(priv),
+                      MeanStd(nonpriv)});
+    }
+  }
+  return 0;
+}

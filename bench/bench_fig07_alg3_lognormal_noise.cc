@@ -1,0 +1,14 @@
+// Figure 7: Algorithm 3 (Heavy-tailed Private Sparse Linear Regression)
+// with x ~ N(0, 5) and label noise ~ Lognormal(0, 0.5).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace htdp;
+  using namespace htdp::bench;
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 7",
+              "Alg.3, sparse linear regression, lognormal(0,0.5) noise", env);
+  RunAlg3Figure(ScalarDistribution::Lognormal(0.0, 0.5), env);
+  return 0;
+}

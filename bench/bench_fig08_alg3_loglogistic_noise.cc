@@ -1,0 +1,16 @@
+// Figure 8: Algorithm 3 (Heavy-tailed Private Sparse Linear Regression)
+// with x ~ N(0, 5) and label noise ~ LogLogistic(c = 0.1) -- an extremely
+// heavy tail (no finite mean), stressing the shrinkage step.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace htdp;
+  using namespace htdp::bench;
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 8",
+              "Alg.3, sparse linear regression, log-logistic(0.1) noise",
+              env);
+  RunAlg3Figure(ScalarDistribution::LogLogistic(0.1), env);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 9: Algorithm 3 (Heavy-tailed Private Sparse Linear Regression)
+// with x ~ N(0, 5) and label noise ~ LogGamma(c = 0.5).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace htdp;
+  using namespace htdp::bench;
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 9",
+              "Alg.3, sparse linear regression, log-gamma(0.5) noise", env);
+  RunAlg3Figure(ScalarDistribution::LogGamma(0.5), env);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 11: Algorithm 5 (Heavy-tailed Private Sparse Optimization) on
+// l2-regularized logistic regression with x ~ Laplace(scale = 5) and latent
+// noise ~ LogGamma(c = 0.5). tau = E x_j^2 = 2 * 5^2 = 50.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace htdp;
+  using namespace htdp::bench;
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 11",
+              "Alg.5, regularized logistic regression, Laplace(5) features",
+              env);
+  RunAlg5Figure(ScalarDistribution::Laplace(5.0),
+                ScalarDistribution::LogGamma(0.5), /*tau=*/50.0, env);
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Microbenchmarks (google-benchmark) of the primitives on the hot paths of
+// Algorithms 1-5: the smoothed truncation function, the robust mean /
+// gradient estimators, the DP mechanisms, Peeling and the geometry ops.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "core/htdp.h"
+
+namespace htdp {
+namespace {
+
+void BM_Phi(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Phi(x));
+    x += 1e-6;
+  }
+}
+BENCHMARK(BM_Phi);
+
+void BM_SmoothedPhiClosedForm(benchmark::State& state) {
+  double a = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SmoothedPhi(a, 0.7));
+    a += 1e-7;
+  }
+}
+BENCHMARK(BM_SmoothedPhiClosedForm);
+
+void BM_SmoothedPhiSplitPath(benchmark::State& state) {
+  double a = 1e8;  // forces the composite-quadrature fallback
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SmoothedPhi(a, a));
+    a += 1.0;
+  }
+}
+BENCHMARK(BM_SmoothedPhiSplitPath);
+
+void BM_RobustMeanEstimate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Vector values(n);
+  for (double& v : values) v = SampleLognormal(rng, 0.0, 1.0);
+  const RobustMeanEstimator estimator(10.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(values));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RobustMeanEstimate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RobustGradient(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  Rng rng(5);
+  SyntheticConfig config{n, d, ScalarDistribution::Lognormal(0.0, 0.6),
+                         ScalarDistribution::Normal(0.0, 0.1)};
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  const SquaredLoss loss;
+  const RobustGradientEstimator estimator(10.0, 1.0);
+  const Vector w(d, 0.0);
+  Vector out;
+  for (auto _ : state) {
+    estimator.Estimate(loss, FullView(data), w, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * d));
+}
+BENCHMARK(BM_RobustGradient)
+    ->Args({1000, 100})
+    ->Args({1000, 800})
+    ->Args({10000, 400});
+
+void BM_ExponentialMechanism(benchmark::State& state) {
+  const std::size_t range = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Vector scores(range);
+  for (double& s : scores) s = rng.Uniform(-1.0, 1.0);
+  const ExponentialMechanism mechanism(0.1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.SelectGumbel(scores, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(range));
+}
+BENCHMARK(BM_ExponentialMechanism)->Arg(400)->Arg(1600)->Arg(12800);
+
+void BM_Peeling(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const std::size_t s = static_cast<std::size_t>(state.range(1));
+  Rng rng(11);
+  Vector v(d);
+  for (double& value : v) value = rng.Uniform(-1.0, 1.0);
+  PeelingOptions options;
+  options.sparsity = s;
+  options.epsilon = 1.0;
+  options.delta = 1e-5;
+  options.linf_sensitivity = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Peel(v, options, rng).value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(d * s));
+}
+BENCHMARK(BM_Peeling)->Args({400, 20})->Args({800, 40})->Args({3200, 40});
+
+void BM_ProjectOntoL1Ball(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  Vector base(d);
+  for (double& v : base) v = rng.Uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    Vector x = base;
+    ProjectOntoL1Ball(1.0, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_ProjectOntoL1Ball)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_L1BallVertexScores(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const L1Ball ball(d, 1.0);
+  Rng rng(17);
+  Vector g(d);
+  for (double& v : g) v = rng.Uniform(-1.0, 1.0);
+  Vector scores;
+  for (auto _ : state) {
+    ball.VertexInnerProducts(g, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+}
+BENCHMARK(BM_L1BallVertexScores)->Arg(400)->Arg(6400);
+
+void BM_LaplaceSampling(benchmark::State& state) {
+  Rng rng(19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleLaplace(rng, 1.0));
+  }
+}
+BENCHMARK(BM_LaplaceSampling);
+
+void BM_LognormalSampling(benchmark::State& state) {
+  Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleLognormal(rng, 0.0, 0.6));
+  }
+}
+BENCHMARK(BM_LognormalSampling);
+
+void BM_ShrinkDataset(benchmark::State& state) {
+  const std::size_t n = 10000;
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Rng rng(29);
+  Matrix x(n, d);
+  for (double& e : x.data()) e = SampleStudentT(rng, 3.0);
+  for (auto _ : state) {
+    Matrix copy = x;
+    ShrinkInPlace(2.0, copy);
+    benchmark::DoNotOptimize(copy.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * d));
+}
+BENCHMARK(BM_ShrinkDataset)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace htdp

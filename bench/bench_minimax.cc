@@ -1,0 +1,84 @@
+// Lower-bound bench: the Theorem 9 hard family for private sparse mean
+// estimation. Prints, across n and epsilon, the measured risk of (i) an
+// actual (eps, delta)-DP estimator (Algorithm 5 with the mean loss) and
+// (ii) the non-private empirical mean, against the information-theoretic
+// bound Omega(tau min{s* log d, log(1/delta)} / (n eps)).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace htdp;
+  using namespace htdp::bench;
+
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Lower bound", "Theorem 9 hard instance, sparse mean", env);
+
+  const std::size_t d = 256;
+  const std::size_t s_star = 8;
+  const double tau = 1.0;
+
+  PrintSection("risk ||w - theta||^2 on the hard family  (d = 256, s* = 8)");
+  TablePrinter table(
+      {"n", "epsilon", "alg5 (DP)", "emp. mean", "lower bound"});
+  table.PrintHeader();
+  for (const std::size_t paper_n : {4000u, 16000u, 64000u}) {
+    const std::size_t n = ScaledN(paper_n, env, 2000);
+    for (const double epsilon : {0.5, 2.0}) {
+      const double delta = PaperDelta(n);
+      const Summary dp_risk = RunTrials(
+          env.trials,
+          env.seed + n + static_cast<std::uint64_t>(10 * epsilon),
+          [&](std::uint64_t seed) {
+            Rng rng(seed);
+            const SparseMeanHardFamily family(d, s_star, 8, tau, epsilon,
+                                              delta, n, rng);
+            const std::size_t v = rng.UniformInt(family.family_size());
+            const Vector theta = family.Mean(v);
+            const Dataset data = family.Sample(v, n, rng);
+            const MeanLoss loss;
+            HtSparseOptOptions options;
+            options.epsilon = epsilon;
+            options.delta = delta;
+            options.target_sparsity = s_star;
+            options.tau = tau;
+            options.step = 0.25;
+            const auto result =
+                RunHtSparseOpt(loss, data, Vector(d, 0.0), options, rng);
+            return NormL2Squared(Sub(result.w, theta));
+          });
+      const Summary naive_risk = RunTrials(
+          env.trials,
+          env.seed + n + static_cast<std::uint64_t>(10 * epsilon),
+          [&](std::uint64_t seed) {
+            Rng rng(seed);
+            const SparseMeanHardFamily family(d, s_star, 8, tau, epsilon,
+                                              delta, n, rng);
+            const std::size_t v = rng.UniformInt(family.family_size());
+            const Vector theta = family.Mean(v);
+            const Dataset data = family.Sample(v, n, rng);
+            Vector mean(d, 0.0);
+            for (std::size_t i = 0; i < data.size(); ++i) {
+              for (std::size_t j = 0; j < d; ++j) mean[j] += data.x(i, j);
+            }
+            Scale(1.0 / static_cast<double>(data.size()), mean);
+            return NormL2Squared(Sub(mean, theta));
+          });
+      const double bound = SparseMeanHardFamily::LowerBound(
+          n, d, s_star, epsilon, delta, tau);
+      table.PrintRow({TablePrinter::Cell(n), TablePrinter::Cell(epsilon),
+                      MeanStd(dp_risk), MeanStd(naive_risk),
+                      TablePrinter::Cell(bound)});
+    }
+  }
+
+  std::printf(
+      "\nReading: every (eps, delta)-DP estimator must sit above the bound\n"
+      "column on this family; the non-private empirical mean may go below\n"
+      "it, which is exactly the separation Theorem 9 formalizes. The gap\n"
+      "between the DP column and the bound reflects Theorem 8's extra\n"
+      "O~(sqrt(s*)) factor plus constants.\n");
+  return 0;
+}

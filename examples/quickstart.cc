@@ -1,0 +1,61 @@
+// Quickstart: private linear regression on heavy-tailed data in ~50 lines.
+//
+// Generates lognormal features (unbounded gradients -- exactly the regime
+// where clipping-based DP methods lose their guarantees), runs Algorithm 1
+// (Heavy-tailed DP-FW, pure epsilon-DP) over the unit l1 ball, and compares
+// against the non-private Frank-Wolfe optimum.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/htdp.h"
+
+int main() {
+  using namespace htdp;
+
+  Rng rng(2022);
+  const std::size_t n = 20000;
+  const std::size_t d = 200;
+
+  // y = <w*, x> + noise with x_ij ~ Lognormal(0, 0.6) (Section 6.1).
+  SyntheticConfig config;
+  config.n = n;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  config.noise_dist = ScalarDistribution::Normal(0.0, 0.1);
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+
+  const SquaredLoss loss;
+  const L1Ball ball(d, 1.0);
+
+  // tau is the coordinate-wise second-moment bound on the gradient
+  // (Assumption 1); estimate it offline here for convenience.
+  const double tau =
+      EstimateGradientSecondMoment(loss, FullView(data), Vector(d, 0.0));
+
+  HtDpFwOptions options;
+  options.epsilon = 1.0;
+  options.tau = tau;
+  const HtDpFwResult priv =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+
+  FrankWolfeOptions fw;
+  fw.iterations = 120;
+  const FrankWolfeResult nonpriv =
+      MinimizeFrankWolfe(loss, data, ball, Vector(d, 0.0), fw);
+
+  std::printf("n = %zu, d = %zu, epsilon = %.1f (pure eps-DP)\n", n, d,
+              options.epsilon);
+  std::printf("estimated tau (grad 2nd moment bound): %.3f\n", tau);
+  std::printf("schedule: T = %d folds, truncation scale s = %.2f\n",
+              priv.iterations, priv.scale_used);
+  std::printf("privacy ledger total: eps = %.3f, delta = %.1e\n",
+              priv.ledger.TotalEpsilon(), priv.ledger.TotalDelta());
+  std::printf("excess empirical risk  (private): %.4f\n",
+              ExcessEmpiricalRisk(loss, data, priv.w, w_star));
+  std::printf("excess empirical risk (non-priv): %.4f\n",
+              ExcessEmpiricalRisk(loss, data, nonpriv.w, w_star));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Sparse linear regression with heavy-tailed noise (Algorithm 3).
+//
+// The Figure 7 workload: x ~ N(0, 5), lognormal label noise, s*-sparse
+// target on the unit l2 ball. Reports estimation error ||w - w*||_2 and
+// support-recovery F1 as the sample size grows, next to non-private IHT.
+
+#include <cstdio>
+
+#include "core/htdp.h"
+
+int main() {
+  using namespace htdp;
+
+  const std::size_t d = 200;
+  const std::size_t s_star = 10;
+  const double epsilon = 4.0;
+  const double delta = 1e-5;
+
+  std::printf("Algorithm 3: private sparse linear regression "
+              "(d=%zu, s*=%zu, eps=%.1f, x ~ N(0,5))\n",
+              d, s_star, epsilon);
+  std::printf("%10s %18s %12s %18s %12s\n", "n", "priv ||w-w*||", "priv F1",
+              "iht ||w-w*||", "iht F1");
+
+  for (const std::size_t n : {20000u, 80000u, 200000u}) {
+    Rng rng(100 + n);
+    Vector w_star = MakeSparseTarget(d, s_star, rng);
+    Scale(0.5, w_star);  // Theorem 7 works under ||w*|| <= 1/2
+
+    SyntheticConfig config;
+    config.n = n;
+    config.d = d;
+    config.feature_dist = ScalarDistribution::Normal(0.0, 5.0);
+    config.noise_dist = ScalarDistribution::Lognormal(0.0, 0.5);
+    const Dataset data = GenerateLinear(config, w_star, rng);
+
+    // Features have covariance 25 * I: eta ~ 2/(3 gamma).
+    const double step = 2.0 / (3.0 * 25.0);
+    HtSparseLinRegOptions options;
+    options.epsilon = epsilon;
+    options.delta = delta;
+    options.target_sparsity = s_star;
+    options.step = step;
+    const auto priv = RunHtSparseLinReg(data, Vector(d, 0.0), options, rng);
+
+    const SquaredLoss loss;
+    IhtOptions iht;
+    iht.iterations = 60;
+    iht.step = step / 2.0;  // IHT uses the full 2x(x'w - y) gradient
+    iht.sparsity = s_star;
+    iht.l2_ball_radius = 1.0;
+    const Vector iht_w = MinimizeIht(loss, data, Vector(d, 0.0), iht);
+
+    const SupportRecovery priv_support =
+        EvaluateSupportRecovery(priv.w, w_star);
+    const SupportRecovery iht_support = EvaluateSupportRecovery(iht_w, w_star);
+    std::printf("%10zu %18.4f %12.3f %18.4f %12.3f\n", n,
+                EstimationError(priv.w, w_star), priv_support.f1,
+                EstimationError(iht_w, w_star), iht_support.f1);
+  }
+
+  std::printf("\nPrivate error shrinks toward the non-private reference as\n"
+              "n grows -- the O~(s*^2 log^2 d / (n eps)) behaviour of "
+              "Theorem 7.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#ifndef HTDP_CORE_HT_DP_FW_H_
+#define HTDP_CORE_HT_DP_FW_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "dp/privacy_ledger.h"
+#include "linalg/vector_ops.h"
+#include "losses/loss.h"
+#include "optim/polytope.h"
+#include "rng/rng.h"
+
+namespace htdp {
+
+/// Algorithm 1: Heavy-tailed DP-FW (epsilon-DP).
+///
+/// Splits the data into T disjoint folds; each iteration computes the
+/// coordinate-wise Catoni robust gradient g~ on one fold, runs the
+/// exponential mechanism over the polytope's vertices with score
+/// u(D_t, v) = -<v, g~> and sensitivity ||v||_1 * 4 sqrt(2) s / (3 m), and
+/// takes the Frank-Wolfe step w_t = (1 - eta_{t-1}) w_{t-1} +
+/// eta_{t-1} w~_{t-1}. Disjoint folds compose in parallel, so the whole run
+/// is epsilon-DP (Theorem 1). Under Assumption 1 the excess population risk
+/// is O~(||W||_1 (alpha tau log(n |V| d / zeta))^(1/3) / (n eps)^(1/3))
+/// (Theorem 2); with the fixed-step schedule it also covers the non-convex
+/// robust regression of Theorem 3.
+struct HtDpFwOptions {
+  double epsilon = 1.0;
+  /// T; 0 = auto, floor((n epsilon)^(1/3)) per Section 6.2.
+  int iterations = 0;
+  /// Truncation scale s; 0 = auto from Theorem 2 using `tau`.
+  double scale = 0.0;
+  /// Smoothing precision beta = O(1).
+  double beta = 1.0;
+  /// Coordinate-wise second-moment bound on the gradient (Assumption 1).
+  /// The paper assumes tau is known; estimate it offline with
+  /// EstimateGradientSecondMoment if needed.
+  double tau = 1.0;
+  /// Failure probability driving the auto schedule's log terms.
+  double zeta = 0.1;
+  /// true: eta_t = 2/(t+2) (Theorem 2); false: fixed step (Theorem 3).
+  bool diminishing_step = true;
+  /// Fixed step when diminishing_step is false; 0 = 1/sqrt(T).
+  double fixed_step = 0.0;
+  /// When true, records the empirical risk after every iteration in
+  /// `risk_trace` (costs one pass over the data per iteration).
+  bool record_risk_trace = false;
+};
+
+struct HtDpFwResult {
+  Vector w;
+  PrivacyLedger ledger;
+  int iterations = 0;
+  double scale_used = 0.0;
+  std::vector<double> risk_trace;
+};
+
+/// Runs Algorithm 1. `w0` must lie in `polytope`. The dataset must outlive
+/// the call; it is never modified.
+HtDpFwResult RunHtDpFw(const Loss& loss, const Dataset& data,
+                       const Polytope& polytope, const Vector& w0,
+                       const HtDpFwOptions& options, Rng& rng);
+
+}  // namespace htdp
+
+#endif  // HTDP_CORE_HT_DP_FW_H_

@@ -1,0 +1,82 @@
+#include "core/ht_private_lasso.h"
+
+#include <cstddef>
+
+#include "core/hyperparams.h"
+#include "dp/exponential_mechanism.h"
+#include "dp/privacy.h"
+#include "losses/squared_loss.h"
+#include "robust/shrinkage.h"
+#include "util/check.h"
+
+namespace htdp {
+
+HtPrivateLassoResult RunHtPrivateLasso(const Dataset& data,
+                                       const Polytope& polytope,
+                                       const Vector& w0,
+                                       const HtPrivateLassoOptions& options,
+                                       Rng& rng) {
+  data.Validate();
+  HTDP_CHECK_EQ(w0.size(), polytope.dim());
+  HTDP_CHECK_EQ(data.dim(), polytope.dim());
+  PrivacyParams{options.epsilon, options.delta}.Validate();
+  HTDP_CHECK_GT(options.delta, 0.0);
+
+  int iterations = options.iterations;
+  double shrinkage = options.shrinkage;
+  if (iterations <= 0 || shrinkage <= 0.0) {
+    const Alg2Schedule schedule =
+        SolveAlg2Schedule(data.size(), options.epsilon);
+    if (iterations <= 0) iterations = schedule.iterations;
+    if (shrinkage <= 0.0) shrinkage = schedule.shrinkage;
+  }
+
+  // Step 2: entrywise shrinkage of the whole dataset.
+  Dataset shrunken = data;
+  ShrinkInPlace(shrinkage, shrunken.x);
+  ShrinkInPlace(shrinkage, shrunken.y);
+
+  const std::size_t n = data.size();
+  const double k2 = shrinkage * shrinkage;
+  const double vertex_norm = polytope.MaxVertexL1Norm();
+  // |2 x~_j (<x~, w> - y~)| <= 2 K^2 (V + 1); replacing one sample moves the
+  // average by twice that over n, and the score by ||v||_1 times that.
+  const double sensitivity =
+      4.0 * k2 * vertex_norm * (vertex_norm + 1.0) / static_cast<double>(n);
+  const double step_epsilon = AdvancedCompositionStepEpsilon(
+      options.epsilon, options.delta, iterations);
+  const ExponentialMechanism mechanism(sensitivity, step_epsilon);
+  const double step_delta =
+      AdvancedCompositionStepDelta(options.delta, iterations);
+
+  const SquaredLoss loss;
+  const DatasetView shrunken_view = FullView(shrunken);
+
+  HtPrivateLassoResult result;
+  result.w = w0;
+  result.iterations = iterations;
+  result.shrinkage_used = shrinkage;
+
+  Vector grad;
+  Vector scores;
+  for (int t = 1; t <= iterations; ++t) {
+    // g~ = (2/n) sum_i x~_i (<x~_i, w> - y~_i), the exact gradient of the
+    // squared loss on the shrunken data.
+    EmpiricalGradient(loss, shrunken_view, result.w, grad);
+    polytope.VertexInnerProducts(grad, scores);
+    for (double& value : scores) value = -value;
+    const std::size_t pick = mechanism.SelectGumbel(scores, rng);
+    result.ledger.Record({"exponential", step_epsilon, step_delta,
+                          sensitivity, /*fold=*/-1});
+
+    const double eta = 2.0 / (static_cast<double>(t) + 2.0);
+    polytope.ApplyConvexStep(pick, eta, result.w);
+
+    if (options.record_risk_trace) {
+      result.risk_trace.push_back(EmpiricalRisk(loss, data, result.w));
+    }
+  }
+  return result;
+}
+
+}  // namespace htdp

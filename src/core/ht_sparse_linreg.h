@@ -1,0 +1,56 @@
+#ifndef HTDP_CORE_HT_SPARSE_LINREG_H_
+#define HTDP_CORE_HT_SPARSE_LINREG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "dp/privacy_ledger.h"
+#include "linalg/vector_ops.h"
+#include "rng/rng.h"
+
+namespace htdp {
+
+/// Algorithm 3: Heavy-tailed Private Sparse Linear Regression
+/// ((epsilon, delta)-DP truncated DP-IHT).
+///
+/// Shrinks the data entrywise at threshold K, splits it into T disjoint
+/// folds, and per fold takes the gradient step
+///   w_{t+0.5} = w_t - (eta0/m) sum x~ (<x~, w_t> - y~),
+/// privately selects the top-s coordinates with Peeling (noise scale
+/// lambda = 2 K^2 eta0 (sqrt(s) + 1) / m), and projects onto the unit l2
+/// ball. Disjoint folds give (epsilon, delta)-DP overall (Theorem 6); under
+/// Assumption 3 the excess risk is O~(s*^2 log^2 d / (n eps)) (Theorem 7).
+struct HtSparseLinRegOptions {
+  double epsilon = 1.0;
+  double delta = 1e-5;
+  /// T; 0 = auto, floor(log n) per Section 6.2.
+  int iterations = 0;
+  /// Peeling sparsity s; 0 = auto, sparsity_multiplier * target_sparsity.
+  std::size_t sparsity = 0;
+  /// s* (required when sparsity == 0).
+  std::size_t target_sparsity = 0;
+  /// The integer c of Section 6.2's s = c s*.
+  int sparsity_multiplier = 2;
+  /// Shrinkage threshold K; 0 = auto, (n eps / (s T))^(1/4).
+  double shrinkage = 0.0;
+  /// Step size eta0 (Section 6.2 uses 0.5).
+  double step = 0.5;
+};
+
+struct HtSparseLinRegResult {
+  Vector w;
+  PrivacyLedger ledger;
+  int iterations = 0;
+  std::size_t sparsity_used = 0;
+  double shrinkage_used = 0.0;
+};
+
+/// Runs Algorithm 3. `w0` must be s-sparse with ||w0||_2 <= 1.
+HtSparseLinRegResult RunHtSparseLinReg(const Dataset& data, const Vector& w0,
+                                       const HtSparseLinRegOptions& options,
+                                       Rng& rng);
+
+}  // namespace htdp
+
+#endif  // HTDP_CORE_HT_SPARSE_LINREG_H_

@@ -1,0 +1,61 @@
+#ifndef HTDP_CORE_HTDP_H_
+#define HTDP_CORE_HTDP_H_
+
+/// Umbrella header for the htdp library: high-dimensional differentially
+/// private stochastic optimization with heavy-tailed data (Hu, Ni, Xiao,
+/// Wang; PODS 2022).
+///
+/// Core algorithms:
+///   RunHtDpFw          -- Algorithm 1, heavy-tailed DP Frank-Wolfe (eps-DP)
+///   RunHtPrivateLasso  -- Algorithm 2, shrunken-data private LASSO
+///   RunHtSparseLinReg  -- Algorithm 3, truncated DP-IHT for sparse linreg
+///   Peel               -- Algorithm 4, private top-s selection
+///   RunHtSparseOpt     -- Algorithm 5, robust-gradient DP-IHT (general loss)
+
+#include "core/dp_robust_gd.h"
+#include "core/ht_dp_fw.h"
+#include "core/ht_private_lasso.h"
+#include "core/ht_sparse_linreg.h"
+#include "core/ht_sparse_opt.h"
+#include "core/hyperparams.h"
+#include "core/minimax.h"
+#include "core/peeling.h"
+#include "core/robust_gradient.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/real_world_sim.h"
+#include "data/synthetic.h"
+#include "dp/exponential_mechanism.h"
+#include "dp/gaussian_mechanism.h"
+#include "dp/laplace_mechanism.h"
+#include "dp/privacy.h"
+#include "dp/privacy_ledger.h"
+#include "linalg/matrix.h"
+#include "linalg/projections.h"
+#include "linalg/sparse_ops.h"
+#include "linalg/spectrum.h"
+#include "linalg/vector_ops.h"
+#include "losses/biweight_loss.h"
+#include "losses/huber_loss.h"
+#include "losses/logistic_loss.h"
+#include "losses/loss.h"
+#include "losses/mean_loss.h"
+#include "losses/squared_loss.h"
+#include "optim/dp_fw_regular.h"
+#include "optim/dp_sgd.h"
+#include "optim/frank_wolfe.h"
+#include "optim/iht.h"
+#include "optim/pgd.h"
+#include "optim/polytope.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "robust/catoni.h"
+#include "robust/median_of_means.h"
+#include "robust/robust_mean.h"
+#include "robust/shrinkage.h"
+#include "robust/trimmed_mean.h"
+#include "stats/metrics.h"
+#include "stats/moments.h"
+#include "stats/summary.h"
+
+#endif  // HTDP_CORE_HTDP_H_

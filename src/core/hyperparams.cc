@@ -1,0 +1,116 @@
+#include "core/hyperparams.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+namespace {
+
+double SafeLog(double x) { return std::log(std::max(x, std::exp(1.0))); }
+
+int ClampIterations(double t, std::size_t n) {
+  // At least one iteration; never more folds than samples.
+  const double capped =
+      std::min(std::max(t, 1.0), static_cast<double>(n));
+  return static_cast<int>(capped);
+}
+
+}  // namespace
+
+Alg1Schedule SolveAlg1Schedule(std::size_t n, std::size_t d, double epsilon,
+                               double tau, std::size_t num_vertices,
+                               double zeta) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK_GT(d, 0u);
+  HTDP_CHECK_GT(epsilon, 0.0);
+  HTDP_CHECK_GT(tau, 0.0);
+  HTDP_CHECK(zeta > 0.0 && zeta < 1.0) << "zeta=" << zeta;
+  Alg1Schedule schedule;
+  const double n_eps = static_cast<double>(n) * epsilon;
+  schedule.iterations = ClampIterations(std::floor(std::cbrt(n_eps)), n);
+  const double t = static_cast<double>(schedule.iterations);
+  const double log_term = SafeLog(static_cast<double>(num_vertices) *
+                                  static_cast<double>(d) * t / zeta);
+  schedule.scale = std::sqrt(n_eps * tau / (t * log_term));
+  schedule.beta = 1.0;
+  return schedule;
+}
+
+Alg1RobustSchedule SolveAlg1RobustSchedule(std::size_t n, std::size_t d,
+                                           double epsilon, double zeta) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK_GT(d, 0u);
+  HTDP_CHECK_GT(epsilon, 0.0);
+  HTDP_CHECK(zeta > 0.0 && zeta < 1.0) << "zeta=" << zeta;
+  Alg1RobustSchedule schedule;
+  const double n_eps = static_cast<double>(n) * epsilon;
+  const double log_d = SafeLog(static_cast<double>(d) / zeta);
+  schedule.iterations =
+      ClampIterations(std::floor(std::sqrt(n_eps / log_d)), n);
+  const double t = static_cast<double>(schedule.iterations);
+  schedule.scale = std::sqrt(
+      n_eps / (std::sqrt(t) * SafeLog(static_cast<double>(d) * t / zeta)));
+  schedule.beta = 1.0;
+  schedule.step = 1.0 / std::sqrt(t);
+  return schedule;
+}
+
+Alg2Schedule SolveAlg2Schedule(std::size_t n, double epsilon) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK_GT(epsilon, 0.0);
+  Alg2Schedule schedule;
+  const double n_eps = static_cast<double>(n) * epsilon;
+  schedule.iterations =
+      ClampIterations(std::ceil(std::pow(n_eps, 0.4)), n);
+  schedule.shrinkage =
+      std::pow(n_eps, 0.25) /
+      std::pow(static_cast<double>(schedule.iterations), 0.125);
+  return schedule;
+}
+
+Alg3Schedule SolveAlg3Schedule(std::size_t n, double epsilon,
+                               std::size_t target_sparsity, int multiplier) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK_GT(epsilon, 0.0);
+  HTDP_CHECK_GT(target_sparsity, 0u);
+  HTDP_CHECK_GE(multiplier, 1);
+  Alg3Schedule schedule;
+  schedule.iterations =
+      ClampIterations(std::floor(std::log(static_cast<double>(n))), n);
+  schedule.sparsity = target_sparsity * static_cast<std::size_t>(multiplier);
+  const double s_t = static_cast<double>(schedule.sparsity) *
+                     static_cast<double>(schedule.iterations);
+  schedule.shrinkage =
+      std::pow(static_cast<double>(n) * epsilon / s_t, 0.25);
+  schedule.step = 0.5;
+  return schedule;
+}
+
+Alg5Schedule SolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
+                               double tau, std::size_t target_sparsity,
+                               double zeta) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK_GT(d, 0u);
+  HTDP_CHECK_GT(epsilon, 0.0);
+  HTDP_CHECK_GT(tau, 0.0);
+  HTDP_CHECK_GT(target_sparsity, 0u);
+  HTDP_CHECK(zeta > 0.0 && zeta < 1.0) << "zeta=" << zeta;
+  Alg5Schedule schedule;
+  schedule.iterations =
+      ClampIterations(std::floor(std::log(static_cast<double>(n))), n);
+  schedule.sparsity = 2 * target_sparsity;
+  const double t = static_cast<double>(schedule.iterations);
+  const double s = static_cast<double>(schedule.sparsity);
+  const double n_eps = static_cast<double>(n) * epsilon;
+  // k^4 = n^2 eps^2 tau^2 / ((s T)^2 log(T s / zeta)) per the Theorem 8 proof.
+  schedule.scale = std::sqrt(n_eps * tau / (s * t)) /
+                   std::pow(SafeLog(t * s / zeta), 0.25);
+  schedule.beta = 1.0;
+  schedule.step = 0.5;
+  return schedule;
+}
+
+}  // namespace htdp

@@ -1,0 +1,178 @@
+#include "core/minimax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace htdp {
+namespace {
+
+// p = (1/(n eps)) min{ (s/2) log((d-s)/(s/2)) - eps,
+//                      log((1 - e^-eps) / (4 delta e^eps)) }, clamped to
+// (0, 1].
+double SolveContamination(std::size_t n, std::size_t d, std::size_t s,
+                          double epsilon, double delta) {
+  const double packing_term =
+      0.5 * static_cast<double>(s) *
+          std::log(static_cast<double>(d - s) /
+                   (0.5 * static_cast<double>(s))) -
+      epsilon;
+  const double delta_term =
+      std::log((1.0 - std::exp(-epsilon)) / (4.0 * delta * std::exp(epsilon)));
+  double p = std::min(packing_term, delta_term) /
+             (static_cast<double>(n) * epsilon);
+  return std::clamp(p, 1e-12, 1.0);
+}
+
+}  // namespace
+
+SparseMeanHardFamily::SparseMeanHardFamily(std::size_t d, std::size_t sparsity,
+                                           std::size_t family_size, double tau,
+                                           double epsilon, double delta,
+                                           std::size_t n, Rng& rng)
+    : d_(d), sparsity_(sparsity), tau_(tau) {
+  HTDP_CHECK_GE(sparsity, 2u);
+  HTDP_CHECK_LE(sparsity, d / 2);
+  HTDP_CHECK_GT(tau, 0.0);
+  HTDP_CHECK_GT(epsilon, 0.0);
+  HTDP_CHECK(delta > 0.0 && delta < 1.0) << "delta=" << delta;
+  HTDP_CHECK_GE(family_size, 2u);
+
+  p_ = SolveContamination(n, d, sparsity, epsilon, delta);
+  atom_magnitude_ =
+      std::sqrt(tau / p_) / std::sqrt(2.0 * static_cast<double>(sparsity));
+
+  // Greedy packing: draw random signed s-sparse patterns, keep those at
+  // Hamming distance >= s/2 from every kept member (Lemma 11 guarantees an
+  // exponentially large packing exists, so the greedy loop fills quickly).
+  const std::size_t max_attempts = family_size * 200;
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t attempt = 0;
+       attempt < max_attempts && members_.size() < family_size; ++attempt) {
+    // Sample a support of size s via partial Fisher-Yates.
+    for (std::size_t j = 0; j < sparsity; ++j) {
+      const std::size_t pick =
+          j + static_cast<std::size_t>(rng.UniformInt(d - j));
+      std::swap(order[j], order[pick]);
+    }
+    Member candidate;
+    candidate.indices.assign(order.begin(),
+                             order.begin() + static_cast<long>(sparsity));
+    std::sort(candidate.indices.begin(), candidate.indices.end());
+    candidate.signs.resize(sparsity);
+    for (int& sign : candidate.signs) {
+      sign = (rng.UniformInt(2) == 0) ? 1 : -1;
+    }
+
+    bool separated = true;
+    for (const Member& member : members_) {
+      // Hamming distance between the two sign patterns in {-1,0,1}^d.
+      std::size_t same = 0;
+      std::size_t mi = 0;
+      for (std::size_t ci = 0; ci < sparsity && mi < sparsity;) {
+        if (candidate.indices[ci] == member.indices[mi]) {
+          if (candidate.signs[ci] == member.signs[mi]) ++same;
+          ++ci;
+          ++mi;
+        } else if (candidate.indices[ci] < member.indices[mi]) {
+          ++ci;
+        } else {
+          ++mi;
+        }
+      }
+      // Positions differing: everything except identical (index, sign) pairs
+      // counts toward the distance; distance = 2s - 2*matching coordinates
+      // where both have the same index (regardless of sign) minus ... we use
+      // the conservative count: differing positions >= 2 (s - same) - s = s -
+      // 2*overlap_same. Simpler exact rule: distance = (s - same) counted on
+      // the union of supports.
+      std::size_t union_size = 2 * sparsity;
+      {
+        std::size_t overlap = 0;
+        std::size_t a = 0;
+        std::size_t b = 0;
+        while (a < sparsity && b < sparsity) {
+          if (candidate.indices[a] == member.indices[b]) {
+            ++overlap;
+            ++a;
+            ++b;
+          } else if (candidate.indices[a] < member.indices[b]) {
+            ++a;
+          } else {
+            ++b;
+          }
+        }
+        union_size = 2 * sparsity - overlap;
+      }
+      const std::size_t distance = union_size - same;
+      if (distance < sparsity / 2) {
+        separated = false;
+        break;
+      }
+    }
+    if (separated) members_.push_back(std::move(candidate));
+  }
+  HTDP_CHECK_GE(members_.size(), 2u)
+      << "failed to build a packing; increase d or reduce sparsity";
+}
+
+Vector SparseMeanHardFamily::Mean(std::size_t v) const {
+  HTDP_CHECK_LT(v, members_.size());
+  Vector mean(d_, 0.0);
+  const double magnitude = p_ * atom_magnitude_;
+  for (std::size_t j = 0; j < sparsity_; ++j) {
+    mean[members_[v].indices[j]] =
+        magnitude * static_cast<double>(members_[v].signs[j]);
+  }
+  return mean;
+}
+
+Dataset SparseMeanHardFamily::Sample(std::size_t v, std::size_t n,
+                                     Rng& rng) const {
+  HTDP_CHECK_LT(v, members_.size());
+  HTDP_CHECK_GT(n, 0u);
+  Dataset data;
+  data.x = Matrix(n, d_);
+  data.y.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.UniformUnit() < p_) {
+      double* row = data.x.Row(i);
+      for (std::size_t j = 0; j < sparsity_; ++j) {
+        row[members_[v].indices[j]] =
+            atom_magnitude_ * static_cast<double>(members_[v].signs[j]);
+      }
+    }
+    // Otherwise the row stays the P_0 atom: all zeros.
+  }
+  return data;
+}
+
+double SparseMeanHardFamily::MinSeparationSquared() const {
+  double best = 1e300;
+  for (std::size_t a = 0; a < members_.size(); ++a) {
+    const Vector mean_a = Mean(a);
+    for (std::size_t b = a + 1; b < members_.size(); ++b) {
+      best = std::min(best, NormL2Squared(Sub(mean_a, Mean(b))));
+    }
+  }
+  return best;
+}
+
+double SparseMeanHardFamily::LowerBound(std::size_t n, std::size_t d,
+                                        std::size_t sparsity, double epsilon,
+                                        double delta, double tau) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK_GT(sparsity, 0u);
+  HTDP_CHECK_LT(sparsity, d);
+  const double s_log_d = static_cast<double>(sparsity) *
+                         std::log(static_cast<double>(d));
+  const double log_inv_delta = std::log(1.0 / delta);
+  return tau * std::min(s_log_d, log_inv_delta) /
+         (4.0 * static_cast<double>(n) * epsilon);
+}
+
+}  // namespace htdp

@@ -1,0 +1,68 @@
+#ifndef HTDP_CORE_MINIMAX_H_
+#define HTDP_CORE_MINIMAX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "rng/rng.h"
+
+namespace htdp {
+
+/// The Theorem 9 lower-bound construction for private sparse heavy-tailed
+/// mean estimation.
+///
+/// Packing (Lemma 11): a subset of H(s) = {z in {-1,0,+1}^d : ||z||_0 = s}
+/// with pairwise Hamming distance >= s/2, scaled by 1/sqrt(2s) so members
+/// are s-sparse unit-ball vectors at pairwise l2 distance >= sqrt(2)/...;
+/// Hard family: P_{theta_v} = (1-p) P_0 + p P_v with P_0 a point mass at 0
+/// and P_v a point mass at sqrt(tau/p) v, so theta_v = sqrt(p tau) v and
+/// E X_j^2 <= tau coordinate-wise.
+class SparseMeanHardFamily {
+ public:
+  /// Builds (greedily) a packing of up to `family_size` members and the
+  /// mixture family for an (epsilon, delta)-DP adversary observing n
+  /// samples. Requires 2 <= sparsity <= d/2.
+  SparseMeanHardFamily(std::size_t d, std::size_t sparsity,
+                       std::size_t family_size, double tau, double epsilon,
+                       double delta, std::size_t n, Rng& rng);
+
+  std::size_t family_size() const { return members_.size(); }
+  std::size_t dim() const { return d_; }
+  double contamination_p() const { return p_; }
+
+  /// theta_v = sqrt(p tau) v, the mean of family member v.
+  Vector Mean(std::size_t v) const;
+
+  /// Draws n i.i.d. samples from P_{theta_v} (labels are zero; the mean
+  /// loss ignores them).
+  Dataset Sample(std::size_t v, std::size_t n, Rng& rng) const;
+
+  /// min_{v != v'} ||theta_v - theta_{v'}||_2^2 over the packing
+  /// (>= p tau by construction).
+  double MinSeparationSquared() const;
+
+  /// The Theorem 9 bound Omega(tau min{s log d, log(1/delta)} / (n eps)),
+  /// with the 1/4 constant from the proof.
+  static double LowerBound(std::size_t n, std::size_t d, std::size_t sparsity,
+                           double epsilon, double delta, double tau);
+
+ private:
+  std::size_t d_;
+  std::size_t sparsity_;
+  double tau_;
+  double p_;
+  double atom_magnitude_;  // sqrt(tau / p) / sqrt(2 s) per nonzero coordinate
+  // Each member: the signed support (+1/-1 entries at `indices`).
+  struct Member {
+    std::vector<std::size_t> indices;
+    std::vector<int> signs;
+  };
+  std::vector<Member> members_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_CORE_MINIMAX_H_

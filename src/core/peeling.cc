@@ -1,0 +1,62 @@
+#include "core/peeling.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "rng/distributions.h"
+#include "util/check.h"
+
+namespace htdp {
+
+PeelingResult Peel(const Vector& v, const PeelingOptions& options, Rng& rng,
+                   PrivacyLedger* ledger, int fold) {
+  HTDP_CHECK_GT(options.sparsity, 0u);
+  HTDP_CHECK_LE(options.sparsity, v.size());
+  HTDP_CHECK_GT(options.epsilon, 0.0);
+  HTDP_CHECK(options.delta > 0.0 && options.delta < 1.0)
+      << "delta=" << options.delta;
+  HTDP_CHECK_GT(options.linf_sensitivity, 0.0);
+
+  const std::size_t d = v.size();
+  const std::size_t s = options.sparsity;
+  const double noise_scale =
+      2.0 * options.linf_sensitivity *
+      std::sqrt(3.0 * static_cast<double>(s) * std::log(1.0 / options.delta)) /
+      options.epsilon;
+
+  PeelingResult result;
+  result.noise_scale = noise_scale;
+  result.selected.reserve(s);
+
+  std::vector<bool> taken(d, false);
+  for (std::size_t round = 0; round < s; ++round) {
+    // Fresh noise on every coordinate each round, exactly as in the
+    // pseudocode (w_i ~ Lap(noise_scale)^d).
+    std::size_t best = d;
+    double best_value = -1e300;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double noisy = std::abs(v[j]) + SampleLaplace(rng, noise_scale);
+      if (!taken[j] && noisy > best_value) {
+        best_value = noisy;
+        best = j;
+      }
+    }
+    HTDP_CHECK_LT(best, d);
+    taken[best] = true;
+    result.selected.push_back(best);
+  }
+
+  result.value.assign(d, 0.0);
+  for (std::size_t j : result.selected) {
+    result.value[j] = v[j] + SampleLaplace(rng, noise_scale);
+  }
+
+  if (ledger != nullptr) {
+    ledger->Record({"laplace-peeling", options.epsilon, options.delta,
+                    options.linf_sensitivity, fold});
+  }
+  return result;
+}
+
+}  // namespace htdp

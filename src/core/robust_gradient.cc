@@ -1,0 +1,72 @@
+#include "core/robust_gradient.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace htdp {
+
+RobustGradientEstimator::RobustGradientEstimator(double scale, double beta)
+    : estimator_(scale, beta) {}
+
+void RobustGradientEstimator::Estimate(const Loss& loss,
+                                       const DatasetView& view,
+                                       const Vector& w, Vector& out) const {
+  HTDP_CHECK_GT(view.size(), 0u);
+  HTDP_CHECK_EQ(view.dim(), w.size());
+  const std::size_t d = w.size();
+  const std::size_t m = view.size();
+
+  double probe = 0.0;
+  const bool glm =
+      loss.GradientAsScaledFeature(view.Row(0), view.Label(0), w, &probe);
+  const double ridge = loss.RidgeCoefficient();
+
+  // Per-chunk accumulators keep the parallel reduction race-free and the
+  // summation order deterministic for a fixed thread configuration.
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(NumWorkerThreads()),
+                               (m + 511) / 512));
+  const std::size_t chunk_size = (m + chunks - 1) / chunks;
+  std::vector<Vector> partial(chunks, Vector(d, 0.0));
+
+  ParallelFor(chunks, [&](std::size_t c_begin, std::size_t c_end) {
+    Vector sample_grad;
+    if (!glm) sample_grad.resize(d);
+    for (std::size_t c = c_begin; c < c_end; ++c) {
+      Vector& acc = partial[c];
+      const std::size_t lo = c * chunk_size;
+      const std::size_t hi = std::min(lo + chunk_size, m);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (glm) {
+          double scale = 0.0;
+          HTDP_CHECK(loss.GradientAsScaledFeature(view.Row(i), view.Label(i),
+                                                  w, &scale));
+          const double* row = view.Row(i);
+          for (std::size_t j = 0; j < d; ++j) {
+            acc[j] +=
+                estimator_.SampleContribution(scale * row[j] + ridge * w[j]);
+          }
+        } else {
+          loss.Gradient(view.Row(i), view.Label(i), w, sample_grad);
+          for (std::size_t j = 0; j < d; ++j) {
+            acc[j] += estimator_.SampleContribution(sample_grad[j]);
+          }
+        }
+      }
+    }
+  });
+
+  out.assign(d, 0.0);
+  for (const Vector& acc : partial) Axpy(1.0, acc, out);
+  Scale(1.0 / static_cast<double>(m), out);
+}
+
+double RobustGradientEstimator::Sensitivity(std::size_t m) const {
+  return estimator_.Sensitivity(m);
+}
+
+}  // namespace htdp

@@ -1,0 +1,46 @@
+#ifndef HTDP_CORE_ROBUST_GRADIENT_H_
+#define HTDP_CORE_ROBUST_GRADIENT_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "losses/loss.h"
+#include "robust/robust_mean.h"
+
+namespace htdp {
+
+/// The coordinate-wise robust gradient estimator g~(w, D) of Algorithm 1
+/// step 4 / Algorithm 5 step 4: the one-dimensional Catoni-style estimator
+/// x_hat(s, beta) (Eqs. (2)-(5)) applied to each coordinate of the
+/// per-sample gradients { grad l(w, z_i) }.
+///
+/// Because the multiplicative-noise smoothing is evaluated analytically, the
+/// estimator is deterministic; privacy enters only through the downstream
+/// mechanism, which relies on the l-infinity sensitivity bound
+/// 4 sqrt(2) s / (3 m) exposed by Sensitivity().
+class RobustGradientEstimator {
+ public:
+  /// `scale` is the truncation scale (s in Algorithm 1, k in Algorithm 5);
+  /// `beta` the smoothing precision.
+  RobustGradientEstimator(double scale, double beta);
+
+  double scale() const { return estimator_.scale(); }
+  double beta() const { return estimator_.beta(); }
+
+  /// Computes g~(w, view) into `out` (resized to w.size()). Uses the GLM
+  /// fast path of `loss` when available; thread-parallel over samples.
+  void Estimate(const Loss& loss, const DatasetView& view, const Vector& w,
+                Vector& out) const;
+
+  /// l-infinity sensitivity of Estimate() over m samples when one sample is
+  /// replaced: 4 sqrt(2) scale / (3 m).
+  double Sensitivity(std::size_t m) const;
+
+ private:
+  RobustMeanEstimator estimator_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_CORE_ROBUST_GRADIENT_H_

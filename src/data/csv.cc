@@ -1,0 +1,78 @@
+#include "data/csv.h"
+
+#include <cstddef>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace htdp {
+namespace {
+
+bool ParseRow(const std::string& line, std::vector<double>& out) {
+  out.clear();
+  std::stringstream stream(line);
+  std::string cell;
+  while (std::getline(stream, cell, ',')) {
+    char* end = nullptr;
+    const double value = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str()) return false;  // non-numeric cell
+    out.push_back(value);
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+std::optional<Dataset> LoadCsv(const std::string& path, int label_column,
+                               bool skip_header) {
+  std::ifstream file(path);
+  if (!file.is_open()) return std::nullopt;
+
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool first = true;
+  std::vector<double> parsed;
+  while (std::getline(file, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    if (!ParseRow(line, parsed)) continue;
+    if (!rows.empty() && parsed.size() != rows.front().size()) continue;
+    rows.push_back(parsed);
+  }
+  if (rows.empty()) return std::nullopt;
+
+  const std::size_t width = rows.front().size();
+  if (width < 2) return std::nullopt;
+  std::size_t label_index;
+  if (label_column < 0) {
+    const long resolved = static_cast<long>(width) + label_column;
+    if (resolved < 0) return std::nullopt;
+    label_index = static_cast<std::size_t>(resolved);
+  } else {
+    label_index = static_cast<std::size_t>(label_column);
+  }
+  if (label_index >= width) return std::nullopt;
+
+  Dataset data;
+  data.x = Matrix(rows.size(), width - 1);
+  data.y.resize(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::size_t c = 0;
+    for (std::size_t j = 0; j < width; ++j) {
+      if (j == label_index) {
+        data.y[i] = rows[i][j];
+      } else {
+        data.x(i, c++) = rows[i][j];
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace htdp

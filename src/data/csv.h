@@ -1,0 +1,25 @@
+#ifndef HTDP_DATA_CSV_H_
+#define HTDP_DATA_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace htdp {
+
+/// Loads a numeric CSV file into a Dataset. Each row is one sample; the
+/// column at `label_column` (negative counts from the end, so -1 is the last
+/// column) becomes y and the remaining columns become x. Rows with parse
+/// errors are skipped. Returns std::nullopt if the file cannot be opened or
+/// contains no valid rows.
+///
+/// This is the drop-in path for the genuine UCI datasets of Figures 3-4 when
+/// they are available locally (see data/real_world_sim.h for the simulated
+/// stand-ins used otherwise).
+std::optional<Dataset> LoadCsv(const std::string& path, int label_column,
+                               bool skip_header);
+
+}  // namespace htdp
+
+#endif  // HTDP_DATA_CSV_H_

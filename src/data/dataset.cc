@@ -1,0 +1,43 @@
+#include "data/dataset.h"
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+
+void Dataset::Validate() const {
+  HTDP_CHECK_EQ(x.rows(), y.size());
+  HTDP_CHECK_GT(x.rows(), 0u);
+  HTDP_CHECK_GT(x.cols(), 0u);
+}
+
+DatasetView FullView(const Dataset& data) {
+  return DatasetView{&data, 0, data.size()};
+}
+
+std::vector<DatasetView> SplitIntoFolds(const Dataset& data,
+                                        std::size_t folds) {
+  HTDP_CHECK_GE(folds, 1u);
+  HTDP_CHECK_LE(folds, data.size());
+  const std::size_t m = data.size() / folds;
+  std::vector<DatasetView> views;
+  views.reserve(folds);
+  for (std::size_t t = 0; t < folds; ++t) {
+    const std::size_t begin = t * m;
+    const std::size_t end = (t + 1 == folds) ? data.size() : begin + m;
+    views.push_back(DatasetView{&data, begin, end});
+  }
+  return views;
+}
+
+Dataset Prefix(const Dataset& data, std::size_t n) {
+  HTDP_CHECK_LE(n, data.size());
+  HTDP_CHECK_GT(n, 0u);
+  Dataset out;
+  out.x = data.x.RowSlice(0, n);
+  out.y.assign(data.y.begin(), data.y.begin() + static_cast<long>(n));
+  return out;
+}
+
+}  // namespace htdp

@@ -1,0 +1,52 @@
+#ifndef HTDP_DATA_DATASET_H_
+#define HTDP_DATA_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// A supervised dataset D = {(x_i, y_i)} with features as rows of X.
+struct Dataset {
+  Matrix x;
+  Vector y;
+
+  std::size_t size() const { return x.rows(); }
+  std::size_t dim() const { return x.cols(); }
+
+  /// Aborts unless x and y agree on the sample count.
+  void Validate() const;
+};
+
+/// A non-owning contiguous range of samples [begin, end) of some dataset --
+/// the unit the splitting-based algorithms (1, 3, 5) operate on.
+struct DatasetView {
+  const Dataset* data = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  std::size_t dim() const { return data->dim(); }
+  const double* Row(std::size_t i) const { return data->x.Row(begin + i); }
+  double Label(std::size_t i) const { return data->y[begin + i]; }
+};
+
+/// View over the whole dataset.
+DatasetView FullView(const Dataset& data);
+
+/// Splits D into `folds` disjoint contiguous parts of (near-)equal size m =
+/// floor(n/folds) (step 2 of Algorithms 1, 3 and 5; leftover samples are
+/// appended to the last fold). Requires 1 <= folds <= n.
+std::vector<DatasetView> SplitIntoFolds(const Dataset& data,
+                                        std::size_t folds);
+
+/// Copies the first n samples (used by benches that sweep the sample size on
+/// a fixed generated dataset, mirroring the paper's real-data protocol).
+Dataset Prefix(const Dataset& data, std::size_t n);
+
+}  // namespace htdp
+
+#endif  // HTDP_DATA_DATASET_H_

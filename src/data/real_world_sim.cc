@@ -1,0 +1,66 @@
+#include "data/real_world_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "data/synthetic.h"
+#include "linalg/vector_ops.h"
+#include "rng/distributions.h"
+#include "util/check.h"
+
+namespace htdp {
+namespace {
+
+constexpr std::size_t kFactorRank = 8;
+
+}  // namespace
+
+RealWorldSpec BlogFeedbackSpec() { return {"BlogFeedback", 60021, 281, false}; }
+RealWorldSpec TwitterSpec() { return {"Twitter", 583249, 77, false}; }
+RealWorldSpec WinnipegSpec() { return {"Winnipeg", 325834, 175, true}; }
+RealWorldSpec YearPredictionSpec() {
+  return {"YearPrediction", 515345, 90, true};
+}
+
+Dataset SimulateRealWorld(const RealWorldSpec& spec, std::size_t n_cap,
+                          Rng& rng) {
+  const std::size_t n = (n_cap == 0) ? spec.n : std::min(n_cap, spec.n);
+  const std::size_t d = spec.d;
+  HTDP_CHECK_GT(n, 0u);
+
+  // Rank-kFactorRank loading matrix with lognormal magnitudes: coordinates
+  // share factors, giving the correlated, right-skewed marginals typical of
+  // count-like UCI features.
+  Matrix loadings(d, kFactorRank);
+  for (double& entry : loadings.data()) {
+    entry = SampleNormal(rng, 0.0, 0.5) * std::exp(SampleNormal(rng, 0.0, 0.4));
+  }
+
+  Dataset data;
+  data.x = Matrix(n, d);
+  data.y.resize(n);
+
+  const Vector w_star = MakeL1BallTarget(d, rng);
+
+  Vector factors(kFactorRank);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& f : factors) f = SampleLognormal(rng, 0.0, 0.6) - 1.0;
+    double* row = data.x.Row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      double value = SampleLognormal(rng, 0.0, 0.4) - 1.0;  // idiosyncratic
+      value += Dot(loadings.Row(j), factors.data(), kFactorRank);
+      row[j] = value;
+    }
+    const double signal = Dot(row, w_star.data(), d);
+    if (spec.classification) {
+      const double z = signal + SampleLogistic(rng, 0.0, 0.5);
+      data.y[i] = (Sigmoid(z) - 0.5 >= 0.0) ? 1.0 : -1.0;
+    } else {
+      data.y[i] = signal + (SampleLognormal(rng, 0.0, 0.5) - std::exp(0.125));
+    }
+  }
+  return data;
+}
+
+}  // namespace htdp

@@ -1,0 +1,112 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "linalg/projections.h"
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace htdp {
+namespace {
+
+// Derives a per-row generator so rows can be filled in parallel while the
+// output stays deterministic for a fixed master seed (independent of the
+// worker-thread count).
+Rng RowRng(std::uint64_t base, std::size_t row) {
+  return Rng(base ^ (0x9E3779B97f4A7C15ULL * (row + 1)));
+}
+
+}  // namespace
+
+Vector MakeL1BallTarget(std::size_t d, Rng& rng) {
+  HTDP_CHECK_GT(d, 0u);
+  // Sample a direction from Laplace (gives mass to all l1-ball faces), then
+  // scale by a uniform radius so ||w*||_1 <= 1 strictly.
+  Vector w(d);
+  for (double& entry : w) entry = SampleLaplace(rng, 1.0);
+  const double norm = NormL1(w);
+  HTDP_CHECK_GT(norm, 0.0);
+  const double radius = rng.UniformOpen();
+  Scale(radius / norm, w);
+  return w;
+}
+
+Vector MakeSparseTarget(std::size_t d, std::size_t sparsity, Rng& rng) {
+  HTDP_CHECK_GT(d, 0u);
+  HTDP_CHECK_GT(sparsity, 0u);
+  HTDP_CHECK_LE(sparsity, d);
+  Vector w(d);
+  for (double& entry : w) entry = SampleNormal(rng, 0.0, 100.0);
+  // Zero a random subset of (d - sparsity) coordinates: Fisher-Yates pick of
+  // the surviving support.
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t j = 0; j < sparsity; ++j) {
+    const std::size_t pick =
+        j + static_cast<std::size_t>(rng.UniformInt(d - j));
+    std::swap(order[j], order[pick]);
+  }
+  Vector sparse(d, 0.0);
+  for (std::size_t j = 0; j < sparsity; ++j) sparse[order[j]] = w[order[j]];
+  ProjectOntoL2Ball(1.0, sparse);
+  return sparse;
+}
+
+Dataset GenerateLinear(const SyntheticConfig& config, const Vector& w_star,
+                       Rng& rng) {
+  HTDP_CHECK_EQ(w_star.size(), config.d);
+  HTDP_CHECK_GT(config.n, 0u);
+  Dataset data;
+  data.x = Matrix(config.n, config.d);
+  data.y.resize(config.n);
+  const std::uint64_t base = rng.Next();
+  ParallelFor(config.n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Rng row_rng = RowRng(base, i);
+      double* row = data.x.Row(i);
+      for (std::size_t j = 0; j < config.d; ++j) {
+        row[j] = config.feature_dist.Sample(row_rng);
+      }
+      const double noise = config.noise_dist.Sample(row_rng);
+      data.y[i] = Dot(row, w_star.data(), config.d) + noise;
+    }
+  });
+  return data;
+}
+
+Dataset GenerateLogistic(const SyntheticConfig& config, const Vector& w_star,
+                         Rng& rng) {
+  HTDP_CHECK_EQ(w_star.size(), config.d);
+  HTDP_CHECK_GT(config.n, 0u);
+  Dataset data;
+  data.x = Matrix(config.n, config.d);
+  data.y.resize(config.n);
+  const std::uint64_t base = rng.Next();
+  ParallelFor(config.n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Rng row_rng = RowRng(base, i);
+      double* row = data.x.Row(i);
+      for (std::size_t j = 0; j < config.d; ++j) {
+        row[j] = config.feature_dist.Sample(row_rng);
+      }
+      const double z = Dot(row, w_star.data(), config.d) +
+                       config.noise_dist.Sample(row_rng);
+      data.y[i] = (Sigmoid(z) - 0.5 >= 0.0) ? 1.0 : -1.0;
+    }
+  });
+  return data;
+}
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace htdp

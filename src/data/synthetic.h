@@ -1,0 +1,47 @@
+#ifndef HTDP_DATA_SYNTHETIC_H_
+#define HTDP_DATA_SYNTHETIC_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+
+namespace htdp {
+
+/// Synthetic data generation exactly per Section 6.1 of the paper.
+
+/// Draws w* uniformly at random in the unit l1 ball (the polytope-constraint
+/// experiments of Figures 1-6: "randomly generate a w* such that
+/// ||w*||_1 <= 1").
+Vector MakeL1BallTarget(std::size_t d, Rng& rng);
+
+/// Draws the s*-sparse target of the sparse experiments (Figures 7-11):
+/// sample w ~ N(0, scale=100)^d, zero a random set of (d - s*) coordinates,
+/// then project onto the unit l2 ball.
+Vector MakeSparseTarget(std::size_t d, std::size_t sparsity, Rng& rng);
+
+/// Configuration for the generators: feature distribution (i.i.d. entries of
+/// x) and label-noise distribution.
+struct SyntheticConfig {
+  std::size_t n = 0;
+  std::size_t d = 0;
+  ScalarDistribution feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  ScalarDistribution noise_dist = ScalarDistribution::Normal(0.0, 0.1);
+};
+
+/// Linear model: y = <w*, x> + iota, iota ~ noise_dist (Section 6.1).
+Dataset GenerateLinear(const SyntheticConfig& config, const Vector& w_star,
+                       Rng& rng);
+
+/// Logistic model: y = sign(sigmoid(z) - 0.5) with z = <x, w*> + zeta
+/// (Section 6.1); labels are in {-1, +1}.
+Dataset GenerateLogistic(const SyntheticConfig& config, const Vector& w_star,
+                         Rng& rng);
+
+/// Numerically stable sigmoid.
+double Sigmoid(double z);
+
+}  // namespace htdp
+
+#endif  // HTDP_DATA_SYNTHETIC_H_

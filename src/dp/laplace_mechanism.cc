@@ -1,0 +1,22 @@
+#include "dp/laplace_mechanism.h"
+
+#include "rng/distributions.h"
+#include "util/check.h"
+
+namespace htdp {
+
+LaplaceMechanism::LaplaceMechanism(double l1_sensitivity, double epsilon) {
+  HTDP_CHECK_GT(l1_sensitivity, 0.0);
+  HTDP_CHECK_GT(epsilon, 0.0);
+  scale_ = l1_sensitivity / epsilon;
+}
+
+double LaplaceMechanism::Privatize(double value, Rng& rng) const {
+  return value + SampleLaplace(rng, scale_);
+}
+
+void LaplaceMechanism::PrivatizeInPlace(Vector& value, Rng& rng) const {
+  for (double& v : value) v += SampleLaplace(rng, scale_);
+}
+
+}  // namespace htdp

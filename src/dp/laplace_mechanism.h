@@ -1,0 +1,33 @@
+#ifndef HTDP_DP_LAPLACE_MECHANISM_H_
+#define HTDP_DP_LAPLACE_MECHANISM_H_
+
+#include "linalg/vector_ops.h"
+#include "rng/rng.h"
+
+namespace htdp {
+
+/// The Laplacian Mechanism (Definition 2): releases value + Lap(l1_sensitivity
+/// / epsilon) noise per coordinate, guaranteeing epsilon-DP.
+class LaplaceMechanism {
+ public:
+  /// l1_sensitivity is the l1-sensitivity of the query being privatized.
+  LaplaceMechanism(double l1_sensitivity, double epsilon);
+
+  /// The Laplace scale parameter lambda = sensitivity / epsilon.
+  double scale() const { return scale_; }
+
+  /// Privatizes a scalar query value.
+  double Privatize(double value, Rng& rng) const;
+
+  /// Privatizes a vector query in place (adds i.i.d. Laplace noise to every
+  /// coordinate; correct when l1_sensitivity bounds the l1 distance between
+  /// neighboring outputs).
+  void PrivatizeInPlace(Vector& value, Rng& rng) const;
+
+ private:
+  double scale_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_DP_LAPLACE_MECHANISM_H_

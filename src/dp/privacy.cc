@@ -1,0 +1,34 @@
+#include "dp/privacy.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace htdp {
+
+void PrivacyParams::Validate() const {
+  HTDP_CHECK_GT(epsilon, 0.0);
+  HTDP_CHECK(delta >= 0.0 && delta < 1.0) << "delta=" << delta;
+}
+
+double AdvancedCompositionStepEpsilon(double epsilon, double delta, int t) {
+  HTDP_CHECK_GT(epsilon, 0.0);
+  HTDP_CHECK(delta > 0.0 && delta < 1.0) << "delta=" << delta;
+  HTDP_CHECK_GT(t, 0);
+  return epsilon /
+         (2.0 * std::sqrt(2.0 * static_cast<double>(t) * std::log(2.0 / delta)));
+}
+
+double AdvancedCompositionStepDelta(double delta, int t) {
+  HTDP_CHECK(delta > 0.0 && delta < 1.0) << "delta=" << delta;
+  HTDP_CHECK_GT(t, 0);
+  return delta / static_cast<double>(t);
+}
+
+double BasicCompositionStepEpsilon(double epsilon, int t) {
+  HTDP_CHECK_GT(epsilon, 0.0);
+  HTDP_CHECK_GT(t, 0);
+  return epsilon / static_cast<double>(t);
+}
+
+}  // namespace htdp

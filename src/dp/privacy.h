@@ -1,0 +1,33 @@
+#ifndef HTDP_DP_PRIVACY_H_
+#define HTDP_DP_PRIVACY_H_
+
+namespace htdp {
+
+/// An (epsilon, delta) differential-privacy budget (Definition 1).
+/// delta == 0 denotes pure epsilon-DP.
+struct PrivacyParams {
+  double epsilon = 1.0;
+  double delta = 0.0;
+
+  /// Aborts unless epsilon > 0 and delta in [0, 1).
+  void Validate() const;
+
+  static PrivacyParams PureDp(double epsilon) { return {epsilon, 0.0}; }
+};
+
+/// Advanced Composition (Lemma 2): to guarantee (epsilon, delta)-DP overall
+/// across T adaptive mechanism invocations on the SAME data, each invocation
+/// may spend epsilon' = epsilon / (2 sqrt(2 T ln(2/delta))). Requires
+/// 0 < epsilon < 1 bound in the lemma statement is not enforced here because
+/// the paper's algorithms apply the formula for all epsilon; we follow them.
+double AdvancedCompositionStepEpsilon(double epsilon, double delta, int t);
+
+/// delta' = delta / T, the per-step delta of Lemma 2.
+double AdvancedCompositionStepDelta(double delta, int t);
+
+/// Basic (sequential) composition: per-step epsilon for T invocations.
+double BasicCompositionStepEpsilon(double epsilon, int t);
+
+}  // namespace htdp
+
+#endif  // HTDP_DP_PRIVACY_H_

@@ -1,0 +1,48 @@
+#ifndef HTDP_DP_PRIVACY_LEDGER_H_
+#define HTDP_DP_PRIVACY_LEDGER_H_
+
+#include <string>
+#include <vector>
+
+namespace htdp {
+
+/// Audit trail of differential-privacy mechanism invocations.
+///
+/// Every htdp algorithm records each mechanism call (which mechanism, the
+/// sensitivity used, the (epsilon, delta) spent, and whether the call touched
+/// a disjoint data fold). Tests use the ledger to verify that each algorithm
+/// consumes exactly its declared budget: invocations on disjoint folds
+/// compose in parallel (max), invocations on shared data compose sequentially
+/// (sum), matching Theorems 1, 4, 6 and 8.
+class PrivacyLedger {
+ public:
+  struct Entry {
+    std::string mechanism;  // e.g. "exponential", "laplace-peeling"
+    double epsilon = 0.0;
+    double delta = 0.0;
+    double sensitivity = 0.0;
+    // Identifier of the disjoint data fold the call consumed, or -1 when the
+    // call used the full dataset.
+    int fold = -1;
+  };
+
+  void Record(Entry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  /// Total epsilon under the correct composition rule: entries sharing the
+  /// full dataset (fold == -1) add up; entries on disjoint folds contribute
+  /// the maximum over folds.
+  double TotalEpsilon() const;
+
+  /// Total delta composed the same way as TotalEpsilon.
+  double TotalDelta() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_DP_PRIVACY_LEDGER_H_

@@ -1,0 +1,48 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace htdp {
+
+BenchEnv GetBenchEnv() {
+  BenchEnv env;
+  if (const char* trials = std::getenv("HTDP_BENCH_TRIALS")) {
+    const int parsed = std::atoi(trials);
+    if (parsed >= 1) env.trials = parsed;
+  }
+  if (const char* scale = std::getenv("HTDP_BENCH_SCALE")) {
+    const double parsed = std::atof(scale);
+    if (parsed > 0.0 && parsed <= 1.0) env.scale = parsed;
+  }
+  if (const char* seed = std::getenv("HTDP_BENCH_SEED")) {
+    env.seed = static_cast<std::uint64_t>(std::atoll(seed));
+  }
+  return env;
+}
+
+std::size_t ScaledN(std::size_t paper_n, const BenchEnv& env,
+                    std::size_t floor_n) {
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(paper_n) * env.scale);
+  return std::max(std::min(paper_n, std::max(scaled, floor_n)),
+                  static_cast<std::size_t>(1));
+}
+
+Summary RunTrials(int trials, std::uint64_t seed,
+                  const std::function<double(std::uint64_t)>& trial) {
+  HTDP_CHECK_GE(trials, 1);
+  Rng seeder(seed);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    values.push_back(trial(seeder.Next()));
+  }
+  return Summarize(values);
+}
+
+}  // namespace htdp

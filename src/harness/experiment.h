@@ -1,0 +1,39 @@
+#ifndef HTDP_HARNESS_EXPERIMENT_H_
+#define HTDP_HARNESS_EXPERIMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "stats/summary.h"
+
+namespace htdp {
+
+/// Environment knobs shared by the figure-regeneration benches so the whole
+/// suite runs in minutes by default and at paper scale when requested:
+///   HTDP_BENCH_TRIALS -- repeats per point (default 5; paper uses >= 20)
+///   HTDP_BENCH_SCALE  -- multiplies every sample-size n (default 0.2;
+///                        1.0 reproduces the paper's n exactly)
+///   HTDP_BENCH_SEED   -- base RNG seed (default 42)
+struct BenchEnv {
+  int trials = 5;
+  double scale = 0.2;
+  std::uint64_t seed = 42;
+};
+
+/// Reads the knobs from the environment (once per call).
+BenchEnv GetBenchEnv();
+
+/// Applies the scale knob to a paper sample size, with a floor so the
+/// scaled experiment stays meaningful.
+std::size_t ScaledN(std::size_t paper_n, const BenchEnv& env,
+                    std::size_t floor_n = 1000);
+
+/// Runs `trial` `trials` times with independent derived seeds and summarizes
+/// the returned metric.
+Summary RunTrials(int trials, std::uint64_t seed,
+                  const std::function<double(std::uint64_t)>& trial);
+
+}  // namespace htdp
+
+#endif  // HTDP_HARNESS_EXPERIMENT_H_

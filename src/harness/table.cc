@@ -1,0 +1,55 @@
+#include "harness/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace htdp {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns, int width,
+                           std::ostream* out)
+    : columns_(std::move(columns)), width_(width), out_(out) {
+  HTDP_CHECK(!columns_.empty());
+  HTDP_CHECK_GT(width, 3);
+}
+
+void TablePrinter::PrintHeader() const {
+  std::ostream& out = *out_;
+  for (const std::string& column : columns_) {
+    out << std::setw(width_) << column;
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out << std::setw(width_)
+        << std::string(static_cast<std::size_t>(width_) - 2, '-');
+  }
+  out << "\n";
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  HTDP_CHECK_EQ(cells.size(), columns_.size());
+  std::ostream& out = *out_;
+  for (const std::string& cell : cells) {
+    out << std::setw(width_) << cell;
+  }
+  out << "\n";
+}
+
+std::string TablePrinter::Cell(double value) {
+  std::ostringstream out;
+  out << std::setprecision(5) << value;
+  return out.str();
+}
+
+std::string TablePrinter::Cell(std::size_t value) {
+  return std::to_string(value);
+}
+
+std::string TablePrinter::Cell(int value) { return std::to_string(value); }
+
+void PrintSection(const std::string& title, std::ostream* out) {
+  *out << "\n### " << title << "\n";
+}
+
+}  // namespace htdp

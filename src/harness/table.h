@@ -1,0 +1,41 @@
+#ifndef HTDP_HARNESS_TABLE_H_
+#define HTDP_HARNESS_TABLE_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace htdp {
+
+/// Streams an aligned text table row by row: the presentation layer of the
+/// figure-regeneration benches (one series per row group, mirroring the
+/// paper's plots).
+class TablePrinter {
+ public:
+  /// `columns` are the header labels; `width` is the per-column field width.
+  TablePrinter(std::vector<std::string> columns, int width = 18,
+               std::ostream* out = &std::cout);
+
+  /// Prints the header and separator line.
+  void PrintHeader() const;
+
+  /// Prints one row; cells.size() must equal the column count.
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+  /// Formats a double with 5 significant digits.
+  static std::string Cell(double value);
+  static std::string Cell(std::size_t value);
+  static std::string Cell(int value);
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+  std::ostream* out_;
+};
+
+/// Prints a "### <title>" section heading matching the bench output format.
+void PrintSection(const std::string& title, std::ostream* out = &std::cout);
+
+}  // namespace htdp
+
+#endif  // HTDP_HARNESS_TABLE_H_

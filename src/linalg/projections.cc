@@ -1,0 +1,70 @@
+#include "linalg/projections.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace htdp {
+namespace {
+
+// Projects the non-negative vector |x| onto the simplex of radius z and
+// returns the threshold theta such that max(|x_j| - theta, 0) is the
+// projection (Duchi, Shalev-Shwartz, Singer, Chandra 2008, Fig. 1).
+double SimplexThreshold(const std::vector<double>& abs_sorted_desc, double z) {
+  double running_sum = 0.0;
+  double theta = 0.0;
+  std::size_t rho = 0;
+  for (std::size_t j = 0; j < abs_sorted_desc.size(); ++j) {
+    running_sum += abs_sorted_desc[j];
+    const double candidate =
+        (running_sum - z) / static_cast<double>(j + 1);
+    if (abs_sorted_desc[j] > candidate) {
+      rho = j + 1;
+      theta = candidate;
+    }
+  }
+  HTDP_CHECK_GT(rho, 0u);
+  return std::max(theta, 0.0);
+}
+
+}  // namespace
+
+void ProjectOntoL2Ball(double radius, Vector& x) {
+  HTDP_CHECK_GT(radius, 0.0);
+  const double norm = NormL2(x);
+  if (norm <= radius || norm == 0.0) return;
+  Scale(radius / norm, x);
+}
+
+void ProjectOntoL1Ball(double radius, Vector& x) {
+  HTDP_CHECK_GT(radius, 0.0);
+  if (NormL1(x) <= radius) return;
+  std::vector<double> abs_values(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) abs_values[j] = std::abs(x[j]);
+  std::sort(abs_values.begin(), abs_values.end(), std::greater<double>());
+  const double theta = SimplexThreshold(abs_values, radius);
+  for (double& v : x) {
+    const double magnitude = std::max(std::abs(v) - theta, 0.0);
+    v = std::copysign(magnitude, v);
+  }
+}
+
+void ProjectOntoSimplex(Vector& x) {
+  HTDP_CHECK(!x.empty());
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double running_sum = 0.0;
+  double theta = 0.0;
+  for (std::size_t j = 0; j < sorted.size(); ++j) {
+    running_sum += sorted[j];
+    const double candidate =
+        (running_sum - 1.0) / static_cast<double>(j + 1);
+    if (sorted[j] > candidate) theta = candidate;
+  }
+  for (double& v : x) v = std::max(v - theta, 0.0);
+}
+
+}  // namespace htdp

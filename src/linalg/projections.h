@@ -1,0 +1,22 @@
+#ifndef HTDP_LINALG_PROJECTIONS_H_
+#define HTDP_LINALG_PROJECTIONS_H_
+
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// Projects x in place onto the l2 ball {w : ||w||_2 <= radius}.
+/// (Used by Algorithm 3 step 7 with radius = 1.)
+void ProjectOntoL2Ball(double radius, Vector& x);
+
+/// Projects x in place onto the l1 ball {w : ||w||_1 <= radius} using the
+/// O(d log d) sort-based simplex-projection algorithm of Duchi et al. (2008).
+void ProjectOntoL1Ball(double radius, Vector& x);
+
+/// Projects x in place onto the probability simplex {w : w >= 0,
+/// sum_j w_j = 1} (Duchi et al. 2008).
+void ProjectOntoSimplex(Vector& x);
+
+}  // namespace htdp
+
+#endif  // HTDP_LINALG_PROJECTIONS_H_

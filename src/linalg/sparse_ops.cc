@@ -1,0 +1,57 @@
+#include "linalg/sparse_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+
+namespace htdp {
+
+std::vector<std::size_t> Support(const Vector& x) {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] != 0.0) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<std::size_t> TopKIndicesByMagnitude(const Vector& x,
+                                                std::size_t s) {
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0u);
+  const std::size_t keep = std::min(s, x.size());
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&x](std::size_t a, std::size_t b) {
+                      const double ma = std::abs(x[a]);
+                      const double mb = std::abs(x[b]);
+                      if (ma != mb) return ma > mb;
+                      return a < b;
+                    });
+  order.resize(keep);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+void RestrictToSupport(const std::vector<std::size_t>& indices, Vector& x) {
+  Vector result(x.size(), 0.0);
+  for (std::size_t j : indices) {
+    if (j < x.size()) result[j] = x[j];
+  }
+  x = std::move(result);
+}
+
+void HardThreshold(std::size_t s, Vector& x) {
+  const std::vector<std::size_t> keep = TopKIndicesByMagnitude(x, s);
+  RestrictToSupport(keep, x);
+}
+
+Vector ProjectOntoIndices(const Vector& x,
+                          const std::vector<std::size_t>& indices) {
+  Vector out(x.size(), 0.0);
+  for (std::size_t j : indices) {
+    if (j < x.size()) out[j] = x[j];
+  }
+  return out;
+}
+
+}  // namespace htdp

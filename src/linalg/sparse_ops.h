@@ -1,0 +1,33 @@
+#ifndef HTDP_LINALG_SPARSE_OPS_H_
+#define HTDP_LINALG_SPARSE_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// Returns supp(x) = { j : x_j != 0 }, sorted ascending.
+std::vector<std::size_t> Support(const Vector& x);
+
+/// Returns the indices of the s entries of x with largest |x_j| (ties broken
+/// by lower index), sorted ascending. s may exceed x.size().
+std::vector<std::size_t> TopKIndicesByMagnitude(const Vector& x,
+                                                std::size_t s);
+
+/// Zeroes every coordinate of x outside `indices`.
+void RestrictToSupport(const std::vector<std::size_t>& indices, Vector& x);
+
+/// Keeps the s largest-magnitude entries of x and zeroes the rest (the
+/// non-private hard-thresholding operator used by IHT).
+void HardThreshold(std::size_t s, Vector& x);
+
+/// Returns the projection of x onto the index set S: out_j = x_j for j in S,
+/// 0 otherwise (the paper's v_S notation).
+Vector ProjectOntoIndices(const Vector& x,
+                          const std::vector<std::size_t>& indices);
+
+}  // namespace htdp
+
+#endif  // HTDP_LINALG_SPARSE_OPS_H_

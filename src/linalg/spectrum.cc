@@ -1,0 +1,80 @@
+#include "linalg/spectrum.h"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace htdp {
+namespace {
+
+// Deterministic pseudo-random start vector (SplitMix64 stream); spectrum
+// estimation does not need a full Rng dependency.
+void FillPseudoRandom(std::uint64_t seed, Vector& v) {
+  std::uint64_t state = seed;
+  for (double& entry : v) {
+    state += 0x9E3779B97f4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    // Map to (-1, 1).
+    entry = 2.0 * (static_cast<double>(z >> 11) * 0x1.0p-53) - 1.0;
+  }
+}
+
+// Applies v -> Sigma v = (1/n) X^T (X v).
+void ApplyCovariance(const Matrix& x, const Vector& v, Vector& xv,
+                     Vector& out) {
+  x.MatVec(v, xv);
+  x.MatTVec(xv, out);
+  Scale(1.0 / static_cast<double>(x.rows()), out);
+}
+
+// Power iteration for the top eigenvalue of the operator
+// v -> shift * v - Sigma v   (shift == 0 gives Sigma itself).
+double PowerIterate(const Matrix& x, double shift, int iterations,
+                    std::uint64_t seed) {
+  const std::size_t d = x.cols();
+  Vector v(d);
+  FillPseudoRandom(seed, v);
+  const double norm0 = NormL2(v);
+  HTDP_CHECK_GT(norm0, 0.0);
+  Scale(1.0 / norm0, v);
+
+  Vector xv;
+  Vector next(d);
+  double eigen = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    ApplyCovariance(x, v, xv, next);
+    if (shift != 0.0) {
+      for (std::size_t j = 0; j < d; ++j) next[j] = shift * v[j] - next[j];
+    }
+    const double norm = NormL2(next);
+    if (norm == 0.0) return 0.0;
+    eigen = Dot(v, next);  // Rayleigh quotient (v is unit-norm).
+    Scale(1.0 / norm, next);
+    v.swap(next);
+  }
+  return eigen;
+}
+
+}  // namespace
+
+SpectrumEstimate EstimateCovarianceSpectrum(const Matrix& x, int iterations,
+                                            std::uint64_t seed) {
+  HTDP_CHECK_GT(x.rows(), 0u);
+  HTDP_CHECK_GT(x.cols(), 0u);
+  HTDP_CHECK_GT(iterations, 0);
+  SpectrumEstimate estimate;
+  estimate.lambda_max = PowerIterate(x, /*shift=*/0.0, iterations, seed);
+  // lambda_max(shift I - Sigma) = shift - lambda_min(Sigma).
+  const double shift = estimate.lambda_max;
+  const double shifted_top =
+      PowerIterate(x, shift, iterations, seed ^ 0xD1B54A32D192ED03ULL);
+  estimate.lambda_min = std::max(shift - shifted_top, 0.0);
+  return estimate;
+}
+
+}  // namespace htdp

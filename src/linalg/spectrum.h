@@ -1,0 +1,29 @@
+#ifndef HTDP_LINALG_SPECTRUM_H_
+#define HTDP_LINALG_SPECTRUM_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// Extreme eigenvalues of the empirical second-moment matrix
+/// Sigma = (1/n) X^T X estimated by power iteration. Used to set the
+/// smoothness gamma = lambda_max and strong-convexity mu = lambda_min
+/// constants in the Algorithm 3 / 5 schedules (Theorems 7 and 8).
+struct SpectrumEstimate {
+  double lambda_max = 0.0;
+  double lambda_min = 0.0;
+};
+
+/// Power iteration on Sigma = (1/n) X^T X without materializing Sigma
+/// (each iteration costs O(n d) via two mat-vecs). lambda_min is obtained by
+/// a second power iteration on (lambda_max * I - Sigma). `iterations` caps
+/// the per-eigenvalue iteration count; `seed` drives the random start vector.
+SpectrumEstimate EstimateCovarianceSpectrum(const Matrix& x, int iterations,
+                                            std::uint64_t seed);
+
+}  // namespace htdp
+
+#endif  // HTDP_LINALG_SPECTRUM_H_

@@ -1,0 +1,99 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+
+double Dot(const Vector& a, const Vector& b) {
+  HTDP_CHECK_EQ(a.size(), b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Axpy(double alpha, const Vector& x, Vector& y) {
+  HTDP_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  HTDP_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  HTDP_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+void Scale(double alpha, Vector& x) {
+  for (double& v : x) v *= alpha;
+}
+
+Vector Scaled(double alpha, const Vector& x) {
+  Vector out(x);
+  Scale(alpha, out);
+  return out;
+}
+
+void SetZero(Vector& x) {
+  for (double& v : x) v = 0.0;
+}
+
+std::size_t NormL0(const Vector& x) {
+  std::size_t count = 0;
+  for (double v : x) {
+    if (v != 0.0) ++count;
+  }
+  return count;
+}
+
+double NormL1(const Vector& x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double NormL2(const Vector& x) { return std::sqrt(NormL2Squared(x)); }
+
+double NormL2Squared(const Vector& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double NormLInf(const Vector& x) {
+  double acc = 0.0;
+  for (double v : x) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+double DistanceL2(const Vector& a, const Vector& b) {
+  HTDP_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+void ConvexCombinationInPlace(double eta, const Vector& v, Vector& w) {
+  HTDP_CHECK_EQ(v.size(), w.size());
+  HTDP_CHECK(eta >= 0.0 && eta <= 1.0) << "eta=" << eta;
+  const double keep = 1.0 - eta;
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = keep * w[i] + eta * v[i];
+}
+
+}  // namespace htdp

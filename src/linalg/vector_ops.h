@@ -1,0 +1,60 @@
+#ifndef HTDP_LINALG_VECTOR_OPS_H_
+#define HTDP_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace htdp {
+
+/// Dense column vector. All htdp code works with contiguous doubles; a plain
+/// std::vector keeps interop with the standard library trivial.
+using Vector = std::vector<double>;
+
+/// Returns <a, b>. Requires a.size() == b.size().
+double Dot(const Vector& a, const Vector& b);
+
+/// Returns <a[0..n), b[0..n)> over raw pointers (hot-loop variant).
+double Dot(const double* a, const double* b, std::size_t n);
+
+/// y += alpha * x. Requires x.size() == y.size().
+void Axpy(double alpha, const Vector& x, Vector& y);
+
+/// Returns a + b (elementwise).
+Vector Add(const Vector& a, const Vector& b);
+
+/// Returns a - b (elementwise).
+Vector Sub(const Vector& a, const Vector& b);
+
+/// x *= alpha.
+void Scale(double alpha, Vector& x);
+
+/// Returns alpha * x.
+Vector Scaled(double alpha, const Vector& x);
+
+/// Sets every entry of x to zero (keeps the size).
+void SetZero(Vector& x);
+
+/// Number of non-zero entries.
+std::size_t NormL0(const Vector& x);
+
+/// sum_j |x_j|.
+double NormL1(const Vector& x);
+
+/// sqrt(sum_j x_j^2).
+double NormL2(const Vector& x);
+
+/// sum_j x_j^2.
+double NormL2Squared(const Vector& x);
+
+/// max_j |x_j|.
+double NormLInf(const Vector& x);
+
+/// ||a - b||_2.
+double DistanceL2(const Vector& a, const Vector& b);
+
+/// w <- (1 - eta) * w + eta * v  (the Frank-Wolfe convex-combination step).
+void ConvexCombinationInPlace(double eta, const Vector& v, Vector& w);
+
+}  // namespace htdp
+
+#endif  // HTDP_LINALG_VECTOR_OPS_H_

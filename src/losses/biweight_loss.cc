@@ -1,0 +1,45 @@
+#include "losses/biweight_loss.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+
+BiweightLoss::BiweightLoss(double c) : c_(c) { HTDP_CHECK_GT(c, 0.0); }
+
+double BiweightLoss::Psi(double t) const {
+  const double cap = c_ * c_ / 6.0;
+  if (std::abs(t) >= c_) return cap;
+  const double r = t / c_;
+  const double inner = 1.0 - r * r;
+  return cap * (1.0 - inner * inner * inner);
+}
+
+double BiweightLoss::PsiPrime(double t) const {
+  if (std::abs(t) >= c_) return 0.0;
+  const double r = t / c_;
+  const double inner = 1.0 - r * r;
+  return t * inner * inner;
+}
+
+double BiweightLoss::Value(const double* x, double y, const Vector& w) const {
+  return Psi(Dot(x, w.data(), w.size()) - y);
+}
+
+void BiweightLoss::Gradient(const double* x, double y, const Vector& w,
+                            Vector& grad) const {
+  const double scale = PsiPrime(Dot(x, w.data(), w.size()) - y);
+  grad.resize(w.size());
+  for (std::size_t j = 0; j < w.size(); ++j) grad[j] = scale * x[j];
+}
+
+bool BiweightLoss::GradientAsScaledFeature(const double* x, double y,
+                                           const Vector& w,
+                                           double* scale) const {
+  *scale = PsiPrime(Dot(x, w.data(), w.size()) - y);
+  return true;
+}
+
+}  // namespace htdp

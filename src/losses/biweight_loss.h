@@ -1,0 +1,37 @@
+#ifndef HTDP_LOSSES_BIWEIGHT_LOSS_H_
+#define HTDP_LOSSES_BIWEIGHT_LOSS_H_
+
+#include <string>
+
+#include "losses/loss.h"
+
+namespace htdp {
+
+/// Tukey's biweight robust-regression loss (the non-convex example satisfying
+/// Assumption 2, Theorem 3): l(w, (x, y)) = psi(<x, w> - y) with
+///   psi(t) = (c^2/6) (1 - (1 - (t/c)^2)^3)   for |t| <= c,
+///   psi(t) = c^2/6                            otherwise.
+/// psi'(t) = t (1 - (t/c)^2)^2 on |t| <= c and 0 outside; |psi'|, |psi''|
+/// are bounded, psi' is odd and strictly positive on (0, c).
+class BiweightLoss final : public Loss {
+ public:
+  explicit BiweightLoss(double c = 1.0);
+
+  double Value(const double* x, double y, const Vector& w) const override;
+  void Gradient(const double* x, double y, const Vector& w,
+                Vector& grad) const override;
+  bool GradientAsScaledFeature(const double* x, double y, const Vector& w,
+                               double* scale) const override;
+  std::string Name() const override { return "biweight"; }
+
+  /// psi and psi' exposed for the Assumption-2 property tests.
+  double Psi(double t) const;
+  double PsiPrime(double t) const;
+
+ private:
+  double c_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_LOSSES_BIWEIGHT_LOSS_H_

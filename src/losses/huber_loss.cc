@@ -1,0 +1,42 @@
+#include "losses/huber_loss.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+
+HuberLoss::HuberLoss(double c) : c_(c) { HTDP_CHECK_GT(c, 0.0); }
+
+double HuberLoss::H(double t) const {
+  const double magnitude = std::abs(t);
+  if (magnitude <= c_) return 0.5 * t * t;
+  return c_ * magnitude - 0.5 * c_ * c_;
+}
+
+double HuberLoss::HPrime(double t) const {
+  if (t > c_) return c_;
+  if (t < -c_) return -c_;
+  return t;
+}
+
+double HuberLoss::Value(const double* x, double y, const Vector& w) const {
+  return H(Dot(x, w.data(), w.size()) - y);
+}
+
+void HuberLoss::Gradient(const double* x, double y, const Vector& w,
+                         Vector& grad) const {
+  const double scale = HPrime(Dot(x, w.data(), w.size()) - y);
+  grad.resize(w.size());
+  for (std::size_t j = 0; j < w.size(); ++j) grad[j] = scale * x[j];
+}
+
+bool HuberLoss::GradientAsScaledFeature(const double* x, double y,
+                                        const Vector& w,
+                                        double* scale) const {
+  *scale = HPrime(Dot(x, w.data(), w.size()) - y);
+  return true;
+}
+
+}  // namespace htdp

@@ -1,0 +1,37 @@
+#ifndef HTDP_LOSSES_HUBER_LOSS_H_
+#define HTDP_LOSSES_HUBER_LOSS_H_
+
+#include <string>
+
+#include "losses/loss.h"
+
+namespace htdp {
+
+/// Huber's robust regression loss l(w, (x, y)) = h_c(<x, w> - y) with
+///   h_c(t) = t^2 / 2            for |t| <= c,
+///   h_c(t) = c |t| - c^2 / 2    otherwise.
+/// Convex and smooth with a bounded derivative |h_c'| <= c; combined with
+/// coordinate-wise bounded second moments of x it satisfies Assumption 1,
+/// making it a natural convex companion to the biweight loss of Theorem 3.
+class HuberLoss final : public Loss {
+ public:
+  explicit HuberLoss(double c = 1.0);
+
+  double Value(const double* x, double y, const Vector& w) const override;
+  void Gradient(const double* x, double y, const Vector& w,
+                Vector& grad) const override;
+  bool GradientAsScaledFeature(const double* x, double y, const Vector& w,
+                               double* scale) const override;
+  std::string Name() const override { return "huber"; }
+
+  /// h_c and h_c' exposed for tests.
+  double H(double t) const;
+  double HPrime(double t) const;
+
+ private:
+  double c_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_LOSSES_HUBER_LOSS_H_

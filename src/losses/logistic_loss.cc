@@ -1,0 +1,57 @@
+#include "losses/logistic_loss.h"
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+
+#include "data/synthetic.h"
+#include "util/check.h"
+
+namespace htdp {
+namespace {
+
+// log(1 + exp(z)) without overflow.
+double Log1pExp(double z) {
+  if (z > 0.0) return z + std::log1p(std::exp(-z));
+  return std::log1p(std::exp(z));
+}
+
+}  // namespace
+
+LogisticLoss::LogisticLoss(double ridge) : ridge_(ridge) {
+  HTDP_CHECK_GE(ridge, 0.0);
+}
+
+double LogisticLoss::Value(const double* x, double y, const Vector& w) const {
+  const double margin = y * Dot(x, w.data(), w.size());
+  double value = Log1pExp(-margin);
+  if (ridge_ > 0.0) value += 0.5 * ridge_ * NormL2Squared(w);
+  return value;
+}
+
+void LogisticLoss::Gradient(const double* x, double y, const Vector& w,
+                            Vector& grad) const {
+  const double margin = y * Dot(x, w.data(), w.size());
+  const double scale = -y * Sigmoid(-margin);
+  grad.resize(w.size());
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    grad[j] = scale * x[j] + ridge_ * w[j];
+  }
+}
+
+bool LogisticLoss::GradientAsScaledFeature(const double* x, double y,
+                                           const Vector& w,
+                                           double* scale) const {
+  const double margin = y * Dot(x, w.data(), w.size());
+  *scale = -y * Sigmoid(-margin);
+  return true;
+}
+
+std::string LogisticLoss::Name() const {
+  if (ridge_ == 0.0) return "logistic";
+  std::ostringstream out;
+  out << "logistic+ridge(" << ridge_ << ")";
+  return out.str();
+}
+
+}  // namespace htdp

@@ -1,0 +1,33 @@
+#ifndef HTDP_LOSSES_LOGISTIC_LOSS_H_
+#define HTDP_LOSSES_LOGISTIC_LOSS_H_
+
+#include <string>
+
+#include "losses/loss.h"
+
+namespace htdp {
+
+/// Logistic loss for labels y in {-1, +1}:
+///   l(w, (x, y)) = log(1 + exp(-y <w, x>)) + (ridge/2) ||w||^2.
+/// ridge = 0 gives the plain logistic regression of Figures 2 and 4;
+/// ridge > 0 gives the l2-regularized GLM that satisfies Assumption 4
+/// (Figures 10 and 11 with Algorithm 5).
+class LogisticLoss final : public Loss {
+ public:
+  explicit LogisticLoss(double ridge = 0.0);
+
+  double Value(const double* x, double y, const Vector& w) const override;
+  void Gradient(const double* x, double y, const Vector& w,
+                Vector& grad) const override;
+  bool GradientAsScaledFeature(const double* x, double y, const Vector& w,
+                               double* scale) const override;
+  double RidgeCoefficient() const override { return ridge_; }
+  std::string Name() const override;
+
+ private:
+  double ridge_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_LOSSES_LOGISTIC_LOSS_H_

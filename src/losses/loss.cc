@@ -1,0 +1,93 @@
+#include "losses/loss.h"
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace htdp {
+
+double EmpiricalRisk(const Loss& loss, const DatasetView& view,
+                     const Vector& w) {
+  HTDP_CHECK_GT(view.size(), 0u);
+  HTDP_CHECK_EQ(view.dim(), w.size());
+  const std::size_t m = view.size();
+  const int workers = NumWorkerThreads();
+  std::vector<double> partial(workers > 0 ? workers : 1, 0.0);
+  // Chunked accumulation keeps the reduction deterministic per chunk count.
+  const std::size_t chunk = (m + partial.size() - 1) / partial.size();
+  ParallelFor(partial.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(lo + chunk, m);
+      double acc = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        acc += loss.Value(view.Row(i), view.Label(i), w);
+      }
+      partial[c] = acc;
+    }
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total / static_cast<double>(m);
+}
+
+double EmpiricalRisk(const Loss& loss, const Dataset& data, const Vector& w) {
+  return EmpiricalRisk(loss, FullView(data), w);
+}
+
+void EmpiricalGradient(const Loss& loss, const DatasetView& view,
+                       const Vector& w, Vector& grad) {
+  HTDP_CHECK_GT(view.size(), 0u);
+  HTDP_CHECK_EQ(view.dim(), w.size());
+  const std::size_t d = w.size();
+  const std::size_t m = view.size();
+  grad.assign(d, 0.0);
+
+  double probe = 0.0;
+  if (loss.GradientAsScaledFeature(view.Row(0), view.Label(0), w, &probe)) {
+    // GLM path: grad = (1/m) sum_i scale_i x_i + ridge * w, accumulated in
+    // per-chunk partials so the reduction parallelizes race-free.
+    const std::size_t chunks = std::max<std::size_t>(
+        1, std::min<std::size_t>(static_cast<std::size_t>(NumWorkerThreads()),
+                                 (m + 511) / 512));
+    const std::size_t chunk_size = (m + chunks - 1) / chunks;
+    std::vector<Vector> partial(chunks, Vector(d, 0.0));
+    ParallelFor(chunks, [&](std::size_t c_begin, std::size_t c_end) {
+      for (std::size_t c = c_begin; c < c_end; ++c) {
+        Vector& acc = partial[c];
+        const std::size_t lo = c * chunk_size;
+        const std::size_t hi = std::min(lo + chunk_size, m);
+        double scale = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          HTDP_CHECK(loss.GradientAsScaledFeature(view.Row(i), view.Label(i),
+                                                  w, &scale));
+          const double* row = view.Row(i);
+          for (std::size_t j = 0; j < d; ++j) acc[j] += scale * row[j];
+        }
+      }
+    });
+    for (const Vector& acc : partial) Axpy(1.0, acc, grad);
+    const double inv_m = 1.0 / static_cast<double>(m);
+    const double ridge = loss.RidgeCoefficient();
+    for (std::size_t j = 0; j < d; ++j) {
+      grad[j] = grad[j] * inv_m + ridge * w[j];
+    }
+    return;
+  }
+
+  Vector sample_grad(d);
+  for (std::size_t i = 0; i < m; ++i) {
+    loss.Gradient(view.Row(i), view.Label(i), w, sample_grad);
+    Axpy(1.0, sample_grad, grad);
+  }
+  Scale(1.0 / static_cast<double>(m), grad);
+}
+
+double ExcessEmpiricalRisk(const Loss& loss, const Dataset& data,
+                           const Vector& w, const Vector& w_ref) {
+  return EmpiricalRisk(loss, data, w) - EmpiricalRisk(loss, data, w_ref);
+}
+
+}  // namespace htdp

@@ -1,0 +1,26 @@
+#include "losses/squared_loss.h"
+
+#include <cstddef>
+
+namespace htdp {
+
+double SquaredLoss::Value(const double* x, double y, const Vector& w) const {
+  const double residual = Dot(x, w.data(), w.size()) - y;
+  return residual * residual;
+}
+
+void SquaredLoss::Gradient(const double* x, double y, const Vector& w,
+                           Vector& grad) const {
+  const double scale = 2.0 * (Dot(x, w.data(), w.size()) - y);
+  grad.resize(w.size());
+  for (std::size_t j = 0; j < w.size(); ++j) grad[j] = scale * x[j];
+}
+
+bool SquaredLoss::GradientAsScaledFeature(const double* x, double y,
+                                          const Vector& w,
+                                          double* scale) const {
+  *scale = 2.0 * (Dot(x, w.data(), w.size()) - y);
+  return true;
+}
+
+}  // namespace htdp

@@ -1,0 +1,26 @@
+#ifndef HTDP_LOSSES_SQUARED_LOSS_H_
+#define HTDP_LOSSES_SQUARED_LOSS_H_
+
+#include <string>
+
+#include "losses/loss.h"
+
+namespace htdp {
+
+/// The linear squared loss l(w, (x, y)) = (<w, x> - y)^2 used by LASSO
+/// (Corollary 1, Algorithms 2 and 3). Gradient 2 x (<x, w> - y).
+class SquaredLoss final : public Loss {
+ public:
+  SquaredLoss() = default;
+
+  double Value(const double* x, double y, const Vector& w) const override;
+  void Gradient(const double* x, double y, const Vector& w,
+                Vector& grad) const override;
+  bool GradientAsScaledFeature(const double* x, double y, const Vector& w,
+                               double* scale) const override;
+  std::string Name() const override { return "squared"; }
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_LOSSES_SQUARED_LOSS_H_

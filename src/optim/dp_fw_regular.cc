@@ -1,0 +1,67 @@
+#include "optim/dp_fw_regular.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "dp/exponential_mechanism.h"
+#include "dp/privacy.h"
+#include "util/check.h"
+
+namespace htdp {
+
+DpFwRegularResult MinimizeDpFwRegular(const Loss& loss, const Dataset& data,
+                                      const Polytope& polytope,
+                                      const Vector& w0,
+                                      const DpFwRegularOptions& options,
+                                      Rng& rng) {
+  data.Validate();
+  HTDP_CHECK_EQ(w0.size(), polytope.dim());
+  HTDP_CHECK_GT(options.iterations, 0);
+  HTDP_CHECK_GT(options.gradient_linf_bound, 0.0);
+  PrivacyParams{options.epsilon, options.delta}.Validate();
+  HTDP_CHECK_GT(options.delta, 0.0);
+
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  const double g_bound = options.gradient_linf_bound;
+  const double step_epsilon = AdvancedCompositionStepEpsilon(
+      options.epsilon, options.delta, options.iterations);
+  // Replacing one sample moves the clipped average gradient by at most
+  // 2 * g_bound / n per coordinate, hence the score <v, g> by
+  // ||W||_1 * 2 * g_bound / n.
+  const double sensitivity = polytope.L1Diameter() * 2.0 * g_bound /
+                             static_cast<double>(n);
+  const ExponentialMechanism mechanism(sensitivity, step_epsilon);
+
+  DpFwRegularResult result;
+  result.w = w0;
+
+  Vector grad(d);
+  Vector sample_grad(d);
+  Vector scores;
+  for (int t = 1; t <= options.iterations; ++t) {
+    SetZero(grad);
+    for (std::size_t i = 0; i < n; ++i) {
+      loss.Gradient(data.x.Row(i), data.y[i], result.w, sample_grad);
+      for (std::size_t j = 0; j < d; ++j) {
+        grad[j] += std::clamp(sample_grad[j], -g_bound, g_bound);
+      }
+    }
+    Scale(1.0 / static_cast<double>(n), grad);
+
+    // Score u(D, v) = -<v, grad>; the mechanism maximizes the score.
+    polytope.VertexInnerProducts(grad, scores);
+    for (double& s : scores) s = -s;
+    const std::size_t pick = mechanism.SelectGumbel(scores, rng);
+    result.ledger.Record({"exponential", step_epsilon,
+                          AdvancedCompositionStepDelta(options.delta,
+                                                       options.iterations),
+                          sensitivity, /*fold=*/-1});
+
+    const double eta = 2.0 / (static_cast<double>(t) + 2.0);
+    polytope.ApplyConvexStep(pick, eta, result.w);
+  }
+  return result;
+}
+
+}  // namespace htdp

@@ -1,0 +1,71 @@
+#include "optim/dp_sgd.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "dp/privacy.h"
+#include "rng/distributions.h"
+#include "util/check.h"
+
+namespace htdp {
+
+DpSgdResult MinimizeDpSgd(const Loss& loss, const Dataset& data,
+                          const Vector& w0, const DpSgdOptions& options,
+                          Rng& rng) {
+  data.Validate();
+  HTDP_CHECK_EQ(w0.size(), data.dim());
+  HTDP_CHECK_GT(options.iterations, 0);
+  HTDP_CHECK_GT(options.batch_size, 0u);
+  HTDP_CHECK_GT(options.clip_norm, 0.0);
+  PrivacyParams{options.epsilon, options.delta}.Validate();
+  HTDP_CHECK_GT(options.delta, 0.0);
+
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  const std::size_t batch = std::min(options.batch_size, n);
+
+  // Advanced composition splits (epsilon, delta) into T Gaussian-mechanism
+  // steps; each step gets (eps', delta'/2) from composition and uses the
+  // remaining delta'/2 inside the Gaussian mechanism tail bound.
+  const double step_epsilon = AdvancedCompositionStepEpsilon(
+      options.epsilon, options.delta / 2.0, options.iterations);
+  const double step_delta =
+      AdvancedCompositionStepDelta(options.delta / 2.0, options.iterations);
+  // Replacement sensitivity of the averaged clipped minibatch gradient.
+  const double l2_sensitivity =
+      2.0 * options.clip_norm / static_cast<double>(batch);
+  const double sigma = l2_sensitivity *
+                       std::sqrt(2.0 * std::log(1.25 / step_delta)) /
+                       step_epsilon;
+
+  PgdOptions projection;
+  projection.projection = options.projection;
+  projection.radius = options.radius;
+
+  DpSgdResult result;
+  result.w = w0;
+
+  Vector grad(d);
+  Vector sample_grad(d);
+  for (int t = 0; t < options.iterations; ++t) {
+    SetZero(grad);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t i = static_cast<std::size_t>(rng.UniformInt(n));
+      loss.Gradient(data.x.Row(i), data.y[i], result.w, sample_grad);
+      const double norm = NormL2(sample_grad);
+      const double scale =
+          (norm > options.clip_norm) ? options.clip_norm / norm : 1.0;
+      Axpy(scale, sample_grad, grad);
+    }
+    Scale(1.0 / static_cast<double>(batch), grad);
+    for (double& g : grad) g += SampleNormal(rng, 0.0, sigma);
+    result.ledger.Record(
+        {"gaussian", step_epsilon, step_delta, l2_sensitivity, /*fold=*/-1});
+
+    Axpy(-options.step, grad, result.w);
+    ApplyProjection(projection, result.w);
+  }
+  return result;
+}
+
+}  // namespace htdp

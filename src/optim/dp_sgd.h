@@ -1,0 +1,43 @@
+#ifndef HTDP_OPTIM_DP_SGD_H_
+#define HTDP_OPTIM_DP_SGD_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "dp/privacy_ledger.h"
+#include "linalg/vector_ops.h"
+#include "losses/loss.h"
+#include "optim/pgd.h"
+#include "rng/rng.h"
+
+namespace htdp {
+
+/// Clipped-gradient DP-SGD (Abadi et al. 2016 [1]): the truncation-based
+/// approach the paper's introduction cites as having no convergence guarantee
+/// under heavy tails. Per step: average the l2-clipped per-sample gradients
+/// of a minibatch, add Gaussian noise calibrated by the Gaussian mechanism
+/// under advanced composition, take a projected step.
+struct DpSgdOptions {
+  double epsilon = 1.0;
+  double delta = 1e-5;
+  int iterations = 100;
+  std::size_t batch_size = 256;
+  double step = 0.1;
+  /// l2 clipping norm for per-sample gradients.
+  double clip_norm = 1.0;
+  PgdOptions::Projection projection = PgdOptions::Projection::kL1Ball;
+  double radius = 1.0;
+};
+
+struct DpSgdResult {
+  Vector w;
+  PrivacyLedger ledger;
+};
+
+DpSgdResult MinimizeDpSgd(const Loss& loss, const Dataset& data,
+                          const Vector& w0, const DpSgdOptions& options,
+                          Rng& rng);
+
+}  // namespace htdp
+
+#endif  // HTDP_OPTIM_DP_SGD_H_

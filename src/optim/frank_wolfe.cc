@@ -1,0 +1,41 @@
+#include "optim/frank_wolfe.h"
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+
+FrankWolfeResult MinimizeFrankWolfe(const Loss& loss, const Dataset& data,
+                                    const Polytope& polytope,
+                                    const Vector& w0,
+                                    const FrankWolfeOptions& options) {
+  data.Validate();
+  HTDP_CHECK_EQ(w0.size(), polytope.dim());
+  HTDP_CHECK_GT(options.iterations, 0);
+
+  FrankWolfeResult result;
+  result.w = w0;
+  result.risk_trace.reserve(options.iterations);
+
+  const DatasetView view = FullView(data);
+  Vector grad;
+  Vector scores;
+  for (int t = 1; t <= options.iterations; ++t) {
+    EmpiricalGradient(loss, view, result.w, grad);
+    polytope.VertexInnerProducts(grad, scores);
+    // Exact linear minimization oracle: argmin_v <v, grad>.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < scores.size(); ++i) {
+      if (scores[i] < scores[best]) best = i;
+    }
+    const double eta = options.diminishing_step
+                           ? 2.0 / (static_cast<double>(t) + 2.0)
+                           : options.fixed_step;
+    polytope.ApplyConvexStep(best, eta, result.w);
+    result.risk_trace.push_back(EmpiricalRisk(loss, view, result.w));
+  }
+  return result;
+}
+
+}  // namespace htdp

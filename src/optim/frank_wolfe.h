@@ -1,0 +1,38 @@
+#ifndef HTDP_OPTIM_FRANK_WOLFE_H_
+#define HTDP_OPTIM_FRANK_WOLFE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "losses/loss.h"
+#include "optim/polytope.h"
+
+namespace htdp {
+
+/// Non-private Frank-Wolfe over a polytope (Jaggi 2013). Used as the
+/// non-private reference in Figures 1(c), 5(c), 6(c) and to compute
+/// w* = argmin_W L_hat on the (simulated) real-world datasets (Section 6.2).
+struct FrankWolfeOptions {
+  int iterations = 200;
+  /// true: eta_t = 2/(t+2) (the schedule of Lemma 6); false: fixed_step.
+  bool diminishing_step = true;
+  double fixed_step = 0.05;
+};
+
+struct FrankWolfeResult {
+  Vector w;
+  /// Empirical risk after each iteration (diagnostics).
+  std::vector<double> risk_trace;
+};
+
+/// Minimizes the empirical risk of `loss` on `data` over `polytope` starting
+/// from w0 (must lie in the polytope).
+FrankWolfeResult MinimizeFrankWolfe(const Loss& loss, const Dataset& data,
+                                    const Polytope& polytope,
+                                    const Vector& w0,
+                                    const FrankWolfeOptions& options);
+
+}  // namespace htdp
+
+#endif  // HTDP_OPTIM_FRANK_WOLFE_H_

@@ -1,0 +1,31 @@
+#include "optim/iht.h"
+
+#include "linalg/projections.h"
+#include "linalg/sparse_ops.h"
+#include "util/check.h"
+
+namespace htdp {
+
+Vector MinimizeIht(const Loss& loss, const Dataset& data, const Vector& w0,
+                   const IhtOptions& options) {
+  data.Validate();
+  HTDP_CHECK_EQ(w0.size(), data.dim());
+  HTDP_CHECK_GT(options.iterations, 0);
+  HTDP_CHECK_GT(options.step, 0.0);
+  HTDP_CHECK_GT(options.sparsity, 0u);
+
+  const DatasetView view = FullView(data);
+  Vector w = w0;
+  Vector grad;
+  for (int t = 0; t < options.iterations; ++t) {
+    EmpiricalGradient(loss, view, w, grad);
+    Axpy(-options.step, grad, w);
+    HardThreshold(options.sparsity, w);
+    if (options.l2_ball_radius > 0.0) {
+      ProjectOntoL2Ball(options.l2_ball_radius, w);
+    }
+  }
+  return w;
+}
+
+}  // namespace htdp

@@ -1,0 +1,29 @@
+#ifndef HTDP_OPTIM_IHT_H_
+#define HTDP_OPTIM_IHT_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "losses/loss.h"
+
+namespace htdp {
+
+/// Non-private Iterative Hard Thresholding (Jain, Tewari & Kar 2014): the
+/// non-private reference for Algorithms 3 and 5. Gradient step followed by
+/// keeping the s largest-magnitude coordinates (and optionally projecting
+/// onto an l2 ball, matching Algorithm 3's step 7).
+struct IhtOptions {
+  int iterations = 50;
+  double step = 0.5;
+  std::size_t sparsity = 10;
+  /// 0 disables the projection.
+  double l2_ball_radius = 0.0;
+};
+
+Vector MinimizeIht(const Loss& loss, const Dataset& data, const Vector& w0,
+                   const IhtOptions& options);
+
+}  // namespace htdp
+
+#endif  // HTDP_OPTIM_IHT_H_

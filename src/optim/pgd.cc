@@ -1,0 +1,39 @@
+#include "optim/pgd.h"
+
+#include "linalg/projections.h"
+#include "util/check.h"
+
+namespace htdp {
+
+void ApplyProjection(const PgdOptions& options, Vector& w) {
+  switch (options.projection) {
+    case PgdOptions::Projection::kNone:
+      return;
+    case PgdOptions::Projection::kL1Ball:
+      ProjectOntoL1Ball(options.radius, w);
+      return;
+    case PgdOptions::Projection::kL2Ball:
+      ProjectOntoL2Ball(options.radius, w);
+      return;
+  }
+}
+
+Vector MinimizePgd(const Loss& loss, const Dataset& data, const Vector& w0,
+                   const PgdOptions& options) {
+  data.Validate();
+  HTDP_CHECK_EQ(w0.size(), data.dim());
+  HTDP_CHECK_GT(options.iterations, 0);
+  HTDP_CHECK_GT(options.step, 0.0);
+
+  const DatasetView view = FullView(data);
+  Vector w = w0;
+  Vector grad;
+  for (int t = 0; t < options.iterations; ++t) {
+    EmpiricalGradient(loss, view, w, grad);
+    Axpy(-options.step, grad, w);
+    ApplyProjection(options, w);
+  }
+  return w;
+}
+
+}  // namespace htdp

@@ -1,0 +1,28 @@
+#ifndef HTDP_OPTIM_PGD_H_
+#define HTDP_OPTIM_PGD_H_
+
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "losses/loss.h"
+
+namespace htdp {
+
+/// Projected gradient descent over a norm ball -- a generic non-private
+/// reference optimizer (used by tests and the DP-SGD baseline's geometry).
+struct PgdOptions {
+  int iterations = 100;
+  double step = 0.1;
+  enum class Projection { kNone, kL1Ball, kL2Ball };
+  Projection projection = Projection::kNone;
+  double radius = 1.0;
+};
+
+Vector MinimizePgd(const Loss& loss, const Dataset& data, const Vector& w0,
+                   const PgdOptions& options);
+
+/// Applies the configured projection of `options` to w in place.
+void ApplyProjection(const PgdOptions& options, Vector& w);
+
+}  // namespace htdp
+
+#endif  // HTDP_OPTIM_PGD_H_

@@ -1,0 +1,67 @@
+#include "optim/polytope.h"
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+
+void Polytope::ApplyConvexStep(std::size_t i, double eta, Vector& w) const {
+  Vector vertex;
+  Vertex(i, vertex);
+  ConvexCombinationInPlace(eta, vertex, w);
+}
+
+L1Ball::L1Ball(std::size_t dim, double radius) : dim_(dim), radius_(radius) {
+  HTDP_CHECK_GT(dim, 0u);
+  HTDP_CHECK_GT(radius, 0.0);
+}
+
+void L1Ball::VertexInnerProducts(const Vector& g, Vector& out) const {
+  HTDP_CHECK_EQ(g.size(), dim_);
+  out.resize(2 * dim_);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const double value = radius_ * g[j];
+    out[2 * j] = value;
+    out[2 * j + 1] = -value;
+  }
+}
+
+void L1Ball::Vertex(std::size_t i, Vector& out) const {
+  HTDP_CHECK_LT(i, 2 * dim_);
+  out.assign(dim_, 0.0);
+  out[i / 2] = (i % 2 == 0) ? radius_ : -radius_;
+}
+
+void L1Ball::ApplyConvexStep(std::size_t i, double eta, Vector& w) const {
+  HTDP_CHECK_LT(i, 2 * dim_);
+  HTDP_CHECK_EQ(w.size(), dim_);
+  Scale(1.0 - eta, w);
+  w[i / 2] += eta * ((i % 2 == 0) ? radius_ : -radius_);
+}
+
+ProbabilitySimplex::ProbabilitySimplex(std::size_t dim) : dim_(dim) {
+  HTDP_CHECK_GT(dim, 0u);
+}
+
+void ProbabilitySimplex::VertexInnerProducts(const Vector& g,
+                                             Vector& out) const {
+  HTDP_CHECK_EQ(g.size(), dim_);
+  out = g;
+}
+
+void ProbabilitySimplex::Vertex(std::size_t i, Vector& out) const {
+  HTDP_CHECK_LT(i, dim_);
+  out.assign(dim_, 0.0);
+  out[i] = 1.0;
+}
+
+void ProbabilitySimplex::ApplyConvexStep(std::size_t i, double eta,
+                                         Vector& w) const {
+  HTDP_CHECK_LT(i, dim_);
+  HTDP_CHECK_EQ(w.size(), dim_);
+  Scale(1.0 - eta, w);
+  w[i] += eta;
+}
+
+}  // namespace htdp

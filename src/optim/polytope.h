@@ -1,0 +1,88 @@
+#ifndef HTDP_OPTIM_POLYTOPE_H_
+#define HTDP_OPTIM_POLYTOPE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// A polytope constraint set W = conv(V) with an enumerable vertex set V --
+/// the geometry Frank-Wolfe-style algorithms (1 and 2) work over. The
+/// exponential mechanism scores all vertices, so implementations provide a
+/// bulk inner-product routine that avoids materializing vertices.
+class Polytope {
+ public:
+  virtual ~Polytope() = default;
+
+  virtual std::size_t num_vertices() const = 0;
+  virtual std::size_t dim() const = 0;
+
+  /// out[i] = <v_i, g> for every vertex v_i; resizes out to num_vertices().
+  virtual void VertexInnerProducts(const Vector& g, Vector& out) const = 0;
+
+  /// Writes vertex i into out (resized to dim()).
+  virtual void Vertex(std::size_t i, Vector& out) const = 0;
+
+  /// The l1 diameter ||W||_1 = max_{u,v in W} ||u - v||_1 appearing in the
+  /// sensitivity bounds of Algorithms 1 and 2.
+  virtual double L1Diameter() const = 0;
+
+  /// max_i ||v_i||_1 over the vertex set. Because W = conv(V), this also
+  /// bounds ||w||_1 for every w in W. The exponential-mechanism score
+  /// sensitivity |<v, g> - <v, g'>| <= ||v||_1 ||g - g'||_inf uses this
+  /// (tight) bound; the paper writes the looser diameter in its Delta.
+  virtual double MaxVertexL1Norm() const = 0;
+
+  /// w <- (1 - eta) w + eta v_i (the Frank-Wolfe update toward vertex i).
+  /// Default implementation materializes the vertex.
+  virtual void ApplyConvexStep(std::size_t i, double eta, Vector& w) const;
+
+  virtual std::string Name() const = 0;
+};
+
+/// The l1-norm ball of the given radius: 2d vertices {±radius e_j}.
+/// Vertex 2j is +radius e_j, vertex 2j+1 is -radius e_j.
+class L1Ball final : public Polytope {
+ public:
+  L1Ball(std::size_t dim, double radius);
+
+  std::size_t num_vertices() const override { return 2 * dim_; }
+  std::size_t dim() const override { return dim_; }
+  void VertexInnerProducts(const Vector& g, Vector& out) const override;
+  void Vertex(std::size_t i, Vector& out) const override;
+  double L1Diameter() const override { return 2.0 * radius_; }
+  double MaxVertexL1Norm() const override { return radius_; }
+  void ApplyConvexStep(std::size_t i, double eta, Vector& w) const override;
+  std::string Name() const override { return "l1-ball"; }
+
+  double radius() const { return radius_; }
+
+ private:
+  std::size_t dim_;
+  double radius_;
+};
+
+/// The probability simplex {w >= 0, sum w = 1}: d vertices {e_j}.
+class ProbabilitySimplex final : public Polytope {
+ public:
+  explicit ProbabilitySimplex(std::size_t dim);
+
+  std::size_t num_vertices() const override { return dim_; }
+  std::size_t dim() const override { return dim_; }
+  void VertexInnerProducts(const Vector& g, Vector& out) const override;
+  void Vertex(std::size_t i, Vector& out) const override;
+  double L1Diameter() const override { return 2.0; }
+  double MaxVertexL1Norm() const override { return 1.0; }
+  void ApplyConvexStep(std::size_t i, double eta, Vector& w) const override;
+  std::string Name() const override { return "simplex"; }
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_OPTIM_POLYTOPE_H_

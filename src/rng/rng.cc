@@ -1,0 +1,67 @@
+#include "rng/rng.h"
+
+#include "util/check.h"
+
+namespace htdp {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (std::uint64_t& word : state_) word = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  // xoshiro256++ (Blackman & Vigna, 2019).
+  const std::uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Rng::UniformUnit() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformOpen() {
+  // (value + 0.5) / 2^53 lies strictly inside (0, 1).
+  return (static_cast<double>(Next() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  HTDP_CHECK_LT(lo, hi);
+  return lo + (hi - lo) * UniformUnit();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  HTDP_CHECK_GT(n, 0ULL);
+  // Rejection sampling on the top multiple of n.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0x6A09E667F3BCC909ULL); }
+
+}  // namespace htdp

@@ -1,0 +1,56 @@
+#ifndef HTDP_RNG_RNG_H_
+#define HTDP_RNG_RNG_H_
+
+#include <cstdint>
+
+namespace htdp {
+
+/// Deterministic pseudo-random generator (xoshiro256++ seeded via SplitMix64).
+/// Every stochastic component in htdp takes an explicit Rng& so experiments
+/// are reproducible and trials can use independent streams via Fork().
+///
+/// Satisfies the UniformRandomBitGenerator concept, but htdp samples through
+/// the explicit algorithms in rng/distributions.h for cross-platform
+/// determinism rather than through <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next 64 uniformly random bits.
+  result_type operator()() { return Next(); }
+  result_type Next();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformUnit();
+
+  /// Uniform double in the open interval (0, 1); never returns 0 (safe for
+  /// logs and inverse CDFs).
+  double UniformOpen();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling so
+  /// the result is exactly uniform.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  /// Returns an independent generator derived from this one's stream.
+  /// Advances this generator.
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_RNG_RNG_H_

@@ -1,0 +1,33 @@
+#ifndef HTDP_ROBUST_CATONI_H_
+#define HTDP_ROBUST_CATONI_H_
+
+namespace htdp {
+
+/// Maximum magnitude of the Catoni truncation function: |phi(x)| <= 2*sqrt(2)/3.
+/// This bound is what gives the robust estimators their finite sensitivity.
+double PhiBound();
+
+/// The soft truncation function of Catoni & Giulini (2017), Eq. (2):
+///   phi(x) = x - x^3/6            for |x| <= sqrt(2)
+///   phi(x) = sign(x) * 2*sqrt(2)/3 otherwise.
+/// phi is odd, non-decreasing, bounded by PhiBound(), and satisfies
+///   -log(1 - x + x^2/2) <= phi(x) <= log(1 + x + x^2/2).
+double Phi(double x);
+
+/// CDF of the standard normal distribution.
+double NormalCdf(double x);
+
+/// The correction term C_hat(a, b) of Eq. (5), in the explicit T1..T5 form
+/// given in the paper's appendix. Requires b > 0.
+double CatoniCorrection(double a, double b);
+
+/// Closed form of E_z[ phi(a + b z) ] for z ~ N(0, 1):
+///   a (1 - b^2/2) - a^3/6 + C_hat(a, b)          (Eq. (5)).
+/// For b == 0 this degenerates to phi(a). This is the "noise multiplication
+/// + noise smoothing" step of the robust estimator evaluated analytically,
+/// so the estimator itself needs no auxiliary randomness.
+double SmoothedPhi(double a, double b);
+
+}  // namespace htdp
+
+#endif  // HTDP_ROBUST_CATONI_H_

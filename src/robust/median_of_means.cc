@@ -1,0 +1,49 @@
+#include "robust/median_of_means.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace htdp {
+
+double MedianOfMeans(const double* values, std::size_t n,
+                     std::size_t blocks) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK_GE(blocks, 1u);
+  HTDP_CHECK_LE(blocks, n);
+  const std::size_t block_size = n / blocks;
+  std::vector<double> means;
+  means.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * block_size;
+    // The last block absorbs the remainder.
+    const std::size_t hi = (b + 1 == blocks) ? n : lo + block_size;
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) acc += values[i];
+    means.push_back(acc / static_cast<double>(hi - lo));
+  }
+  const std::size_t mid = means.size() / 2;
+  std::nth_element(means.begin(), means.begin() + mid, means.end());
+  if (means.size() % 2 == 1) return means[mid];
+  const double upper = means[mid];
+  const double lower =
+      *std::max_element(means.begin(), means.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double MedianOfMeans(const Vector& values, std::size_t blocks) {
+  return MedianOfMeans(values.data(), values.size(), blocks);
+}
+
+std::size_t MomBlocksForConfidence(std::size_t n, double zeta) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK(zeta > 0.0 && zeta < 1.0) << "zeta=" << zeta;
+  const std::size_t blocks =
+      static_cast<std::size_t>(std::ceil(8.0 * std::log(1.0 / zeta)));
+  return std::clamp<std::size_t>(blocks, 1, n);
+}
+
+}  // namespace htdp

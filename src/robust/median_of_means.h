@@ -1,0 +1,26 @@
+#ifndef HTDP_ROBUST_MEDIAN_OF_MEANS_H_
+#define HTDP_ROBUST_MEDIAN_OF_MEANS_H_
+
+#include <cstddef>
+
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// Median-of-means: partition the sample into `blocks` groups, average each
+/// group, return the median of the block means (Minsker 2015; the estimator
+/// behind the robust-statistics line of work in Section 2's related work).
+/// Sub-Gaussian deviation under only a finite second moment, but -- unlike
+/// the Catoni-smoothed estimator -- its worst-case sensitivity to replacing
+/// one sample is not O(1/n) (a block mean can move arbitrarily), which is
+/// why the paper's private algorithms build on the truncation estimator
+/// instead. Exposed here for the estimator ablation.
+double MedianOfMeans(const double* values, std::size_t n, std::size_t blocks);
+double MedianOfMeans(const Vector& values, std::size_t blocks);
+
+/// The standard block-count choice ceil(8 log(1/zeta)) capped to n.
+std::size_t MomBlocksForConfidence(std::size_t n, double zeta);
+
+}  // namespace htdp
+
+#endif  // HTDP_ROBUST_MEDIAN_OF_MEANS_H_

@@ -1,0 +1,51 @@
+#include "robust/robust_mean.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "robust/catoni.h"
+#include "util/check.h"
+
+namespace htdp {
+
+RobustMeanEstimator::RobustMeanEstimator(double scale, double beta)
+    : scale_(scale), beta_(beta), sqrt_beta_(std::sqrt(beta)) {
+  HTDP_CHECK_GT(scale, 0.0);
+  HTDP_CHECK_GT(beta, 0.0);
+}
+
+double RobustMeanEstimator::SampleContribution(double x) const {
+  // x(1 + eta)/s = a + (|a|/sqrt(beta)) z with a = x/s, z ~ N(0,1).
+  const double a = x / scale_;
+  const double b = std::abs(a) / sqrt_beta_;
+  return scale_ * SmoothedPhi(a, b);
+}
+
+double RobustMeanEstimator::Estimate(const double* values,
+                                     std::size_t n) const {
+  HTDP_CHECK_GT(n, 0u);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += SampleContribution(values[i]);
+  return acc / static_cast<double>(n);
+}
+
+double RobustMeanEstimator::Estimate(const Vector& values) const {
+  return Estimate(values.data(), values.size());
+}
+
+double RobustMeanEstimator::Sensitivity(std::size_t n) const {
+  HTDP_CHECK_GT(n, 0u);
+  return 2.0 * scale_ * PhiBound() / static_cast<double>(n);
+}
+
+double RobustMeanEstimator::DeviationBound(double tau, std::size_t n,
+                                           double zeta) const {
+  HTDP_CHECK_GT(tau, 0.0);
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK(zeta > 0.0 && zeta < 1.0) << "zeta=" << zeta;
+  return tau / (2.0 * scale_) * (1.0 / beta_ + 1.0) +
+         scale_ / static_cast<double>(n) *
+             (beta_ / 2.0 + std::log(2.0 / zeta));
+}
+
+}  // namespace htdp

@@ -1,0 +1,52 @@
+#ifndef HTDP_ROBUST_ROBUST_MEAN_H_
+#define HTDP_ROBUST_ROBUST_MEAN_H_
+
+#include <cstddef>
+
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// The one-dimensional robust mean estimator x_hat(s, beta) of Eqs. (1)-(5):
+/// scaling and soft truncation through phi, multiplicative N(0, 1/beta) noise
+/// smoothed analytically via SmoothedPhi. Deterministic given the data.
+///
+/// Properties used by the paper:
+///  - |contribution of one sample| <= s * 2*sqrt(2)/3, hence replacing one
+///    sample moves the estimate by at most Sensitivity() = 4*sqrt(2)*s/(3n);
+///  - if E[x^2] <= tau, then with probability 1 - zeta
+///    |x_hat - E x| <= tau/(2s) (1/beta + 1) + s/n (beta/2 + log(2/zeta))
+///    (Lemma 4).
+class RobustMeanEstimator {
+ public:
+  /// `scale` is the truncation scale s > 0; `beta` the noise precision.
+  RobustMeanEstimator(double scale, double beta);
+
+  double scale() const { return scale_; }
+  double beta() const { return beta_; }
+
+  /// The smoothed, truncated contribution of a single raw value:
+  /// s * E_eta[ phi((x + eta x)/s) ], bounded by s * 2*sqrt(2)/3.
+  double SampleContribution(double x) const;
+
+  /// The estimate (1/n) * sum_i SampleContribution(x_i).
+  double Estimate(const double* values, std::size_t n) const;
+  double Estimate(const Vector& values) const;
+
+  /// l-infinity sensitivity of Estimate over n samples when one sample is
+  /// replaced: 4*sqrt(2)*s/(3n).
+  double Sensitivity(std::size_t n) const;
+
+  /// The high-probability deviation bound of Lemma 4 for a distribution with
+  /// second moment at most tau and failure probability zeta.
+  double DeviationBound(double tau, std::size_t n, double zeta) const;
+
+ private:
+  double scale_;
+  double beta_;
+  double sqrt_beta_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_ROBUST_ROBUST_MEAN_H_

@@ -1,0 +1,25 @@
+#include "robust/shrinkage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace htdp {
+
+double Shrink(double value, double threshold) {
+  HTDP_DCHECK(threshold > 0.0);
+  return std::copysign(std::min(std::abs(value), threshold), value);
+}
+
+void ShrinkInPlace(double threshold, Vector& v) {
+  HTDP_CHECK_GT(threshold, 0.0);
+  for (double& entry : v) entry = Shrink(entry, threshold);
+}
+
+void ShrinkInPlace(double threshold, Matrix& m) {
+  HTDP_CHECK_GT(threshold, 0.0);
+  for (double& entry : m.data()) entry = Shrink(entry, threshold);
+}
+
+}  // namespace htdp

@@ -1,0 +1,23 @@
+#ifndef HTDP_ROBUST_SHRINKAGE_H_
+#define HTDP_ROBUST_SHRINKAGE_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// Entrywise shrinkage x~ = sign(x) * min(|x|, k) -- the heavy-tailed
+/// truncation principle of Fan, Wang & Zhu (2016) used in step 2 of
+/// Algorithms 2 and 3. Unlike the sub-Gaussian setting, the threshold K is a
+/// function of (n, epsilon, T) rather than of tail parameters.
+double Shrink(double value, double threshold);
+
+/// Shrinks every entry of v in place.
+void ShrinkInPlace(double threshold, Vector& v);
+
+/// Shrinks every entry of m in place.
+void ShrinkInPlace(double threshold, Matrix& m);
+
+}  // namespace htdp
+
+#endif  // HTDP_ROBUST_SHRINKAGE_H_

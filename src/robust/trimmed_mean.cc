@@ -1,0 +1,43 @@
+#include "robust/trimmed_mean.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+
+double ClippedMean(const double* values, std::size_t n, double threshold) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK_GT(threshold, 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += std::clamp(values[i], -threshold, threshold);
+  }
+  return acc / static_cast<double>(n);
+}
+
+double ClippedMean(const Vector& values, double threshold) {
+  return ClippedMean(values.data(), values.size(), threshold);
+}
+
+double TruncatedMean(const double* values, std::size_t n, double threshold) {
+  HTDP_CHECK_GT(n, 0u);
+  HTDP_CHECK_GT(threshold, 0.0);
+  double acc = 0.0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(values[i]) <= threshold) {
+      acc += values[i];
+      ++kept;
+    }
+  }
+  return kept > 0 ? acc / static_cast<double>(kept) : 0.0;
+}
+
+double TruncatedMean(const Vector& values, double threshold) {
+  return TruncatedMean(values.data(), values.size(), threshold);
+}
+
+}  // namespace htdp

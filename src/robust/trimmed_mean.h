@@ -1,0 +1,28 @@
+#ifndef HTDP_ROBUST_TRIMMED_MEAN_H_
+#define HTDP_ROBUST_TRIMMED_MEAN_H_
+
+#include <cstddef>
+
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// The two naive truncation estimators the introduction warns about
+/// ("truncating or trimming the gradient, such as in [1]... there is no
+/// existing convergence result"): exposed so the ablation bench can measure
+/// their bias/variance trade-off against the Catoni-smoothed estimator.
+
+/// Mean of values clipped to [-threshold, threshold]. Sensitivity
+/// 2 threshold / n (DP-compatible) but bias does not vanish with n.
+double ClippedMean(const double* values, std::size_t n, double threshold);
+double ClippedMean(const Vector& values, double threshold);
+
+/// Mean of the values with |x| <= threshold (others discarded). Returns 0
+/// when everything is discarded. NOT DP-compatible as-is: the divisor
+/// depends on the data.
+double TruncatedMean(const double* values, std::size_t n, double threshold);
+double TruncatedMean(const Vector& values, double threshold);
+
+}  // namespace htdp
+
+#endif  // HTDP_ROBUST_TRIMMED_MEAN_H_

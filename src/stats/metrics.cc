@@ -1,0 +1,45 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/sparse_ops.h"
+#include "util/check.h"
+
+namespace htdp {
+
+double EstimationError(const Vector& w, const Vector& w_star) {
+  return DistanceL2(w, w_star);
+}
+
+SupportRecovery EvaluateSupportRecovery(const Vector& w,
+                                        const Vector& w_star) {
+  HTDP_CHECK_EQ(w.size(), w_star.size());
+  const std::vector<std::size_t> truth = Support(w_star);
+  HTDP_CHECK(!truth.empty()) << "w_star has empty support";
+  const std::vector<std::size_t> predicted =
+      TopKIndicesByMagnitude(w, truth.size());
+
+  std::size_t hits = 0;
+  // Both index lists are sorted ascending.
+  std::size_t ti = 0;
+  for (std::size_t p : predicted) {
+    while (ti < truth.size() && truth[ti] < p) ++ti;
+    if (ti < truth.size() && truth[ti] == p) ++hits;
+  }
+  SupportRecovery out;
+  out.precision = predicted.empty()
+                      ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(predicted.size());
+  out.recall =
+      static_cast<double>(hits) / static_cast<double>(truth.size());
+  out.f1 = (out.precision + out.recall > 0.0)
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+}  // namespace htdp

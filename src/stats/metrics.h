@@ -1,0 +1,26 @@
+#ifndef HTDP_STATS_METRICS_H_
+#define HTDP_STATS_METRICS_H_
+
+#include <cstddef>
+
+#include "linalg/vector_ops.h"
+
+namespace htdp {
+
+/// ||w - w*||_2, the estimation error used in the sparse experiments.
+double EstimationError(const Vector& w, const Vector& w_star);
+
+/// Support-recovery quality for sparse estimation: precision, recall and F1
+/// of supp(top-s of w) against supp(w_star), where s = ||w_star||_0.
+struct SupportRecovery {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+SupportRecovery EvaluateSupportRecovery(const Vector& w,
+                                        const Vector& w_star);
+
+}  // namespace htdp
+
+#endif  // HTDP_STATS_METRICS_H_

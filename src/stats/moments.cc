@@ -1,0 +1,84 @@
+#include "stats/moments.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+
+double EstimateGradientSecondMoment(const Loss& loss, const DatasetView& view,
+                                    const Vector& w) {
+  HTDP_CHECK_GT(view.size(), 0u);
+  const std::size_t d = w.size();
+  const std::size_t m = view.size();
+  Vector second_moment(d, 0.0);
+  Vector sample_grad(d);
+  double scale = 0.0;
+  const bool glm =
+      loss.GradientAsScaledFeature(view.Row(0), view.Label(0), w, &scale);
+  const double ridge = loss.RidgeCoefficient();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (glm) {
+      HTDP_CHECK(loss.GradientAsScaledFeature(view.Row(i), view.Label(i), w,
+                                              &scale));
+      const double* row = view.Row(i);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double g = scale * row[j] + ridge * w[j];
+        second_moment[j] += g * g;
+      }
+    } else {
+      loss.Gradient(view.Row(i), view.Label(i), w, sample_grad);
+      for (std::size_t j = 0; j < d; ++j) {
+        second_moment[j] += sample_grad[j] * sample_grad[j];
+      }
+    }
+  }
+  double worst = 0.0;
+  for (double v : second_moment) {
+    worst = std::max(worst, v / static_cast<double>(m));
+  }
+  return worst;
+}
+
+double EstimateFourthMomentBound(const Dataset& data, std::size_t pairs) {
+  data.Validate();
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  double worst = 0.0;
+
+  auto probe = [&](std::size_t j, std::size_t k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double prod = data.x(i, j) * data.x(i, k);
+      acc += prod * prod;
+    }
+    worst = std::max(worst, acc / static_cast<double>(n));
+  };
+
+  for (std::size_t j = 0; j < d; ++j) probe(j, j);
+  // Deterministic stride over off-diagonal pairs.
+  std::size_t probed = 0;
+  for (std::size_t j = 0; j < d && probed < pairs; ++j) {
+    const std::size_t k = (j * 2654435761u + 1) % d;
+    if (k == j) continue;
+    probe(j, k);
+    ++probed;
+  }
+  return worst;
+}
+
+double EstimateFeatureSecondMoment(const Dataset& data) {
+  data.Validate();
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  double worst = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += data.x(i, j) * data.x(i, j);
+    worst = std::max(worst, acc / static_cast<double>(n));
+  }
+  return worst;
+}
+
+}  // namespace htdp

@@ -1,0 +1,26 @@
+#ifndef HTDP_STATS_MOMENTS_H_
+#define HTDP_STATS_MOMENTS_H_
+
+#include "data/dataset.h"
+#include "linalg/vector_ops.h"
+#include "losses/loss.h"
+
+namespace htdp {
+
+/// Empirical estimate of tau = max_j E[(grad_j l(w, z))^2] at the point w
+/// (Assumption 1 / Assumption 4). Used by the theory-driven hyper-parameter
+/// schedules when the moment bound is not supplied by the caller.
+double EstimateGradientSecondMoment(const Loss& loss, const DatasetView& view,
+                                    const Vector& w);
+
+/// Empirical estimate of M = max_{j,k} E[(x_j x_k)^2] capped to a random
+/// subset of coordinate pairs for tractability (Assumption 3). `pairs` is
+/// the number of (j, k) pairs probed; the diagonal is always included.
+double EstimateFourthMomentBound(const Dataset& data, std::size_t pairs);
+
+/// Empirical per-coordinate second moment max_j E[x_j^2].
+double EstimateFeatureSecondMoment(const Dataset& data);
+
+}  // namespace htdp
+
+#endif  // HTDP_STATS_MOMENTS_H_

@@ -1,0 +1,50 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace htdp {
+
+double Quantile(std::vector<double> values, double p) {
+  HTDP_CHECK(!values.empty());
+  HTDP_CHECK(p >= 0.0 && p <= 1.0) << "p=" << p;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double position = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double fraction = position - static_cast<double>(lo);
+  return values[lo] * (1.0 - fraction) + values[hi] * fraction;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  HTDP_CHECK(!values.empty());
+  Summary s;
+  s.count = values.size();
+  double total = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = total / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) {
+    const double diff = v - s.mean;
+    sq += diff * diff;
+  }
+  s.stdev = values.size() > 1
+                ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                : 0.0;
+  s.median = Quantile(values, 0.5);
+  s.q25 = Quantile(values, 0.25);
+  s.q75 = Quantile(values, 0.75);
+  return s;
+}
+
+}  // namespace htdp

@@ -1,0 +1,29 @@
+#ifndef HTDP_STATS_SUMMARY_H_
+#define HTDP_STATS_SUMMARY_H_
+
+#include <vector>
+
+namespace htdp {
+
+/// Summary statistics over repeated trials of an experiment.
+struct Summary {
+  double mean = 0.0;
+  double stdev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes the summary of `values` (must be non-empty). Quantiles use
+/// linear interpolation between order statistics.
+Summary Summarize(const std::vector<double>& values);
+
+/// Linear-interpolation quantile of `values` at p in [0, 1].
+double Quantile(std::vector<double> values, double p);
+
+}  // namespace htdp
+
+#endif  // HTDP_STATS_SUMMARY_H_

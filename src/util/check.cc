@@ -1,0 +1,19 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace htdp::internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << file << ":" << line << ": HTDP_CHECK failed: " << condition;
+}
+
+CheckFailure::~CheckFailure() {
+  std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace htdp::internal

@@ -1,0 +1,86 @@
+#ifndef HTDP_UTIL_CHECK_H_
+#define HTDP_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+// Contract-checking macros. The htdp library is exception-free: violated
+// preconditions and internal invariants abort the process with a diagnostic.
+//
+// HTDP_CHECK(cond)          -- always-on check.
+// HTDP_CHECK_OP(a, op, b)   -- comparison check that prints both operands.
+// HTDP_DCHECK(cond)         -- debug-only check (compiled out under NDEBUG).
+//
+// A message can be streamed onto any check:
+//   HTDP_CHECK(n > 0) << "dataset must be non-empty, got n=" << n;
+
+namespace htdp::internal {
+
+// Collects a streamed diagnostic message and aborts in the destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  [[noreturn]] ~CheckFailure();
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns the streamed CheckFailure expression into void so it can sit in the
+// false branch of the ternary below (glog's "voidify" idiom). operator&
+// binds looser than operator<<, so the whole streamed chain runs first.
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+// No-op sink so that disabled DCHECKs still type-check their stream operands.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+struct NullVoidify {
+  void operator&(const NullStream&) {}
+};
+
+}  // namespace htdp::internal
+
+#define HTDP_CHECK(condition)                     \
+  (condition) ? (void)0                           \
+              : ::htdp::internal::Voidify() &     \
+                    ::htdp::internal::CheckFailure(__FILE__, __LINE__, \
+                                                   #condition)
+
+#define HTDP_CHECK_IMPL_(a, op, b, text)          \
+  ((a)op(b)) ? (void)0                            \
+             : ::htdp::internal::Voidify() &      \
+                   (::htdp::internal::CheckFailure(__FILE__, __LINE__, text) \
+                    << " (lhs=" << (a) << ", rhs=" << (b) << ")")
+
+#define HTDP_CHECK_EQ(a, b) HTDP_CHECK_IMPL_(a, ==, b, #a " == " #b)
+#define HTDP_CHECK_NE(a, b) HTDP_CHECK_IMPL_(a, !=, b, #a " != " #b)
+#define HTDP_CHECK_LT(a, b) HTDP_CHECK_IMPL_(a, <, b, #a " < " #b)
+#define HTDP_CHECK_LE(a, b) HTDP_CHECK_IMPL_(a, <=, b, #a " <= " #b)
+#define HTDP_CHECK_GT(a, b) HTDP_CHECK_IMPL_(a, >, b, #a " > " #b)
+#define HTDP_CHECK_GE(a, b) HTDP_CHECK_IMPL_(a, >=, b, #a " >= " #b)
+
+#ifdef NDEBUG
+#define HTDP_DCHECK(condition)                  \
+  true ? (void)0                                \
+       : ::htdp::internal::NullVoidify() & ::htdp::internal::NullStream()
+#else
+#define HTDP_DCHECK(condition) HTDP_CHECK(condition)
+#endif
+
+#endif  // HTDP_UTIL_CHECK_H_

@@ -1,0 +1,52 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace htdp {
+namespace {
+
+int DetectWorkerThreads() {
+  if (const char* env = std::getenv("HTDP_NUM_THREADS")) {
+    int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return static_cast<int>(std::min<unsigned>(hw, 16));
+}
+
+}  // namespace
+
+int NumWorkerThreads() {
+  static const int kWorkers = DetectWorkerThreads();
+  return kWorkers;
+}
+
+void ParallelFor(std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  // Below this many items the thread launch overhead dominates any speedup.
+  constexpr std::size_t kSerialThreshold = 4096;
+  const int workers = NumWorkerThreads();
+  if (count == 0) return;
+  if (workers <= 1 || count < kSerialThreshold) {
+    body(0, count);
+    return;
+  }
+  const std::size_t chunks =
+      std::min<std::size_t>(static_cast<std::size_t>(workers), count);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  std::vector<std::thread> threads;
+  threads.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(begin + chunk_size, count);
+    if (begin >= end) break;
+    threads.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace htdp

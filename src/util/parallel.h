@@ -1,0 +1,25 @@
+#ifndef HTDP_UTIL_PARALLEL_H_
+#define HTDP_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace htdp {
+
+/// Returns the number of worker threads used by ParallelFor. Defaults to the
+/// hardware concurrency, capped at 16; override with the HTDP_NUM_THREADS
+/// environment variable (HTDP_NUM_THREADS=1 forces serial execution).
+int NumWorkerThreads();
+
+/// Runs `body(begin..end)` over [0, count), statically chunked across worker
+/// threads. `body` receives a half-open index range and must be safe to run
+/// concurrently on disjoint ranges. Falls back to a serial call when the
+/// range is small or only one worker is configured. Blocks until all chunks
+/// complete.
+void ParallelFor(std::size_t count,
+                 const std::function<void(std::size_t begin, std::size_t end)>&
+                     body);
+
+}  // namespace htdp
+
+#endif  // HTDP_UTIL_PARALLEL_H_

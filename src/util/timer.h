@@ -1,0 +1,27 @@
+#ifndef HTDP_UTIL_TIMER_H_
+#define HTDP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace htdp {
+
+/// Minimal monotonic stopwatch used by the benchmark harness.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_UTIL_TIMER_H_

@@ -1,0 +1,260 @@
+#include <cmath>
+#include <cstddef>
+
+#include "core/ht_dp_fw.h"
+#include "core/hyperparams.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "losses/biweight_loss.h"
+#include "losses/logistic_loss.h"
+#include "losses/squared_loss.h"
+#include "optim/polytope.h"
+#include "rng/rng.h"
+
+namespace htdp {
+namespace {
+
+Dataset LognormalLinearData(std::size_t n, std::size_t d,
+                            const Vector& w_star, Rng& rng) {
+  SyntheticConfig config;
+  config.n = n;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  config.noise_dist = ScalarDistribution::Normal(0.0, 0.1);
+  return GenerateLinear(config, w_star, rng);
+}
+
+TEST(HtDpFwTest, SpendsExactlyEpsilonViaParallelComposition) {
+  Rng rng(3);
+  const std::size_t d = 8;
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = LognormalLinearData(2000, d, w_star, rng);
+  const L1Ball ball(d, 1.0);
+  const SquaredLoss loss;
+
+  HtDpFwOptions options;
+  options.epsilon = 0.8;
+  options.tau = 4.0;
+  const HtDpFwResult result =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+
+  // One exponential-mechanism call per disjoint fold, each epsilon-DP.
+  EXPECT_EQ(result.ledger.entries().size(),
+            static_cast<std::size_t>(result.iterations));
+  EXPECT_NEAR(result.ledger.TotalEpsilon(), 0.8, 1e-12);
+  EXPECT_NEAR(result.ledger.TotalDelta(), 0.0, 1e-18);
+}
+
+TEST(HtDpFwTest, AutoScheduleMatchesSection62) {
+  // T = floor((n eps)^(1/3)).
+  const Alg1Schedule schedule = SolveAlg1Schedule(10000, 200, 1.0, 1.0,
+                                                  400, 0.1);
+  EXPECT_EQ(schedule.iterations,
+            static_cast<int>(std::floor(std::cbrt(10000.0))));
+  EXPECT_GT(schedule.scale, 0.0);
+}
+
+TEST(HtDpFwTest, IterateStaysInPolytope) {
+  Rng rng(5);
+  const std::size_t d = 10;
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = LognormalLinearData(3000, d, w_star, rng);
+  const L1Ball ball(d, 1.0);
+  const SquaredLoss loss;
+  HtDpFwOptions options;
+  options.epsilon = 1.0;
+  options.tau = 4.0;
+  const auto result =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+  EXPECT_LE(NormL1(result.w), 1.0 + 1e-9);
+}
+
+TEST(HtDpFwTest, DeterministicGivenSeed) {
+  Rng data_rng(7);
+  const std::size_t d = 6;
+  const Vector w_star = MakeL1BallTarget(d, data_rng);
+  const Dataset data = LognormalLinearData(1000, d, w_star, data_rng);
+  const L1Ball ball(d, 1.0);
+  const SquaredLoss loss;
+  HtDpFwOptions options;
+  options.epsilon = 1.0;
+  options.tau = 4.0;
+
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const auto result_a =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng_a);
+  const auto result_b =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng_b);
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_EQ(result_a.w[j], result_b.w[j]);
+  }
+}
+
+TEST(HtDpFwTest, ErrorDecreasesWithSampleSize) {
+  // Average excess risk over several trials at n=1500 vs n=24000 must
+  // improve. (Coarse shape check; the paper's Figure 1(b).)
+  const std::size_t d = 20;
+  const SquaredLoss loss;
+  const L1Ball ball(d, 1.0);
+
+  auto average_excess = [&](std::size_t n, std::uint64_t seed) {
+    double total = 0.0;
+    const int trials = 3;
+    Rng rng(seed);
+    for (int t = 0; t < trials; ++t) {
+      const Vector w_star = MakeL1BallTarget(d, rng);
+      const Dataset data = LognormalLinearData(n, d, w_star, rng);
+      HtDpFwOptions options;
+      options.epsilon = 1.0;
+      options.tau = 4.0;
+      const auto result =
+          RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+      total += ExcessEmpiricalRisk(loss, data, result.w, w_star);
+    }
+    return total / trials;
+  };
+
+  const double small_n = average_excess(1500, 1001);
+  const double large_n = average_excess(24000, 1002);
+  EXPECT_LT(large_n, small_n);
+}
+
+TEST(HtDpFwTest, CloseToNonPrivateForLargeBudget) {
+  Rng rng(11);
+  const std::size_t d = 10;
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = LognormalLinearData(20000, d, w_star, rng);
+  const L1Ball ball(d, 1.0);
+  const SquaredLoss loss;
+
+  HtDpFwOptions options;
+  options.epsilon = 50.0;  // effectively non-private
+  options.tau = 4.0;
+  const auto result =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+  const double excess = ExcessEmpiricalRisk(loss, data, result.w, w_star);
+  EXPECT_LT(excess, 0.25);
+}
+
+TEST(HtDpFwTest, WorksWithLogisticLoss) {
+  Rng rng(13);
+  const std::size_t d = 8;
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  SyntheticConfig config;
+  config.n = 4000;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  config.noise_dist = ScalarDistribution::None();
+  const Dataset data = GenerateLogistic(config, w_star, rng);
+  const L1Ball ball(d, 1.0);
+  const LogisticLoss loss;
+
+  HtDpFwOptions options;
+  options.epsilon = 1.0;
+  options.tau = 4.0;
+  const auto result =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+  EXPECT_LE(NormL1(result.w), 1.0 + 1e-9);
+  // Should do no worse than the w=0 predictor by a wide margin allowance.
+  EXPECT_LT(EmpiricalRisk(loss, data, result.w),
+            EmpiricalRisk(loss, data, Vector(d, 0.0)) + 0.05);
+}
+
+TEST(HtDpFwTest, RobustRegressionVariantRuns) {
+  // Theorem 3 configuration: biweight loss, fixed step 1/sqrt(T).
+  Rng rng(17);
+  const std::size_t d = 6;
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  SyntheticConfig config;
+  config.n = 3000;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Normal(0.0, 1.0);
+  config.noise_dist = ScalarDistribution::StudentT(3.0);  // symmetric noise
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  const L1Ball ball(d, 1.0);
+  const BiweightLoss loss(1.0);
+
+  const Alg1RobustSchedule schedule =
+      SolveAlg1RobustSchedule(config.n, d, 1.0, 0.1);
+  HtDpFwOptions options;
+  options.epsilon = 1.0;
+  options.iterations = schedule.iterations;
+  options.scale = schedule.scale;
+  options.diminishing_step = false;
+  options.fixed_step = schedule.step;
+  const auto result =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+  EXPECT_LE(NormL1(result.w), 1.0 + 1e-9);
+  EXPECT_NEAR(result.ledger.TotalEpsilon(), 1.0, 1e-12);
+}
+
+TEST(HtDpFwTest, RiskTraceRecordsWhenRequested) {
+  Rng rng(19);
+  const std::size_t d = 5;
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = LognormalLinearData(1000, d, w_star, rng);
+  const L1Ball ball(d, 1.0);
+  const SquaredLoss loss;
+  HtDpFwOptions options;
+  options.epsilon = 1.0;
+  options.tau = 4.0;
+  options.record_risk_trace = true;
+  const auto result =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+  EXPECT_EQ(result.risk_trace.size(),
+            static_cast<std::size_t>(result.iterations));
+}
+
+TEST(HtDpFwTest, RunsOverProbabilitySimplex) {
+  // Section 4 mentions minimization over the probability simplex as another
+  // polytope instance; the iterate must remain a probability vector.
+  Rng rng(29);
+  const std::size_t d = 10;
+  // Target on the simplex.
+  Vector w_star(d, 0.0);
+  w_star[2] = 0.7;
+  w_star[5] = 0.3;
+  SyntheticConfig config;
+  config.n = 3000;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  config.noise_dist = ScalarDistribution::Normal(0.0, 0.1);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  const SquaredLoss loss;
+  const ProbabilitySimplex simplex(d);
+
+  HtDpFwOptions options;
+  options.epsilon = 1.0;
+  options.tau = 4.0;
+  Vector w0(d, 1.0 / static_cast<double>(d));  // uniform start
+  const auto result = RunHtDpFw(loss, data, simplex, w0, options, rng);
+
+  double total = 0.0;
+  for (double v : result.w) {
+    EXPECT_GE(v, -1e-12);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(result.ledger.TotalEpsilon(), 1.0, 1e-12);
+}
+
+TEST(HtDpFwTest, ExplicitOverridesRespected) {
+  Rng rng(23);
+  const std::size_t d = 4;
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = LognormalLinearData(600, d, w_star, rng);
+  const L1Ball ball(d, 1.0);
+  const SquaredLoss loss;
+  HtDpFwOptions options;
+  options.epsilon = 1.0;
+  options.iterations = 5;
+  options.scale = 2.5;
+  const auto result =
+      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+  EXPECT_EQ(result.iterations, 5);
+  EXPECT_NEAR(result.scale_used, 2.5, 1e-15);
+}
+
+}  // namespace
+}  // namespace htdp

@@ -1,0 +1,100 @@
+#include <cmath>
+#include <cstddef>
+
+#include "core/minimax.h"
+#include "gtest/gtest.h"
+#include "linalg/vector_ops.h"
+#include "rng/rng.h"
+
+namespace htdp {
+namespace {
+
+TEST(SparseMeanHardFamilyTest, BuildsRequestedFamily) {
+  Rng rng(3);
+  const SparseMeanHardFamily family(100, 8, 16, 1.0, 1.0, 1e-5, 10000, rng);
+  EXPECT_GE(family.family_size(), 2u);
+  EXPECT_LE(family.family_size(), 16u);
+  EXPECT_EQ(family.dim(), 100u);
+  EXPECT_GT(family.contamination_p(), 0.0);
+  EXPECT_LE(family.contamination_p(), 1.0);
+}
+
+TEST(SparseMeanHardFamilyTest, MeansAreSparseAndSeparated) {
+  Rng rng(5);
+  const SparseMeanHardFamily family(200, 10, 12, 1.0, 1.0, 1e-5, 20000, rng);
+  for (std::size_t v = 0; v < family.family_size(); ++v) {
+    const Vector mean = family.Mean(v);
+    EXPECT_LE(NormL0(mean), 10u);
+    EXPECT_GT(NormL2(mean), 0.0);
+  }
+  // Separation: (rho*)^2 >= p tau on this construction (packing distance
+  // s/2 out of 2s support slots gives >= ||theta||^2 / 2 = p tau / 2; the
+  // constructed minimum must be positive and of that order).
+  const double p_tau = family.contamination_p() * 1.0;
+  EXPECT_GE(family.MinSeparationSquared(), 0.2 * p_tau);
+}
+
+TEST(SparseMeanHardFamilyTest, SampleMomentsRespectTau) {
+  Rng rng(7);
+  const double tau = 2.0;
+  const SparseMeanHardFamily family(50, 4, 8, tau, 1.0, 1e-5, 2000, rng);
+  const std::size_t n = 200000;
+  const Dataset data = family.Sample(0, n, rng);
+  // Coordinate-wise second moment is p * atom^2 <= tau.
+  for (std::size_t j = 0; j < family.dim(); ++j) {
+    double second = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      second += data.x(i, j) * data.x(i, j);
+    }
+    second /= static_cast<double>(n);
+    EXPECT_LE(second, tau * 1.15) << "coordinate " << j;
+  }
+}
+
+TEST(SparseMeanHardFamilyTest, SampleMeanConvergesToTheta) {
+  Rng rng(11);
+  const SparseMeanHardFamily family(40, 4, 6, 1.0, 1.0, 1e-3, 500, rng);
+  const std::size_t v = 1;
+  const Vector theta = family.Mean(v);
+  const std::size_t n = 400000;
+  const Dataset data = family.Sample(v, n, rng);
+  Vector empirical(family.dim(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < family.dim(); ++j) {
+      empirical[j] += data.x(i, j);
+    }
+  }
+  Scale(1.0 / static_cast<double>(n), empirical);
+  EXPECT_LT(DistanceL2(empirical, theta), 0.05 * (NormL2(theta) + 1.0));
+}
+
+TEST(LowerBoundTest, FormulaAndMonotonicity) {
+  // Omega(tau min{s log d, log(1/delta)} / (n eps)).
+  const double base =
+      SparseMeanHardFamily::LowerBound(1000, 100, 5, 1.0, 1e-5, 1.0);
+  EXPECT_GT(base, 0.0);
+  // More samples => smaller bound.
+  EXPECT_LT(SparseMeanHardFamily::LowerBound(2000, 100, 5, 1.0, 1e-5, 1.0),
+            base);
+  // Bigger epsilon => smaller bound.
+  EXPECT_LT(SparseMeanHardFamily::LowerBound(1000, 100, 5, 2.0, 1e-5, 1.0),
+            base);
+  // Bigger tau => bigger bound.
+  EXPECT_GT(SparseMeanHardFamily::LowerBound(1000, 100, 5, 1.0, 1e-5, 2.0),
+            base);
+  // The min{} kicks in: with tiny delta the s log d term binds.
+  const double with_tiny_delta =
+      SparseMeanHardFamily::LowerBound(1000, 100, 5, 1.0, 1e-300, 1.0);
+  EXPECT_NEAR(with_tiny_delta,
+              1.0 * 5.0 * std::log(100.0) / (4.0 * 1000.0 * 1.0), 1e-12);
+}
+
+TEST(LowerBoundTest, DeltaTermBindsForLargeDelta) {
+  // With delta close to 1 the log(1/delta) term is small and binds.
+  const double bound =
+      SparseMeanHardFamily::LowerBound(1000, 1000, 50, 1.0, 0.5, 1.0);
+  EXPECT_NEAR(bound, std::log(2.0) / (4.0 * 1000.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace htdp

@@ -1,0 +1,162 @@
+#include <cmath>
+#include <cstddef>
+
+#include "core/peeling.h"
+#include "gtest/gtest.h"
+#include "linalg/vector_ops.h"
+#include "rng/rng.h"
+
+namespace htdp {
+namespace {
+
+TEST(PeelingTest, NoiseScaleFormula) {
+  Vector v(20, 0.0);
+  v[3] = 10.0;
+  PeelingOptions options;
+  options.sparsity = 4;
+  options.epsilon = 2.0;
+  options.delta = 1e-6;
+  options.linf_sensitivity = 0.5;
+  Rng rng(3);
+  const PeelingResult result = Peel(v, options, rng);
+  const double expected =
+      2.0 * 0.5 * std::sqrt(3.0 * 4.0 * std::log(1e6)) / 2.0;
+  EXPECT_NEAR(result.noise_scale, expected, 1e-12);
+}
+
+TEST(PeelingTest, OutputIsExactlySSparse) {
+  Rng rng(5);
+  Vector v(100);
+  for (double& value : v) value = rng.Uniform(-1.0, 1.0);
+  PeelingOptions options;
+  options.sparsity = 7;
+  options.epsilon = 1.0;
+  options.delta = 1e-5;
+  options.linf_sensitivity = 0.01;
+  const PeelingResult result = Peel(v, options, rng);
+  EXPECT_EQ(result.selected.size(), 7u);
+  EXPECT_LE(NormL0(result.value), 7u);
+  // Every nonzero sits on a selected index.
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    if (result.value[j] != 0.0) {
+      bool found = false;
+      for (std::size_t sel : result.selected) found |= (sel == j);
+      EXPECT_TRUE(found) << "index " << j;
+    }
+  }
+}
+
+TEST(PeelingTest, SelectedIndicesAreDistinct) {
+  Rng rng(7);
+  Vector v(30, 1.0);
+  PeelingOptions options;
+  options.sparsity = 30;  // select everything
+  options.epsilon = 1.0;
+  options.delta = 1e-5;
+  options.linf_sensitivity = 1.0;
+  const PeelingResult result = Peel(v, options, rng);
+  std::vector<bool> seen(30, false);
+  for (std::size_t j : result.selected) {
+    EXPECT_FALSE(seen[j]) << "duplicate index " << j;
+    seen[j] = true;
+  }
+}
+
+TEST(PeelingTest, RecoversTopCoordinatesUnderLargeSeparation) {
+  Rng rng(11);
+  Vector v(200, 0.0);
+  // Three dominant coordinates, far above the noise scale.
+  v[10] = 100.0;
+  v[20] = -90.0;
+  v[30] = 80.0;
+  PeelingOptions options;
+  options.sparsity = 3;
+  options.epsilon = 1.0;
+  options.delta = 1e-5;
+  options.linf_sensitivity = 0.01;  // noise scale ~ 0.07
+  int hits = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    const PeelingResult result = Peel(v, options, rng);
+    bool got10 = false;
+    bool got20 = false;
+    bool got30 = false;
+    for (std::size_t j : result.selected) {
+      got10 |= (j == 10);
+      got20 |= (j == 20);
+      got30 |= (j == 30);
+    }
+    hits += (got10 && got20 && got30);
+  }
+  EXPECT_EQ(hits, trials);
+}
+
+TEST(PeelingTest, ReleasedValuesAreNoisyTruth) {
+  Rng rng(13);
+  Vector v(50, 0.0);
+  v[5] = 42.0;
+  PeelingOptions options;
+  options.sparsity = 1;
+  options.epsilon = 5.0;
+  options.delta = 1e-5;
+  options.linf_sensitivity = 0.001;
+  double total_error = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const PeelingResult result = Peel(v, options, rng);
+    ASSERT_EQ(result.selected[0], 5u);
+    total_error += std::abs(result.value[5] - 42.0);
+  }
+  // Mean |Lap(b)| = b; with this configuration b ~ 0.0017.
+  EXPECT_LT(total_error / trials, 0.01);
+}
+
+TEST(PeelingTest, LedgerRecordsBudget) {
+  Rng rng(17);
+  Vector v(10, 1.0);
+  PeelingOptions options;
+  options.sparsity = 2;
+  options.epsilon = 0.7;
+  options.delta = 1e-4;
+  options.linf_sensitivity = 0.1;
+  PrivacyLedger ledger;
+  Peel(v, options, rng, &ledger, /*fold=*/3);
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].mechanism, "laplace-peeling");
+  EXPECT_NEAR(ledger.entries()[0].epsilon, 0.7, 1e-12);
+  EXPECT_NEAR(ledger.entries()[0].delta, 1e-4, 1e-18);
+  EXPECT_EQ(ledger.entries()[0].fold, 3);
+}
+
+TEST(PeelingTest, HigherEpsilonMeansLessNoise) {
+  Vector v(40, 0.0);
+  PeelingOptions low;
+  low.sparsity = 2;
+  low.epsilon = 0.1;
+  low.delta = 1e-5;
+  low.linf_sensitivity = 1.0;
+  PeelingOptions high = low;
+  high.epsilon = 10.0;
+  Rng rng(19);
+  const double scale_low = Peel(v, low, rng).noise_scale;
+  const double scale_high = Peel(v, high, rng).noise_scale;
+  EXPECT_GT(scale_low, scale_high * 50.0);
+}
+
+TEST(PeelingDeathTest, RejectsInvalidOptions) {
+  Vector v(10, 0.0);
+  Rng rng(23);
+  PeelingOptions options;
+  options.sparsity = 11;  // > dim
+  options.epsilon = 1.0;
+  options.delta = 1e-5;
+  options.linf_sensitivity = 1.0;
+  EXPECT_DEATH(Peel(v, options, rng), "sparsity");
+
+  options.sparsity = 2;
+  options.linf_sensitivity = 0.0;
+  EXPECT_DEATH(Peel(v, options, rng), "linf_sensitivity");
+}
+
+}  // namespace
+}  // namespace htdp

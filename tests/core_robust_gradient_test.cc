@@ -1,0 +1,193 @@
+#include <cmath>
+#include <cstddef>
+
+#include "core/robust_gradient.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "losses/logistic_loss.h"
+#include "losses/mean_loss.h"
+#include "losses/squared_loss.h"
+#include "robust/robust_mean.h"
+#include "rng/rng.h"
+
+namespace htdp {
+namespace {
+
+TEST(RobustGradientTest, MatchesScalarEstimatorPerCoordinate) {
+  Rng rng(3);
+  const std::size_t n = 200;
+  const std::size_t d = 5;
+  SyntheticConfig config;
+  config.n = n;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+
+  const SquaredLoss loss;
+  Vector w(d, 0.1);
+  const double scale = 3.0;
+  const double beta = 1.0;
+  const RobustGradientEstimator estimator(scale, beta);
+  Vector robust;
+  estimator.Estimate(loss, FullView(data), w, robust);
+
+  // Reference: apply the 1-d estimator coordinate by coordinate.
+  const RobustMeanEstimator scalar(scale, beta);
+  for (std::size_t j = 0; j < d; ++j) {
+    Vector coordinate(n);
+    Vector grad(d);
+    for (std::size_t i = 0; i < n; ++i) {
+      loss.Gradient(data.x.Row(i), data.y[i], w, grad);
+      coordinate[i] = grad[j];
+    }
+    EXPECT_NEAR(robust[j], scalar.Estimate(coordinate), 1e-10)
+        << "coordinate " << j;
+  }
+}
+
+TEST(RobustGradientTest, GlmAndGenericPathsAgree) {
+  // MeanLoss has no GLM fast path; squared loss does. Wrap the squared loss
+  // to hide its fast path and check both paths produce identical estimates.
+  class HiddenGlmSquaredLoss final : public Loss {
+   public:
+    double Value(const double* x, double y, const Vector& w) const override {
+      return inner_.Value(x, y, w);
+    }
+    void Gradient(const double* x, double y, const Vector& w,
+                  Vector& grad) const override {
+      inner_.Gradient(x, y, w, grad);
+    }
+    std::string Name() const override { return "hidden-glm"; }
+
+   private:
+    SquaredLoss inner_;
+  };
+
+  Rng rng(5);
+  SyntheticConfig config;
+  config.n = 300;
+  config.d = 4;
+  const Vector w_star = MakeL1BallTarget(config.d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  Vector w(config.d, -0.2);
+
+  const RobustGradientEstimator estimator(2.0, 1.0);
+  Vector fast;
+  Vector generic;
+  estimator.Estimate(SquaredLoss(), FullView(data), w, fast);
+  estimator.Estimate(HiddenGlmSquaredLoss(), FullView(data), w, generic);
+  for (std::size_t j = 0; j < config.d; ++j) {
+    EXPECT_NEAR(fast[j], generic[j], 1e-12);
+  }
+}
+
+TEST(RobustGradientTest, SensitivityBoundHoldsOnNeighboringDatasets) {
+  Rng rng(7);
+  SyntheticConfig config;
+  config.n = 100;
+  config.d = 6;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 1.0);
+  const Vector w_star = MakeL1BallTarget(config.d, rng);
+  Dataset data = GenerateLinear(config, w_star, rng);
+
+  const SquaredLoss loss;
+  const Vector w(config.d, 0.05);
+  const RobustGradientEstimator estimator(1.5, 1.0);
+  Vector base;
+  estimator.Estimate(loss, FullView(data), w, base);
+
+  // Replace one sample with extreme values and check the l-inf move.
+  for (double magnitude : {0.0, 1e3, 1e12}) {
+    Dataset neighbor = data;
+    for (std::size_t j = 0; j < config.d; ++j) {
+      neighbor.x(17, j) = magnitude;
+    }
+    neighbor.y[17] = -magnitude;
+    Vector perturbed;
+    estimator.Estimate(loss, FullView(neighbor), w, perturbed);
+    double move = 0.0;
+    for (std::size_t j = 0; j < config.d; ++j) {
+      move = std::max(move, std::abs(perturbed[j] - base[j]));
+    }
+    EXPECT_LE(move, estimator.Sensitivity(config.n) + 1e-12)
+        << "magnitude " << magnitude;
+  }
+}
+
+TEST(RobustGradientTest, SensitivityFormula) {
+  const RobustGradientEstimator estimator(2.5, 1.0);
+  EXPECT_NEAR(estimator.Sensitivity(50),
+              4.0 * std::sqrt(2.0) * 2.5 / (3.0 * 50.0), 1e-12);
+}
+
+TEST(RobustGradientTest, ApproximatesTrueGradientOnCleanData) {
+  // With Gaussian data and a generous scale, the robust gradient should be
+  // close to the exact empirical gradient.
+  Rng rng(11);
+  SyntheticConfig config;
+  config.n = 20000;
+  config.d = 4;
+  config.feature_dist = ScalarDistribution::Normal(0.0, 1.0);
+  const Vector w_star = MakeL1BallTarget(config.d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+
+  const SquaredLoss loss;
+  Vector w(config.d, 0.0);
+  const RobustGradientEstimator estimator(50.0, 1.0);
+  Vector robust;
+  estimator.Estimate(loss, FullView(data), w, robust);
+  Vector exact;
+  EmpiricalGradient(loss, FullView(data), w, exact);
+  for (std::size_t j = 0; j < config.d; ++j) {
+    EXPECT_NEAR(robust[j], exact[j], 0.02) << "coordinate " << j;
+  }
+}
+
+TEST(RobustGradientTest, ResistsSingleOutlierBetterThanEmpiricalMean) {
+  Rng rng(13);
+  SyntheticConfig config;
+  config.n = 500;
+  config.d = 3;
+  config.feature_dist = ScalarDistribution::Normal(0.0, 1.0);
+  const Vector w_star = MakeL1BallTarget(config.d, rng);
+  Dataset data = GenerateLinear(config, w_star, rng);
+  // Plant one gigantic outlier.
+  data.x(42, 0) = 1e8;
+  data.y[42] = -1e8;
+
+  const SquaredLoss loss;
+  const Vector w(config.d, 0.0);
+  const RobustGradientEstimator estimator(5.0, 1.0);
+  Vector robust;
+  estimator.Estimate(loss, FullView(data), w, robust);
+  Vector exact;
+  EmpiricalGradient(loss, FullView(data), w, exact);
+
+  // The exact gradient is destroyed by the outlier; the robust one is not.
+  EXPECT_GT(NormLInf(exact), 1e6);
+  EXPECT_LT(NormLInf(robust), 10.0);
+}
+
+TEST(RobustGradientTest, WorksWithMeanLoss) {
+  Rng rng(17);
+  Dataset data;
+  const std::size_t n = 5000;
+  const std::size_t d = 4;
+  data.x = Matrix(n, d);
+  data.y.assign(n, 0.0);
+  for (double& e : data.x.data()) e = SampleNormal(rng, 0.5, 1.0);
+
+  const MeanLoss loss;
+  const Vector w(d, 0.0);
+  const RobustGradientEstimator estimator(30.0, 1.0);
+  Vector robust;
+  estimator.Estimate(loss, FullView(data), w, robust);
+  // Gradient of E||x - w||^2 at w=0 is -2 E x = -1 per coordinate.
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(robust[j], -1.0, 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace htdp

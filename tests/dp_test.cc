@@ -1,0 +1,198 @@
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "dp/exponential_mechanism.h"
+#include "dp/laplace_mechanism.h"
+#include "dp/privacy.h"
+#include "dp/privacy_ledger.h"
+#include "gtest/gtest.h"
+#include "linalg/vector_ops.h"
+#include "rng/rng.h"
+
+namespace htdp {
+namespace {
+
+TEST(PrivacyParamsTest, ValidationAcceptsLegalValues) {
+  PrivacyParams{1.0, 0.0}.Validate();
+  PrivacyParams{0.1, 1e-6}.Validate();
+  PrivacyParams pure = PrivacyParams::PureDp(2.0);
+  EXPECT_EQ(pure.delta, 0.0);
+  pure.Validate();
+}
+
+TEST(PrivacyParamsDeathTest, RejectsIllegalValues) {
+  EXPECT_DEATH(PrivacyParams({0.0, 0.0}).Validate(), "epsilon");
+  EXPECT_DEATH(PrivacyParams({1.0, 1.5}).Validate(), "delta");
+}
+
+TEST(CompositionTest, AdvancedCompositionFormula) {
+  // eps' = eps / (2 sqrt(2 T ln(2/delta))) -- Lemma 2.
+  const double eps = 1.0;
+  const double delta = 1e-5;
+  const int t = 16;
+  const double expected =
+      eps / (2.0 * std::sqrt(2.0 * 16.0 * std::log(2.0 / delta)));
+  EXPECT_NEAR(AdvancedCompositionStepEpsilon(eps, delta, t), expected, 1e-12);
+  EXPECT_NEAR(AdvancedCompositionStepDelta(delta, t), delta / 16.0, 1e-20);
+}
+
+TEST(CompositionTest, StepBudgetDecreasesWithT) {
+  double previous = 1e9;
+  for (int t = 1; t <= 128; t *= 2) {
+    const double step = AdvancedCompositionStepEpsilon(1.0, 1e-5, t);
+    EXPECT_LT(step, previous);
+    previous = step;
+  }
+}
+
+TEST(CompositionTest, BasicComposition) {
+  EXPECT_NEAR(BasicCompositionStepEpsilon(2.0, 4), 0.5, 1e-12);
+}
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  const LaplaceMechanism mechanism(2.0, 0.5);
+  EXPECT_NEAR(mechanism.scale(), 4.0, 1e-12);
+}
+
+TEST(LaplaceMechanismTest, NoiseHasCorrectMoments) {
+  const LaplaceMechanism mechanism(1.0, 1.0);  // Lap(1)
+  Rng rng(3);
+  const std::size_t n = 300000;
+  double mean = 0.0;
+  double second = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double noise = mechanism.Privatize(0.0, rng);
+    mean += noise;
+    second += noise * noise;
+  }
+  mean /= static_cast<double>(n);
+  second /= static_cast<double>(n);
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(second, 2.0, 0.05);  // Var(Lap(1)) = 2
+}
+
+TEST(LaplaceMechanismTest, VectorPrivatizePreservesSize) {
+  const LaplaceMechanism mechanism(1.0, 1.0);
+  Rng rng(5);
+  Vector value(10, 3.0);
+  mechanism.PrivatizeInPlace(value, rng);
+  EXPECT_EQ(value.size(), 10u);
+  // With overwhelming probability at least one coordinate moved.
+  bool moved = false;
+  for (double v : value) moved |= (v != 3.0);
+  EXPECT_TRUE(moved);
+}
+
+TEST(ExponentialMechanismTest, GumbelMatchesTheoreticalFrequencies) {
+  // Scores chosen so that selection probabilities are exactly
+  // proportional to exp(eps * u / (2 Delta)).
+  const Vector scores = {0.0, 1.0, 2.0};
+  const double epsilon = 2.0;
+  const double sensitivity = 1.0;
+  const ExponentialMechanism mechanism(sensitivity, epsilon);
+  Rng rng(7);
+  std::vector<int> counts(3, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    counts[mechanism.SelectGumbel(scores, rng)]++;
+  }
+  double normalizer = 0.0;
+  for (double s : scores) normalizer += std::exp(epsilon * s / 2.0);
+  for (std::size_t r = 0; r < scores.size(); ++r) {
+    const double expected =
+        std::exp(epsilon * scores[r] / 2.0) / normalizer;
+    EXPECT_NEAR(static_cast<double>(counts[r]) / draws, expected, 0.01)
+        << "candidate " << r;
+  }
+}
+
+TEST(ExponentialMechanismTest, GumbelAndLogSumExpAgreeInDistribution) {
+  const Vector scores = {-1.0, 0.5, 0.0, 2.0, 1.0};
+  const ExponentialMechanism mechanism(0.5, 1.0);
+  Rng rng_a(11);
+  Rng rng_b(13);
+  std::vector<int> counts_a(scores.size(), 0);
+  std::vector<int> counts_b(scores.size(), 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    counts_a[mechanism.SelectGumbel(scores, rng_a)]++;
+    counts_b[mechanism.SelectLogSumExp(scores, rng_b)]++;
+  }
+  for (std::size_t r = 0; r < scores.size(); ++r) {
+    EXPECT_NEAR(static_cast<double>(counts_a[r]) / draws,
+                static_cast<double>(counts_b[r]) / draws, 0.012)
+        << "candidate " << r;
+  }
+}
+
+TEST(ExponentialMechanismTest, UtilityLemmaHolds) {
+  // Lemma 1: Pr[u(output) <= OPT - (2 Delta / eps)(ln|R| + t)] <= e^-t.
+  const std::size_t range = 64;
+  Vector scores(range);
+  for (std::size_t i = 0; i < range; ++i) {
+    scores[i] = static_cast<double>(i) / 10.0;
+  }
+  const double opt = scores.back();
+  const double epsilon = 1.0;
+  const double sensitivity = 1.0;
+  const ExponentialMechanism mechanism(sensitivity, epsilon);
+  Rng rng(17);
+  const double t = 2.0;
+  const double threshold =
+      opt - 2.0 * sensitivity / epsilon *
+                (std::log(static_cast<double>(range)) + t);
+  int bad = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (scores[mechanism.SelectGumbel(scores, rng)] <= threshold) ++bad;
+  }
+  EXPECT_LE(static_cast<double>(bad) / draws, std::exp(-t) + 0.01);
+}
+
+TEST(ExponentialMechanismTest, HighEpsilonPicksArgmax) {
+  const Vector scores = {0.0, 10.0, 3.0};
+  const ExponentialMechanism mechanism(0.01, 50.0);
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mechanism.SelectGumbel(scores, rng), 1u);
+  }
+}
+
+TEST(PrivacyLedgerTest, SequentialEntriesAdd) {
+  PrivacyLedger ledger;
+  ledger.Record({"a", 0.5, 1e-6, 1.0, -1});
+  ledger.Record({"b", 0.25, 2e-6, 1.0, -1});
+  EXPECT_NEAR(ledger.TotalEpsilon(), 0.75, 1e-12);
+  EXPECT_NEAR(ledger.TotalDelta(), 3e-6, 1e-18);
+}
+
+TEST(PrivacyLedgerTest, DisjointFoldsComposeInParallel) {
+  PrivacyLedger ledger;
+  for (int fold = 0; fold < 10; ++fold) {
+    ledger.Record({"exp", 1.0, 0.0, 1.0, fold});
+  }
+  EXPECT_NEAR(ledger.TotalEpsilon(), 1.0, 1e-12);
+  EXPECT_NEAR(ledger.TotalDelta(), 0.0, 1e-18);
+}
+
+TEST(PrivacyLedgerTest, MixedCompositionAddsSequentialToFoldMax) {
+  PrivacyLedger ledger;
+  ledger.Record({"full-data", 0.3, 1e-7, 1.0, -1});
+  ledger.Record({"fold", 1.0, 1e-6, 1.0, 0});
+  ledger.Record({"fold", 1.0, 1e-6, 1.0, 1});
+  ledger.Record({"fold", 0.5, 0.0, 1.0, 1});  // second call on fold 1
+  EXPECT_NEAR(ledger.TotalEpsilon(), 0.3 + 1.5, 1e-12);
+  EXPECT_NEAR(ledger.TotalDelta(), 1e-7 + 1e-6, 1e-15);
+}
+
+TEST(PrivacyLedgerTest, ClearResets) {
+  PrivacyLedger ledger;
+  ledger.Record({"a", 1.0, 0.0, 1.0, -1});
+  ledger.Clear();
+  EXPECT_EQ(ledger.entries().size(), 0u);
+  EXPECT_EQ(ledger.TotalEpsilon(), 0.0);
+}
+
+}  // namespace
+}  // namespace htdp

@@ -1,0 +1,106 @@
+#include <cstdlib>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace htdp {
+namespace {
+
+TEST(TablePrinterTest, AlignsHeaderAndRows) {
+  std::ostringstream out;
+  TablePrinter table({"a", "b"}, 8, &out);
+  table.PrintHeader();
+  table.PrintRow({"1", "x"});
+  const std::string text = out.str();
+  // Three lines: header, separator, row.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  // Fields are right-aligned in width-8 columns.
+  EXPECT_NE(text.find("       a       b"), std::string::npos);
+  EXPECT_NE(text.find("       1       x"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellFormatting) {
+  EXPECT_EQ(TablePrinter::Cell(std::size_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Cell(7), "7");
+  EXPECT_EQ(TablePrinter::Cell(0.5), "0.5");
+  // 5 significant digits.
+  EXPECT_EQ(TablePrinter::Cell(1.0 / 3.0), "0.33333");
+}
+
+TEST(TablePrinterDeathTest, RejectsWrongCellCount) {
+  std::ostringstream out;
+  TablePrinter table({"a", "b"}, 8, &out);
+  EXPECT_DEATH(table.PrintRow({"only-one"}), "cells.size");
+}
+
+TEST(PrintSectionTest, EmitsMarkdownHeading) {
+  std::ostringstream out;
+  PrintSection("hello", &out);
+  EXPECT_EQ(out.str(), "\n### hello\n");
+}
+
+TEST(BenchEnvTest, DefaultsWhenUnset) {
+  unsetenv("HTDP_BENCH_TRIALS");
+  unsetenv("HTDP_BENCH_SCALE");
+  unsetenv("HTDP_BENCH_SEED");
+  const BenchEnv env = GetBenchEnv();
+  EXPECT_EQ(env.trials, 5);
+  EXPECT_DOUBLE_EQ(env.scale, 0.2);
+  EXPECT_EQ(env.seed, 42u);
+}
+
+TEST(BenchEnvTest, ReadsOverridesAndIgnoresGarbage) {
+  setenv("HTDP_BENCH_TRIALS", "11", 1);
+  setenv("HTDP_BENCH_SCALE", "0.7", 1);
+  setenv("HTDP_BENCH_SEED", "1234", 1);
+  BenchEnv env = GetBenchEnv();
+  EXPECT_EQ(env.trials, 11);
+  EXPECT_DOUBLE_EQ(env.scale, 0.7);
+  EXPECT_EQ(env.seed, 1234u);
+
+  setenv("HTDP_BENCH_TRIALS", "-3", 1);    // invalid: keep default
+  setenv("HTDP_BENCH_SCALE", "7.5", 1);    // invalid: > 1
+  env = GetBenchEnv();
+  EXPECT_EQ(env.trials, 5);
+  EXPECT_DOUBLE_EQ(env.scale, 0.2);
+  unsetenv("HTDP_BENCH_TRIALS");
+  unsetenv("HTDP_BENCH_SCALE");
+  unsetenv("HTDP_BENCH_SEED");
+}
+
+TEST(ScaledNTest, ScalesWithFloorAndCap) {
+  BenchEnv env;
+  env.scale = 0.2;
+  EXPECT_EQ(ScaledN(10000, env), 2000u);
+  EXPECT_EQ(ScaledN(10000, env, 5000), 5000u);   // floor lifts
+  EXPECT_EQ(ScaledN(3000, env, 5000), 3000u);    // never exceeds paper n
+  env.scale = 1.0;
+  EXPECT_EQ(ScaledN(10000, env), 10000u);
+}
+
+TEST(RunTrialsTest, SummarizesAndUsesDistinctSeeds) {
+  std::vector<std::uint64_t> seeds;
+  const Summary summary = RunTrials(8, 7, [&](std::uint64_t seed) {
+    seeds.push_back(seed);
+    return static_cast<double>(seeds.size());
+  });
+  EXPECT_EQ(summary.count, 8u);
+  EXPECT_DOUBLE_EQ(summary.mean, 4.5);
+  for (std::size_t i = 1; i < seeds.size(); ++i) {
+    EXPECT_NE(seeds[i], seeds[i - 1]);
+  }
+}
+
+TEST(RunTrialsTest, DeterministicAcrossCalls) {
+  auto run = [] {
+    return RunTrials(4, 99, [](std::uint64_t seed) {
+      return static_cast<double>(seed % 1000);
+    });
+  };
+  EXPECT_DOUBLE_EQ(run().mean, run().mean);
+}
+
+}  // namespace
+}  // namespace htdp

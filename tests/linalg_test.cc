@@ -1,0 +1,250 @@
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "linalg/matrix.h"
+#include "linalg/projections.h"
+#include "linalg/sparse_ops.h"
+#include "linalg/spectrum.h"
+#include "linalg/vector_ops.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+
+namespace htdp {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(VectorOpsTest, DotProduct) {
+  const Vector a = {1.0, 2.0, 3.0};
+  const Vector b = {4.0, -5.0, 6.0};
+  EXPECT_NEAR(Dot(a, b), 4.0 - 10.0 + 18.0, kTol);
+}
+
+TEST(VectorOpsTest, AxpyAccumulates) {
+  const Vector x = {1.0, -2.0};
+  Vector y = {10.0, 10.0};
+  Axpy(0.5, x, y);
+  EXPECT_NEAR(y[0], 10.5, kTol);
+  EXPECT_NEAR(y[1], 9.0, kTol);
+}
+
+TEST(VectorOpsTest, AddSubScale) {
+  const Vector a = {1.0, 2.0};
+  const Vector b = {3.0, -1.0};
+  const Vector sum = Add(a, b);
+  const Vector diff = Sub(a, b);
+  EXPECT_NEAR(sum[0], 4.0, kTol);
+  EXPECT_NEAR(sum[1], 1.0, kTol);
+  EXPECT_NEAR(diff[0], -2.0, kTol);
+  EXPECT_NEAR(diff[1], 3.0, kTol);
+  Vector c = {2.0, -4.0};
+  Scale(-0.5, c);
+  EXPECT_NEAR(c[0], -1.0, kTol);
+  EXPECT_NEAR(c[1], 2.0, kTol);
+  EXPECT_NEAR(Scaled(2.0, a)[1], 4.0, kTol);
+}
+
+TEST(VectorOpsTest, Norms) {
+  const Vector x = {3.0, 0.0, -4.0};
+  EXPECT_EQ(NormL0(x), 2u);
+  EXPECT_NEAR(NormL1(x), 7.0, kTol);
+  EXPECT_NEAR(NormL2(x), 5.0, kTol);
+  EXPECT_NEAR(NormL2Squared(x), 25.0, kTol);
+  EXPECT_NEAR(NormLInf(x), 4.0, kTol);
+}
+
+TEST(VectorOpsTest, DistanceL2) {
+  const Vector a = {1.0, 1.0};
+  const Vector b = {4.0, 5.0};
+  EXPECT_NEAR(DistanceL2(a, b), 5.0, kTol);
+}
+
+TEST(VectorOpsTest, ConvexCombination) {
+  const Vector v = {1.0, 0.0};
+  Vector w = {0.0, 1.0};
+  ConvexCombinationInPlace(0.25, v, w);
+  EXPECT_NEAR(w[0], 0.25, kTol);
+  EXPECT_NEAR(w[1], 0.75, kTol);
+}
+
+TEST(MatrixTest, MatVecAndTranspose) {
+  Matrix m(2, 3);
+  // [[1 2 3], [4 5 6]]
+  double value = 1.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = value++;
+  }
+  Vector x = {1.0, 0.0, -1.0};
+  Vector out;
+  m.MatVec(x, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0], -2.0, kTol);
+  EXPECT_NEAR(out[1], -2.0, kTol);
+
+  Vector y = {1.0, 1.0};
+  m.MatTVec(y, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0], 5.0, kTol);
+  EXPECT_NEAR(out[1], 7.0, kTol);
+  EXPECT_NEAR(out[2], 9.0, kTol);
+}
+
+TEST(MatrixTest, RowSlice) {
+  Matrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    m(r, 0) = static_cast<double>(r);
+    m(r, 1) = static_cast<double>(10 * r);
+  }
+  const Matrix slice = m.RowSlice(1, 3);
+  ASSERT_EQ(slice.rows(), 2u);
+  EXPECT_NEAR(slice(0, 0), 1.0, kTol);
+  EXPECT_NEAR(slice(1, 1), 20.0, kTol);
+}
+
+TEST(MatrixTest, LargeMatVecMatchesSerialReference) {
+  Rng rng(7);
+  Matrix m(500, 64);
+  for (double& e : m.data()) e = rng.Uniform(-1.0, 1.0);
+  Vector x(64);
+  for (double& e : x) e = rng.Uniform(-1.0, 1.0);
+  Vector out;
+  m.MatVec(x, out);
+  for (std::size_t r = 0; r < m.rows(); r += 37) {
+    double expect = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) expect += m(r, c) * x[c];
+    EXPECT_NEAR(out[r], expect, 1e-10);
+  }
+}
+
+TEST(ProjectionsTest, L2BallLeavesInteriorPointsUntouched) {
+  Vector x = {0.3, -0.4};
+  ProjectOntoL2Ball(1.0, x);
+  EXPECT_NEAR(x[0], 0.3, kTol);
+  EXPECT_NEAR(x[1], -0.4, kTol);
+}
+
+TEST(ProjectionsTest, L2BallScalesExteriorPoints) {
+  Vector x = {3.0, 4.0};
+  ProjectOntoL2Ball(1.0, x);
+  EXPECT_NEAR(NormL2(x), 1.0, kTol);
+  EXPECT_NEAR(x[0] / x[1], 0.75, kTol);  // direction preserved
+}
+
+TEST(ProjectionsTest, L1BallProjectionIsIdempotentAndFeasible) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector x(20);
+    for (double& v : x) v = rng.Uniform(-3.0, 3.0);
+    Vector projected = x;
+    ProjectOntoL1Ball(1.0, projected);
+    EXPECT_LE(NormL1(projected), 1.0 + 1e-9);
+    Vector twice = projected;
+    ProjectOntoL1Ball(1.0, twice);
+    EXPECT_NEAR(DistanceL2(projected, twice), 0.0, 1e-9);
+  }
+}
+
+TEST(ProjectionsTest, L1BallProjectionIsClosestPoint) {
+  // Verify the optimality condition against a brute-force candidate search
+  // along random feasible directions.
+  Rng rng(13);
+  Vector x = {2.0, -1.0, 0.5, 0.0, 1.5};
+  Vector projected = x;
+  ProjectOntoL1Ball(1.0, projected);
+  const double base = DistanceL2(x, projected);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector candidate(x.size());
+    for (double& v : candidate) v = rng.Uniform(-1.0, 1.0);
+    ProjectOntoL1Ball(1.0, candidate);
+    EXPECT_GE(DistanceL2(x, candidate) + 1e-9, base);
+  }
+}
+
+TEST(ProjectionsTest, SimplexProjectionProperties) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector x(15);
+    for (double& v : x) v = rng.Uniform(-2.0, 2.0);
+    ProjectOntoSimplex(x);
+    double total = 0.0;
+    for (double v : x) {
+      EXPECT_GE(v, -1e-12);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SparseOpsTest, SupportAndRestrict) {
+  Vector x = {0.0, 1.0, 0.0, -2.0};
+  const auto support = Support(x);
+  ASSERT_EQ(support.size(), 2u);
+  EXPECT_EQ(support[0], 1u);
+  EXPECT_EQ(support[1], 3u);
+  RestrictToSupport({3}, x);
+  EXPECT_EQ(NormL0(x), 1u);
+  EXPECT_NEAR(x[3], -2.0, kTol);
+}
+
+TEST(SparseOpsTest, TopKByMagnitude) {
+  const Vector x = {0.1, -5.0, 2.0, 0.0, -3.0};
+  const auto top2 = TopKIndicesByMagnitude(x, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1u);
+  EXPECT_EQ(top2[1], 4u);
+}
+
+TEST(SparseOpsTest, TopKHandlesOversizedRequest) {
+  const Vector x = {1.0, 2.0};
+  EXPECT_EQ(TopKIndicesByMagnitude(x, 10).size(), 2u);
+}
+
+TEST(SparseOpsTest, HardThresholdKeepsLargest) {
+  Vector x = {0.1, -5.0, 2.0, 0.0, -3.0};
+  HardThreshold(2, x);
+  EXPECT_EQ(NormL0(x), 2u);
+  EXPECT_NEAR(x[1], -5.0, kTol);
+  EXPECT_NEAR(x[4], -3.0, kTol);
+}
+
+TEST(SparseOpsTest, ProjectOntoIndices) {
+  const Vector x = {1.0, 2.0, 3.0};
+  const Vector out = ProjectOntoIndices(x, {0, 2});
+  EXPECT_NEAR(out[0], 1.0, kTol);
+  EXPECT_NEAR(out[1], 0.0, kTol);
+  EXPECT_NEAR(out[2], 3.0, kTol);
+}
+
+TEST(SpectrumTest, RecoversKnownDiagonalCovariance) {
+  // X with independent columns of known variance: Sigma ~ diag(4, 1, 0.25).
+  Rng rng(23);
+  const std::size_t n = 20000;
+  Matrix x(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = SampleNormal(rng, 0.0, 2.0);
+    x(i, 1) = SampleNormal(rng, 0.0, 1.0);
+    x(i, 2) = SampleNormal(rng, 0.0, 0.5);
+  }
+  const SpectrumEstimate estimate = EstimateCovarianceSpectrum(x, 200, 5);
+  EXPECT_NEAR(estimate.lambda_max, 4.0, 0.25);
+  EXPECT_NEAR(estimate.lambda_min, 0.25, 0.05);
+  EXPECT_GE(estimate.lambda_max, estimate.lambda_min);
+}
+
+TEST(SpectrumTest, RankOneMatrixHasZeroLambdaMin) {
+  Matrix x(100, 4);
+  Rng rng(29);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double factor = SampleNormal(rng, 0.0, 1.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      x(i, j) = factor * static_cast<double>(j + 1);
+    }
+  }
+  const SpectrumEstimate estimate = EstimateCovarianceSpectrum(x, 300, 7);
+  EXPECT_NEAR(estimate.lambda_min, 0.0, 1e-6 * estimate.lambda_max);
+}
+
+}  // namespace
+}  // namespace htdp

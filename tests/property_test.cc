@@ -1,0 +1,231 @@
+// Parameterized property sweeps (TEST_P) across the estimator, mechanism and
+// projection layers: invariants that must hold for every configuration, not
+// just hand-picked examples.
+
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <tuple>
+
+#include "core/robust_gradient.h"
+#include "data/synthetic.h"
+#include "dp/exponential_mechanism.h"
+#include "gtest/gtest.h"
+#include "linalg/projections.h"
+#include "losses/squared_loss.h"
+#include "robust/catoni.h"
+#include "robust/robust_mean.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+
+namespace htdp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SmoothedPhi(a, b) == quadrature reference across a (a, b) grid.
+
+class SmoothedPhiSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SmoothedPhiSweep, MatchesSimpsonQuadrature) {
+  const double a = std::get<0>(GetParam());
+  const double b = std::get<1>(GetParam());
+  // Exact-by-region reference: saturated tails analytically, cubic middle by
+  // fine Simpson (see robust_test.cc for the rationale).
+  const double sqrt2 = std::numbers::sqrt2;
+  const double z_lo = (-sqrt2 - a) / b;
+  const double z_hi = (sqrt2 - a) / b;
+  double reference = PhiBound() * (1.0 - NormalCdf(z_hi)) -
+                     PhiBound() * NormalCdf(z_lo);
+  const double lo = std::max(z_lo, -12.0);
+  const double hi = std::min(z_hi, 12.0);
+  if (hi > lo) {
+    const int steps = 100000;
+    const double h = (hi - lo) / steps;
+    auto f = [&](double z) {
+      const double v = a + b * z;
+      return (v - v * v * v / 6.0) * std::exp(-0.5 * z * z) /
+             std::sqrt(2.0 * std::numbers::pi);
+    };
+    double acc = f(lo) + f(hi);
+    for (int i = 1; i < steps; ++i) {
+      acc += f(lo + i * h) * ((i % 2 == 1) ? 4.0 : 2.0);
+    }
+    reference += acc * h / 3.0;
+  }
+  EXPECT_NEAR(SmoothedPhi(a, b), reference, 2e-7)
+      << "a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SmoothedPhiSweep,
+    ::testing::Combine(
+        ::testing::Values(-80.0, -7.0, -1.2, -0.3, 0.0, 0.6, 1.4, 12.0, 95.0),
+        ::testing::Values(0.05, 0.4, 1.0, 3.0, 25.0, 120.0)));
+
+// ---------------------------------------------------------------------------
+// Robust mean: deviation bound of Lemma 4 across heavy-tailed families.
+
+struct DeviationCase {
+  std::string name;
+  ScalarDistribution dist;
+  double mean;
+  double tau;  // upper bound on E x^2
+};
+
+class RobustMeanSweep : public ::testing::TestWithParam<DeviationCase> {};
+
+TEST_P(RobustMeanSweep, DeviationWithinLemma4Bound) {
+  const DeviationCase& test_case = GetParam();
+  Rng rng(1234);
+  const std::size_t n = 4000;
+  const double zeta = 0.05;
+  // Scale choice balancing the two bound terms (as in the proofs).
+  const double scale =
+      std::sqrt(static_cast<double>(n) * test_case.tau /
+                (2.0 * std::log(2.0 / zeta)));
+  const RobustMeanEstimator estimator(scale, 1.0);
+  const double bound = estimator.DeviationBound(test_case.tau, n, zeta);
+
+  int violations = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    Vector values(n);
+    for (double& v : values) v = test_case.dist.Sample(rng);
+    if (std::abs(estimator.Estimate(values) - test_case.mean) > bound) {
+      ++violations;
+    }
+  }
+  // zeta = 5%: allow a little slack on 60 trials.
+  EXPECT_LE(violations, 6) << test_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, RobustMeanSweep,
+    ::testing::Values(
+        DeviationCase{"gaussian", ScalarDistribution::Normal(0.5, 1.0), 0.5,
+                      1.5},
+        DeviationCase{"laplace", ScalarDistribution::Laplace(1.0), 0.0, 2.1},
+        DeviationCase{"student_t5",
+                      ScalarDistribution::StudentT(5.0), 0.0, 5.0 / 3.0},
+        DeviationCase{"lognormal",
+                      ScalarDistribution::Lognormal(0.0, 0.6),
+                      std::exp(0.18), std::exp(0.72) + 0.1},
+        DeviationCase{"pareto3", ScalarDistribution::Pareto(3.0), 1.5, 3.1}),
+    [](const ::testing::TestParamInfo<DeviationCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Exponential mechanism utility (Lemma 1) across range sizes and budgets.
+
+class ExpMechanismSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ExpMechanismSweep, UtilityBoundHolds) {
+  const int range = std::get<0>(GetParam());
+  const double epsilon = std::get<1>(GetParam());
+  Vector scores(range);
+  Rng score_rng(9);
+  for (double& s : scores) s = score_rng.Uniform(0.0, 1.0);
+  double opt = scores[0];
+  for (double s : scores) opt = std::max(opt, s);
+
+  const double sensitivity = 0.25;
+  const ExponentialMechanism mechanism(sensitivity, epsilon);
+  const double t = 2.5;
+  const double threshold =
+      opt - 2.0 * sensitivity / epsilon * (std::log(range) + t);
+  Rng rng(11);
+  int bad = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (scores[mechanism.SelectGumbel(scores, rng)] <= threshold) ++bad;
+  }
+  EXPECT_LE(static_cast<double>(bad) / draws, std::exp(-t) + 0.02)
+      << "range=" << range << " eps=" << epsilon;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ExpMechanismSweep,
+                         ::testing::Combine(::testing::Values(2, 16, 256,
+                                                              2048),
+                                            ::testing::Values(0.1, 1.0,
+                                                              10.0)));
+
+// ---------------------------------------------------------------------------
+// Robust gradient sensitivity across scales and fold sizes.
+
+class SensitivitySweep
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(SensitivitySweep, NeighboringDatasetsMoveWithinBound) {
+  const double scale = std::get<0>(GetParam());
+  const std::size_t m = std::get<1>(GetParam());
+  Rng rng(31 + static_cast<std::uint64_t>(scale * 100) + m);
+  SyntheticConfig config;
+  config.n = m;
+  config.d = 4;
+  config.feature_dist = ScalarDistribution::StudentT(3.0);
+  const Vector w_star = MakeL1BallTarget(config.d, rng);
+  Dataset data = GenerateLinear(config, w_star, rng);
+
+  const SquaredLoss loss;
+  const Vector w(config.d, 0.1);
+  const RobustGradientEstimator estimator(scale, 1.0);
+  Vector base;
+  estimator.Estimate(loss, FullView(data), w, base);
+
+  Dataset neighbor = data;
+  for (std::size_t j = 0; j < config.d; ++j) neighbor.x(0, j) = 1e7;
+  neighbor.y[0] = -1e7;
+  Vector moved;
+  estimator.Estimate(loss, FullView(neighbor), w, moved);
+  double linf = 0.0;
+  for (std::size_t j = 0; j < config.d; ++j) {
+    linf = std::max(linf, std::abs(moved[j] - base[j]));
+  }
+  EXPECT_LE(linf, estimator.Sensitivity(m) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SensitivitySweep,
+                         ::testing::Combine(::testing::Values(0.5, 2.0, 10.0,
+                                                              100.0),
+                                            ::testing::Values(
+                                                std::size_t{20},
+                                                std::size_t{200},
+                                                std::size_t{1000})));
+
+// ---------------------------------------------------------------------------
+// l1 projection: feasibility + idempotence + distance-dominance across dims.
+
+class ProjectionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProjectionSweep, L1ProjectionInvariants) {
+  const std::size_t d = GetParam();
+  Rng rng(17 + d);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector x(d);
+    for (double& v : x) v = rng.Uniform(-4.0, 4.0);
+    Vector projected = x;
+    ProjectOntoL1Ball(1.0, projected);
+    EXPECT_LE(NormL1(projected), 1.0 + 1e-9);
+    Vector again = projected;
+    ProjectOntoL1Ball(1.0, again);
+    EXPECT_NEAR(DistanceL2(projected, again), 0.0, 1e-10);
+    // Projection never increases the distance to any feasible point; check
+    // against the scaled input as a representative feasible point.
+    Vector feasible = x;
+    const double norm = NormL1(feasible);
+    if (norm > 1.0) Scale(1.0 / norm, feasible);
+    EXPECT_LE(DistanceL2(projected, feasible),
+              DistanceL2(x, feasible) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ProjectionSweep,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{10}, std::size_t{100},
+                                           std::size_t{1000}));
+
+}  // namespace
+}  // namespace htdp

@@ -1,0 +1,111 @@
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "losses/squared_loss.h"
+#include "rng/rng.h"
+#include "stats/metrics.h"
+#include "stats/moments.h"
+#include "stats/summary.h"
+
+namespace htdp {
+namespace {
+
+TEST(SummaryTest, SingleValue) {
+  const Summary s = Summarize({3.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.stdev, 0.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 3.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
+TEST(SummaryTest, KnownStatistics) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_NEAR(s.mean, 3.0, 1e-12);
+  EXPECT_NEAR(s.stdev, std::sqrt(2.5), 1e-12);  // sample stdev
+  EXPECT_NEAR(s.median, 3.0, 1e-12);
+  EXPECT_NEAR(s.q25, 2.0, 1e-12);
+  EXPECT_NEAR(s.q75, 4.0, 1e-12);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+}
+
+TEST(SummaryTest, QuantileInterpolates) {
+  EXPECT_NEAR(Quantile({0.0, 10.0}, 0.25), 2.5, 1e-12);
+  EXPECT_NEAR(Quantile({0.0, 10.0}, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(Quantile({0.0, 10.0}, 1.0), 10.0, 1e-12);
+  EXPECT_NEAR(Quantile({5.0, 1.0, 3.0}, 0.5), 3.0, 1e-12);  // sorts input
+}
+
+TEST(MetricsTest, EstimationError) {
+  EXPECT_NEAR(EstimationError({1.0, 2.0}, {4.0, 6.0}), 5.0, 1e-12);
+  EXPECT_EQ(EstimationError({1.0}, {1.0}), 0.0);
+}
+
+TEST(MetricsTest, SupportRecoveryPerfect) {
+  const Vector w_star = {0.0, 1.0, 0.0, -2.0};
+  const Vector w = {0.01, 0.9, -0.02, -1.8};
+  const SupportRecovery r = EvaluateSupportRecovery(w, w_star);
+  EXPECT_NEAR(r.precision, 1.0, 1e-12);
+  EXPECT_NEAR(r.recall, 1.0, 1e-12);
+  EXPECT_NEAR(r.f1, 1.0, 1e-12);
+}
+
+TEST(MetricsTest, SupportRecoveryPartial) {
+  const Vector w_star = {1.0, 1.0, 0.0, 0.0};
+  const Vector w = {5.0, 0.0, 4.0, 0.0};  // top-2 = {0, 2}; hit = 1 of 2
+  const SupportRecovery r = EvaluateSupportRecovery(w, w_star);
+  EXPECT_NEAR(r.precision, 0.5, 1e-12);
+  EXPECT_NEAR(r.recall, 0.5, 1e-12);
+  EXPECT_NEAR(r.f1, 0.5, 1e-12);
+}
+
+TEST(MomentsTest, GradientSecondMomentAtZeroWeightsForSquaredLoss) {
+  // At w = 0 the squared-loss gradient is -2 y x, so
+  // E (grad_j)^2 = 4 E[y^2 x_j^2]. With x_j, y ~ N(0,1) independent this is
+  // 4 * 1 * 1 = 4 at the true maximum over coordinates (up to noise).
+  Rng rng(71);
+  Dataset data;
+  const std::size_t n = 40000;
+  data.x = Matrix(n, 3);
+  data.y.resize(n);
+  for (double& e : data.x.data()) e = SampleNormal(rng, 0.0, 1.0);
+  for (double& y : data.y) y = SampleNormal(rng, 0.0, 1.0);
+
+  const SquaredLoss loss;
+  const double tau = EstimateGradientSecondMoment(loss, FullView(data),
+                                                  Vector(3, 0.0));
+  EXPECT_NEAR(tau, 4.0, 0.5);
+}
+
+TEST(MomentsTest, FeatureSecondMomentMatchesVariance) {
+  Rng rng(73);
+  Dataset data;
+  const std::size_t n = 50000;
+  data.x = Matrix(n, 2);
+  data.y.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = SampleNormal(rng, 0.0, 1.0);
+    data.x(i, 1) = SampleNormal(rng, 0.0, 2.0);
+  }
+  EXPECT_NEAR(EstimateFeatureSecondMoment(data), 4.0, 0.2);
+}
+
+TEST(MomentsTest, FourthMomentBoundForGaussian) {
+  // E[(x_j x_k)^2] = E x^4 = 3 on the diagonal for standard normal.
+  Rng rng(79);
+  Dataset data;
+  const std::size_t n = 60000;
+  data.x = Matrix(n, 4);
+  data.y.assign(n, 0.0);
+  for (double& e : data.x.data()) e = SampleNormal(rng, 0.0, 1.0);
+  const double m = EstimateFourthMomentBound(data, 8);
+  EXPECT_NEAR(m, 3.0, 0.4);
+}
+
+}  // namespace
+}  // namespace htdp

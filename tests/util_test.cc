@@ -1,0 +1,94 @@
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace htdp {
+namespace {
+
+TEST(CheckTest, PassingChecksDoNothing) {
+  HTDP_CHECK(true);
+  HTDP_CHECK_EQ(1, 1);
+  HTDP_CHECK_NE(1, 2);
+  HTDP_CHECK_LT(1, 2);
+  HTDP_CHECK_LE(2, 2);
+  HTDP_CHECK_GT(3, 2);
+  HTDP_CHECK_GE(3, 3);
+  HTDP_CHECK(true) << "streamed message is not evaluated eagerly";
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(HTDP_CHECK(false), "HTDP_CHECK failed: false");
+}
+
+TEST(CheckDeathTest, FailingCheckPrintsStreamedMessage) {
+  EXPECT_DEATH(HTDP_CHECK(1 == 2) << "custom context 42", "custom context 42");
+}
+
+TEST(CheckDeathTest, ComparisonPrintsOperands) {
+  const int lhs = 3;
+  const int rhs = 7;
+  EXPECT_DEATH(HTDP_CHECK_EQ(lhs, rhs), "lhs=3, rhs=7");
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, [&](std::size_t, std::size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SmallRangeRunsSerially) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(100, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, LargeRangeCoversEveryIndexExactlyOnce) {
+  const std::size_t count = 100000;
+  std::vector<std::atomic<int>> hits(count);
+  ParallelFor(count, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SumMatchesSerialComputation) {
+  const std::size_t count = 50000;
+  std::vector<double> values(count);
+  std::iota(values.begin(), values.end(), 1.0);
+  std::atomic<long long> total{0};
+  ParallelFor(count, [&](std::size_t begin, std::size_t end) {
+    long long local = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      local += static_cast<long long>(values[i]);
+    }
+    total += local;
+  });
+  const long long expected =
+      static_cast<long long>(count) * static_cast<long long>(count + 1) / 2;
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ParallelForTest, WorkerCountIsPositive) {
+  EXPECT_GE(NumWorkerThreads(), 1);
+}
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer timer;
+  const double first = timer.ElapsedSeconds();
+  const double second = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+  timer.Reset();
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace htdp
