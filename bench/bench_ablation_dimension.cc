@@ -18,21 +18,13 @@ using namespace htdp::bench;
 
 double RobustGdTrial(std::size_t n, std::size_t d, double epsilon,
                      const LinearWorkload& workload, std::uint64_t seed) {
-  Rng rng(seed);
-  SyntheticConfig config{n, d, workload.features, workload.noise};
-  const Vector w_star = MakeL1BallTarget(d, rng);
-  const Dataset data = GenerateLinear(config, w_star, rng);
-  const SquaredLoss loss;
-  DpRobustGdOptions options;
-  options.epsilon = epsilon;
-  options.delta = PaperDelta(n);
-  options.tau =
-      EstimateGradientSecondMoment(loss, FullView(data), Vector(d, 0.0));
-  options.projection = PgdOptions::Projection::kL1Ball;
-  options.radius = 1.0;
-  const auto result =
-      MinimizeDpRobustGd(loss, data, Vector(d, 0.0), options, rng);
-  return ExcessEmpiricalRisk(loss, data, result.w, w_star);
+  // Same workload, same estimated tau -- only the solver name changes; the
+  // baseline projects onto the unit l1 ball like Algorithm 1's constraint.
+  return RunScenarioTrial(
+      PolytopeLinearScenario(kSolverBaselineRobustGd,
+                             PrivacyBudget::Approx(epsilon, PaperDelta(n)),
+                             n, d, workload, /*estimate_tau=*/true),
+      seed);
 }
 
 }  // namespace

@@ -1,18 +1,24 @@
 #ifndef HTDP_BENCH_BENCH_COMMON_H_
 #define HTDP_BENCH_BENCH_COMMON_H_
 
-// Shared trial runners for the figure-regeneration benches. Every runner
-// generates a fresh workload from `seed`, trains one estimator, and returns
-// the excess empirical risk L_hat(w) - L_hat(w*) -- the measurement of
-// Section 6.2. Sample sizes arriving here are already scaled by the bench
-// environment (HTDP_BENCH_SCALE).
+// Shared scenario builders for the figure-regeneration benches. Every bench
+// point is a harness Scenario -- solver registry name + workload + budget --
+// run through RunScenarioTrial, so the benches contain no per-algorithm
+// dispatch: swapping the solver string re-runs any figure against any
+// registered Solver. Each trial generates a fresh workload from `seed`,
+// fits one estimator, and returns the excess empirical risk of Section 6.2.
+// Sample sizes arriving here are already scaled by the bench environment
+// (HTDP_BENCH_SCALE).
 
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "core/htdp.h"
 #include "harness/experiment.h"
+#include "harness/scenario.h"
 #include "harness/table.h"
 
 namespace htdp::bench {
@@ -27,59 +33,128 @@ struct LinearWorkload {
   ScalarDistribution noise = ScalarDistribution::Normal(0.0, 0.1);
 };
 
-/// Algorithm 1 on linear regression; returns excess empirical risk.
+/// Polytope-constrained linear regression over the unit l1 ball (the
+/// Figure 1/5/6 shape): excess risk against the generating w*. Pass
+/// estimate_tau = true for the robust-gradient solvers (one O(n d) pass per
+/// trial), false for solvers without a tau knob (alg2).
+inline Scenario PolytopeLinearScenario(std::string solver,
+                                       PrivacyBudget budget, std::size_t n,
+                                       std::size_t d,
+                                       const LinearWorkload& workload,
+                                       bool estimate_tau) {
+  Scenario scenario;
+  scenario.solver = std::move(solver);
+  scenario.model = Scenario::Model::kLinear;
+  scenario.n = n;
+  scenario.d = d;
+  scenario.features = workload.features;
+  scenario.noise = workload.noise;
+  scenario.spec.budget = budget;
+  scenario.estimate_tau = estimate_tau;
+  return scenario;
+}
+
+/// Polytope-constrained logistic regression (the Figure 2 shape). The
+/// generating w* is not the ERM under the sign-label model, so the excess is
+/// measured against the better of w* and a non-private Frank-Wolfe solution.
+inline Scenario PolytopeLogisticScenario(std::string solver,
+                                         PrivacyBudget budget, std::size_t n,
+                                         std::size_t d,
+                                         const ScalarDistribution& features) {
+  Scenario scenario;
+  scenario.solver = std::move(solver);
+  scenario.model = Scenario::Model::kLogistic;
+  scenario.n = n;
+  scenario.d = d;
+  scenario.features = features;
+  scenario.noise = ScalarDistribution::None();
+  scenario.spec.budget = budget;
+  scenario.estimate_tau = true;  // alg1 wants tau (Assumption 1)
+  scenario.metric = Scenario::Metric::kExcessRiskVsBestReference;
+  return scenario;
+}
+
+/// Sparse linear regression (the Figure 7-9 shape): x ~ N(0, 5), s*-sparse
+/// target scaled into Theorem 7's ||w*|| <= 1/2 regime.
+inline Scenario SparseLinRegScenario(std::string solver, PrivacyBudget budget,
+                                     std::size_t n, std::size_t d,
+                                     std::size_t s_star,
+                                     const ScalarDistribution& noise) {
+  Scenario scenario;
+  scenario.solver = std::move(solver);
+  scenario.model = Scenario::Model::kLinear;
+  scenario.target = Scenario::Target::kSparse;
+  scenario.target_sparsity = s_star;
+  scenario.target_scale = 0.5;
+  scenario.n = n;
+  scenario.d = d;
+  scenario.features = ScalarDistribution::Normal(0.0, 5.0);
+  scenario.noise = noise;
+  scenario.spec.budget = budget;
+  // eta0 ~ 2/(3 gamma) with gamma = lambda_max(E xx^T) = 25 for N(0,5).
+  scenario.spec.step = 2.0 / (3.0 * 25.0);
+  return scenario;
+}
+
+/// Sparse l2-regularized logistic regression (the Figure 10-11 shape).
+inline Scenario SparseLogisticScenario(std::string solver,
+                                       PrivacyBudget budget, std::size_t n,
+                                       std::size_t d, std::size_t s_star,
+                                       const ScalarDistribution& features,
+                                       const ScalarDistribution& noise,
+                                       double tau) {
+  Scenario scenario;
+  scenario.solver = std::move(solver);
+  scenario.model = Scenario::Model::kLogistic;
+  scenario.target = Scenario::Target::kSparse;
+  scenario.target_sparsity = s_star;
+  scenario.n = n;
+  scenario.d = d;
+  scenario.features = features;
+  scenario.noise = noise;
+  scenario.ridge = 0.01;
+  scenario.spec.budget = budget;
+  scenario.spec.tau = tau;
+  // eta ~ 2/(3 gamma_r) with gamma_r ~ tau/4 + ridge for the logistic GLM.
+  scenario.spec.step = 2.0 / (3.0 * (tau / 4.0 + 0.01));
+  return scenario;
+}
+
+/// Single-trial runners for the workloads the figures sweep. Each builds a
+/// Scenario and dispatches through the registry; the ablations reuse them
+/// so a protocol change cannot diverge between a figure and its ablation.
+
+/// Figure 1/3 shape: Algorithm 1 by name, pure eps-DP, linear workload.
 inline double Alg1LinearTrial(std::size_t n, std::size_t d, double epsilon,
                               const LinearWorkload& workload,
                               std::uint64_t seed) {
-  Rng rng(seed);
-  SyntheticConfig config{n, d, workload.features, workload.noise};
-  const Vector w_star = MakeL1BallTarget(d, rng);
-  const Dataset data = GenerateLinear(config, w_star, rng);
-  const SquaredLoss loss;
-  const L1Ball ball(d, 1.0);
-  HtDpFwOptions options;
-  options.epsilon = epsilon;
-  options.tau =
-      EstimateGradientSecondMoment(loss, FullView(data), Vector(d, 0.0));
-  const auto result =
-      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
-  return ExcessEmpiricalRisk(loss, data, result.w, w_star);
+  return RunScenarioTrial(
+      PolytopeLinearScenario(kSolverAlg1DpFw, PrivacyBudget::Pure(epsilon),
+                             n, d, workload, /*estimate_tau=*/true),
+      seed);
 }
 
-/// Reference risk for logistic synthetic workloads: the generating w* is
-/// not the ERM under the sign-label model (scaling w down-weights the loss),
-/// so the excess is measured against the better of w* and a non-private
-/// Frank-Wolfe solution on the same data. This keeps the reported error
-/// non-negative and comparable across panels.
-inline double LogisticReferenceRisk(const Dataset& data, const L1Ball& ball,
-                                    const LogisticLoss& loss,
-                                    const Vector& w_star) {
-  FrankWolfeOptions fw;
-  fw.iterations = 60;
-  const auto reference = MinimizeFrankWolfe(loss, data, ball,
-                                            Vector(data.dim(), 0.0), fw);
-  return std::min(EmpiricalRisk(loss, data, reference.w),
-                  EmpiricalRisk(loss, data, w_star));
-}
-
-/// Algorithm 1 on logistic regression (labels from the sigmoid-sign model).
+/// Figure 2/4 shape: Algorithm 1 by name on the logistic workload, measured
+/// against the best-of(w*, Frank-Wolfe) reference.
 inline double Alg1LogisticTrial(std::size_t n, std::size_t d, double epsilon,
                                 const ScalarDistribution& features,
                                 std::uint64_t seed) {
-  Rng rng(seed);
-  SyntheticConfig config{n, d, features, ScalarDistribution::None()};
-  const Vector w_star = MakeL1BallTarget(d, rng);
-  const Dataset data = GenerateLogistic(config, w_star, rng);
-  const LogisticLoss loss;
-  const L1Ball ball(d, 1.0);
-  HtDpFwOptions options;
-  options.epsilon = epsilon;
-  options.tau =
-      EstimateGradientSecondMoment(loss, FullView(data), Vector(d, 0.0));
-  const auto result =
-      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
-  return EmpiricalRisk(loss, data, result.w) -
-         LogisticReferenceRisk(data, ball, loss, w_star);
+  return RunScenarioTrial(
+      PolytopeLogisticScenario(kSolverAlg1DpFw, PrivacyBudget::Pure(epsilon),
+                               n, d, features),
+      seed);
+}
+
+/// Figure 5/6 shape: Algorithm 2 by name under the paper's
+/// (epsilon, n^-1.1)-DP budget on the linear workload.
+inline double Alg2Trial(std::size_t n, std::size_t d, double epsilon,
+                        const LinearWorkload& workload, std::uint64_t seed) {
+  return RunScenarioTrial(
+      PolytopeLinearScenario(kSolverAlg2PrivateLasso,
+                             PrivacyBudget::Approx(epsilon, PaperDelta(n)),
+                             n, d, workload,
+                             /*estimate_tau=*/false),  // alg2 has no tau knob
+      seed);
 }
 
 /// Non-private Frank-Wolfe reference for the private-vs-non-private panels.
@@ -98,72 +173,13 @@ inline double NonPrivateTrial(std::size_t n, std::size_t d, bool logistic,
     const auto result =
         MinimizeFrankWolfe(loss, data, ball, Vector(d, 0.0), options);
     return EmpiricalRisk(loss, data, result.w) -
-           LogisticReferenceRisk(data, ball, loss, w_star);
+           BestReferenceRisk(loss, data, ball, w_star,
+                             /*fw_iterations=*/60);
   }
   const Dataset data = GenerateLinear(config, w_star, rng);
   const SquaredLoss loss;
   const auto result =
       MinimizeFrankWolfe(loss, data, ball, Vector(d, 0.0), options);
-  return ExcessEmpiricalRisk(loss, data, result.w, w_star);
-}
-
-/// Algorithm 2 on linear regression.
-inline double Alg2Trial(std::size_t n, std::size_t d, double epsilon,
-                        const LinearWorkload& workload, std::uint64_t seed) {
-  Rng rng(seed);
-  SyntheticConfig config{n, d, workload.features, workload.noise};
-  const Vector w_star = MakeL1BallTarget(d, rng);
-  const Dataset data = GenerateLinear(config, w_star, rng);
-  const SquaredLoss loss;
-  const L1Ball ball(d, 1.0);
-  HtPrivateLassoOptions options;
-  options.epsilon = epsilon;
-  options.delta = PaperDelta(n);
-  const auto result =
-      RunHtPrivateLasso(data, ball, Vector(d, 0.0), options, rng);
-  return ExcessEmpiricalRisk(loss, data, result.w, w_star);
-}
-
-/// Algorithm 3 on sparse linear regression (x ~ N(0, 5) per Figures 7-9;
-/// pass feature std 1.0 to soften for scaled-down runs if needed).
-inline double Alg3Trial(std::size_t n, std::size_t d, double epsilon,
-                        std::size_t s_star, const ScalarDistribution& noise,
-                        std::uint64_t seed) {
-  Rng rng(seed);
-  Vector w_star = MakeSparseTarget(d, s_star, rng);
-  Scale(0.5, w_star);  // Theorem 7's ||w*|| <= 1/2 regime
-  SyntheticConfig config{n, d, ScalarDistribution::Normal(0.0, 5.0), noise};
-  const Dataset data = GenerateLinear(config, w_star, rng);
-  HtSparseLinRegOptions options;
-  options.epsilon = epsilon;
-  options.delta = PaperDelta(n);
-  options.target_sparsity = s_star;
-  // eta0 ~ 2/(3 gamma) with gamma = lambda_max(E xx^T) = 25 for N(0,5).
-  options.step = 2.0 / (3.0 * 25.0);
-  const auto result = RunHtSparseLinReg(data, Vector(d, 0.0), options, rng);
-  const SquaredLoss loss;
-  return ExcessEmpiricalRisk(loss, data, result.w, w_star);
-}
-
-/// Algorithm 5 on l2-regularized logistic regression (Figures 10-11).
-inline double Alg5Trial(std::size_t n, std::size_t d, double epsilon,
-                        std::size_t s_star,
-                        const ScalarDistribution& features,
-                        const ScalarDistribution& noise, double tau,
-                        std::uint64_t seed) {
-  Rng rng(seed);
-  const Vector w_star = MakeSparseTarget(d, s_star, rng);
-  SyntheticConfig config{n, d, features, noise};
-  const Dataset data = GenerateLogistic(config, w_star, rng);
-  const LogisticLoss loss(0.01);
-  HtSparseOptOptions options;
-  options.epsilon = epsilon;
-  options.delta = PaperDelta(n);
-  options.target_sparsity = s_star;
-  options.tau = tau;
-  // eta ~ 2/(3 gamma_r) with gamma_r ~ tau/4 + ridge for the logistic GLM.
-  options.step = 2.0 / (3.0 * (tau / 4.0 + 0.01));
-  const auto result = RunHtSparseOpt(loss, data, Vector(d, 0.0), options, rng);
   return ExcessEmpiricalRisk(loss, data, result.w, w_star);
 }
 
@@ -175,13 +191,15 @@ inline std::string MeanStd(const Summary& summary) {
   return std::string(buffer);
 }
 
-/// Shared three-panel layout of Figures 7-9 (Algorithm 3, sparse linear
-/// regression with x ~ N(0,5) and a configurable heavy-tailed noise):
+/// Shared three-panel layout of Figures 7-9 (sparse linear regression with
+/// x ~ N(0,5) and a configurable heavy-tailed noise), run against any
+/// registered solver (the paper uses alg3_sparse_linreg):
 ///   (a) error vs epsilon at n = 5*10^4, s* = 20
 ///   (b) error vs n at epsilon = 1, s* = 20
 ///   (c) error vs s* at epsilon = 1, n = 5*10^4
-inline void RunAlg3Figure(const ScalarDistribution& noise,
-                          const BenchEnv& raw_env) {
+inline void RunSparseLinRegFigure(const std::string& solver,
+                                  const ScalarDistribution& noise,
+                                  const BenchEnv& raw_env) {
   // Below ~40% of the paper's n the Peeling noise saturates the error (the
   // l2 projection caps the iterate) and every curve flattens; keep the
   // default run above that so the paper's trends stay visible.
@@ -199,9 +217,12 @@ inline void RunAlg3Figure(const ScalarDistribution& noise,
     for (const double epsilon : {0.5, 1.0, 2.0, 4.0}) {
       std::vector<std::string> row = {TablePrinter::Cell(epsilon)};
       for (const std::size_t d : dims) {
+        const Scenario scenario = SparseLinRegScenario(
+            solver, PrivacyBudget::Approx(epsilon, PaperDelta(n)), n, d,
+            s_star, noise);
         const Summary summary = RunTrials(
             env.trials, env.seed + d, [&](std::uint64_t seed) {
-              return Alg3Trial(n, d, epsilon, s_star, noise, seed);
+              return RunScenarioTrial(scenario, seed);
             });
         row.push_back(MeanStd(summary));
       }
@@ -218,9 +239,12 @@ inline void RunAlg3Figure(const ScalarDistribution& noise,
       const std::size_t n = ScaledN(paper_n, env);
       std::vector<std::string> row = {TablePrinter::Cell(n)};
       for (const std::size_t d : dims) {
+        const Scenario scenario = SparseLinRegScenario(
+            solver, PrivacyBudget::Approx(1.0, PaperDelta(n)), n, d, s_star,
+            noise);
         const Summary summary = RunTrials(
             env.trials, env.seed + paper_n + d, [&](std::uint64_t seed) {
-              return Alg3Trial(n, d, 1.0, s_star, noise, seed);
+              return RunScenarioTrial(scenario, seed);
             });
         row.push_back(MeanStd(summary));
       }
@@ -237,10 +261,13 @@ inline void RunAlg3Figure(const ScalarDistribution& noise,
     for (const std::size_t s_star : {5u, 10u, 20u, 40u}) {
       std::vector<std::string> row = {TablePrinter::Cell(s_star)};
       for (const std::size_t d : dims) {
+        const Scenario scenario = SparseLinRegScenario(
+            solver, PrivacyBudget::Approx(1.0, PaperDelta(n)), n, d, s_star,
+            noise);
         const Summary summary = RunTrials(
             env.trials, env.seed + s_star * 31 + d,
             [&](std::uint64_t seed) {
-              return Alg3Trial(n, d, 1.0, s_star, noise, seed);
+              return RunScenarioTrial(scenario, seed);
             });
         row.push_back(MeanStd(summary));
       }
@@ -249,14 +276,16 @@ inline void RunAlg3Figure(const ScalarDistribution& noise,
   }
 }
 
-/// Shared three-panel layout of Figures 10-11 (Algorithm 5, l2-regularized
-/// logistic regression over the l0 constraint):
+/// Shared three-panel layout of Figures 10-11 (sparse l2-regularized
+/// logistic regression), run against any registered solver (the paper uses
+/// alg5_sparse_opt):
 ///   (a) error vs epsilon at n = 8000, s* = 20
 ///   (b) error vs n at epsilon = 1, s* = 20
 ///   (c) error vs s* at epsilon = 1, n = 8000
-inline void RunAlg5Figure(const ScalarDistribution& features,
-                          const ScalarDistribution& noise, double tau,
-                          const BenchEnv& env) {
+inline void RunSparseLogisticFigure(const std::string& solver,
+                                    const ScalarDistribution& features,
+                                    const ScalarDistribution& noise,
+                                    double tau, const BenchEnv& env) {
   const std::vector<std::size_t> dims = {200, 400, 800};
 
   {
@@ -269,10 +298,12 @@ inline void RunAlg5Figure(const ScalarDistribution& features,
     for (const double epsilon : {0.5, 1.0, 2.0, 4.0}) {
       std::vector<std::string> row = {TablePrinter::Cell(epsilon)};
       for (const std::size_t d : dims) {
+        const Scenario scenario = SparseLogisticScenario(
+            solver, PrivacyBudget::Approx(epsilon, PaperDelta(n)), n, d,
+            s_star, features, noise, tau);
         const Summary summary = RunTrials(
             env.trials, env.seed + d, [&](std::uint64_t seed) {
-              return Alg5Trial(n, d, epsilon, s_star, features, noise, tau,
-                               seed);
+              return RunScenarioTrial(scenario, seed);
             });
         row.push_back(MeanStd(summary));
       }
@@ -289,10 +320,12 @@ inline void RunAlg5Figure(const ScalarDistribution& features,
       const std::size_t n = ScaledN(paper_n, env);
       std::vector<std::string> row = {TablePrinter::Cell(n)};
       for (const std::size_t d : dims) {
+        const Scenario scenario = SparseLogisticScenario(
+            solver, PrivacyBudget::Approx(1.0, PaperDelta(n)), n, d, s_star,
+            features, noise, tau);
         const Summary summary = RunTrials(
             env.trials, env.seed + paper_n + d, [&](std::uint64_t seed) {
-              return Alg5Trial(n, d, 1.0, s_star, features, noise, tau,
-                               seed);
+              return RunScenarioTrial(scenario, seed);
             });
         row.push_back(MeanStd(summary));
       }
@@ -309,11 +342,13 @@ inline void RunAlg5Figure(const ScalarDistribution& features,
     for (const std::size_t s_star : {5u, 10u, 20u, 40u}) {
       std::vector<std::string> row = {TablePrinter::Cell(s_star)};
       for (const std::size_t d : dims) {
+        const Scenario scenario = SparseLogisticScenario(
+            solver, PrivacyBudget::Approx(1.0, PaperDelta(n)), n, d, s_star,
+            features, noise, tau);
         const Summary summary = RunTrials(
             env.trials, env.seed + s_star * 31 + d,
             [&](std::uint64_t seed) {
-              return Alg5Trial(n, d, 1.0, s_star, features, noise, tau,
-                               seed);
+              return RunScenarioTrial(scenario, seed);
             });
         row.push_back(MeanStd(summary));
       }

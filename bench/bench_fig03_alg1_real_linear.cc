@@ -9,6 +9,7 @@
 // section 3); drop the real CSVs in with data/csv.h to reproduce exactly.
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
@@ -19,6 +20,8 @@ using namespace htdp;
 using namespace htdp::bench;
 
 void RunDataset(const RealWorldSpec& spec, const BenchEnv& env) {
+  const std::unique_ptr<Solver> solver =
+      SolverRegistry::Global().Create(kSolverAlg1DpFw);
   Rng rng(env.seed);
   const std::size_t cap = ScaledN(spec.n, env, /*floor_n=*/5000);
   const Dataset full = SimulateRealWorld(spec, cap, rng);
@@ -47,12 +50,14 @@ void RunDataset(const RealWorldSpec& spec, const BenchEnv& env) {
           env.trials, env.seed + n + static_cast<std::uint64_t>(10 * epsilon),
           [&](std::uint64_t seed) {
             Rng trial_rng(seed);
-            HtDpFwOptions options;
-            options.epsilon = epsilon;
-            options.tau = EstimateGradientSecondMoment(
+            const Problem problem =
+                Problem::ConstrainedErm(loss, subset, ball);
+            SolverSpec solver_spec;
+            solver_spec.budget = PrivacyBudget::Pure(epsilon);
+            solver_spec.tau = EstimateGradientSecondMoment(
                 loss, FullView(subset), Vector(d, 0.0));
-            const auto result = RunHtDpFw(loss, subset, ball,
-                                          Vector(d, 0.0), options, trial_rng);
+            const FitResult result =
+                solver->Fit(problem, solver_spec, trial_rng);
             return EmpiricalRisk(loss, full, result.w) - ref_risk;
           });
       row.push_back(MeanStd(summary));

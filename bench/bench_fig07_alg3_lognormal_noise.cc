@@ -9,6 +9,7 @@ int main() {
   const BenchEnv env = GetBenchEnv();
   PrintBanner("Figure 7",
               "Alg.3, sparse linear regression, lognormal(0,0.5) noise", env);
-  RunAlg3Figure(ScalarDistribution::Lognormal(0.0, 0.5), env);
+  RunSparseLinRegFigure(kSolverAlg3SparseLinReg,
+                        ScalarDistribution::Lognormal(0.0, 0.5), env);
   return 0;
 }

@@ -11,6 +11,7 @@ int main() {
   PrintBanner("Figure 8",
               "Alg.3, sparse linear regression, log-logistic(0.1) noise",
               env);
-  RunAlg3Figure(ScalarDistribution::LogLogistic(0.1), env);
+  RunSparseLinRegFigure(kSolverAlg3SparseLinReg,
+                        ScalarDistribution::LogLogistic(0.1), env);
   return 0;
 }

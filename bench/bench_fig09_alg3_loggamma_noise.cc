@@ -9,6 +9,7 @@ int main() {
   const BenchEnv env = GetBenchEnv();
   PrintBanner("Figure 9",
               "Alg.3, sparse linear regression, log-gamma(0.5) noise", env);
-  RunAlg3Figure(ScalarDistribution::LogGamma(0.5), env);
+  RunSparseLinRegFigure(kSolverAlg3SparseLinReg,
+                        ScalarDistribution::LogGamma(0.5), env);
   return 0;
 }

@@ -14,7 +14,9 @@ int main() {
   PrintBanner("Figure 10",
               "Alg.5, regularized logistic regression, N(0,5) features",
               env);
-  RunAlg5Figure(ScalarDistribution::Normal(0.0, 5.0),
-                ScalarDistribution::Logistic(0.0, 0.5), /*tau=*/25.0, env);
+  RunSparseLogisticFigure(kSolverAlg5SparseOpt,
+                          ScalarDistribution::Normal(0.0, 5.0),
+                          ScalarDistribution::Logistic(0.0, 0.5),
+                          /*tau=*/25.0, env);
   return 0;
 }

@@ -11,7 +11,9 @@ int main() {
   PrintBanner("Figure 11",
               "Alg.5, regularized logistic regression, Laplace(5) features",
               env);
-  RunAlg5Figure(ScalarDistribution::Laplace(5.0),
-                ScalarDistribution::LogGamma(0.5), /*tau=*/50.0, env);
+  RunSparseLogisticFigure(kSolverAlg5SparseOpt,
+                          ScalarDistribution::Laplace(5.0),
+                          ScalarDistribution::LogGamma(0.5), /*tau=*/50.0,
+                          env);
   return 0;
 }

@@ -5,6 +5,7 @@
 // bound Omega(tau min{s* log d, log(1/delta)} / (n eps)).
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
@@ -13,6 +14,8 @@ int main() {
   using namespace htdp;
   using namespace htdp::bench;
 
+  const std::unique_ptr<Solver> solver =
+      SolverRegistry::Global().Create(kSolverAlg5SparseOpt);
   const BenchEnv env = GetBenchEnv();
   PrintBanner("Lower bound", "Theorem 9 hard instance, sparse mean", env);
 
@@ -39,14 +42,12 @@ int main() {
             const Vector theta = family.Mean(v);
             const Dataset data = family.Sample(v, n, rng);
             const MeanLoss loss;
-            HtSparseOptOptions options;
-            options.epsilon = epsilon;
-            options.delta = delta;
-            options.target_sparsity = s_star;
-            options.tau = tau;
-            options.step = 0.25;
-            const auto result =
-                RunHtSparseOpt(loss, data, Vector(d, 0.0), options, rng);
+            const Problem problem = Problem::SparseErm(loss, data, s_star);
+            SolverSpec spec;
+            spec.budget = PrivacyBudget::Approx(epsilon, delta);
+            spec.tau = tau;
+            spec.step = 0.25;  // mean loss has curvature 2
+            const FitResult result = solver->Fit(problem, spec, rng);
             return NormL2Squared(Sub(result.w, theta));
           });
       const Summary naive_risk = RunTrials(

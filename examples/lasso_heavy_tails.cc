@@ -1,14 +1,16 @@
 // LASSO with heavy-tailed features: four estimators head to head.
 //
-//   1. Algorithm 1 (Heavy-tailed DP-FW, eps-DP)       -- robust gradients
-//   2. Algorithm 2 (Heavy-tailed Private LASSO)       -- shrunken data
-//   3. Clipped DP-SGD (Abadi et al.)                  -- the ad-hoc baseline
-//   4. Non-private Frank-Wolfe                        -- the reference
+//   1. "alg1_dp_fw"        (Heavy-tailed DP-FW, eps-DP) -- robust gradients
+//   2. "alg2_private_lasso" (Heavy-tailed Private LASSO) -- shrunken data
+//   3. Clipped DP-SGD (Abadi et al.)                     -- ad-hoc baseline
+//   4. Non-private Frank-Wolfe                           -- the reference
 //
-// Run on lognormal and Student-t features (the Figure 5 / Figure 6
-// workloads) at a laptop-friendly scale.
+// The two private solvers run through the registry on the SAME Problem --
+// only the name and the budget differ. Run on lognormal and Student-t
+// features (the Figure 5 / Figure 6 workloads) at a laptop-friendly scale.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/htdp.h"
 
@@ -35,16 +37,21 @@ void RunWorkload(const char* label, const ScalarDistribution& features,
   const SquaredLoss loss;
   const L1Ball ball(d, 1.0);
   const Vector w0(d, 0.0);
+  const Problem problem = Problem::ConstrainedErm(loss, data, ball);
 
-  HtDpFwOptions alg1;
-  alg1.epsilon = epsilon;
-  alg1.tau = EstimateGradientSecondMoment(loss, FullView(data), w0);
-  const auto alg1_result = RunHtDpFw(loss, data, ball, w0, alg1, rng);
+  SolverSpec alg1_spec;
+  alg1_spec.budget = PrivacyBudget::Pure(epsilon);
+  alg1_spec.tau = EstimateGradientSecondMoment(loss, FullView(data), w0);
+  const FitResult alg1_result =
+      SolverRegistry::Global().Create(kSolverAlg1DpFw)->Fit(problem,
+                                                            alg1_spec, rng);
 
-  HtPrivateLassoOptions alg2;
-  alg2.epsilon = epsilon;
-  alg2.delta = delta;
-  const auto alg2_result = RunHtPrivateLasso(data, ball, w0, alg2, rng);
+  SolverSpec alg2_spec;
+  alg2_spec.budget = PrivacyBudget::Approx(epsilon, delta);
+  const FitResult alg2_result =
+      SolverRegistry::Global()
+          .Create(kSolverAlg2PrivateLasso)
+          ->Fit(problem, alg2_spec, rng);
 
   DpSgdOptions sgd;
   sgd.epsilon = epsilon;

@@ -1,10 +1,12 @@
-// l0-constrained regularized logistic regression (Algorithm 5).
+// l0-constrained regularized logistic regression ("alg5_sparse_opt").
 //
 // The Figure 10 workload: an l2-regularized logistic GLM satisfying
 // Assumption 4, solved privately over the sparsity constraint with the
-// robust-gradient + Peeling iteration. Shows the epsilon sweep.
+// robust-gradient + Peeling iteration. Shows the epsilon sweep through the
+// Solver facade.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/htdp.h"
 
@@ -29,6 +31,10 @@ int main() {
   const double zero_risk = EmpiricalRisk(loss, data, Vector(d, 0.0));
   const double star_risk = EmpiricalRisk(loss, data, w_star);
 
+  const Problem problem = Problem::SparseErm(loss, data, s_star);
+  const std::unique_ptr<Solver> solver =
+      SolverRegistry::Global().Create(kSolverAlg5SparseOpt);
+
   std::printf("Algorithm 5: private sparse logistic regression "
               "(n=%zu, d=%zu, s*=%zu, ridge=%.2f)\n",
               n, d, s_star, ridge);
@@ -39,13 +45,10 @@ int main() {
 
   for (const double epsilon : {0.5, 1.0, 2.0, 4.0, 8.0}) {
     Rng rng(1000 + static_cast<std::uint64_t>(epsilon * 10));
-    HtSparseOptOptions options;
-    options.epsilon = epsilon;
-    options.delta = 1e-5;
-    options.target_sparsity = s_star;
-    options.tau = 1.0;  // E x_j^2 = 1 under N(0,1) features
-    const auto result =
-        RunHtSparseOpt(loss, data, Vector(d, 0.0), options, rng);
+    SolverSpec spec;
+    spec.budget = PrivacyBudget::Approx(epsilon, 1e-5);
+    spec.tau = 1.0;  // E x_j^2 = 1 under N(0,1) features
+    const FitResult result = solver->Fit(problem, spec, rng);
     const SupportRecovery support = EvaluateSupportRecovery(result.w, w_star);
     std::printf("%10.1f %14.4f %14.4f %10.3f %10d\n", epsilon,
                 EmpiricalRisk(loss, data, result.w),

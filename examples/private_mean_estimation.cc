@@ -1,11 +1,13 @@
 // Sparse heavy-tailed mean estimation and the Theorem 9 lower bound.
 //
 // Builds the paper's hard instance family {(1-p) P_0 + p P_v} over a
-// sparse packing, runs Algorithm 5 with the mean loss (an (eps, delta)-DP
-// estimator), and compares the measured risk ||w - theta||^2 against the
-// information-theoretic bound Omega(tau min{s* log d, log(1/delta)}/(n eps)).
+// sparse packing, runs "alg5_sparse_opt" with the mean loss (an
+// (eps, delta)-DP estimator) through the Solver facade, and compares the
+// measured risk ||w - theta||^2 against the information-theoretic bound
+// Omega(tau min{s* log d, log(1/delta)}/(n eps)).
 
 #include <cstdio>
+#include <memory>
 
 #include "core/htdp.h"
 
@@ -16,6 +18,9 @@ int main() {
   const std::size_t s_star = 8;
   const double tau = 1.0;
   const double delta = 1e-5;
+
+  const std::unique_ptr<Solver> solver =
+      SolverRegistry::Global().Create(kSolverAlg5SparseOpt);
 
   std::printf("Theorem 9 hard instance: sparse mean estimation "
               "(d=%zu, s*=%zu, tau=%.1f)\n\n",
@@ -33,14 +38,12 @@ int main() {
       const Dataset data = family.Sample(v, n, rng);
 
       const MeanLoss loss;
-      HtSparseOptOptions options;
-      options.epsilon = epsilon;
-      options.delta = delta;
-      options.target_sparsity = s_star;
-      options.tau = tau;
-      options.step = 0.25;  // mean loss has curvature 2
-      const auto result =
-          RunHtSparseOpt(loss, data, Vector(d, 0.0), options, rng);
+      const Problem problem = Problem::SparseErm(loss, data, s_star);
+      SolverSpec spec;
+      spec.budget = PrivacyBudget::Approx(epsilon, delta);
+      spec.tau = tau;
+      spec.step = 0.25;  // mean loss has curvature 2
+      const FitResult result = solver->Fit(problem, spec, rng);
 
       const double risk = NormL2Squared(Sub(result.w, theta));
       const double bound = SparseMeanHardFamily::LowerBound(

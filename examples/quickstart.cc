@@ -1,13 +1,15 @@
-// Quickstart: private linear regression on heavy-tailed data in ~50 lines.
+// Quickstart: private linear regression on heavy-tailed data in ~50 lines,
+// through the unified Solver facade.
 //
 // Generates lognormal features (unbounded gradients -- exactly the regime
-// where clipping-based DP methods lose their guarantees), runs Algorithm 1
-// (Heavy-tailed DP-FW, pure epsilon-DP) over the unit l1 ball, and compares
-// against the non-private Frank-Wolfe optimum.
+// where clipping-based DP methods lose their guarantees), fits Algorithm 1
+// (Heavy-tailed DP-FW, pure epsilon-DP) by registry name over the unit l1
+// ball, and compares against the non-private Frank-Wolfe optimum.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
+#include <memory>
 
 #include "core/htdp.h"
 
@@ -30,16 +32,21 @@ int main() {
   const SquaredLoss loss;
   const L1Ball ball(d, 1.0);
 
-  // tau is the coordinate-wise second-moment bound on the gradient
-  // (Assumption 1); estimate it offline here for convenience.
-  const double tau =
+  // WHAT to solve: loss + data + constraint geometry.
+  const Problem problem = Problem::ConstrainedErm(loss, data, ball);
+
+  // HOW to solve it: an epsilon-DP budget; every schedule knob left at 0 is
+  // auto-solved from the paper's theorems. tau is the coordinate-wise
+  // second-moment bound on the gradient (Assumption 1), estimated offline.
+  SolverSpec spec;
+  spec.budget = PrivacyBudget::Pure(1.0);
+  spec.tau =
       EstimateGradientSecondMoment(loss, FullView(data), Vector(d, 0.0));
 
-  HtDpFwOptions options;
-  options.epsilon = 1.0;
-  options.tau = tau;
-  const HtDpFwResult priv =
-      RunHtDpFw(loss, data, ball, Vector(d, 0.0), options, rng);
+  // WHO solves it: any registered algorithm, by name.
+  const std::unique_ptr<Solver> solver =
+      SolverRegistry::Global().Create(kSolverAlg1DpFw);
+  const FitResult priv = solver->Fit(problem, spec, rng);
 
   FrankWolfeOptions fw;
   fw.iterations = 120;
@@ -47,8 +54,8 @@ int main() {
       MinimizeFrankWolfe(loss, data, ball, Vector(d, 0.0), fw);
 
   std::printf("n = %zu, d = %zu, epsilon = %.1f (pure eps-DP)\n", n, d,
-              options.epsilon);
-  std::printf("estimated tau (grad 2nd moment bound): %.3f\n", tau);
+              spec.budget.epsilon);
+  std::printf("estimated tau (grad 2nd moment bound): %.3f\n", spec.tau);
   std::printf("schedule: T = %d folds, truncation scale s = %.2f\n",
               priv.iterations, priv.scale_used);
   std::printf("privacy ledger total: eps = %.3f, delta = %.1e\n",
@@ -57,5 +64,6 @@ int main() {
               ExcessEmpiricalRisk(loss, data, priv.w, w_star));
   std::printf("excess empirical risk (non-priv): %.4f\n",
               ExcessEmpiricalRisk(loss, data, nonpriv.w, w_star));
+  std::printf("fit wall-clock: %.3f s\n", priv.seconds);
   return 0;
 }

@@ -2,14 +2,15 @@
 //
 // Algorithm 1 is not restricted to convex losses: under Assumption 2
 // (bounded, odd psi' with positive expected slope at 0 and symmetric noise)
-// the fixed-step variant achieves O~(1/(n eps)^(1/4)). This example runs it
-// on a linear model contaminated with Student-t(1.5) noise (symmetric,
-// infinite variance) and compares estimation error against the squared-loss
-// pipeline on the same data. Both pipelines share the robust gradient
-// estimator, so the squared loss is partially protected too; the biweight
-// loss is the one Theorem 3 actually covers in this regime.
+// the fixed-step variant achieves O~(1/(n eps)^(1/4)). This example runs
+// "alg1_dp_fw" twice through the facade on the same data -- once with the
+// biweight loss on the Theorem 3 schedule, once with the squared loss on
+// the Theorem 2 schedule -- swapping only the Problem's loss and the
+// SolverSpec. Both pipelines share the robust gradient estimator; the
+// biweight loss is the one Theorem 3 actually covers in this regime.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/htdp.h"
 
@@ -31,31 +32,36 @@ int main() {
   const L1Ball ball(d, 1.0);
   const Vector w0(d, 0.0);
   const double epsilon = 2.0;
+  const std::unique_ptr<Solver> solver =
+      SolverRegistry::Global().Create(kSolverAlg1DpFw);
 
   // Theorem 3 schedule: fixed step 1/sqrt(T), T ~ sqrt(n eps / log(d)).
   const Alg1RobustSchedule schedule =
       SolveAlg1RobustSchedule(n, d, epsilon, 0.1);
   const BiweightLoss biweight(1.0);
-  HtDpFwOptions robust_options;
-  robust_options.epsilon = epsilon;
-  robust_options.iterations = schedule.iterations;
-  robust_options.scale = schedule.scale;
-  robust_options.beta = schedule.beta;
-  robust_options.diminishing_step = false;
-  robust_options.fixed_step = schedule.step;
+  const Problem robust_problem = Problem::ConstrainedErm(biweight, data, ball);
+  SolverSpec robust_spec;
+  robust_spec.budget = PrivacyBudget::Pure(epsilon);
+  robust_spec.iterations = schedule.iterations;
+  robust_spec.scale = schedule.scale;
+  robust_spec.beta = schedule.beta;
+  robust_spec.diminishing_step = false;
+  robust_spec.fixed_step = schedule.step;
   Rng robust_rng = rng.Fork();
-  const auto robust =
-      RunHtDpFw(biweight, data, ball, w0, robust_options, robust_rng);
+  const FitResult robust =
+      solver->Fit(robust_problem, robust_spec, robust_rng);
 
   // Squared-loss pipeline (Theorem 2 schedule) on the same data.
   const SquaredLoss squared;
-  HtDpFwOptions squared_options;
-  squared_options.epsilon = epsilon;
-  squared_options.tau =
+  const Problem squared_problem =
+      Problem::ConstrainedErm(squared, data, ball);
+  SolverSpec squared_spec;
+  squared_spec.budget = PrivacyBudget::Pure(epsilon);
+  squared_spec.tau =
       EstimateGradientSecondMoment(squared, FullView(data), w0);
   Rng squared_rng = rng.Fork();
-  const auto least_squares =
-      RunHtDpFw(squared, data, ball, w0, squared_options, squared_rng);
+  const FitResult least_squares =
+      solver->Fit(squared_problem, squared_spec, squared_rng);
 
   std::printf("Robust regression under Student-t(1.5) noise "
               "(n=%zu, d=%zu, eps=%.1f)\n\n",

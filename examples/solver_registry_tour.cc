@@ -1,0 +1,80 @@
+// Tour of the SolverRegistry: every registered algorithm fitted on the SAME
+// heavy-tailed dataset, one summary line each. This is the point of the
+// facade -- the loop below never names a concrete algorithm, so registering
+// a new Solver automatically adds a row.
+//
+// Build & run:  ./build/examples/solver_registry_tour
+
+#include <cstdio>
+#include <memory>
+
+#include "core/htdp.h"
+
+int main() {
+  using namespace htdp;
+
+  const std::size_t n = 8000;
+  const std::size_t d = 64;
+  const std::size_t s_star = 6;
+  const double epsilon = 1.0;
+  const double delta = 1e-5;
+
+  // One shared workload: sparse target, lognormal features, Gaussian noise.
+  Rng data_rng(2022);
+  const Vector w_star = MakeSparseTarget(d, s_star, data_rng);
+  SyntheticConfig config;
+  config.n = n;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  config.noise_dist = ScalarDistribution::Normal(0.0, 0.1);
+  const Dataset data = GenerateLinear(config, w_star, data_rng);
+
+  const SquaredLoss loss;
+  const L1Ball ball(d, 1.0);
+  const double tau =
+      EstimateGradientSecondMoment(loss, FullView(data), Vector(d, 0.0));
+  // Smoothness gamma = 2 lambda_max(Sigma) for the squared loss; the IHT
+  // solvers want eta ~ 2/(3 gamma). Lognormal features are correlated
+  // through their common positive mean, so lambda_max grows with d here.
+  const SpectrumEstimate spectrum =
+      EstimateCovarianceSpectrum(data.x, 100, 3);
+  const double step = 2.0 / (3.0 * 2.0 * spectrum.lambda_max);
+
+  std::printf("SolverRegistry tour  (n=%zu, d=%zu, s*=%zu, eps=%.1f)\n\n", n,
+              d, s_star, epsilon);
+  std::printf("%-20s %4s %10s %10s %12s %9s\n", "solver", "T", "eps spent",
+              "delta", "excess risk", "seconds");
+
+  for (const std::string& name : SolverRegistry::Global().Names()) {
+    const std::unique_ptr<Solver> solver =
+        SolverRegistry::Global().Create(name);
+
+    Problem problem;
+    problem.loss = &loss;
+    problem.data = &data;
+    problem.target_sparsity = s_star;
+    if (solver->requires_constraint()) problem.constraint = &ball;
+
+    SolverSpec spec;
+    spec.budget = solver->supports_pure_dp()
+                      ? PrivacyBudget::Pure(epsilon)
+                      : PrivacyBudget::Approx(epsilon, delta);
+    spec.tau = tau;
+    spec.step = step;
+
+    Rng rng(7);
+    const FitResult fit = solver->Fit(problem, spec, rng);
+    std::printf("%-20s %4d %10.3f %10.1e %12.4f %9.3f\n", name.c_str(),
+                fit.iterations, fit.ledger.TotalEpsilon(),
+                fit.ledger.TotalDelta(),
+                ExcessEmpiricalRisk(loss, data, fit.w, w_star), fit.seconds);
+  }
+
+  std::printf(
+      "\nEvery row used the same Problem and SolverSpec; only the registry\n"
+      "name changed. (alg4_peeling is a selection primitive: its \"w\" is\n"
+      "the noisy top-s* shrunken feature means, so read its risk column as\n"
+      "screening quality, not regression accuracy. alg2's ledger epsilon\n"
+      "upper-bounds the advanced-composition guarantee it actually meets.)\n");
+  return 0;
+}

@@ -1,10 +1,11 @@
-// Sparse linear regression with heavy-tailed noise (Algorithm 3).
+// Sparse linear regression with heavy-tailed noise ("alg3_sparse_linreg").
 //
 // The Figure 7 workload: x ~ N(0, 5), lognormal label noise, s*-sparse
 // target on the unit l2 ball. Reports estimation error ||w - w*||_2 and
 // support-recovery F1 as the sample size grows, next to non-private IHT.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/htdp.h"
 
@@ -15,6 +16,9 @@ int main() {
   const std::size_t s_star = 10;
   const double epsilon = 4.0;
   const double delta = 1e-5;
+
+  const std::unique_ptr<Solver> solver =
+      SolverRegistry::Global().Create(kSolverAlg3SparseLinReg);
 
   std::printf("Algorithm 3: private sparse linear regression "
               "(d=%zu, s*=%zu, eps=%.1f, x ~ N(0,5))\n",
@@ -34,16 +38,15 @@ int main() {
     config.noise_dist = ScalarDistribution::Lognormal(0.0, 0.5);
     const Dataset data = GenerateLinear(config, w_star, rng);
 
+    const SquaredLoss loss;
     // Features have covariance 25 * I: eta ~ 2/(3 gamma).
     const double step = 2.0 / (3.0 * 25.0);
-    HtSparseLinRegOptions options;
-    options.epsilon = epsilon;
-    options.delta = delta;
-    options.target_sparsity = s_star;
-    options.step = step;
-    const auto priv = RunHtSparseLinReg(data, Vector(d, 0.0), options, rng);
+    const Problem problem = Problem::SparseErm(loss, data, s_star);
+    SolverSpec spec;
+    spec.budget = PrivacyBudget::Approx(epsilon, delta);
+    spec.step = step;
+    const FitResult priv = solver->Fit(problem, spec, rng);
 
-    const SquaredLoss loss;
     IhtOptions iht;
     iht.iterations = 60;
     iht.step = step / 2.0;  // IHT uses the full 2x(x'w - y) gradient

@@ -1,0 +1,95 @@
+// Algorithm 1 (heavy-tailed DP Frank-Wolfe) behind the Solver facade. The
+// iteration body is the former RunHtDpFw implementation, unchanged, so the
+// legacy wrapper reproduces its historical output bit for bit.
+
+#include <cmath>
+#include <cstddef>
+
+#include "api/solver_common.h"
+#include "api/solvers.h"
+#include "dp/exponential_mechanism.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace htdp {
+namespace {
+
+class Alg1DpFwSolver final : public Solver {
+ public:
+  std::string name() const override { return "alg1_dp_fw"; }
+  std::string description() const override {
+    return "Alg.1 heavy-tailed DP Frank-Wolfe over a polytope (pure eps-DP, "
+           "Catoni robust gradients + exponential mechanism on disjoint "
+           "folds)";
+  }
+  AlgorithmId algorithm() const override { return AlgorithmId::kDpFw; }
+  bool requires_constraint() const override { return true; }
+  bool supports_pure_dp() const override { return true; }
+
+  FitResult Fit(const Problem& problem, const SolverSpec& spec,
+                Rng& rng) const override {
+    const WallTimer timer;
+    ValidateProblemShape(*this, problem, spec);
+    const Dataset& data = *problem.data;
+    const Polytope& polytope = *problem.constraint;
+    const Loss& loss = *problem.loss;
+    data.Validate();
+    const Vector w0 = problem.InitialIterate();
+    HTDP_CHECK_EQ(w0.size(), polytope.dim());
+    HTDP_CHECK_EQ(data.dim(), polytope.dim());
+    HTDP_CHECK_GT(spec.budget.epsilon, 0.0);
+    HTDP_CHECK_GT(spec.beta, 0.0);
+
+    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    const double epsilon = resolved.budget.epsilon;
+    const int iterations = resolved.iterations;
+    const FoldedRobustPlan plan = MakeFoldedRobustPlan(data, resolved);
+
+    FitResult result;
+    result.w = w0;
+    result.iterations = iterations;
+    result.scale_used = resolved.scale;
+
+    Vector robust_grad;
+    Vector scores;
+    for (int t = 1; t <= iterations; ++t) {
+      const DatasetView& fold = plan.folds[static_cast<std::size_t>(t - 1)];
+      plan.estimator.Estimate(loss, fold, result.w, robust_grad);
+
+      // Score u(D_t, v) = -<v, g~>; sensitivity ||v||_1 * (4 sqrt(2) s)/(3 m).
+      const double sensitivity =
+          polytope.MaxVertexL1Norm() * plan.estimator.Sensitivity(fold.size());
+      const ExponentialMechanism mechanism(sensitivity, epsilon);
+      polytope.VertexInnerProducts(robust_grad, scores);
+      for (double& value : scores) value = -value;
+      const std::size_t pick = mechanism.SelectGumbel(scores, rng);
+      result.ledger.Record({"exponential", epsilon, 0.0, sensitivity,
+                            /*fold=*/t - 1});
+
+      double eta;
+      if (resolved.diminishing_step) {
+        eta = 2.0 / (static_cast<double>(t) + 2.0);
+      } else if (resolved.fixed_step > 0.0) {
+        eta = resolved.fixed_step;
+      } else {
+        eta = 1.0 / std::sqrt(static_cast<double>(iterations));
+      }
+      polytope.ApplyConvexStep(pick, eta, result.w);
+
+      if (resolved.record_risk_trace) {
+        result.risk_trace.push_back(EmpiricalRisk(loss, data, result.w));
+      }
+      NotifyObserver(resolved, t, iterations, result.w, result.ledger);
+    }
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> CreateAlg1DpFwSolver() {
+  return std::make_unique<Alg1DpFwSolver>();
+}
+
+}  // namespace htdp

@@ -1,0 +1,103 @@
+// Algorithm 2 (shrunken-data heavy-tailed private LASSO) behind the Solver
+// facade; squared loss by construction. Former RunHtPrivateLasso body.
+
+#include <cstddef>
+
+#include "api/solver_common.h"
+#include "api/solvers.h"
+#include "dp/exponential_mechanism.h"
+#include "dp/privacy.h"
+#include "losses/squared_loss.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace htdp {
+namespace {
+
+class Alg2PrivateLassoSolver final : public Solver {
+ public:
+  std::string name() const override { return "alg2_private_lasso"; }
+  std::string description() const override {
+    return "Alg.2 heavy-tailed private LASSO ((eps,delta)-DP, entrywise "
+           "shrinkage + DP Frank-Wolfe with advanced composition; squared "
+           "loss by construction)";
+  }
+  AlgorithmId algorithm() const override {
+    return AlgorithmId::kPrivateLasso;
+  }
+  bool requires_constraint() const override { return true; }
+  bool requires_loss() const override { return false; }
+
+  FitResult Fit(const Problem& problem, const SolverSpec& spec,
+                Rng& rng) const override {
+    const WallTimer timer;
+    ValidateProblemShape(*this, problem, spec);
+    const Dataset& data = *problem.data;
+    const Polytope& polytope = *problem.constraint;
+    data.Validate();
+    const Vector w0 = problem.InitialIterate();
+    HTDP_CHECK_EQ(w0.size(), polytope.dim());
+    HTDP_CHECK_EQ(data.dim(), polytope.dim());
+    spec.budget.params().Validate();
+    HTDP_CHECK_GT(spec.budget.delta, 0.0);
+
+    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    const int iterations = resolved.iterations;
+    const double shrinkage = resolved.shrinkage;
+
+    // Step 2: entrywise shrinkage of the whole dataset.
+    const Dataset shrunken = ShrinkDataset(data, shrinkage);
+
+    const std::size_t n = data.size();
+    const double k2 = shrinkage * shrinkage;
+    const double vertex_norm = polytope.MaxVertexL1Norm();
+    // |2 x~_j (<x~, w> - y~)| <= 2 K^2 (V + 1); replacing one sample moves
+    // the average by twice that over n, and the score by ||v||_1 times that.
+    const double sensitivity =
+        4.0 * k2 * vertex_norm * (vertex_norm + 1.0) / static_cast<double>(n);
+    const double step_epsilon = AdvancedCompositionStepEpsilon(
+        resolved.budget.epsilon, resolved.budget.delta, iterations);
+    const ExponentialMechanism mechanism(sensitivity, step_epsilon);
+    const double step_delta =
+        AdvancedCompositionStepDelta(resolved.budget.delta, iterations);
+
+    const SquaredLoss loss;
+    const DatasetView shrunken_view = FullView(shrunken);
+
+    FitResult result;
+    result.w = w0;
+    result.iterations = iterations;
+    result.shrinkage_used = shrinkage;
+
+    Vector grad;
+    Vector scores;
+    for (int t = 1; t <= iterations; ++t) {
+      // g~ = (2/n) sum_i x~_i (<x~_i, w> - y~_i), the exact gradient of the
+      // squared loss on the shrunken data.
+      EmpiricalGradient(loss, shrunken_view, result.w, grad);
+      polytope.VertexInnerProducts(grad, scores);
+      for (double& value : scores) value = -value;
+      const std::size_t pick = mechanism.SelectGumbel(scores, rng);
+      result.ledger.Record({"exponential", step_epsilon, step_delta,
+                            sensitivity, /*fold=*/-1});
+
+      const double eta = 2.0 / (static_cast<double>(t) + 2.0);
+      polytope.ApplyConvexStep(pick, eta, result.w);
+
+      if (resolved.record_risk_trace) {
+        result.risk_trace.push_back(EmpiricalRisk(loss, data, result.w));
+      }
+      NotifyObserver(resolved, t, iterations, result.w, result.ledger);
+    }
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> CreateAlg2PrivateLassoSolver() {
+  return std::make_unique<Alg2PrivateLassoSolver>();
+}
+
+}  // namespace htdp

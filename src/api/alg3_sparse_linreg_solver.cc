@@ -1,0 +1,119 @@
+// Algorithm 3 (truncated DP-IHT for sparse linear regression) behind the
+// Solver facade; squared loss by construction. Former RunHtSparseLinReg body.
+
+#include <cmath>
+#include <cstddef>
+
+#include "api/solver_common.h"
+#include "api/solvers.h"
+#include "core/peeling.h"
+#include "dp/privacy.h"
+#include "linalg/projections.h"
+#include "losses/squared_loss.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace htdp {
+namespace {
+
+class Alg3SparseLinRegSolver final : public Solver {
+ public:
+  std::string name() const override { return "alg3_sparse_linreg"; }
+  std::string description() const override {
+    return "Alg.3 heavy-tailed private sparse linear regression "
+           "((eps,delta)-DP truncated DP-IHT: shrinkage + gradient step + "
+           "Peeling on disjoint folds)";
+  }
+  AlgorithmId algorithm() const override {
+    return AlgorithmId::kSparseLinReg;
+  }
+  bool requires_sparsity() const override { return true; }
+  bool requires_loss() const override { return false; }
+
+  FitResult Fit(const Problem& problem, const SolverSpec& spec,
+                Rng& rng) const override {
+    const WallTimer timer;
+    ValidateProblemShape(*this, problem, spec);
+    const Dataset& data = *problem.data;
+    data.Validate();
+    const Vector w0 = problem.InitialIterate();
+    HTDP_CHECK_EQ(w0.size(), data.dim());
+    spec.budget.params().Validate();
+    HTDP_CHECK_GT(spec.budget.delta, 0.0);
+    const double step = spec.StepOr(0.5);
+    HTDP_CHECK_GT(step, 0.0);
+
+    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    const int iterations = resolved.iterations;
+    const std::size_t sparsity = resolved.sparsity;
+    const double shrinkage = resolved.shrinkage;
+    HTDP_CHECK_LE(sparsity, data.dim());
+    HTDP_CHECK_LE(static_cast<std::size_t>(iterations), data.size());
+
+    // Step 2: entrywise shrinkage.
+    const Dataset shrunken = ShrinkDataset(data, shrinkage);
+
+    const std::vector<DatasetView> folds =
+        SplitIntoFolds(shrunken, static_cast<std::size_t>(iterations));
+
+    FitResult result;
+    result.w = w0;
+    result.iterations = iterations;
+    result.sparsity_used = sparsity;
+    result.shrinkage_used = shrinkage;
+
+    const SquaredLoss loss;
+    const std::size_t d = data.dim();
+    const double k2 = shrinkage * shrinkage;
+    Vector grad(d);
+    for (int t = 0; t < iterations; ++t) {
+      const DatasetView& fold = folds[static_cast<std::size_t>(t)];
+      const std::size_t m = fold.size();
+
+      // w_{t+0.5} = w_t - (eta0/m) sum_i x~_i (<x~_i, w_t> - y~_i).
+      SetZero(grad);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* row = fold.Row(i);
+        const double residual =
+            Dot(row, result.w.data(), d) - fold.Label(i);
+        for (std::size_t j = 0; j < d; ++j) grad[j] += residual * row[j];
+      }
+      Vector w_half = result.w;
+      Axpy(-step / static_cast<double>(m), grad, w_half);
+
+      // Step 6: Peeling with lambda = 2 K^2 eta0 (sqrt(s) + 1) / m.
+      PeelingOptions peeling;
+      peeling.sparsity = sparsity;
+      peeling.epsilon = resolved.budget.epsilon;
+      peeling.delta = resolved.budget.delta;
+      peeling.linf_sensitivity =
+          2.0 * k2 * step *
+          (std::sqrt(static_cast<double>(sparsity)) + 1.0) /
+          static_cast<double>(m);
+      const PeelingResult peeled =
+          Peel(w_half, peeling, rng, &result.ledger, /*fold=*/t);
+
+      // Step 7: project onto the unit l2 ball.
+      result.w = peeled.value;
+      if (t + 1 == iterations) {
+        result.selected = peeled.selected;  // final iteration's support
+      }
+      ProjectOntoL2Ball(1.0, result.w);
+
+      if (resolved.record_risk_trace) {
+        result.risk_trace.push_back(EmpiricalRisk(loss, data, result.w));
+      }
+      NotifyObserver(resolved, t + 1, iterations, result.w, result.ledger);
+    }
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> CreateAlg3SparseLinRegSolver() {
+  return std::make_unique<Alg3SparseLinRegSolver>();
+}
+
+}  // namespace htdp

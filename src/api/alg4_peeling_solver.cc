@@ -1,0 +1,93 @@
+// Algorithm 4 ("Peeling") as a standalone selection primitive behind the
+// Solver facade: differentially private top-s feature screening. Algorithms
+// 3 and 5 invoke Peel() internally per fold; this solver exposes the same
+// primitive against a Problem so it can be enumerated and benchmarked next
+// to the full optimizers.
+//
+// Given a dataset, it shrinks the features entrywise at threshold K (so a
+// heavy-tailed sample has bounded influence), forms the coordinate-wise
+// shrunken mean v_j = (1/n) sum_i sign(x_ij) min(|x_ij|, K) -- whose
+// replace-one l-infinity sensitivity is 2K/n -- and releases the s
+// largest-magnitude coordinates of v via Peeling (Lemma 10 gives
+// (eps, delta)-DP). The result's `selected` lists the chosen coordinates;
+// `w` is the noisy selected sub-vector.
+
+#include <cmath>
+#include <cstddef>
+
+#include "api/solver_common.h"
+#include "api/solvers.h"
+#include "core/peeling.h"
+#include "robust/shrinkage.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace htdp {
+namespace {
+
+class Alg4PeelingSolver final : public Solver {
+ public:
+  std::string name() const override { return "alg4_peeling"; }
+  std::string description() const override {
+    return "Alg.4 Peeling as a selection primitive ((eps,delta)-DP top-s "
+           "screening of the shrunken coordinate-wise feature means)";
+  }
+  AlgorithmId algorithm() const override { return AlgorithmId::kPeeling; }
+  bool requires_sparsity() const override { return true; }
+  bool requires_loss() const override { return false; }
+
+  FitResult Fit(const Problem& problem, const SolverSpec& spec,
+                Rng& rng) const override {
+    const WallTimer timer;
+    ValidateProblemShape(*this, problem, spec);
+    const Dataset& data = *problem.data;
+    data.Validate();
+    spec.budget.params().Validate();
+    HTDP_CHECK_GT(spec.budget.delta, 0.0);
+
+    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    const std::size_t n = data.size();
+    const std::size_t d = data.dim();
+    const double shrinkage = resolved.shrinkage;
+
+    // v = coordinate-wise mean of the shrunken features.
+    Vector v(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = data.x.Row(i);
+      for (std::size_t j = 0; j < d; ++j) v[j] += Shrink(row[j], shrinkage);
+    }
+    Scale(1.0 / static_cast<double>(n), v);
+
+    PeelingOptions peeling;
+    peeling.sparsity = resolved.sparsity;
+    peeling.epsilon = resolved.budget.epsilon;
+    peeling.delta = resolved.budget.delta;
+    // Replacing one sample moves each shrunken coordinate sum by at most 2K.
+    // Always derived -- unlike the other solvers, spec.scale is NOT read
+    // here, so a spec shared across the registry cannot miscalibrate the
+    // privacy noise; callers needing a custom lambda use Peel() directly.
+    peeling.linf_sensitivity = 2.0 * shrinkage / static_cast<double>(n);
+
+    FitResult result;
+    const PeelingResult peeled =
+        Peel(v, peeling, rng, &result.ledger, /*fold=*/-1);
+    result.w = peeled.value;
+    result.selected = peeled.selected;
+    result.iterations = 1;
+    result.sparsity_used = resolved.sparsity;
+    result.shrinkage_used = shrinkage;
+    // scale_used stays 0: alg4 has no Catoni scale. The l-inf sensitivity
+    // (2K/n) is recorded in the ledger entry.
+    NotifyObserver(resolved, 1, 1, result.w, result.ledger);
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> CreateAlg4PeelingSolver() {
+  return std::make_unique<Alg4PeelingSolver>();
+}
+
+}  // namespace htdp

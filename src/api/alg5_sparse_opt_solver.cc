@@ -1,0 +1,98 @@
+// Algorithm 5 (robust-gradient DP-IHT for general smooth losses) behind the
+// Solver facade. Former RunHtSparseOpt body.
+
+#include <cmath>
+#include <cstddef>
+
+#include "api/solver_common.h"
+#include "api/solvers.h"
+#include "core/peeling.h"
+#include "dp/privacy.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace htdp {
+namespace {
+
+class Alg5SparseOptSolver final : public Solver {
+ public:
+  std::string name() const override { return "alg5_sparse_opt"; }
+  std::string description() const override {
+    return "Alg.5 heavy-tailed private sparse optimization ((eps,delta)-DP "
+           "robust-gradient DP-IHT with Peeling on disjoint folds; any "
+           "smooth loss)";
+  }
+  AlgorithmId algorithm() const override { return AlgorithmId::kSparseOpt; }
+  bool requires_sparsity() const override { return true; }
+
+  FitResult Fit(const Problem& problem, const SolverSpec& spec,
+                Rng& rng) const override {
+    const WallTimer timer;
+    ValidateProblemShape(*this, problem, spec);
+    const Dataset& data = *problem.data;
+    const Loss& loss = *problem.loss;
+    data.Validate();
+    const Vector w0 = problem.InitialIterate();
+    HTDP_CHECK_EQ(w0.size(), data.dim());
+    spec.budget.params().Validate();
+    HTDP_CHECK_GT(spec.budget.delta, 0.0);
+    const double step = spec.StepOr(0.5);
+    HTDP_CHECK_GT(step, 0.0);
+    HTDP_CHECK_GT(spec.beta, 0.0);
+
+    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    const int iterations = resolved.iterations;
+    const std::size_t sparsity = resolved.sparsity;
+    const double scale = resolved.scale;
+    HTDP_CHECK_LE(sparsity, data.dim());
+    HTDP_CHECK_LE(static_cast<std::size_t>(iterations), data.size());
+
+    const FoldedRobustPlan plan = MakeFoldedRobustPlan(data, resolved);
+
+    FitResult result;
+    result.w = w0;
+    result.iterations = iterations;
+    result.sparsity_used = sparsity;
+    result.scale_used = scale;
+
+    Vector robust_grad;
+    for (int t = 0; t < iterations; ++t) {
+      const DatasetView& fold = plan.folds[static_cast<std::size_t>(t)];
+      const std::size_t m = fold.size();
+
+      plan.estimator.Estimate(loss, fold, result.w, robust_grad);
+      Vector w_half = result.w;
+      Axpy(-step, robust_grad, w_half);
+
+      // Peeling with the paper's lambda = 4 sqrt(2) k eta / m, which
+      // dominates the true step sensitivity eta * 4 sqrt(2) k / (3 m).
+      PeelingOptions peeling;
+      peeling.sparsity = sparsity;
+      peeling.epsilon = resolved.budget.epsilon;
+      peeling.delta = resolved.budget.delta;
+      peeling.linf_sensitivity = 4.0 * std::sqrt(2.0) * scale * step /
+                                 static_cast<double>(m);
+      const PeelingResult peeled =
+          Peel(w_half, peeling, rng, &result.ledger, /*fold=*/t);
+      result.w = peeled.value;
+      if (t + 1 == iterations) {
+        result.selected = peeled.selected;  // final iteration's support
+      }
+
+      if (resolved.record_risk_trace) {
+        result.risk_trace.push_back(EmpiricalRisk(loss, data, result.w));
+      }
+      NotifyObserver(resolved, t + 1, iterations, result.w, result.ledger);
+    }
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> CreateAlg5SparseOptSolver() {
+  return std::make_unique<Alg5SparseOptSolver>();
+}
+
+}  // namespace htdp

@@ -1,0 +1,23 @@
+#ifndef HTDP_API_API_H_
+#define HTDP_API_API_H_
+
+/// The unified htdp public API: describe WHAT to solve with a Problem,
+/// HOW with a SolverSpec (PrivacyBudget + schedule overrides + observer),
+/// pick WHO by name from the SolverRegistry, and get back a common
+/// FitResult with a PrivacyLedger audit trail.
+///
+///   const auto solver = SolverRegistry::Global().Create("alg1_dp_fw");
+///   Problem problem = Problem::ConstrainedErm(loss, data, ball);
+///   SolverSpec spec;
+///   spec.budget = PrivacyBudget::Pure(1.0);
+///   FitResult fit = solver->Fit(problem, spec, rng);
+
+#include "api/fit_result.h"
+#include "api/privacy_budget.h"
+#include "api/problem.h"
+#include "api/solver.h"
+#include "api/solver_registry.h"
+#include "api/solver_spec.h"
+#include "api/solvers.h"
+
+#endif  // HTDP_API_API_H_

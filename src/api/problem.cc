@@ -1,0 +1,31 @@
+#include "api/problem.h"
+
+#include "util/check.h"
+
+namespace htdp {
+
+Vector Problem::InitialIterate() const {
+  HTDP_CHECK(data != nullptr) << "Problem.data must be set";
+  if (!w0.empty()) return w0;
+  return Vector(data->dim(), 0.0);
+}
+
+Problem Problem::ConstrainedErm(const Loss& loss, const Dataset& data,
+                                const Polytope& constraint) {
+  Problem problem;
+  problem.loss = &loss;
+  problem.data = &data;
+  problem.constraint = &constraint;
+  return problem;
+}
+
+Problem Problem::SparseErm(const Loss& loss, const Dataset& data,
+                           std::size_t target_sparsity) {
+  Problem problem;
+  problem.loss = &loss;
+  problem.data = &data;
+  problem.target_sparsity = target_sparsity;
+  return problem;
+}
+
+}  // namespace htdp

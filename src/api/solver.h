@@ -1,0 +1,59 @@
+#ifndef HTDP_API_SOLVER_H_
+#define HTDP_API_SOLVER_H_
+
+#include <string>
+
+#include "api/fit_result.h"
+#include "api/problem.h"
+#include "api/solver_spec.h"
+#include "rng/rng.h"
+
+namespace htdp {
+
+/// A differentially private estimator under the shared heavy-tailed moment /
+/// privacy contract: given a Problem, a SolverSpec (budget + knobs) and an
+/// explicit Rng, produce a FitResult whose PrivacyLedger accounts for every
+/// mechanism invocation. All five algorithms of the paper -- plus the
+/// low-dimensional Gaussian baseline -- implement this interface and are
+/// constructible by name through SolverRegistry, so harnesses, benches and
+/// examples can enumerate scenarios generically.
+///
+/// Implementations are stateless and const; one Solver instance may be
+/// reused across Fit() calls and threads (each call takes its own Rng).
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// The registry key, e.g. "alg1_dp_fw".
+  virtual std::string name() const = 0;
+
+  /// One-line human description (used by the registry tour example).
+  virtual std::string description() const = 0;
+
+  virtual AlgorithmId algorithm() const = 0;
+
+  /// True when the problem must carry a Polytope constraint.
+  virtual bool requires_constraint() const { return false; }
+
+  /// True when the problem must carry a sparsity target (or the spec an
+  /// explicit Peeling sparsity).
+  virtual bool requires_sparsity() const { return false; }
+
+  /// True when the problem must carry a Loss.
+  virtual bool requires_loss() const { return true; }
+
+  /// True when the solver satisfies pure epsilon-DP (budget.delta ignored);
+  /// false when it needs delta > 0.
+  virtual bool supports_pure_dp() const { return false; }
+
+  /// Runs the algorithm. Aborts (HTDP_CHECK) on violated preconditions,
+  /// matching the legacy free functions; configuration errors surfaced by
+  /// SolverSpec::Resolve are reported in the abort diagnostic. The dataset
+  /// is never modified and must outlive the call.
+  virtual FitResult Fit(const Problem& problem, const SolverSpec& spec,
+                        Rng& rng) const = 0;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_API_SOLVER_H_

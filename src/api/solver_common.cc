@@ -1,0 +1,67 @@
+#include "api/solver_common.h"
+
+#include "robust/shrinkage.h"
+#include "util/check.h"
+
+namespace htdp {
+
+void ValidateProblemShape(const Solver& solver, const Problem& problem,
+                          const SolverSpec& spec) {
+  HTDP_CHECK(problem.data != nullptr)
+      << " " << solver.name() << ": Problem.data must be set";
+  if (solver.requires_loss()) {
+    HTDP_CHECK(problem.loss != nullptr)
+        << " " << solver.name() << ": Problem.loss must be set";
+  }
+  if (solver.requires_constraint()) {
+    HTDP_CHECK(problem.constraint != nullptr)
+        << " " << solver.name()
+        << ": Problem.constraint (a Polytope) must be set";
+  }
+  if (solver.requires_sparsity()) {
+    HTDP_CHECK(problem.target_sparsity > 0 || spec.sparsity > 0)
+        << " " << solver.name()
+        << ": set Problem.target_sparsity (s*) or SolverSpec.sparsity (s)";
+  }
+}
+
+SolverSpec ResolveSpecOrDie(const Solver& solver, const Problem& problem,
+                            const SolverSpec& spec) {
+  SolverSpec resolved = spec;
+  resolved.algorithm = solver.algorithm();
+  if (resolved.target_sparsity == 0) {
+    resolved.target_sparsity = problem.target_sparsity;
+  }
+  if (problem.constraint != nullptr && resolved.num_vertices == 0) {
+    resolved.num_vertices = problem.constraint->num_vertices();
+  }
+
+  const Status status =
+      resolved.Resolve(problem.data->size(), problem.data->dim());
+  HTDP_CHECK(status.ok()) << solver.name() << ": " << status.message();
+  return resolved;
+}
+
+FoldedRobustPlan MakeFoldedRobustPlan(const Dataset& data,
+                                      const SolverSpec& resolved) {
+  HTDP_CHECK_GT(resolved.iterations, 0);
+  HTDP_CHECK_LE(static_cast<std::size_t>(resolved.iterations), data.size());
+  return FoldedRobustPlan{
+      RobustGradientEstimator(resolved.scale, resolved.beta),
+      SplitIntoFolds(data, static_cast<std::size_t>(resolved.iterations))};
+}
+
+Dataset ShrinkDataset(const Dataset& data, double threshold) {
+  Dataset shrunken = data;
+  ShrinkInPlace(threshold, shrunken.x);
+  ShrinkInPlace(threshold, shrunken.y);
+  return shrunken;
+}
+
+void NotifyObserver(const SolverSpec& spec, int iteration, int total,
+                    const Vector& w, const PrivacyLedger& ledger) {
+  if (!spec.observer) return;
+  spec.observer(IterationEvent{iteration, total, w, ledger});
+}
+
+}  // namespace htdp

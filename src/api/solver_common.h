@@ -1,0 +1,56 @@
+#ifndef HTDP_API_SOLVER_COMMON_H_
+#define HTDP_API_SOLVER_COMMON_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "api/problem.h"
+#include "api/solver.h"
+#include "api/solver_spec.h"
+#include "core/robust_gradient.h"
+#include "data/dataset.h"
+
+namespace htdp {
+
+/// Shared plumbing hoisted out of the per-algorithm implementations: spec
+/// resolution against a problem, the disjoint-fold / robust-gradient setup
+/// of Algorithms 1, 5 and the baseline, and the entrywise data shrinkage of
+/// Algorithms 2-4.
+
+/// Aborts with a named diagnostic unless the problem carries everything the
+/// solver declares it requires (data, and -- per the solver's traits -- a
+/// loss, a constraint, a sparsity target). Every Solver::Fit calls this
+/// before touching the problem's pointers.
+void ValidateProblemShape(const Solver& solver, const Problem& problem,
+                          const SolverSpec& spec);
+
+/// Fills the spec's resolution inputs (algorithm id, target sparsity,
+/// vertex count) from the problem and runs SolverSpec::Resolve. Aborts with
+/// the resolve diagnostic on failure -- the facade, like the legacy free
+/// functions, treats a degenerate configuration as a precondition
+/// violation. Assumes ValidateProblemShape already ran (every Fit calls it
+/// first).
+SolverSpec ResolveSpecOrDie(const Solver& solver, const Problem& problem,
+                            const SolverSpec& spec);
+
+/// The fold-split robust-gradient plan shared by the splitting-based
+/// algorithms: one disjoint contiguous fold per iteration, one deterministic
+/// Catoni estimator at the resolved truncation scale.
+struct FoldedRobustPlan {
+  RobustGradientEstimator estimator;
+  std::vector<DatasetView> folds;
+};
+FoldedRobustPlan MakeFoldedRobustPlan(const Dataset& data,
+                                      const SolverSpec& resolved);
+
+/// Entrywise shrinkage x~ = sign(x) min(|x|, K) of features and labels
+/// (step 2 of Algorithms 2 and 3).
+Dataset ShrinkDataset(const Dataset& data, double threshold);
+
+/// Invokes the spec's observer, if any, with a post-iteration snapshot.
+void NotifyObserver(const SolverSpec& spec, int iteration, int total,
+                    const Vector& w, const PrivacyLedger& ledger);
+
+}  // namespace htdp
+
+#endif  // HTDP_API_SOLVER_COMMON_H_

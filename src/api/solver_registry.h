@@ -1,0 +1,54 @@
+#ifndef HTDP_API_SOLVER_REGISTRY_H_
+#define HTDP_API_SOLVER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/solver.h"
+
+namespace htdp {
+
+/// Canonical registry names of the built-in solvers.
+inline constexpr const char* kSolverAlg1DpFw = "alg1_dp_fw";
+inline constexpr const char* kSolverAlg2PrivateLasso = "alg2_private_lasso";
+inline constexpr const char* kSolverAlg3SparseLinReg = "alg3_sparse_linreg";
+inline constexpr const char* kSolverAlg4Peeling = "alg4_peeling";
+inline constexpr const char* kSolverAlg5SparseOpt = "alg5_sparse_opt";
+inline constexpr const char* kSolverBaselineRobustGd = "baseline_robust_gd";
+
+/// Name -> factory map of Solver implementations. Global() comes pre-loaded
+/// with the five paper algorithms plus the [WXDX20] baseline; downstream
+/// code may Register() additional solvers (e.g. ablation variants) and every
+/// registry-driven harness picks them up with zero further code.
+///
+/// Registration is expected to happen during start-up, before concurrent
+/// use; lookups afterwards are read-only and thread-compatible.
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Solver>()>;
+
+  /// The process-wide registry, with the built-ins pre-registered.
+  static SolverRegistry& Global();
+
+  /// Registers a factory. Aborts on a duplicate or empty name.
+  void Register(const std::string& name, Factory factory);
+
+  bool Contains(const std::string& name) const;
+
+  /// Instantiates the named solver. Aborts with the known names on an
+  /// unknown name (use Contains() to probe).
+  std::unique_ptr<Solver> Create(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_API_SOLVER_REGISTRY_H_

@@ -1,0 +1,84 @@
+#ifndef HTDP_API_SOLVER_SPEC_H_
+#define HTDP_API_SOLVER_SPEC_H_
+
+#include <cstddef>
+
+#include "api/fit_result.h"
+#include "api/privacy_budget.h"
+#include "optim/pgd.h"
+#include "util/status.h"
+
+namespace htdp {
+
+/// Which of the paper's algorithms a SolverSpec is being resolved for. Set
+/// by the Solver implementation, not by callers.
+enum class AlgorithmId {
+  kDpFw,          // Algorithm 1, heavy-tailed DP Frank-Wolfe
+  kPrivateLasso,  // Algorithm 2, shrunken-data private LASSO
+  kSparseLinReg,  // Algorithm 3, truncated DP-IHT for sparse linreg
+  kPeeling,       // Algorithm 4, private top-s selection
+  kSparseOpt,     // Algorithm 5, robust-gradient DP-IHT
+  kRobustGd,      // [WXDX20]-style full-vector Gaussian baseline
+};
+
+/// The single options type shared by every Solver. It subsumes the five
+/// legacy per-algorithm option structs: each solver reads the fields that
+/// apply to it and ignores the rest (documented per field). Every schedule
+/// field left at its zero value is auto-solved from the paper's theorem
+/// schedules by Resolve(); explicit values are taken verbatim.
+struct SolverSpec {
+  /// The end-to-end privacy contract. Pure-DP solvers (alg1_dp_fw) ignore
+  /// delta; every other solver requires delta > 0.
+  PrivacyBudget budget;
+
+  // --- Schedule (0 = auto-solve from hyperparams.h). ---------------------
+  int iterations = 0;        // T
+  double scale = 0.0;        // Catoni truncation scale s/k (alg1/alg5/
+                             // baseline); ignored by alg2-alg4
+  double shrinkage = 0.0;    // entrywise shrinkage threshold K (alg2-alg4)
+  std::size_t sparsity = 0;  // Peeling sparsity s (alg3-alg5)
+
+  // --- Assumptions & knobs (defaults match the legacy option structs). ---
+  int sparsity_multiplier = 2;  // the c of Section 6.2's s = c s* (alg3)
+  double beta = 1.0;            // Catoni smoothing precision
+  double tau = 1.0;             // coordinate-wise gradient 2nd-moment bound
+  double zeta = 0.1;            // failure probability in the log terms
+  double step = 0.0;            // 0 = per-algorithm default (0.5 for the
+                                // IHT solvers, diminishing for the baseline)
+  bool diminishing_step = true;   // alg1: eta_t = 2/(t+2) vs fixed step
+  double fixed_step = 0.0;        // alg1 fixed step; 0 = 1/sqrt(T)
+  PgdOptions::Projection projection =
+      PgdOptions::Projection::kL1Ball;  // baseline_robust_gd only
+  double radius = 1.0;                  // baseline_robust_gd only
+
+  // --- Instrumentation (never affects the optimization path). ------------
+  bool record_risk_trace = false;
+  IterationObserver observer;  // invoked after every iteration
+
+  // --- Resolution inputs, filled from the Problem by Solver::Fit. --------
+  AlgorithmId algorithm = AlgorithmId::kDpFw;
+  std::size_t target_sparsity = 0;  // s* (from Problem.target_sparsity)
+  std::size_t num_vertices = 0;     // |V| (from the constraint; 0 = 2d)
+
+  /// Applies the theorem-driven auto-schedules of hyperparams.h to every
+  /// schedule field left at 0, exactly as the legacy free functions did.
+  /// Returns an error Status -- and leaves the spec unusable -- on
+  /// degenerate configurations (n * epsilon < 1, missing sparsity target,
+  /// zeta outside (0, 1)); it never produces T < 1, s == 0 or a non-finite
+  /// scale. Explicitly set schedule fields are taken verbatim -- and, like
+  /// the legacy paths, a fully pinned schedule skips the auto-solve
+  /// together with its input validation (tau/zeta are then the caller's
+  /// responsibility; the solvers still HTDP_CHECK their own preconditions).
+  Status Resolve(std::size_t n, std::size_t d);
+
+  /// step if explicitly set (including invalid negative values, so the
+  /// solvers' HTDP_CHECK_GT(step, 0) can reject them), otherwise the
+  /// per-algorithm default.
+  double StepOr(double fallback) const {
+    return step != 0.0 ? step : fallback;
+  }
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_API_SOLVER_SPEC_H_

@@ -1,12 +1,12 @@
+// Back-compat wrapper: MinimizeDpRobustGd is now a thin adapter over the
+// baseline_robust_gd Solver in src/api/, which holds the algorithm body.
+
 #include "core/dp_robust_gd.h"
 
-#include <cmath>
-#include <cstddef>
+#include <memory>
+#include <utility>
 
-#include "core/hyperparams.h"
-#include "core/robust_gradient.h"
-#include "dp/gaussian_mechanism.h"
-#include "dp/privacy.h"
+#include "api/api.h"
 #include "util/check.h"
 
 namespace htdp {
@@ -15,56 +15,33 @@ DpRobustGdResult MinimizeDpRobustGd(const Loss& loss, const Dataset& data,
                                     const Vector& w0,
                                     const DpRobustGdOptions& options,
                                     Rng& rng) {
-  data.Validate();
+  static const std::unique_ptr<const Solver> solver =
+      CreateBaselineRobustGdSolver();
+
   HTDP_CHECK_EQ(w0.size(), data.dim());
-  PrivacyParams{options.epsilon, options.delta}.Validate();
-  HTDP_CHECK_GT(options.delta, 0.0);
+  Problem problem;
+  problem.loss = &loss;
+  problem.data = &data;
+  problem.w0 = w0;
 
-  const std::size_t d = data.dim();
-  int iterations = options.iterations;
-  double scale = options.scale;
-  if (iterations <= 0 || scale <= 0.0) {
-    const Alg1Schedule schedule = SolveAlg1Schedule(
-        data.size(), d, options.epsilon, options.tau, 2 * d, options.zeta);
-    if (iterations <= 0) iterations = schedule.iterations;
-    if (scale <= 0.0) scale = schedule.scale;
-  }
-  HTDP_CHECK_LE(static_cast<std::size_t>(iterations), data.size());
+  SolverSpec spec;
+  spec.budget = PrivacyBudget::Approx(options.epsilon, options.delta);
+  spec.iterations = options.iterations;
+  spec.scale = options.scale;
+  spec.beta = options.beta;
+  spec.tau = options.tau;
+  spec.zeta = options.zeta;
+  spec.step = options.step;
+  spec.projection = options.projection;
+  spec.radius = options.radius;
 
-  const RobustGradientEstimator estimator(scale, options.beta);
-  const std::vector<DatasetView> folds =
-      SplitIntoFolds(data, static_cast<std::size_t>(iterations));
-
-  PgdOptions projection;
-  projection.projection = options.projection;
-  projection.radius = options.radius;
+  FitResult fit = solver->Fit(problem, spec, rng);
 
   DpRobustGdResult result;
-  result.w = w0;
-  result.iterations = iterations;
-  result.scale_used = scale;
-
-  Vector grad;
-  for (int t = 1; t <= iterations; ++t) {
-    const DatasetView& fold = folds[static_cast<std::size_t>(t - 1)];
-    estimator.Estimate(loss, fold, result.w, grad);
-
-    // Coordinate-wise sensitivity 4 sqrt(2) s/(3m) becomes sqrt(d) times
-    // that in l2 -- the full-vector release is where poly(d) enters.
-    const double l2_sensitivity = std::sqrt(static_cast<double>(d)) *
-                                  estimator.Sensitivity(fold.size());
-    const GaussianMechanism mechanism(l2_sensitivity, options.epsilon,
-                                      options.delta);
-    mechanism.PrivatizeInPlace(grad, rng);
-    result.ledger.Record({"gaussian", options.epsilon, options.delta,
-                          l2_sensitivity, /*fold=*/t - 1});
-
-    const double eta = options.step > 0.0
-                           ? options.step
-                           : 2.0 / (static_cast<double>(t) + 2.0);
-    Axpy(-eta, grad, result.w);
-    ApplyProjection(projection, result.w);
-  }
+  result.w = std::move(fit.w);
+  result.ledger = std::move(fit.ledger);
+  result.iterations = fit.iterations;
+  result.scale_used = fit.scale_used;
   return result;
 }
 

@@ -1,11 +1,12 @@
+// Back-compat wrapper: RunHtDpFw is now a thin adapter over the
+// alg1_dp_fw Solver in src/api/, which holds the algorithm body.
+
 #include "core/ht_dp_fw.h"
 
-#include <cmath>
-#include <cstddef>
+#include <memory>
+#include <utility>
 
-#include "core/hyperparams.h"
-#include "core/robust_gradient.h"
-#include "dp/exponential_mechanism.h"
+#include "api/api.h"
 #include "util/check.h"
 
 namespace htdp {
@@ -13,62 +14,33 @@ namespace htdp {
 HtDpFwResult RunHtDpFw(const Loss& loss, const Dataset& data,
                        const Polytope& polytope, const Vector& w0,
                        const HtDpFwOptions& options, Rng& rng) {
-  data.Validate();
-  HTDP_CHECK_EQ(w0.size(), polytope.dim());
-  HTDP_CHECK_EQ(data.dim(), polytope.dim());
-  HTDP_CHECK_GT(options.epsilon, 0.0);
-  HTDP_CHECK_GT(options.beta, 0.0);
+  static const std::unique_ptr<const Solver> solver = CreateAlg1DpFwSolver();
 
-  int iterations = options.iterations;
-  double scale = options.scale;
-  if (iterations <= 0 || scale <= 0.0) {
-    const Alg1Schedule schedule =
-        SolveAlg1Schedule(data.size(), data.dim(), options.epsilon,
-                          options.tau, polytope.num_vertices(), options.zeta);
-    if (iterations <= 0) iterations = schedule.iterations;
-    if (scale <= 0.0) scale = schedule.scale;
-  }
-  HTDP_CHECK_LE(static_cast<std::size_t>(iterations), data.size());
+  // Legacy contract: an unsized w0 is a programmer error, not a request
+  // for the facade's empty-means-origin convenience.
+  HTDP_CHECK_EQ(w0.size(), data.dim());
+  Problem problem = Problem::ConstrainedErm(loss, data, polytope);
+  problem.w0 = w0;
 
-  const RobustGradientEstimator estimator(scale, options.beta);
-  const std::vector<DatasetView> folds =
-      SplitIntoFolds(data, static_cast<std::size_t>(iterations));
+  SolverSpec spec;
+  spec.budget = PrivacyBudget::Pure(options.epsilon);
+  spec.iterations = options.iterations;
+  spec.scale = options.scale;
+  spec.beta = options.beta;
+  spec.tau = options.tau;
+  spec.zeta = options.zeta;
+  spec.diminishing_step = options.diminishing_step;
+  spec.fixed_step = options.fixed_step;
+  spec.record_risk_trace = options.record_risk_trace;
+
+  FitResult fit = solver->Fit(problem, spec, rng);
 
   HtDpFwResult result;
-  result.w = w0;
-  result.iterations = iterations;
-  result.scale_used = scale;
-
-  Vector robust_grad;
-  Vector scores;
-  for (int t = 1; t <= iterations; ++t) {
-    const DatasetView& fold = folds[static_cast<std::size_t>(t - 1)];
-    estimator.Estimate(loss, fold, result.w, robust_grad);
-
-    // Score u(D_t, v) = -<v, g~>; sensitivity ||v||_1 * (4 sqrt(2) s)/(3 m).
-    const double sensitivity =
-        polytope.MaxVertexL1Norm() * estimator.Sensitivity(fold.size());
-    const ExponentialMechanism mechanism(sensitivity, options.epsilon);
-    polytope.VertexInnerProducts(robust_grad, scores);
-    for (double& value : scores) value = -value;
-    const std::size_t pick = mechanism.SelectGumbel(scores, rng);
-    result.ledger.Record({"exponential", options.epsilon, 0.0, sensitivity,
-                          /*fold=*/t - 1});
-
-    double eta;
-    if (options.diminishing_step) {
-      eta = 2.0 / (static_cast<double>(t) + 2.0);
-    } else if (options.fixed_step > 0.0) {
-      eta = options.fixed_step;
-    } else {
-      eta = 1.0 / std::sqrt(static_cast<double>(iterations));
-    }
-    polytope.ApplyConvexStep(pick, eta, result.w);
-
-    if (options.record_risk_trace) {
-      result.risk_trace.push_back(EmpiricalRisk(loss, data, result.w));
-    }
-  }
+  result.w = std::move(fit.w);
+  result.ledger = std::move(fit.ledger);
+  result.iterations = fit.iterations;
+  result.scale_used = fit.scale_used;
+  result.risk_trace = std::move(fit.risk_trace);
   return result;
 }
 

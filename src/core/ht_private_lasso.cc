@@ -1,12 +1,12 @@
+// Back-compat wrapper: RunHtPrivateLasso is now a thin adapter over the
+// alg2_private_lasso Solver in src/api/, which holds the algorithm body.
+
 #include "core/ht_private_lasso.h"
 
-#include <cstddef>
+#include <memory>
+#include <utility>
 
-#include "core/hyperparams.h"
-#include "dp/exponential_mechanism.h"
-#include "dp/privacy.h"
-#include "losses/squared_loss.h"
-#include "robust/shrinkage.h"
+#include "api/api.h"
 #include "util/check.h"
 
 namespace htdp {
@@ -16,66 +16,29 @@ HtPrivateLassoResult RunHtPrivateLasso(const Dataset& data,
                                        const Vector& w0,
                                        const HtPrivateLassoOptions& options,
                                        Rng& rng) {
-  data.Validate();
-  HTDP_CHECK_EQ(w0.size(), polytope.dim());
-  HTDP_CHECK_EQ(data.dim(), polytope.dim());
-  PrivacyParams{options.epsilon, options.delta}.Validate();
-  HTDP_CHECK_GT(options.delta, 0.0);
+  static const std::unique_ptr<const Solver> solver =
+      CreateAlg2PrivateLassoSolver();
 
-  int iterations = options.iterations;
-  double shrinkage = options.shrinkage;
-  if (iterations <= 0 || shrinkage <= 0.0) {
-    const Alg2Schedule schedule =
-        SolveAlg2Schedule(data.size(), options.epsilon);
-    if (iterations <= 0) iterations = schedule.iterations;
-    if (shrinkage <= 0.0) shrinkage = schedule.shrinkage;
-  }
+  HTDP_CHECK_EQ(w0.size(), data.dim());
+  Problem problem;
+  problem.data = &data;
+  problem.constraint = &polytope;
+  problem.w0 = w0;
 
-  // Step 2: entrywise shrinkage of the whole dataset.
-  Dataset shrunken = data;
-  ShrinkInPlace(shrinkage, shrunken.x);
-  ShrinkInPlace(shrinkage, shrunken.y);
+  SolverSpec spec;
+  spec.budget = PrivacyBudget::Approx(options.epsilon, options.delta);
+  spec.iterations = options.iterations;
+  spec.shrinkage = options.shrinkage;
+  spec.record_risk_trace = options.record_risk_trace;
 
-  const std::size_t n = data.size();
-  const double k2 = shrinkage * shrinkage;
-  const double vertex_norm = polytope.MaxVertexL1Norm();
-  // |2 x~_j (<x~, w> - y~)| <= 2 K^2 (V + 1); replacing one sample moves the
-  // average by twice that over n, and the score by ||v||_1 times that.
-  const double sensitivity =
-      4.0 * k2 * vertex_norm * (vertex_norm + 1.0) / static_cast<double>(n);
-  const double step_epsilon = AdvancedCompositionStepEpsilon(
-      options.epsilon, options.delta, iterations);
-  const ExponentialMechanism mechanism(sensitivity, step_epsilon);
-  const double step_delta =
-      AdvancedCompositionStepDelta(options.delta, iterations);
-
-  const SquaredLoss loss;
-  const DatasetView shrunken_view = FullView(shrunken);
+  FitResult fit = solver->Fit(problem, spec, rng);
 
   HtPrivateLassoResult result;
-  result.w = w0;
-  result.iterations = iterations;
-  result.shrinkage_used = shrinkage;
-
-  Vector grad;
-  Vector scores;
-  for (int t = 1; t <= iterations; ++t) {
-    // g~ = (2/n) sum_i x~_i (<x~_i, w> - y~_i), the exact gradient of the
-    // squared loss on the shrunken data.
-    EmpiricalGradient(loss, shrunken_view, result.w, grad);
-    polytope.VertexInnerProducts(grad, scores);
-    for (double& value : scores) value = -value;
-    const std::size_t pick = mechanism.SelectGumbel(scores, rng);
-    result.ledger.Record({"exponential", step_epsilon, step_delta,
-                          sensitivity, /*fold=*/-1});
-
-    const double eta = 2.0 / (static_cast<double>(t) + 2.0);
-    polytope.ApplyConvexStep(pick, eta, result.w);
-
-    if (options.record_risk_trace) {
-      result.risk_trace.push_back(EmpiricalRisk(loss, data, result.w));
-    }
-  }
+  result.w = std::move(fit.w);
+  result.ledger = std::move(fit.ledger);
+  result.iterations = fit.iterations;
+  result.shrinkage_used = fit.shrinkage_used;
+  result.risk_trace = std::move(fit.risk_trace);
   return result;
 }
 

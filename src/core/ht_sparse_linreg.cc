@@ -1,13 +1,12 @@
+// Back-compat wrapper: RunHtSparseLinReg is now a thin adapter over the
+// alg3_sparse_linreg Solver in src/api/, which holds the algorithm body.
+
 #include "core/ht_sparse_linreg.h"
 
-#include <cmath>
-#include <cstddef>
+#include <memory>
+#include <utility>
 
-#include "core/hyperparams.h"
-#include "core/peeling.h"
-#include "dp/privacy.h"
-#include "linalg/projections.h"
-#include "robust/shrinkage.h"
+#include "api/api.h"
 #include "util/check.h"
 
 namespace htdp {
@@ -15,83 +14,32 @@ namespace htdp {
 HtSparseLinRegResult RunHtSparseLinReg(const Dataset& data, const Vector& w0,
                                        const HtSparseLinRegOptions& options,
                                        Rng& rng) {
-  data.Validate();
-  HTDP_CHECK_EQ(w0.size(), data.dim());
-  PrivacyParams{options.epsilon, options.delta}.Validate();
-  HTDP_CHECK_GT(options.delta, 0.0);
+  static const std::unique_ptr<const Solver> solver =
+      CreateAlg3SparseLinRegSolver();
   HTDP_CHECK_GT(options.step, 0.0);
 
-  int iterations = options.iterations;
-  std::size_t sparsity = options.sparsity;
-  double shrinkage = options.shrinkage;
-  if (iterations <= 0 || sparsity == 0 || shrinkage <= 0.0) {
-    HTDP_CHECK(options.target_sparsity > 0 || sparsity > 0)
-        << "set target_sparsity (s*) or sparsity (s)";
-    const std::size_t s_star =
-        options.target_sparsity > 0 ? options.target_sparsity : sparsity;
-    const Alg3Schedule schedule = SolveAlg3Schedule(
-        data.size(), options.epsilon, s_star, options.sparsity_multiplier);
-    if (iterations <= 0) iterations = schedule.iterations;
-    if (sparsity == 0) sparsity = schedule.sparsity;
-    if (shrinkage <= 0.0) {
-      // Recompute K with the final (s, T) in case the caller pinned them.
-      const double s_t = static_cast<double>(sparsity) *
-                         static_cast<double>(iterations);
-      shrinkage = std::pow(
-          static_cast<double>(data.size()) * options.epsilon / s_t, 0.25);
-    }
-  }
-  HTDP_CHECK_LE(sparsity, data.dim());
-  HTDP_CHECK_LE(static_cast<std::size_t>(iterations), data.size());
+  HTDP_CHECK_EQ(w0.size(), data.dim());
+  Problem problem;
+  problem.data = &data;
+  problem.w0 = w0;
+  problem.target_sparsity = options.target_sparsity;
 
-  // Step 2: entrywise shrinkage.
-  Dataset shrunken = data;
-  ShrinkInPlace(shrinkage, shrunken.x);
-  ShrinkInPlace(shrinkage, shrunken.y);
+  SolverSpec spec;
+  spec.budget = PrivacyBudget::Approx(options.epsilon, options.delta);
+  spec.iterations = options.iterations;
+  spec.sparsity = options.sparsity;
+  spec.sparsity_multiplier = options.sparsity_multiplier;
+  spec.shrinkage = options.shrinkage;
+  spec.step = options.step;
 
-  const std::vector<DatasetView> folds =
-      SplitIntoFolds(shrunken, static_cast<std::size_t>(iterations));
+  FitResult fit = solver->Fit(problem, spec, rng);
 
   HtSparseLinRegResult result;
-  result.w = w0;
-  result.iterations = iterations;
-  result.sparsity_used = sparsity;
-  result.shrinkage_used = shrinkage;
-
-  const std::size_t d = data.dim();
-  const double k2 = shrinkage * shrinkage;
-  Vector grad(d);
-  for (int t = 0; t < iterations; ++t) {
-    const DatasetView& fold = folds[static_cast<std::size_t>(t)];
-    const std::size_t m = fold.size();
-
-    // w_{t+0.5} = w_t - (eta0/m) sum_i x~_i (<x~_i, w_t> - y~_i).
-    SetZero(grad);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double* row = fold.Row(i);
-      const double residual =
-          Dot(row, result.w.data(), d) - fold.Label(i);
-      for (std::size_t j = 0; j < d; ++j) grad[j] += residual * row[j];
-    }
-    Vector w_half = result.w;
-    Axpy(-options.step / static_cast<double>(m), grad, w_half);
-
-    // Step 6: Peeling with lambda = 2 K^2 eta0 (sqrt(s) + 1) / m.
-    PeelingOptions peeling;
-    peeling.sparsity = sparsity;
-    peeling.epsilon = options.epsilon;
-    peeling.delta = options.delta;
-    peeling.linf_sensitivity =
-        2.0 * k2 * options.step *
-        (std::sqrt(static_cast<double>(sparsity)) + 1.0) /
-        static_cast<double>(m);
-    const PeelingResult peeled =
-        Peel(w_half, peeling, rng, &result.ledger, /*fold=*/t);
-
-    // Step 7: project onto the unit l2 ball.
-    result.w = peeled.value;
-    ProjectOntoL2Ball(1.0, result.w);
-  }
+  result.w = std::move(fit.w);
+  result.ledger = std::move(fit.ledger);
+  result.iterations = fit.iterations;
+  result.sparsity_used = fit.sparsity_used;
+  result.shrinkage_used = fit.shrinkage_used;
   return result;
 }
 

@@ -1,12 +1,12 @@
+// Back-compat wrapper: RunHtSparseOpt is now a thin adapter over the
+// alg5_sparse_opt Solver in src/api/, which holds the algorithm body.
+
 #include "core/ht_sparse_opt.h"
 
-#include <cmath>
-#include <cstddef>
+#include <memory>
+#include <utility>
 
-#include "core/hyperparams.h"
-#include "core/peeling.h"
-#include "core/robust_gradient.h"
-#include "dp/privacy.h"
+#include "api/api.h"
 #include "util/check.h"
 
 namespace htdp {
@@ -15,63 +15,32 @@ HtSparseOptResult RunHtSparseOpt(const Loss& loss, const Dataset& data,
                                  const Vector& w0,
                                  const HtSparseOptOptions& options,
                                  Rng& rng) {
-  data.Validate();
-  HTDP_CHECK_EQ(w0.size(), data.dim());
-  PrivacyParams{options.epsilon, options.delta}.Validate();
-  HTDP_CHECK_GT(options.delta, 0.0);
+  static const std::unique_ptr<const Solver> solver =
+      CreateAlg5SparseOptSolver();
   HTDP_CHECK_GT(options.step, 0.0);
-  HTDP_CHECK_GT(options.beta, 0.0);
 
-  int iterations = options.iterations;
-  std::size_t sparsity = options.sparsity;
-  double scale = options.scale;
-  if (iterations <= 0 || sparsity == 0 || scale <= 0.0) {
-    HTDP_CHECK(options.target_sparsity > 0 || sparsity > 0)
-        << "set target_sparsity (s*) or sparsity (s)";
-    const std::size_t s_star =
-        options.target_sparsity > 0 ? options.target_sparsity : sparsity / 2;
-    const Alg5Schedule schedule =
-        SolveAlg5Schedule(data.size(), data.dim(), options.epsilon,
-                          options.tau, std::max<std::size_t>(s_star, 1),
-                          options.zeta);
-    if (iterations <= 0) iterations = schedule.iterations;
-    if (sparsity == 0) sparsity = schedule.sparsity;
-    if (scale <= 0.0) scale = schedule.scale;
-  }
-  HTDP_CHECK_LE(sparsity, data.dim());
-  HTDP_CHECK_LE(static_cast<std::size_t>(iterations), data.size());
+  HTDP_CHECK_EQ(w0.size(), data.dim());
+  Problem problem = Problem::SparseErm(loss, data, options.target_sparsity);
+  problem.w0 = w0;
 
-  const RobustGradientEstimator estimator(scale, options.beta);
-  const std::vector<DatasetView> folds =
-      SplitIntoFolds(data, static_cast<std::size_t>(iterations));
+  SolverSpec spec;
+  spec.budget = PrivacyBudget::Approx(options.epsilon, options.delta);
+  spec.iterations = options.iterations;
+  spec.sparsity = options.sparsity;
+  spec.scale = options.scale;
+  spec.tau = options.tau;
+  spec.beta = options.beta;
+  spec.step = options.step;
+  spec.zeta = options.zeta;
+
+  FitResult fit = solver->Fit(problem, spec, rng);
 
   HtSparseOptResult result;
-  result.w = w0;
-  result.iterations = iterations;
-  result.sparsity_used = sparsity;
-  result.scale_used = scale;
-
-  Vector robust_grad;
-  for (int t = 0; t < iterations; ++t) {
-    const DatasetView& fold = folds[static_cast<std::size_t>(t)];
-    const std::size_t m = fold.size();
-
-    estimator.Estimate(loss, fold, result.w, robust_grad);
-    Vector w_half = result.w;
-    Axpy(-options.step, robust_grad, w_half);
-
-    // Peeling with the paper's lambda = 4 sqrt(2) k eta / m, which dominates
-    // the true step sensitivity eta * 4 sqrt(2) k / (3 m).
-    PeelingOptions peeling;
-    peeling.sparsity = sparsity;
-    peeling.epsilon = options.epsilon;
-    peeling.delta = options.delta;
-    peeling.linf_sensitivity = 4.0 * std::sqrt(2.0) * scale * options.step /
-                               static_cast<double>(m);
-    const PeelingResult peeled =
-        Peel(w_half, peeling, rng, &result.ledger, /*fold=*/t);
-    result.w = peeled.value;
-  }
+  result.w = std::move(fit.w);
+  result.ledger = std::move(fit.ledger);
+  result.iterations = fit.iterations;
+  result.sparsity_used = fit.sparsity_used;
+  result.scale_used = fit.scale_used;
   return result;
 }
 

@@ -5,13 +5,38 @@
 /// private stochastic optimization with heavy-tailed data (Hu, Ni, Xiao,
 /// Wang; PODS 2022).
 ///
-/// Core algorithms:
-///   RunHtDpFw          -- Algorithm 1, heavy-tailed DP Frank-Wolfe (eps-DP)
-///   RunHtPrivateLasso  -- Algorithm 2, shrunken-data private LASSO
-///   RunHtSparseLinReg  -- Algorithm 3, truncated DP-IHT for sparse linreg
-///   Peel               -- Algorithm 4, private top-s selection
-///   RunHtSparseOpt     -- Algorithm 5, robust-gradient DP-IHT (general loss)
+/// The public API is the unified Solver facade in src/api/:
+///
+///   Problem        -- WHAT to solve: loss + dataset + constraint geometry
+///                     (a Polytope) or sparsity target s*.
+///   PrivacyBudget  -- the end-to-end contract: eps (pure) or (eps, delta).
+///   SolverSpec     -- HOW to solve: budget + schedule overrides (0 = auto
+///                     from the theorem schedules via SolverSpec::Resolve)
+///                     + per-iteration observer.
+///   Solver         -- the estimator interface; all five paper algorithms
+///                     implement it.
+///   SolverRegistry -- WHO solves: algorithms constructible by name.
+///   FitResult      -- iterate + PrivacyLedger audit + resolved schedule +
+///                     risk trace + timing.
+///
+/// Registered solver names:
+///   "alg1_dp_fw"          -- Alg.1, heavy-tailed DP Frank-Wolfe (eps-DP)
+///   "alg2_private_lasso"  -- Alg.2, shrunken-data private LASSO
+///   "alg3_sparse_linreg"  -- Alg.3, truncated DP-IHT for sparse linreg
+///   "alg4_peeling"        -- Alg.4, private top-s selection primitive
+///   "alg5_sparse_opt"     -- Alg.5, robust-gradient DP-IHT (general loss)
+///   "baseline_robust_gd"  -- [WXDX20]-style poly(d) Gaussian baseline
+///
+/// The free functions RunHtDpFw / RunHtPrivateLasso / RunHtSparseLinReg /
+/// RunHtSparseOpt / MinimizeDpRobustGd remain as thin back-compat wrappers
+/// over the facade and produce bit-identical results under a fixed seed;
+/// new code should use the registry (see README.md for a migration table).
+/// One deliberate behavior change rides along: a degenerate auto-schedule
+/// configuration (n * epsilon < 1) now aborts with a diagnostic instead of
+/// silently clamping T to 1 and returning a noise-dominated result. Pin
+/// `iterations`/`scale` explicitly to opt back into tiny-budget runs.
 
+#include "api/api.h"
 #include "core/dp_robust_gd.h"
 #include "core/ht_dp_fw.h"
 #include "core/ht_private_lasso.h"

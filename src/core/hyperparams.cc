@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <sstream>
 
 #include "util/check.h"
 
@@ -16,6 +17,61 @@ int ClampIterations(double t, std::size_t n) {
   const double capped =
       std::min(std::max(t, 1.0), static_cast<double>(n));
   return static_cast<int>(capped);
+}
+
+std::string Describe(const char* field, double value) {
+  std::ostringstream out;
+  out << field << "=" << value;
+  return out.str();
+}
+
+// Shared strict validation of the inputs every schedule depends on. The
+// legacy Solve* entry points HTDP_CHECK the same conditions except for the
+// n * epsilon >= 1 floor, which they clamp instead (tests rely on that).
+Status CheckCommon(std::size_t n, double epsilon) {
+  if (n == 0) return Status::Invalid("n must be > 0");
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::Invalid(Describe("epsilon must be positive and finite; "
+                                    "epsilon",
+                                    epsilon));
+  }
+  if (static_cast<double>(n) * epsilon < 1.0) {
+    return Status::Invalid(
+        Describe("privacy budget too small: need n * epsilon >= 1, got "
+                 "n * epsilon",
+                 static_cast<double>(n) * epsilon));
+  }
+  return Status::Ok();
+}
+
+Status CheckZeta(double zeta) {
+  if (!(zeta > 0.0) || zeta >= 1.0) {
+    return Status::Invalid(Describe("zeta must lie in (0, 1); zeta", zeta));
+  }
+  return Status::Ok();
+}
+
+Status CheckTau(double tau) {
+  if (!(tau > 0.0) || !std::isfinite(tau)) {
+    return Status::Invalid(Describe("tau must be positive and finite; tau",
+                                    tau));
+  }
+  return Status::Ok();
+}
+
+Status CheckScalePositive(const char* name, double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) {
+    return Status::Invalid(Describe(name, value));
+  }
+  return Status::Ok();
+}
+
+// K = (n eps / (s T))^(1/4), Theorem 7 / Section 6.2.
+double Alg3ShrinkageFor(std::size_t n, double epsilon, std::size_t sparsity,
+                        int iterations) {
+  const double s_t =
+      static_cast<double>(sparsity) * static_cast<double>(iterations);
+  return std::pow(static_cast<double>(n) * epsilon / s_t, 0.25);
 }
 
 }  // namespace
@@ -39,6 +95,24 @@ Alg1Schedule SolveAlg1Schedule(std::size_t n, std::size_t d, double epsilon,
   return schedule;
 }
 
+Status TrySolveAlg1Schedule(std::size_t n, std::size_t d, double epsilon,
+                            double tau, std::size_t num_vertices, double zeta,
+                            Alg1Schedule* out) {
+  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  if (d == 0) return Status::Invalid("d must be > 0");
+  if (num_vertices == 0) return Status::Invalid("num_vertices must be > 0");
+  if (Status s = CheckTau(tau); !s.ok()) return s;
+  if (Status s = CheckZeta(zeta); !s.ok()) return s;
+  *out = SolveAlg1Schedule(n, d, epsilon, tau, num_vertices, zeta);
+  if (Status s = CheckScalePositive(
+          "Alg1 schedule produced a degenerate truncation scale; scale",
+          out->scale);
+      !s.ok()) {
+    return s;
+  }
+  return Status::Ok();
+}
+
 Alg1RobustSchedule SolveAlg1RobustSchedule(std::size_t n, std::size_t d,
                                            double epsilon, double zeta) {
   HTDP_CHECK_GT(n, 0u);
@@ -58,6 +132,22 @@ Alg1RobustSchedule SolveAlg1RobustSchedule(std::size_t n, std::size_t d,
   return schedule;
 }
 
+Status TrySolveAlg1RobustSchedule(std::size_t n, std::size_t d, double epsilon,
+                                  double zeta, Alg1RobustSchedule* out) {
+  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  if (d == 0) return Status::Invalid("d must be > 0");
+  if (Status s = CheckZeta(zeta); !s.ok()) return s;
+  *out = SolveAlg1RobustSchedule(n, d, epsilon, zeta);
+  if (Status s = CheckScalePositive(
+          "Alg1 robust schedule produced a degenerate truncation scale; "
+          "scale",
+          out->scale);
+      !s.ok()) {
+    return s;
+  }
+  return Status::Ok();
+}
+
 Alg2Schedule SolveAlg2Schedule(std::size_t n, double epsilon) {
   HTDP_CHECK_GT(n, 0u);
   HTDP_CHECK_GT(epsilon, 0.0);
@@ -71,6 +161,19 @@ Alg2Schedule SolveAlg2Schedule(std::size_t n, double epsilon) {
   return schedule;
 }
 
+Status TrySolveAlg2Schedule(std::size_t n, double epsilon, Alg2Schedule* out) {
+  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  *out = SolveAlg2Schedule(n, epsilon);
+  if (Status s = CheckScalePositive(
+          "Alg2 schedule produced a degenerate shrinkage threshold; "
+          "shrinkage",
+          out->shrinkage);
+      !s.ok()) {
+    return s;
+  }
+  return Status::Ok();
+}
+
 Alg3Schedule SolveAlg3Schedule(std::size_t n, double epsilon,
                                std::size_t target_sparsity, int multiplier) {
   HTDP_CHECK_GT(n, 0u);
@@ -81,12 +184,52 @@ Alg3Schedule SolveAlg3Schedule(std::size_t n, double epsilon,
   schedule.iterations =
       ClampIterations(std::floor(std::log(static_cast<double>(n))), n);
   schedule.sparsity = target_sparsity * static_cast<std::size_t>(multiplier);
-  const double s_t = static_cast<double>(schedule.sparsity) *
-                     static_cast<double>(schedule.iterations);
   schedule.shrinkage =
-      std::pow(static_cast<double>(n) * epsilon / s_t, 0.25);
+      Alg3ShrinkageFor(n, epsilon, schedule.sparsity, schedule.iterations);
   schedule.step = 0.5;
   return schedule;
+}
+
+Status TrySolveAlg3Schedule(std::size_t n, double epsilon,
+                            std::size_t target_sparsity, int multiplier,
+                            Alg3Schedule* out) {
+  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  if (target_sparsity == 0) {
+    return Status::Invalid("set target_sparsity (s*) or sparsity (s)");
+  }
+  if (multiplier < 1) return Status::Invalid("sparsity_multiplier must be >= 1");
+  *out = SolveAlg3Schedule(n, epsilon, target_sparsity, multiplier);
+  if (Status s = CheckScalePositive(
+          "Alg3 schedule produced a degenerate shrinkage threshold; "
+          "shrinkage",
+          out->shrinkage);
+      !s.ok()) {
+    return s;
+  }
+  return Status::Ok();
+}
+
+Status TrySolveAlg3Shrinkage(std::size_t n, double epsilon,
+                             std::size_t sparsity, int iterations,
+                             double* shrinkage) {
+  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  if (sparsity == 0) return Status::Invalid("sparsity must be > 0");
+  if (iterations < 1) return Status::Invalid("iterations must be >= 1");
+  *shrinkage = Alg3ShrinkageFor(n, epsilon, sparsity, iterations);
+  return CheckScalePositive(
+      "Alg3 schedule produced a degenerate shrinkage threshold; "
+      "shrinkage",
+      *shrinkage);
+}
+
+Status TrySolvePeelingShrinkage(std::size_t n, double epsilon,
+                                double* shrinkage) {
+  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  *shrinkage = std::pow(static_cast<double>(n) * epsilon, 0.25);
+  return CheckScalePositive(
+      "Peeling schedule produced a degenerate shrinkage threshold; "
+      "shrinkage",
+      *shrinkage);
 }
 
 Alg5Schedule SolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
@@ -111,6 +254,26 @@ Alg5Schedule SolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
   schedule.beta = 1.0;
   schedule.step = 0.5;
   return schedule;
+}
+
+Status TrySolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
+                            double tau, std::size_t target_sparsity,
+                            double zeta, Alg5Schedule* out) {
+  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  if (d == 0) return Status::Invalid("d must be > 0");
+  if (Status s = CheckTau(tau); !s.ok()) return s;
+  if (target_sparsity == 0) {
+    return Status::Invalid("set target_sparsity (s*) or sparsity (s)");
+  }
+  if (Status s = CheckZeta(zeta); !s.ok()) return s;
+  *out = SolveAlg5Schedule(n, d, epsilon, tau, target_sparsity, zeta);
+  if (Status s = CheckScalePositive(
+          "Alg5 schedule produced a degenerate truncation scale; scale",
+          out->scale);
+      !s.ok()) {
+    return s;
+  }
+  return Status::Ok();
 }
 
 }  // namespace htdp

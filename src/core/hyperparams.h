@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "util/status.h"
+
 namespace htdp {
 
 /// Theory-driven default hyper-parameter schedules for the four algorithms,
@@ -11,6 +13,17 @@ namespace htdp {
 /// theorems (the literal "s = floor(n eps)" for Algorithm 1 and
 /// "k = c2 n eps" for Algorithm 5 degenerate the bias/noise trade-off), the
 /// theorem-driven value is used; see DESIGN.md section 3 and EXPERIMENTS.md.
+///
+/// Two entry points per schedule:
+///   SolveAlgX...   -- legacy, HTDP_CHECK-aborts on invalid arguments and
+///                     clamps borderline inputs (T floored at 1, capped at n)
+///                     so it always returns a usable schedule.
+///   TrySolveAlgX.. -- strict, returns an error Status on degenerate inputs
+///                     (n * epsilon < 1, target_sparsity == 0, zeta outside
+///                     (0, 1), non-finite results) instead of proceeding.
+///                     SolverSpec::Resolve uses these, which is what makes
+///                     the facade guarantee T >= 1, s >= 1 and finite
+///                     positive scales.
 
 /// Algorithm 1 (Theorem 2 / Section 6.2).
 struct Alg1Schedule {
@@ -21,6 +34,9 @@ struct Alg1Schedule {
 Alg1Schedule SolveAlg1Schedule(std::size_t n, std::size_t d, double epsilon,
                                double tau, std::size_t num_vertices,
                                double zeta);
+Status TrySolveAlg1Schedule(std::size_t n, std::size_t d, double epsilon,
+                            double tau, std::size_t num_vertices, double zeta,
+                            Alg1Schedule* out);
 
 /// Algorithm 1 variant for the non-convex robust regression of Theorem 3:
 /// T = sqrt(n eps / log(d/zeta)), fixed step eta = 1/sqrt(T),
@@ -33,6 +49,8 @@ struct Alg1RobustSchedule {
 };
 Alg1RobustSchedule SolveAlg1RobustSchedule(std::size_t n, std::size_t d,
                                            double epsilon, double zeta);
+Status TrySolveAlg1RobustSchedule(std::size_t n, std::size_t d, double epsilon,
+                                  double zeta, Alg1RobustSchedule* out);
 
 /// Algorithm 2 (Theorem 5 / Section 6.2).
 struct Alg2Schedule {
@@ -40,6 +58,7 @@ struct Alg2Schedule {
   double shrinkage = 1.0;  // K = (n eps)^(1/4) / T^(1/8)
 };
 Alg2Schedule SolveAlg2Schedule(std::size_t n, double epsilon);
+Status TrySolveAlg2Schedule(std::size_t n, double epsilon, Alg2Schedule* out);
 
 /// Algorithm 3 (Theorem 7 / Section 6.2).
 struct Alg3Schedule {
@@ -50,6 +69,23 @@ struct Alg3Schedule {
 };
 Alg3Schedule SolveAlg3Schedule(std::size_t n, double epsilon,
                                std::size_t target_sparsity, int multiplier);
+Status TrySolveAlg3Schedule(std::size_t n, double epsilon,
+                            std::size_t target_sparsity, int multiplier,
+                            Alg3Schedule* out);
+
+/// The Algorithm 3 shrinkage rule K = (n eps / (s T))^(1/4) alone, for
+/// recomputing K against a caller-pinned (s, T) pair. The single source of
+/// truth shared with SolveAlg3Schedule.
+Status TrySolveAlg3Shrinkage(std::size_t n, double epsilon,
+                             std::size_t sparsity, int iterations,
+                             double* shrinkage);
+
+/// Algorithm 4 (Peeling) as a standalone screening primitive: the entrywise
+/// shrinkage threshold K = (n eps)^(1/4) bounding each sample's influence
+/// on the released coordinate means. Shares the n * epsilon >= 1 floor with
+/// every other strict schedule solver.
+Status TrySolvePeelingShrinkage(std::size_t n, double epsilon,
+                                double* shrinkage);
 
 /// Algorithm 5 (Theorem 8 / Section 6.2).
 struct Alg5Schedule {
@@ -62,6 +98,9 @@ struct Alg5Schedule {
 Alg5Schedule SolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
                                double tau, std::size_t target_sparsity,
                                double zeta);
+Status TrySolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
+                            double tau, std::size_t target_sparsity,
+                            double zeta, Alg5Schedule* out);
 
 }  // namespace htdp
 

@@ -1,0 +1,76 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "data/synthetic.h"
+#include "losses/logistic_loss.h"
+#include "losses/squared_loss.h"
+#include "optim/frank_wolfe.h"
+#include "stats/moments.h"
+#include "util/check.h"
+
+namespace htdp {
+
+double RunScenarioTrial(const Scenario& scenario, std::uint64_t seed) {
+  HTDP_CHECK_GT(scenario.n, 0u);
+  HTDP_CHECK_GT(scenario.d, 0u);
+  Rng rng(seed);
+  const std::size_t d = scenario.d;
+
+  // Workload: target, then data, drawn in that order (matching the legacy
+  // bench trial runners so historical bench output stays comparable).
+  Vector w_star = scenario.target == Scenario::Target::kSparse
+                      ? MakeSparseTarget(d, scenario.target_sparsity, rng)
+                      : MakeL1BallTarget(d, rng);
+  if (scenario.target_scale != 1.0) Scale(scenario.target_scale, w_star);
+  const SyntheticConfig config{scenario.n, d, scenario.features,
+                               scenario.noise};
+  const Dataset data = scenario.model == Scenario::Model::kLogistic
+                           ? GenerateLogistic(config, w_star, rng)
+                           : GenerateLinear(config, w_star, rng);
+
+  const SquaredLoss squared;
+  const LogisticLoss logistic(scenario.ridge);
+  const Loss& loss = scenario.model == Scenario::Model::kLogistic
+                         ? static_cast<const Loss&>(logistic)
+                         : static_cast<const Loss&>(squared);
+  const L1Ball ball(d, 1.0);
+
+  const std::unique_ptr<Solver> solver =
+      SolverRegistry::Global().Create(scenario.solver);
+
+  Problem problem;
+  problem.loss = &loss;
+  problem.data = &data;
+  if (solver->requires_constraint()) problem.constraint = &ball;
+  problem.target_sparsity = scenario.target_sparsity;
+
+  SolverSpec spec = scenario.spec;
+  if (scenario.estimate_tau) {
+    spec.tau =
+        EstimateGradientSecondMoment(loss, FullView(data), Vector(d, 0.0));
+  }
+
+  const FitResult fit = solver->Fit(problem, spec, rng);
+
+  const double reference =
+      scenario.metric == Scenario::Metric::kExcessRiskVsBestReference
+          ? BestReferenceRisk(loss, data, ball, w_star,
+                              scenario.reference_fw_iterations)
+          : EmpiricalRisk(loss, data, w_star);
+  return EmpiricalRisk(loss, data, fit.w) - reference;
+}
+
+double BestReferenceRisk(const Loss& loss, const Dataset& data,
+                         const Polytope& constraint, const Vector& w_star,
+                         int fw_iterations) {
+  FrankWolfeOptions fw;
+  fw.iterations = fw_iterations;
+  const auto nonprivate = MinimizeFrankWolfe(
+      loss, data, constraint, Vector(data.dim(), 0.0), fw);
+  return std::min(EmpiricalRisk(loss, data, w_star),
+                  EmpiricalRisk(loss, data, nonprivate.w));
+}
+
+}  // namespace htdp

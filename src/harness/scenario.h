@@ -1,0 +1,78 @@
+#ifndef HTDP_HARNESS_SCENARIO_H_
+#define HTDP_HARNESS_SCENARIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "api/api.h"
+#include "rng/distributions.h"
+
+namespace htdp {
+
+/// A fully config-driven experiment: which registered solver to run, on
+/// which synthetic workload, under which budget, measured how. The benches
+/// and examples build Scenario values instead of hand-rolling per-algorithm
+/// dispatch, so a new experiment -- or a brand-new solver registered in
+/// SolverRegistry -- is a config change, not new code.
+struct Scenario {
+  /// SolverRegistry name, e.g. "alg1_dp_fw".
+  std::string solver;
+
+  // --- Workload (Section 6.1 generators). --------------------------------
+  enum class Model { kLinear, kLogistic };
+  Model model = Model::kLinear;
+
+  enum class Target { kL1Ball, kSparse };
+  Target target = Target::kL1Ball;
+
+  std::size_t n = 0;
+  std::size_t d = 0;
+  ScalarDistribution features = ScalarDistribution::Lognormal(0.0, 0.6);
+  ScalarDistribution noise = ScalarDistribution::Normal(0.0, 0.1);
+  /// Multiplies the generated w* (e.g. 0.5 for Theorem 7's ||w*|| <= 1/2).
+  double target_scale = 1.0;
+  /// s* for Target::kSparse; also forwarded as Problem.target_sparsity.
+  std::size_t target_sparsity = 0;
+  /// Ridge coefficient of the logistic loss (Figures 10-11 use 0.01).
+  double ridge = 0.0;
+
+  // --- Solver configuration. ---------------------------------------------
+  /// Budget + schedule overrides, passed to Fit verbatim (set spec.budget).
+  SolverSpec spec;
+  /// Estimate tau = max_j E[g_j^2] at w = 0 from the generated data and put
+  /// it into spec.tau (the offline estimation the paper assumes). Costs one
+  /// O(n d) data pass per trial; leave false for solvers without a tau knob.
+  bool estimate_tau = false;
+
+  // --- Measurement. ------------------------------------------------------
+  enum class Metric {
+    /// L_hat(w) - L_hat(w*): the excess empirical risk against the
+    /// generating target (linear workloads).
+    kExcessRiskVsTarget,
+    /// L_hat(w) - min(L_hat(w*), L_hat(w_fw)) with w_fw a non-private
+    /// Frank-Wolfe reference -- the logistic-workload convention, since the
+    /// generating w* is not the ERM under the sign-label model.
+    kExcessRiskVsBestReference,
+  };
+  Metric metric = Metric::kExcessRiskVsTarget;
+  int reference_fw_iterations = 60;
+};
+
+/// Generates the workload from `seed`, fits the named solver through the
+/// registry, and returns the scenario's metric. One call = one trial; feed
+/// it to RunTrials for mean +- stdev summaries.
+double RunScenarioTrial(const Scenario& scenario, std::uint64_t seed);
+
+/// min(L_hat(w_star), L_hat(w_fw)) with w_fw a non-private Frank-Wolfe run
+/// of `fw_iterations` over `constraint` -- the reference risk of
+/// Metric::kExcessRiskVsBestReference, shared with the bench helpers so the
+/// private and non-private panels of a figure measure against the same
+/// reference.
+double BestReferenceRisk(const Loss& loss, const Dataset& data,
+                         const Polytope& constraint, const Vector& w_star,
+                         int fw_iterations);
+
+}  // namespace htdp
+
+#endif  // HTDP_HARNESS_SCENARIO_H_

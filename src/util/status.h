@@ -1,0 +1,35 @@
+#ifndef HTDP_UTIL_STATUS_H_
+#define HTDP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace htdp {
+
+/// Lightweight error carrier for the exception-free htdp library. Functions
+/// that can fail on user-provided configuration (rather than on violated
+/// internal invariants, which HTDP_CHECK-abort) return a Status so callers
+/// can surface the problem instead of crashing.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Invalid(std::string message) {
+    return Status(std::move(message));
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message)
+      : ok_(false), message_(std::move(message)) {}
+
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_UTIL_STATUS_H_
