@@ -15,13 +15,94 @@
 #include <cstdio>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/htdp.h"
 #include "harness/experiment.h"
 #include "harness/scenario.h"
 #include "harness/table.h"
+#include "util/parallel.h"
+
+// Generated into the build tree by cmake/git_rev.cmake on every build of a
+// bench target; absent when bench_common.h is compiled outside the bench
+// build (e.g. ad-hoc probes against the static library).
+#if __has_include("htdp_git_rev.h")
+#include "htdp_git_rev.h"
+#endif
 
 namespace htdp::bench {
+
+/// Git revision the measured binary was built from, baked in at build time:
+/// cmake/git_rev.cmake regenerates htdp_git_rev.h on every build (not just
+/// at configure), so incremental rebuilds after new commits cannot record a
+/// stale revision, and the value always names the code that was actually
+/// compiled (a runtime lookup could name whatever repo the binary happens
+/// to run in). "unknown" outside a git checkout.
+inline const char* GitRevision() {
+#ifdef HTDP_GIT_REV
+  return HTDP_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+/// One measured bench point of a BENCH_*.json perf-trajectory file.
+struct BenchRecord {
+  std::string name;          // e.g. "BM_RobustGradient/4096/2048"
+  double wall_seconds = 0.0;        // mean wall time of one iteration
+  double iterations_per_sec = 0.0;  // 1 / wall_seconds
+  double items_per_sec = 0.0;       // samples*dims per second (0 if untracked)
+};
+
+/// Accumulates BenchRecords and writes the machine-readable perf-trajectory
+/// schema tracked PR-over-PR:
+///   { "bench": <name>, "git_rev": <rev>, "threads": <NumWorkerThreads()>,
+///     "records": [ { "name", "wall_seconds", "iterations_per_sec",
+///                    "items_per_sec" }, ... ] }
+/// Every bench binary emits BENCH_<suffix>.json next to its table output so
+/// CI can archive the numbers alongside the human-readable tables.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return false;
+    std::fprintf(file,
+                 "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n"
+                 "  \"threads\": %d,\n  \"records\": [",
+                 Escaped(bench_name_).c_str(), Escaped(GitRevision()).c_str(),
+                 NumWorkerThreads());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(file,
+                   "%s\n    {\"name\": \"%s\", \"wall_seconds\": %.9g, "
+                   "\"iterations_per_sec\": %.9g, \"items_per_sec\": %.9g}",
+                   i == 0 ? "" : ",", Escaped(r.name).c_str(), r.wall_seconds,
+                   r.iterations_per_sec, r.items_per_sec);
+    }
+    std::fprintf(file, "\n  ]\n}\n");
+    std::fclose(file);
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<BenchRecord> records_;
+};
 
 /// delta = n^-1.1 (Section 6.2).
 inline double PaperDelta(std::size_t n) {

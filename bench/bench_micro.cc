@@ -1,11 +1,24 @@
 // Microbenchmarks (google-benchmark) of the primitives on the hot paths of
 // Algorithms 1-5: the smoothed truncation function, the robust mean /
 // gradient estimators, the DP mechanisms, Peeling and the geometry ops.
+//
+// Unlike the figure benches this binary has its own main: it strips two
+// htdp-specific flags before handing the rest to google-benchmark --
+//   --smoke        quick pass (low --benchmark_min_time) for CI
+//   --json=PATH    perf-trajectory output path (default BENCH_micro.json)
+// -- and always writes the BENCH_*.json schema of bench_common.h so the
+// perf trajectory is tracked PR-over-PR.
 
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
+#include "bench_common.h"
 #include "core/htdp.h"
 
 namespace htdp {
@@ -51,6 +64,25 @@ void BM_RobustMeanEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_RobustMeanEstimate)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_AccumulateContributions(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Vector values(n);
+  for (double& v : values) v = SampleLognormal(rng, 0.0, 1.0);
+  Vector acc(n, 0.0);
+  const RobustMeanEstimator estimator(10.0, 1.0);
+  for (auto _ : state) {
+    estimator.AccumulateContributions(values.data(), n, acc.data());
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AccumulateContributions)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// The acceptance-tracked hot path: one robust-gradient estimate. The
+// {4096, 2048} point is the perf-trajectory headline recorded in
+// BENCH_micro.json; the workspace is loop-carried exactly as the solvers
+// carry it, so warm iterations allocate nothing.
 void BM_RobustGradient(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t d = static_cast<std::size_t>(state.range(1));
@@ -63,8 +95,9 @@ void BM_RobustGradient(benchmark::State& state) {
   const RobustGradientEstimator estimator(10.0, 1.0);
   const Vector w(d, 0.0);
   Vector out;
+  RobustGradientWorkspace workspace;
   for (auto _ : state) {
-    estimator.Estimate(loss, FullView(data), w, out);
+    estimator.Estimate(loss, FullView(data), w, out, &workspace);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * d));
@@ -72,7 +105,9 @@ void BM_RobustGradient(benchmark::State& state) {
 BENCHMARK(BM_RobustGradient)
     ->Args({1000, 100})
     ->Args({1000, 800})
-    ->Args({10000, 400});
+    ->Args({10000, 400})
+    ->Args({4096, 2048})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ExponentialMechanism(benchmark::State& state) {
   const std::size_t range = static_cast<std::size_t>(state.range(0));
@@ -149,6 +184,18 @@ void BM_LognormalSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_LognormalSampling);
 
+void BM_FillNormal(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(27);
+  Vector out(n);
+  for (auto _ : state) {
+    FillNormal(rng, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FillNormal)->Arg(1000)->Arg(100000);
+
 void BM_ShrinkDataset(benchmark::State& state) {
   const std::size_t n = 10000;
   const std::size_t d = static_cast<std::size_t>(state.range(0));
@@ -164,5 +211,97 @@ void BM_ShrinkDataset(benchmark::State& state) {
 }
 BENCHMARK(BM_ShrinkDataset)->Arg(100)->Arg(400);
 
+// google-benchmark renamed Run::error_occurred to Run::skipped in v1.8.0;
+// detect whichever member this library version has.
+template <typename R, typename = void>
+struct RunHasSkipped : std::false_type {};
+template <typename R>
+struct RunHasSkipped<R, std::void_t<decltype(std::declval<const R&>().skipped)>>
+    : std::true_type {};
+
+template <typename R>
+bool RunWasSkipped(const R& run) {
+  if constexpr (RunHasSkipped<R>::value) {
+    return static_cast<bool>(run.skipped);
+  } else {
+    return run.error_occurred;
+  }
+}
+
+/// Captures every finished run into the BENCH_*.json perf-trajectory schema
+/// while still printing the familiar console table.
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (RunWasSkipped(run)) continue;
+      // With --benchmark_repetitions, aggregate rows (_mean/_stddev/...)
+      // carry statistics, not times; recording them would corrupt the
+      // trajectory (a _stddev row's "wall_seconds" is not a duration).
+      if (run.run_type == Run::RT_Aggregate) continue;
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      // GetAdjustedRealTime is per-iteration real time in the run's time
+      // unit; normalize back to seconds.
+      record.wall_seconds = run.GetAdjustedRealTime() /
+                            benchmark::GetTimeUnitMultiplier(run.time_unit);
+      record.iterations_per_sec =
+          record.wall_seconds > 0.0 ? 1.0 / record.wall_seconds : 0.0;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        // The counter is items / main-thread CPU time; rescale to wall
+        // clock so pooled runs report true throughput (the number the
+        // perf trajectory tracks).
+        double rate = items->second.value;
+        if (run.real_accumulated_time > 0.0 &&
+            run.cpu_accumulated_time > 0.0) {
+          rate = rate * run.cpu_accumulated_time / run.real_accumulated_time;
+        }
+        record.items_per_sec = rate;
+      }
+      writer_.Add(std::move(record));
+    }
+  }
+
+  bool Write(const std::string& path) const { return writer_.WriteFile(path); }
+
+ private:
+  bench::BenchJsonWriter writer_{"bench_micro"};
+};
+
 }  // namespace
 }  // namespace htdp
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_micro.json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.05";
+  if (smoke) args.push_back(min_time.data());
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  htdp::JsonTrajectoryReporter trajectory;
+  benchmark::RunSpecifiedBenchmarks(&trajectory);
+  if (!trajectory.Write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("perf trajectory written to %s (git %s, %d threads)\n",
+              json_path.c_str(), htdp::bench::GitRevision(),
+              htdp::NumWorkerThreads());
+  return 0;
+}

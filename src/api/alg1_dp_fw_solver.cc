@@ -49,20 +49,24 @@ class Alg1DpFwSolver final : public Solver {
     result.w = w0;
     result.iterations = iterations;
     result.scale_used = resolved.scale;
+    // One ledger entry per iteration; reserving up front keeps the fit loop
+    // free of heap allocations after the first iteration warms the
+    // workspace buffers.
+    result.ledger.Reserve(static_cast<std::size_t>(iterations));
 
-    Vector robust_grad;
-    Vector scores;
+    SolverWorkspace ws;
     for (int t = 1; t <= iterations; ++t) {
       const DatasetView& fold = plan.folds[static_cast<std::size_t>(t - 1)];
-      plan.estimator.Estimate(loss, fold, result.w, robust_grad);
+      plan.estimator.Estimate(loss, fold, result.w, ws.robust_grad,
+                              &ws.gradient);
 
       // Score u(D_t, v) = -<v, g~>; sensitivity ||v||_1 * (4 sqrt(2) s)/(3 m).
       const double sensitivity =
           polytope.MaxVertexL1Norm() * plan.estimator.Sensitivity(fold.size());
       const ExponentialMechanism mechanism(sensitivity, epsilon);
-      polytope.VertexInnerProducts(robust_grad, scores);
-      for (double& value : scores) value = -value;
-      const std::size_t pick = mechanism.SelectGumbel(scores, rng);
+      polytope.VertexInnerProducts(ws.robust_grad, ws.scores);
+      for (double& value : ws.scores) value = -value;
+      const std::size_t pick = mechanism.SelectGumbel(ws.scores, rng);
       result.ledger.Record({"exponential", epsilon, 0.0, sensitivity,
                             /*fold=*/t - 1});
 

@@ -69,15 +69,15 @@ class Alg2PrivateLassoSolver final : public Solver {
     result.iterations = iterations;
     result.shrinkage_used = shrinkage;
 
-    Vector grad;
-    Vector scores;
+    result.ledger.Reserve(static_cast<std::size_t>(iterations));
+    SolverWorkspace ws;
     for (int t = 1; t <= iterations; ++t) {
       // g~ = (2/n) sum_i x~_i (<x~_i, w> - y~_i), the exact gradient of the
       // squared loss on the shrunken data.
-      EmpiricalGradient(loss, shrunken_view, result.w, grad);
-      polytope.VertexInnerProducts(grad, scores);
-      for (double& value : scores) value = -value;
-      const std::size_t pick = mechanism.SelectGumbel(scores, rng);
+      EmpiricalGradient(loss, shrunken_view, result.w, ws.robust_grad);
+      polytope.VertexInnerProducts(ws.robust_grad, ws.scores);
+      for (double& value : ws.scores) value = -value;
+      const std::size_t pick = mechanism.SelectGumbel(ws.scores, rng);
       result.ledger.Record({"exponential", step_epsilon, step_delta,
                             sensitivity, /*fold=*/-1});
 

@@ -65,7 +65,10 @@ class Alg3SparseLinRegSolver final : public Solver {
     const SquaredLoss loss;
     const std::size_t d = data.dim();
     const double k2 = shrinkage * shrinkage;
-    Vector grad(d);
+    result.ledger.Reserve(static_cast<std::size_t>(iterations));
+    SolverWorkspace ws;
+    Vector& grad = ws.robust_grad;
+    grad.assign(d, 0.0);
     for (int t = 0; t < iterations; ++t) {
       const DatasetView& fold = folds[static_cast<std::size_t>(t)];
       const std::size_t m = fold.size();
@@ -76,9 +79,10 @@ class Alg3SparseLinRegSolver final : public Solver {
         const double* row = fold.Row(i);
         const double residual =
             Dot(row, result.w.data(), d) - fold.Label(i);
-        for (std::size_t j = 0; j < d; ++j) grad[j] += residual * row[j];
+        AxpyKernel(residual, row, grad.data(), d);
       }
-      Vector w_half = result.w;
+      ws.w_half = result.w;
+      Vector& w_half = ws.w_half;
       Axpy(-step / static_cast<double>(m), grad, w_half);
 
       // Step 6: Peeling with lambda = 2 K^2 eta0 (sqrt(s) + 1) / m.

@@ -50,8 +50,12 @@ class Alg4PeelingSolver final : public Solver {
     const std::size_t d = data.dim();
     const double shrinkage = resolved.shrinkage;
 
-    // v = coordinate-wise mean of the shrunken features.
-    Vector v(d, 0.0);
+    // v = coordinate-wise mean of the shrunken features. Single-shot solver,
+    // but it still routes its only release vector through the shared
+    // workspace so all six solvers follow one scratch-buffer convention.
+    SolverWorkspace ws;
+    Vector& v = ws.robust_grad;
+    v.assign(d, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       const double* row = data.x.Row(i);
       for (std::size_t j = 0; j < d; ++j) v[j] += Shrink(row[j], shrinkage);

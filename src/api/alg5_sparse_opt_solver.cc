@@ -55,14 +55,16 @@ class Alg5SparseOptSolver final : public Solver {
     result.sparsity_used = sparsity;
     result.scale_used = scale;
 
-    Vector robust_grad;
+    result.ledger.Reserve(static_cast<std::size_t>(iterations));
+    SolverWorkspace ws;
     for (int t = 0; t < iterations; ++t) {
       const DatasetView& fold = plan.folds[static_cast<std::size_t>(t)];
       const std::size_t m = fold.size();
 
-      plan.estimator.Estimate(loss, fold, result.w, robust_grad);
-      Vector w_half = result.w;
-      Axpy(-step, robust_grad, w_half);
+      plan.estimator.Estimate(loss, fold, result.w, ws.robust_grad,
+                              &ws.gradient);
+      ws.w_half = result.w;
+      Axpy(-step, ws.robust_grad, ws.w_half);
 
       // Peeling with the paper's lambda = 4 sqrt(2) k eta / m, which
       // dominates the true step sensitivity eta * 4 sqrt(2) k / (3 m).
@@ -73,7 +75,7 @@ class Alg5SparseOptSolver final : public Solver {
       peeling.linf_sensitivity = 4.0 * std::sqrt(2.0) * scale * step /
                                  static_cast<double>(m);
       const PeelingResult peeled =
-          Peel(w_half, peeling, rng, &result.ledger, /*fold=*/t);
+          Peel(ws.w_half, peeling, rng, &result.ledger, /*fold=*/t);
       result.w = peeled.value;
       if (t + 1 == iterations) {
         result.selected = peeled.selected;  // final iteration's support

@@ -53,10 +53,12 @@ class BaselineRobustGdSolver final : public Solver {
     result.iterations = iterations;
     result.scale_used = resolved.scale;
 
-    Vector grad;
+    result.ledger.Reserve(static_cast<std::size_t>(iterations));
+    SolverWorkspace ws;
+    Vector& grad = ws.robust_grad;
     for (int t = 1; t <= iterations; ++t) {
       const DatasetView& fold = plan.folds[static_cast<std::size_t>(t - 1)];
-      plan.estimator.Estimate(loss, fold, result.w, grad);
+      plan.estimator.Estimate(loss, fold, result.w, grad, &ws.gradient);
 
       // Coordinate-wise sensitivity 4 sqrt(2) s/(3m) becomes sqrt(d) times
       // that in l2 -- the full-vector release is where poly(d) enters.
@@ -65,7 +67,11 @@ class BaselineRobustGdSolver final : public Solver {
       const GaussianMechanism mechanism(l2_sensitivity,
                                         resolved.budget.epsilon,
                                         resolved.budget.delta);
-      mechanism.PrivatizeInPlace(grad, rng);
+      if (resolved.vector_noise_fill) {
+        mechanism.PrivatizeInPlaceFilled(grad, ws.noise, rng);
+      } else {
+        mechanism.PrivatizeInPlace(grad, rng);
+      }
       result.ledger.Record({"gaussian", resolved.budget.epsilon,
                             resolved.budget.delta, l2_sensitivity,
                             /*fold=*/t - 1});

@@ -17,6 +17,21 @@ namespace htdp {
 /// of Algorithms 1, 5 and the baseline, and the entrywise data shrinkage of
 /// Algorithms 2-4.
 
+/// Reusable per-fit scratch shared by the solver implementations: the
+/// iteration buffers live here, sized on first use and retained across
+/// iterations. Each Fit call owns one instance for its whole loop. For the
+/// alg1 hot loop this makes warm iterations completely allocation-free
+/// (pinned by tests/alloc_test.cc); the Peeling-based and LASSO solvers
+/// still allocate inside Peel() / EmpiricalGradient() each iteration --
+/// routing those through the workspace is the natural next step.
+struct SolverWorkspace {
+  RobustGradientWorkspace gradient;  // robust-gradient reduction scratch
+  Vector robust_grad;                // g~(w, fold)
+  Vector scores;                     // exponential-mechanism vertex scores
+  Vector w_half;                     // pre-Peeling half step (IHT solvers)
+  Vector noise;                      // vector noise fills (FillNormal path)
+};
+
 /// Aborts with a named diagnostic unless the problem carries everything the
 /// solver declares it requires (data, and -- per the solver's traits -- a
 /// loss, a constraint, a sparsity target). Every Solver::Fit calls this

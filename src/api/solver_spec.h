@@ -50,6 +50,11 @@ struct SolverSpec {
   PgdOptions::Projection projection =
       PgdOptions::Projection::kL1Ball;  // baseline_robust_gd only
   double radius = 1.0;                  // baseline_robust_gd only
+  bool vector_noise_fill = false;  // draw noise vectors via FillNormal (both
+                                   // Box-Muller outputs per uniform pair);
+                                   // changes the RNG stream, so pinned seeds
+                                   // only stay bit-identical while this is
+                                   // off. baseline_robust_gd only.
 
   // --- Instrumentation (never affects the optimization path). ------------
   bool record_risk_trace = false;

@@ -14,7 +14,9 @@ RobustGradientEstimator::RobustGradientEstimator(double scale, double beta)
 
 void RobustGradientEstimator::Estimate(const Loss& loss,
                                        const DatasetView& view,
-                                       const Vector& w, Vector& out) const {
+                                       const Vector& w, Vector& out,
+                                       RobustGradientWorkspace* workspace)
+    const {
   HTDP_CHECK_GT(view.size(), 0u);
   HTDP_CHECK_EQ(view.dim(), w.size());
   const std::size_t d = w.size();
@@ -31,37 +33,48 @@ void RobustGradientEstimator::Estimate(const Loss& loss,
       1, std::min<std::size_t>(static_cast<std::size_t>(NumWorkerThreads()),
                                (m + 511) / 512));
   const std::size_t chunk_size = (m + chunks - 1) / chunks;
-  std::vector<Vector> partial(chunks, Vector(d, 0.0));
 
-  ParallelFor(chunks, [&](std::size_t c_begin, std::size_t c_end) {
-    Vector sample_grad;
-    if (!glm) sample_grad.resize(d);
-    for (std::size_t c = c_begin; c < c_end; ++c) {
-      Vector& acc = partial[c];
-      const std::size_t lo = c * chunk_size;
-      const std::size_t hi = std::min(lo + chunk_size, m);
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (glm) {
-          double scale = 0.0;
-          HTDP_CHECK(loss.GradientAsScaledFeature(view.Row(i), view.Label(i),
-                                                  w, &scale));
-          const double* row = view.Row(i);
-          for (std::size_t j = 0; j < d; ++j) {
-            acc[j] +=
-                estimator_.SampleContribution(scale * row[j] + ridge * w[j]);
-          }
-        } else {
-          loss.Gradient(view.Row(i), view.Label(i), w, sample_grad);
-          for (std::size_t j = 0; j < d; ++j) {
-            acc[j] += estimator_.SampleContribution(sample_grad[j]);
+  RobustGradientWorkspace local;
+  RobustGradientWorkspace& ws = workspace != nullptr ? *workspace : local;
+  if (ws.partials.size() < chunks) ws.partials.resize(chunks);
+  if (ws.row_buffers.size() < chunks) ws.row_buffers.resize(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    ws.partials[c].assign(d, 0.0);
+    if (ws.row_buffers[c].size() < d) ws.row_buffers[c].resize(d);
+  }
+
+  // Each chunk is an expensive unit (hundreds of samples x d coordinates of
+  // erfc/exp-heavy math), so dispatch to the pool from two chunks up.
+  ParallelFor(
+      chunks,
+      [&](std::size_t c_begin, std::size_t c_end) {
+        for (std::size_t c = c_begin; c < c_end; ++c) {
+          Vector& acc = ws.partials[c];
+          Vector& row_buf = ws.row_buffers[c];
+          const std::size_t lo = c * chunk_size;
+          const std::size_t hi = std::min(lo + chunk_size, m);
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (glm) {
+              double scale = 0.0;
+              HTDP_CHECK(loss.GradientAsScaledFeature(view.Row(i),
+                                                      view.Label(i), w,
+                                                      &scale));
+              // Fused row kernel: materialize the per-sample gradient row
+              // scale * x_i + ridge * w, then push the whole contiguous row
+              // through the batched Catoni kernel.
+              ScaledSumKernel(scale, view.Row(i), ridge, w.data(),
+                              row_buf.data(), d);
+            } else {
+              loss.Gradient(view.Row(i), view.Label(i), w, row_buf);
+            }
+            estimator_.AccumulateContributions(row_buf.data(), d, acc.data());
           }
         }
-      }
-    }
-  });
+      },
+      /*min_parallel=*/2);
 
   out.assign(d, 0.0);
-  for (const Vector& acc : partial) Axpy(1.0, acc, out);
+  for (std::size_t c = 0; c < chunks; ++c) Axpy(1.0, ws.partials[c], out);
   Scale(1.0 / static_cast<double>(m), out);
 }
 

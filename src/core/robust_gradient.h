@@ -2,6 +2,7 @@
 #define HTDP_CORE_ROBUST_GRADIENT_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "data/dataset.h"
 #include "linalg/vector_ops.h"
@@ -9,6 +10,17 @@
 #include "robust/robust_mean.h"
 
 namespace htdp {
+
+/// Reusable scratch for RobustGradientEstimator::Estimate: the per-chunk
+/// partial accumulators of the deterministic parallel reduction and one
+/// per-chunk row buffer (the fused scaled-feature row on the GLM path, the
+/// materialized per-sample gradient otherwise). Buffers grow on first use
+/// and are retained, so a fit loop that passes the same workspace every
+/// iteration performs no heap allocation after warm-up.
+struct RobustGradientWorkspace {
+  std::vector<Vector> partials;
+  std::vector<Vector> row_buffers;
+};
 
 /// The coordinate-wise robust gradient estimator g~(w, D) of Algorithm 1
 /// step 4 / Algorithm 5 step 4: the one-dimensional Catoni-style estimator
@@ -28,10 +40,16 @@ class RobustGradientEstimator {
   double scale() const { return estimator_.scale(); }
   double beta() const { return estimator_.beta(); }
 
-  /// Computes g~(w, view) into `out` (resized to w.size()). Uses the GLM
-  /// fast path of `loss` when available; thread-parallel over samples.
+  /// Computes g~(w, view) into `out` (resized to w.size()). Uses the fused
+  /// batched GLM row kernel of `loss` when available; thread-parallel over
+  /// sample chunks with a deterministic reduction order that depends only on
+  /// (view.size(), NumWorkerThreads()), never on scheduling. Pass a
+  /// `workspace` owned by the fit loop to reuse the reduction buffers across
+  /// iterations (zero allocations after warm-up); with the default nullptr a
+  /// call-local workspace is used.
   void Estimate(const Loss& loss, const DatasetView& view, const Vector& w,
-                Vector& out) const;
+                Vector& out, RobustGradientWorkspace* workspace = nullptr)
+      const;
 
   /// l-infinity sensitivity of Estimate() over m samples when one sample is
   /// replaced: 4 sqrt(2) scale / (3 m).

@@ -23,4 +23,12 @@ void GaussianMechanism::PrivatizeInPlace(Vector& value, Rng& rng) const {
   for (double& v : value) v += SampleNormal(rng, 0.0, sigma_);
 }
 
+void GaussianMechanism::PrivatizeInPlaceFilled(Vector& value,
+                                               Vector& noise_scratch,
+                                               Rng& rng) const {
+  noise_scratch.resize(value.size());
+  FillNormal(rng, noise_scratch.data(), noise_scratch.size());
+  AxpyKernel(sigma_, noise_scratch.data(), value.data(), value.size());
+}
+
 }  // namespace htdp

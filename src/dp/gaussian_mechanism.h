@@ -21,8 +21,16 @@ class GaussianMechanism {
   /// Privatizes a scalar query value.
   double Privatize(double value, Rng& rng) const;
 
-  /// Adds i.i.d. N(0, sigma^2) noise to every coordinate in place.
+  /// Adds i.i.d. N(0, sigma^2) noise to every coordinate in place, one
+  /// SampleNormal draw per coordinate (the historical stream).
   void PrivatizeInPlace(Vector& value, Rng& rng) const;
+
+  /// Same release, but draws the noise vector through FillNormal into
+  /// `noise_scratch` (resized to value.size()), consuming both Box-Muller
+  /// outputs per uniform pair. Different RNG stream than PrivatizeInPlace;
+  /// solvers gate it behind SolverSpec::vector_noise_fill.
+  void PrivatizeInPlaceFilled(Vector& value, Vector& noise_scratch,
+                              Rng& rng) const;
 
  private:
   double sigma_;

@@ -1,6 +1,7 @@
 #ifndef HTDP_DP_PRIVACY_LEDGER_H_
 #define HTDP_DP_PRIVACY_LEDGER_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@ class PrivacyLedger {
   };
 
   void Record(Entry entry) { entries_.push_back(std::move(entry)); }
+
+  /// Pre-sizes the entry log (solvers reserve their iteration count up front
+  /// so Record() never reallocates inside the fit loop).
+  void Reserve(std::size_t entries) { entries_.reserve(entries); }
 
   const std::vector<Entry>& entries() const { return entries_; }
   void Clear() { entries_.clear(); }

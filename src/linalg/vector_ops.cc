@@ -7,20 +7,57 @@
 
 namespace htdp {
 
-double Dot(const Vector& a, const Vector& b) {
-  HTDP_CHECK_EQ(a.size(), b.size());
-  return Dot(a.data(), b.data(), a.size());
-}
-
-double Dot(const double* a, const double* b, std::size_t n) {
+double DotKernel(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
+                 std::size_t n) {
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
   return acc;
 }
 
+void AxpyKernel(double alpha, const double* HTDP_RESTRICT x,
+                double* HTDP_RESTRICT y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void SubKernel(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
+               double* HTDP_RESTRICT out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void ScaledSumKernel(double alpha, const double* HTDP_RESTRICT x, double beta,
+                     const double* HTDP_RESTRICT y, double* HTDP_RESTRICT out,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = alpha * x[i] + beta * y[i];
+}
+
+double DistanceL2Kernel(const double* HTDP_RESTRICT a,
+                        const double* HTDP_RESTRICT b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+void ConvexCombinationKernel(double eta, const double* HTDP_RESTRICT v,
+                             double* HTDP_RESTRICT w, std::size_t n) {
+  const double keep = 1.0 - eta;
+  for (std::size_t i = 0; i < n; ++i) w[i] = keep * w[i] + eta * v[i];
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  HTDP_CHECK_EQ(a.size(), b.size());
+  return DotKernel(a.data(), b.data(), a.size());
+}
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  return DotKernel(a, b, n);
+}
+
 void Axpy(double alpha, const Vector& x, Vector& y) {
   HTDP_CHECK_EQ(x.size(), y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  AxpyKernel(alpha, x.data(), y.data(), x.size());
 }
 
 Vector Add(const Vector& a, const Vector& b) {
@@ -33,7 +70,7 @@ Vector Add(const Vector& a, const Vector& b) {
 Vector Sub(const Vector& a, const Vector& b) {
   HTDP_CHECK_EQ(a.size(), b.size());
   Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  SubKernel(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 
@@ -81,19 +118,13 @@ double NormLInf(const Vector& x) {
 
 double DistanceL2(const Vector& a, const Vector& b) {
   HTDP_CHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
-    acc += diff * diff;
-  }
-  return std::sqrt(acc);
+  return DistanceL2Kernel(a.data(), b.data(), a.size());
 }
 
 void ConvexCombinationInPlace(double eta, const Vector& v, Vector& w) {
   HTDP_CHECK_EQ(v.size(), w.size());
   HTDP_CHECK(eta >= 0.0 && eta <= 1.0) << "eta=" << eta;
-  const double keep = 1.0 - eta;
-  for (std::size_t i = 0; i < w.size(); ++i) w[i] = keep * w[i] + eta * v[i];
+  ConvexCombinationKernel(eta, v.data(), w.data(), w.size());
 }
 
 }  // namespace htdp

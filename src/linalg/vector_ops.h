@@ -4,16 +4,56 @@
 #include <cstddef>
 #include <vector>
 
+/// Non-standard but universally supported no-alias qualifier; lets the
+/// pointer kernels below vectorize without runtime overlap checks.
+#if defined(_MSC_VER)
+#define HTDP_RESTRICT __restrict
+#else
+#define HTDP_RESTRICT __restrict__
+#endif
+
 namespace htdp {
 
 /// Dense column vector. All htdp code works with contiguous doubles; a plain
 /// std::vector keeps interop with the standard library trivial.
 using Vector = std::vector<double>;
 
+/// Raw-pointer kernels shared by the Vector wrappers below and the batched
+/// gradient path. The pointers must not alias (except where documented);
+/// accumulation order is strictly sequential so results are deterministic
+/// and bit-identical to the historical loops.
+
+/// Returns <a[0..n), b[0..n)>.
+double DotKernel(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
+                 std::size_t n);
+
+/// y += alpha * x.
+void AxpyKernel(double alpha, const double* HTDP_RESTRICT x,
+                double* HTDP_RESTRICT y, std::size_t n);
+
+/// out = a - b.
+void SubKernel(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
+               double* HTDP_RESTRICT out, std::size_t n);
+
+/// out = alpha * x + beta * y (the fused scaled-feature row of the batched
+/// GLM gradient path: alpha = per-sample gradient scale, beta = ridge).
+void ScaledSumKernel(double alpha, const double* HTDP_RESTRICT x, double beta,
+                     const double* HTDP_RESTRICT y, double* HTDP_RESTRICT out,
+                     std::size_t n);
+
+/// Returns ||a - b||_2.
+double DistanceL2Kernel(const double* HTDP_RESTRICT a,
+                        const double* HTDP_RESTRICT b, std::size_t n);
+
+/// w <- (1 - eta) * w + eta * v.
+void ConvexCombinationKernel(double eta, const double* HTDP_RESTRICT v,
+                             double* HTDP_RESTRICT w, std::size_t n);
+
 /// Returns <a, b>. Requires a.size() == b.size().
 double Dot(const Vector& a, const Vector& b);
 
-/// Returns <a[0..n), b[0..n)> over raw pointers (hot-loop variant).
+/// Returns <a[0..n), b[0..n)> over raw pointers (hot-loop variant; aliasing
+/// allowed).
 double Dot(const double* a, const double* b, std::size_t n);
 
 /// y += alpha * x. Requires x.size() == y.size().

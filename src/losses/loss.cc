@@ -16,18 +16,26 @@ double EmpiricalRisk(const Loss& loss, const DatasetView& view,
   const int workers = NumWorkerThreads();
   std::vector<double> partial(workers > 0 ? workers : 1, 0.0);
   // Chunked accumulation keeps the reduction deterministic per chunk count.
+  // The partial layout (and hence the summation order) is fixed by the
+  // worker count alone; whether the chunks then run pooled or serially only
+  // depends on m being large enough to amortize a dispatch, so both regimes
+  // produce identical bits.
   const std::size_t chunk = (m + partial.size() - 1) / partial.size();
-  ParallelFor(partial.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t c = begin; c < end; ++c) {
-      const std::size_t lo = c * chunk;
-      const std::size_t hi = std::min(lo + chunk, m);
-      double acc = 0.0;
-      for (std::size_t i = lo; i < hi; ++i) {
-        acc += loss.Value(view.Row(i), view.Label(i), w);
-      }
-      partial[c] = acc;
-    }
-  });
+  const std::size_t min_parallel = m >= 2048 ? 2 : partial.size() + 1;
+  ParallelFor(
+      partial.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+          const std::size_t lo = c * chunk;
+          const std::size_t hi = std::min(lo + chunk, m);
+          double acc = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            acc += loss.Value(view.Row(i), view.Label(i), w);
+          }
+          partial[c] = acc;
+        }
+      },
+      min_parallel);
   double total = 0.0;
   for (double p : partial) total += p;
   return total / static_cast<double>(m);
@@ -54,20 +62,23 @@ void EmpiricalGradient(const Loss& loss, const DatasetView& view,
                                  (m + 511) / 512));
     const std::size_t chunk_size = (m + chunks - 1) / chunks;
     std::vector<Vector> partial(chunks, Vector(d, 0.0));
-    ParallelFor(chunks, [&](std::size_t c_begin, std::size_t c_end) {
-      for (std::size_t c = c_begin; c < c_end; ++c) {
-        Vector& acc = partial[c];
-        const std::size_t lo = c * chunk_size;
-        const std::size_t hi = std::min(lo + chunk_size, m);
-        double scale = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) {
-          HTDP_CHECK(loss.GradientAsScaledFeature(view.Row(i), view.Label(i),
-                                                  w, &scale));
-          const double* row = view.Row(i);
-          for (std::size_t j = 0; j < d; ++j) acc[j] += scale * row[j];
-        }
-      }
-    });
+    ParallelFor(
+        chunks,
+        [&](std::size_t c_begin, std::size_t c_end) {
+          for (std::size_t c = c_begin; c < c_end; ++c) {
+            Vector& acc = partial[c];
+            const std::size_t lo = c * chunk_size;
+            const std::size_t hi = std::min(lo + chunk_size, m);
+            double scale = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+              HTDP_CHECK(loss.GradientAsScaledFeature(view.Row(i),
+                                                      view.Label(i), w,
+                                                      &scale));
+              AxpyKernel(scale, view.Row(i), acc.data(), d);
+            }
+          }
+        },
+        /*min_parallel=*/2);
     for (const Vector& acc : partial) Axpy(1.0, acc, grad);
     const double inv_m = 1.0 / static_cast<double>(m);
     const double ridge = loss.RidgeCoefficient();

@@ -2,15 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
-
-#include "util/check.h"
 
 namespace htdp {
+namespace catoni_internal {
 namespace {
-
-constexpr double kSqrt2 = std::numbers::sqrt2;
-const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
 
 // 16-point Gauss-Legendre nodes/weights on [-1, 1] (used by the numerically
 // stable fallback below; the integrand there is a degree-3 polynomial times
@@ -33,6 +28,8 @@ constexpr double kGlWeights[kGlPoints] = {
     0.0271524594117541};
 
 double NormalPdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
+
+}  // namespace
 
 // E_z[phi(a + bz)] via an exact split:
 //   phi saturates at +/- PhiBound() outside (a + bz) in [-sqrt2, sqrt2];
@@ -65,67 +62,5 @@ double SmoothedPhiBySplit(double a, double b) {
   return result + middle;
 }
 
-}  // namespace
-
-double PhiBound() { return 2.0 * kSqrt2 / 3.0; }
-
-double Phi(double x) {
-  if (x > kSqrt2) return PhiBound();
-  if (x < -kSqrt2) return -PhiBound();
-  return x - x * x * x / 6.0;
-}
-
-double NormalCdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
-
-double CatoniCorrection(double a, double b) {
-  HTDP_CHECK_GT(b, 0.0);
-  // Notation from the appendix ("Explicit Form of C_hat(a,b)").
-  const double v_minus = (kSqrt2 - a) / b;
-  const double v_plus = (kSqrt2 + a) / b;
-  const double f_minus = NormalCdf(-v_minus);
-  const double f_plus = NormalCdf(-v_plus);
-  const double e_minus = std::exp(-0.5 * v_minus * v_minus);
-  const double e_plus = std::exp(-0.5 * v_plus * v_plus);
-
-  const double t1 = PhiBound() * (f_minus - f_plus);
-  const double t2 = -(a - a * a * a / 6.0) * (f_minus + f_plus);
-  const double t3 = b * kInvSqrt2Pi * (1.0 - 0.5 * a * a) * (e_plus - e_minus);
-  const double t4 =
-      0.5 * a * b * b *
-      (f_plus + f_minus + kInvSqrt2Pi * (v_plus * e_plus + v_minus * e_minus));
-  const double t5 = (b * b * b / 6.0) * kInvSqrt2Pi *
-                    ((2.0 + v_minus * v_minus) * e_minus -
-                     (2.0 + v_plus * v_plus) * e_plus);
-  return t1 + t2 + t3 + t4 + t5;
-}
-
-double SmoothedPhi(double a, double b) {
-  HTDP_CHECK_GE(b, 0.0);
-  // b below this threshold contributes nothing at double precision.
-  constexpr double kTinyB = 1e-12;
-  // The closed form cancels terms of magnitude ~|a|^3/6 and ~|a| b^2 / 2
-  // down to a result bounded by PhiBound(); keep it while the cancellation
-  // magnitude stays small enough that the absolute error (~magnitude *
-  // machine epsilon) is below ~1e-9, and fall back to the exact split
-  // evaluation beyond that.
-  constexpr double kCancellationLimit = 1e6;
-
-  const double abs_a = std::abs(a);
-  const double cancellation =
-      std::max(abs_a * abs_a * abs_a / 6.0, 0.5 * abs_a * b * b);
-  double value;
-  if (b < kTinyB) {
-    value = Phi(a);
-  } else if (cancellation <= kCancellationLimit) {
-    value =
-        a * (1.0 - 0.5 * b * b) - a * a * a / 6.0 + CatoniCorrection(a, b);
-  } else {
-    value = SmoothedPhiBySplit(a, b);
-  }
-  // The true expectation of a bounded function is bounded; clamping removes
-  // any residual floating-point overshoot so the sensitivity bound
-  // 4*sqrt(2)*s/(3m) used in the privacy analysis holds exactly.
-  return std::clamp(value, -PhiBound(), PhiBound());
-}
-
+}  // namespace catoni_internal
 }  // namespace htdp

@@ -1,32 +1,131 @@
 #ifndef HTDP_ROBUST_CATONI_H_
 #define HTDP_ROBUST_CATONI_H_
 
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
 namespace htdp {
+
+namespace catoni_internal {
+
+inline constexpr double kSqrt2 = std::numbers::sqrt2;
+inline const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+
+/// Branch-selection thresholds of SmoothedPhi, shared with the batched
+/// kernels (robust_mean.cc) so the scalar and batch classifications can
+/// never drift apart.
+/// b below kTinyB contributes nothing at double precision.
+inline constexpr double kTinyB = 1e-12;
+/// The closed form cancels terms of magnitude ~|a|^3/6 and ~|a| b^2 / 2
+/// down to a result bounded by PhiBound(); it stays accurate while that
+/// cancellation magnitude keeps the absolute error (~magnitude * machine
+/// epsilon) below ~1e-9, and the exact split takes over beyond.
+inline constexpr double kCancellationLimit = 1e6;
+
+/// True when SmoothedPhi evaluates (a, b) by the closed form -- the common,
+/// tight-loop branch of the batched kernels.
+inline bool ClosedFormApplies(double abs_a, double b) {
+  const double cancellation =
+      std::max(abs_a * abs_a * abs_a / 6.0, 0.5 * abs_a * b * b);
+  return b >= kTinyB && cancellation <= kCancellationLimit;
+}
+
+/// E_z[phi(a + bz)] via an exact split (saturated tails + composite
+/// Gauss-Legendre over the unsaturated interval). Numerically stable for
+/// arbitrarily large |a|, b; much slower than the closed form, so SmoothedPhi
+/// only reaches it past the cancellation limit. Out of line: it is the cold
+/// branch of the batched kernels.
+double SmoothedPhiBySplit(double a, double b);
+
+}  // namespace catoni_internal
 
 /// Maximum magnitude of the Catoni truncation function: |phi(x)| <= 2*sqrt(2)/3.
 /// This bound is what gives the robust estimators their finite sensitivity.
-double PhiBound();
+inline double PhiBound() { return 2.0 * catoni_internal::kSqrt2 / 3.0; }
 
 /// The soft truncation function of Catoni & Giulini (2017), Eq. (2):
 ///   phi(x) = x - x^3/6            for |x| <= sqrt(2)
 ///   phi(x) = sign(x) * 2*sqrt(2)/3 otherwise.
 /// phi is odd, non-decreasing, bounded by PhiBound(), and satisfies
 ///   -log(1 - x + x^2/2) <= phi(x) <= log(1 + x + x^2/2).
-double Phi(double x);
+inline double Phi(double x) {
+  if (x > catoni_internal::kSqrt2) return PhiBound();
+  if (x < -catoni_internal::kSqrt2) return -PhiBound();
+  return x - x * x * x / 6.0;
+}
 
 /// CDF of the standard normal distribution.
-double NormalCdf(double x);
+inline double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / catoni_internal::kSqrt2);
+}
 
 /// The correction term C_hat(a, b) of Eq. (5), in the explicit T1..T5 form
 /// given in the paper's appendix. Requires b > 0.
-double CatoniCorrection(double a, double b);
+///
+/// Defined inline so the scalar estimator and the batched row kernels share
+/// one definition: with identical operations in identical order, the batched
+/// path is bit-for-bit the scalar path.
+inline double CatoniCorrection(double a, double b) {
+  using catoni_internal::kInvSqrt2Pi;
+  using catoni_internal::kSqrt2;
+  HTDP_CHECK_GT(b, 0.0);
+  // Notation from the appendix ("Explicit Form of C_hat(a,b)").
+  const double v_minus = (kSqrt2 - a) / b;
+  const double v_plus = (kSqrt2 + a) / b;
+  const double f_minus = NormalCdf(-v_minus);
+  const double f_plus = NormalCdf(-v_plus);
+  const double e_minus = std::exp(-0.5 * v_minus * v_minus);
+  const double e_plus = std::exp(-0.5 * v_plus * v_plus);
+
+  const double t1 = PhiBound() * (f_minus - f_plus);
+  const double t2 = -(a - a * a * a / 6.0) * (f_minus + f_plus);
+  const double t3 = b * kInvSqrt2Pi * (1.0 - 0.5 * a * a) * (e_plus - e_minus);
+  const double t4 =
+      0.5 * a * b * b *
+      (f_plus + f_minus + kInvSqrt2Pi * (v_plus * e_plus + v_minus * e_minus));
+  const double t5 = (b * b * b / 6.0) * kInvSqrt2Pi *
+                    ((2.0 + v_minus * v_minus) * e_minus -
+                     (2.0 + v_plus * v_plus) * e_plus);
+  return t1 + t2 + t3 + t4 + t5;
+}
+
+namespace catoni_internal {
+
+/// The clamped closed-form branch of SmoothedPhi, shared verbatim with the
+/// batched kernels. Only valid where ClosedFormApplies. The clamp exists
+/// because the true expectation of a bounded function is bounded; removing
+/// any residual floating-point overshoot keeps the sensitivity bound
+/// 4*sqrt(2)*s/(3m) used in the privacy analysis exact.
+inline double SmoothedPhiClosedForm(double a, double b) {
+  const double value =
+      a * (1.0 - 0.5 * b * b) - a * a * a / 6.0 + CatoniCorrection(a, b);
+  return std::clamp(value, -PhiBound(), PhiBound());
+}
+
+}  // namespace catoni_internal
 
 /// Closed form of E_z[ phi(a + b z) ] for z ~ N(0, 1):
 ///   a (1 - b^2/2) - a^3/6 + C_hat(a, b)          (Eq. (5)).
 /// For b == 0 this degenerates to phi(a). This is the "noise multiplication
 /// + noise smoothing" step of the robust estimator evaluated analytically,
-/// so the estimator itself needs no auxiliary randomness.
-double SmoothedPhi(double a, double b);
+/// so the estimator itself needs no auxiliary randomness. Requires b >= 0.
+inline double SmoothedPhi(double a, double b) {
+  HTDP_CHECK_GE(b, 0.0);
+  const double abs_a = std::abs(a);
+  if (b < catoni_internal::kTinyB) [[unlikely]] {
+    // Phi is bounded by PhiBound() already, so the clamp is the identity
+    // here (kept for uniformity with the other branches).
+    return std::clamp(Phi(a), -PhiBound(), PhiBound());
+  }
+  if (catoni_internal::ClosedFormApplies(abs_a, b)) [[likely]] {
+    return catoni_internal::SmoothedPhiClosedForm(a, b);
+  }
+  return std::clamp(catoni_internal::SmoothedPhiBySplit(a, b), -PhiBound(),
+                    PhiBound());
+}
 
 }  // namespace htdp
 

@@ -7,6 +7,16 @@
 #include "util/check.h"
 
 namespace htdp {
+namespace {
+
+// Cold paths of the batched kernel, kept out of the tight loop so the
+// closed-form branch stays small enough to inline and schedule well. Both
+// evaluate exactly SampleContribution's operations.
+[[gnu::noinline]] double ColdContribution(double scale, double a, double b) {
+  return scale * SmoothedPhi(a, b);
+}
+
+}  // namespace
 
 RobustMeanEstimator::RobustMeanEstimator(double scale, double beta)
     : scale_(scale), beta_(beta), sqrt_beta_(std::sqrt(beta)) {
@@ -19,6 +29,28 @@ double RobustMeanEstimator::SampleContribution(double x) const {
   const double a = x / scale_;
   const double b = std::abs(a) / sqrt_beta_;
   return scale_ * SmoothedPhi(a, b);
+}
+
+void RobustMeanEstimator::AccumulateContributions(
+    const double* HTDP_RESTRICT xs, std::size_t n,
+    double* HTDP_RESTRICT acc) const {
+  // SmoothedPhi's classification, hoisted through the shared helpers of
+  // catoni.h so the common closed-form branch runs as one tight loop over
+  // the row while the rare tiny-b / exact-split elements divert to the cold
+  // helper. Every element performs the exact operation sequence of
+  // SampleContribution, so the result is bit-identical to the scalar path.
+  const double scale = scale_;
+  const double sqrt_beta = sqrt_beta_;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double a = xs[j] / scale;
+    const double abs_a = std::abs(a);
+    const double b = abs_a / sqrt_beta;
+    if (catoni_internal::ClosedFormApplies(abs_a, b)) [[likely]] {
+      acc[j] += scale * catoni_internal::SmoothedPhiClosedForm(a, b);
+    } else {
+      acc[j] += ColdContribution(scale, a, b);
+    }
+  }
 }
 
 double RobustMeanEstimator::Estimate(const double* values,

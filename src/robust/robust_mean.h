@@ -29,6 +29,14 @@ class RobustMeanEstimator {
   /// s * E_eta[ phi((x + eta x)/s) ], bounded by s * 2*sqrt(2)/3.
   double SampleContribution(double x) const;
 
+  /// acc[j] += SampleContribution(xs[j]) for every j in [0, n): the batched
+  /// kernel the robust gradient estimator runs over contiguous per-sample
+  /// gradient rows. The common closed-form branch runs as a tight loop;
+  /// tiny-b and exact-split outliers take the cold paths. Bit-identical to n
+  /// scalar SampleContribution calls. xs and acc must not overlap.
+  void AccumulateContributions(const double* HTDP_RESTRICT xs, std::size_t n,
+                               double* HTDP_RESTRICT acc) const;
+
   /// The estimate (1/n) * sum_i SampleContribution(x_i).
   double Estimate(const double* values, std::size_t n) const;
   double Estimate(const Vector& values) const;

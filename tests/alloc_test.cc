@@ -1,0 +1,120 @@
+// Zero-allocation guards for the hot loops: after the first (warm-up)
+// iterations, the alg1 fit loop and the workspace-backed robust gradient
+// estimate must perform no heap allocation at all. Counted by overriding the
+// global allocation functions for this test binary.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "core/htdp.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+void* CountedAllocate(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAllocate(size); }
+void* operator new[](std::size_t size) { return CountedAllocate(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace htdp {
+namespace {
+
+Dataset MakeData(std::size_t n, std::size_t d, Rng& rng) {
+  SyntheticConfig config;
+  config.n = n;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  return GenerateLinear(config, w_star, rng);
+}
+
+TEST(ZeroAllocationTest, Alg1IterationsAllocateNothingAfterWarmup) {
+  Rng data_rng(17);
+  const std::size_t n = 640;
+  const std::size_t d = 16;
+  const Dataset data = MakeData(n, d, data_rng);
+  const SquaredLoss loss;
+  const L1Ball ball(d, 1.0);
+  const Problem problem = Problem::ConstrainedErm(loss, data, ball);
+
+  constexpr int kIterations = 8;
+  // Allocation counter snapshot after each iteration, captured through the
+  // observer. Fixed-size storage: the capture itself must not allocate.
+  static std::size_t counts[kIterations + 1];
+  static int events;
+  events = 0;
+
+  SolverSpec spec;
+  spec.budget = PrivacyBudget::Pure(1.0);
+  spec.iterations = kIterations;
+  spec.scale = 5.0;
+  spec.tau = 4.0;
+  spec.observer = [](const IterationEvent& event) {
+    if (event.iteration <= kIterations) {
+      counts[event.iteration] = g_allocations.load(std::memory_order_relaxed);
+      ++events;
+    }
+  };
+
+  const std::unique_ptr<Solver> solver =
+      SolverRegistry::Global().Create(kSolverAlg1DpFw);
+  Rng rng(5);
+  const FitResult result = solver->Fit(problem, spec, rng);
+  ASSERT_EQ(result.iterations, kIterations);
+  ASSERT_EQ(events, kIterations);
+
+  // Iteration 1 warms the workspace (and, on multi-core machines, starts
+  // the worker pool); iteration 2 may still touch a lazily-grown buffer.
+  // From then on the loop must be allocation-free.
+  for (int t = 3; t <= kIterations; ++t) {
+    EXPECT_EQ(counts[t] - counts[t - 1], 0u)
+        << "iteration " << t << " allocated";
+  }
+}
+
+TEST(ZeroAllocationTest, WorkspaceEstimateAllocatesNothingWhenWarm) {
+  Rng data_rng(29);
+  const std::size_t n = 2000;
+  const std::size_t d = 32;
+  const Dataset data = MakeData(n, d, data_rng);
+  const SquaredLoss loss;
+  const RobustGradientEstimator estimator(5.0, 1.0);
+  const Vector w(d, 0.01);
+
+  RobustGradientWorkspace workspace;
+  Vector out;
+  // Warm-up: sizes the partials, row buffers and the output vector.
+  estimator.Estimate(loss, FullView(data), w, out, &workspace);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 5; ++round) {
+    estimator.Estimate(loss, FullView(data), w, out, &workspace);
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "warm Estimate allocated";
+}
+
+}  // namespace
+}  // namespace htdp

@@ -1,0 +1,136 @@
+// Pool determinism guards, run with HTDP_NUM_THREADS=8 forced by ctest (see
+// tests/CMakeLists.txt) so the worker pool genuinely executes on multiple
+// threads even on single-core CI machines.
+//
+// The contract under test: results of the chunked reductions depend only on
+// the configured worker count (which fixes the chunk structure), never on
+// scheduling -- so the pooled execution must be bit-identical to a serial
+// evaluation of the same chunk structure, run after run.
+
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/htdp.h"
+#include "gtest/gtest.h"
+#include "util/parallel.h"
+
+namespace htdp {
+namespace {
+
+TEST(ParallelPoolTest, WorkerCountHonorsEnvironment) {
+  // The ctest fixture pins HTDP_NUM_THREADS=8; if this test is run by hand
+  // without it, the remaining tests still hold, so only warn via skip.
+  const char* env = std::getenv("HTDP_NUM_THREADS");
+  if (env == nullptr) GTEST_SKIP() << "HTDP_NUM_THREADS not set";
+  EXPECT_EQ(NumWorkerThreads(), std::atoi(env));
+}
+
+// Serial reference implementing exactly the estimator's documented reduction
+// contract: per-chunk partials in chunk order, chunk structure a function of
+// (m, NumWorkerThreads()) only.
+Vector SerialChunkedRobustGradient(const RobustGradientEstimator& estimator,
+                                   const Loss& loss, const DatasetView& view,
+                                   const Vector& w) {
+  const std::size_t d = w.size();
+  const std::size_t m = view.size();
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(NumWorkerThreads()),
+                               (m + 511) / 512));
+  const std::size_t chunk_size = (m + chunks - 1) / chunks;
+  const RobustMeanEstimator scalar(estimator.scale(), estimator.beta());
+  std::vector<Vector> partial(chunks, Vector(d, 0.0));
+  Vector sample_grad(d);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(lo + chunk_size, m);
+    for (std::size_t i = lo; i < hi; ++i) {
+      double scale = 0.0;
+      if (loss.GradientAsScaledFeature(view.Row(i), view.Label(i), w,
+                                       &scale)) {
+        const double* row = view.Row(i);
+        const double ridge = loss.RidgeCoefficient();
+        for (std::size_t j = 0; j < d; ++j) {
+          partial[c][j] +=
+              scalar.SampleContribution(scale * row[j] + ridge * w[j]);
+        }
+      } else {
+        loss.Gradient(view.Row(i), view.Label(i), w, sample_grad);
+        for (std::size_t j = 0; j < d; ++j) {
+          partial[c][j] += scalar.SampleContribution(sample_grad[j]);
+        }
+      }
+    }
+  }
+  Vector out(d, 0.0);
+  for (const Vector& acc : partial) Axpy(1.0, acc, out);
+  Scale(1.0 / static_cast<double>(m), out);
+  return out;
+}
+
+TEST(ParallelPoolTest, PooledRobustGradientMatchesSerialChunksBitForBit) {
+  Rng rng(21);
+  const std::size_t n = 3000;
+  const std::size_t d = 96;
+  SyntheticConfig config{n, d, ScalarDistribution::Lognormal(0.0, 0.6),
+                         ScalarDistribution::Normal(0.0, 0.1)};
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  const SquaredLoss loss;
+  const RobustGradientEstimator estimator(5.0, 1.0);
+  Vector w(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) w[j] = 0.01 * static_cast<double>(j % 5);
+
+  const Vector reference =
+      SerialChunkedRobustGradient(estimator, loss, FullView(data), w);
+  Vector pooled;
+  estimator.Estimate(loss, FullView(data), w, pooled);
+  ASSERT_EQ(pooled.size(), reference.size());
+  for (std::size_t j = 0; j < d; ++j) {
+    ASSERT_EQ(pooled[j], reference[j]) << "coordinate " << j;
+  }
+}
+
+TEST(ParallelPoolTest, RepeatedPooledEstimatesAreBitIdentical) {
+  Rng rng(33);
+  const std::size_t n = 4096;
+  const std::size_t d = 48;
+  SyntheticConfig config{n, d, ScalarDistribution::StudentT(3.0),
+                         ScalarDistribution::Normal(0.0, 0.1)};
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  const LogisticLoss loss;
+  const RobustGradientEstimator estimator(8.0, 2.0);
+  const Vector w(d, 0.01);
+
+  Vector first;
+  RobustGradientWorkspace workspace;
+  estimator.Estimate(loss, FullView(data), w, first, &workspace);
+  for (int round = 0; round < 20; ++round) {
+    Vector again;
+    estimator.Estimate(loss, FullView(data), w, again,
+                       round % 2 == 0 ? &workspace : nullptr);
+    for (std::size_t j = 0; j < d; ++j) {
+      ASSERT_EQ(again[j], first[j]) << "round " << round << " coord " << j;
+    }
+  }
+}
+
+TEST(ParallelPoolTest, PooledEmpiricalRiskIsStableAcrossRuns) {
+  Rng rng(41);
+  const std::size_t n = 6000;
+  const std::size_t d = 32;
+  SyntheticConfig config{n, d, ScalarDistribution::Lognormal(0.0, 0.6),
+                         ScalarDistribution::Normal(0.0, 0.1)};
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  const SquaredLoss loss;
+  const double first = EmpiricalRisk(loss, data, w_star);
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_EQ(EmpiricalRisk(loss, data, w_star), first) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace htdp

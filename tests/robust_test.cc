@@ -177,6 +177,66 @@ TEST(RobustMeanTest, SampleContributionBounded) {
   }
 }
 
+TEST(RobustMeanTest, BatchedAccumulateBitIdenticalToScalarAcrossBranches) {
+  // One batch spanning every SmoothedPhi branch: the common closed form
+  // (moderate |a|), exact zero, values straddling the 1e6 cancellation
+  // limit (|a|^3/6 ~ 1e6 at |a| ~ 181.7), far beyond it (exact-split
+  // fallback), and denormal-adjacent magnitudes.
+  const double scale = 1.0;
+  const Vector xs = {0.0,     0.3,     -0.7,    1.0,     -1.4142, 5.0,
+                     -25.0,   181.0,   -181.7,  181.8,   -182.5,  250.0,
+                     -1e3,    1e6,     -1e9,    1e-8,    -1e-300, 42.0};
+  const RobustMeanEstimator estimator(scale, 1.0);
+  Vector batched(xs.size(), 0.0);
+  estimator.AccumulateContributions(xs.data(), xs.size(), batched.data());
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    ASSERT_EQ(batched[j], estimator.SampleContribution(xs[j]))
+        << "x=" << xs[j];
+  }
+}
+
+TEST(RobustMeanTest, BatchedAccumulateBitIdenticalOnTinyBBranch) {
+  // b = |a| / sqrt(beta): a huge beta pushes b below SmoothedPhi's 1e-12
+  // threshold so the batch must take the degenerate Phi(a) path, still bit
+  // for bit.
+  const RobustMeanEstimator estimator(1.0, 1e30);
+  const Vector xs = {0.0, 1e-9, -1e-6, 0.5, -1.0, 2.0};
+  Vector batched(xs.size(), 0.0);
+  estimator.AccumulateContributions(xs.data(), xs.size(), batched.data());
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    ASSERT_EQ(batched[j], estimator.SampleContribution(xs[j]))
+        << "x=" << xs[j];
+  }
+}
+
+TEST(RobustMeanTest, BatchedAccumulateAddsOntoExistingValues) {
+  const RobustMeanEstimator estimator(2.0, 1.0);
+  const Vector xs = {1.0, -2.0, 3.0};
+  Vector acc = {10.0, 20.0, 30.0};
+  estimator.AccumulateContributions(xs.data(), xs.size(), acc.data());
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    ASSERT_EQ(acc[j],
+              10.0 * static_cast<double>(j + 1) +
+                  estimator.SampleContribution(xs[j]));
+  }
+}
+
+TEST(RobustMeanTest, BatchedAccumulateMatchesScalarOnHeavyTailedDraws) {
+  Rng rng(91);
+  const std::size_t n = 5000;
+  Vector xs(n);
+  for (double& x : xs) x = SamplePareto(rng, 1.1) - SampleLognormal(rng, 0.0, 2.0);
+  for (const double beta : {0.25, 1.0, 4.0}) {
+    const RobustMeanEstimator estimator(3.0, beta);
+    Vector batched(n, 0.0);
+    estimator.AccumulateContributions(xs.data(), n, batched.data());
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(batched[j], estimator.SampleContribution(xs[j]))
+          << "beta=" << beta << " x=" << xs[j];
+    }
+  }
+}
+
 TEST(RobustMeanTest, SensitivityFormula) {
   const RobustMeanEstimator estimator(3.0, 1.0);
   // 4 sqrt(2) s / (3 n) = 2 s phi_bound / n.

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <numeric>
@@ -78,6 +79,91 @@ TEST(ParallelForTest, SumMatchesSerialComputation) {
 
 TEST(ParallelForTest, WorkerCountIsPositive) {
   EXPECT_GE(NumWorkerThreads(), 1);
+}
+
+TEST(ParallelChunkBoundsTest, PartitionIsExactAndNeverEmpty) {
+  const std::size_t workers = static_cast<std::size_t>(NumWorkerThreads());
+  // Adversarial counts: degenerate, off-by-one around the worker count, and
+  // primes that do not divide evenly.
+  const std::size_t counts[] = {1,
+                                2,
+                                workers > 1 ? workers - 1 : 1,
+                                workers,
+                                workers + 1,
+                                7,
+                                97,
+                                101,
+                                4099};
+  for (const std::size_t count : counts) {
+    for (std::size_t chunks = 1; chunks <= std::min<std::size_t>(count, 33);
+         ++chunks) {
+      std::size_t expected_begin = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const IndexRange range = ParallelChunkBounds(count, chunks, c);
+        EXPECT_EQ(range.begin, expected_begin)
+            << "count=" << count << " chunks=" << chunks << " c=" << c;
+        EXPECT_LT(range.begin, range.end)
+            << "empty chunk: count=" << count << " chunks=" << chunks
+            << " c=" << c;
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(expected_begin, count)
+          << "count=" << count << " chunks=" << chunks;
+    }
+  }
+}
+
+TEST(ParallelForTest, PooledDispatchCoversAdversarialCountsExactlyOnce) {
+  const std::size_t workers = static_cast<std::size_t>(NumWorkerThreads());
+  const std::size_t counts[] = {0,       1,  workers > 1 ? workers - 1 : 1,
+                                workers, workers + 1,
+                                97,      4099};
+  for (const std::size_t count : counts) {
+    std::vector<std::atomic<int>> hits(count);
+    // min_parallel=1 forces the pool path for every non-zero count.
+    ParallelFor(
+        count,
+        [&](std::size_t begin, std::size_t end) {
+          ASSERT_LE(begin, end);
+          for (std::size_t i = begin; i < end; ++i) hits[i]++;
+        },
+        /*min_parallel=*/1);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "count=" << count << " index=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, PoolSurvivesManyDispatches) {
+  // The pool is persistent: thousands of dispatches must neither leak
+  // threads nor deadlock (the seed implementation spawned fresh threads per
+  // call; this guards the replacement).
+  std::atomic<long long> total{0};
+  for (int round = 0; round < 2000; ++round) {
+    ParallelFor(
+        17, [&](std::size_t begin,
+                std::size_t end) { total += static_cast<long long>(end - begin); },
+        /*min_parallel=*/1);
+  }
+  EXPECT_EQ(total.load(), 2000LL * 17LL);
+}
+
+TEST(ParallelForTest, NestedCallsRunSerially) {
+  std::atomic<int> inner_calls{0};
+  ParallelFor(
+      4,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          ParallelFor(
+              8,
+              [&](std::size_t lo, std::size_t hi) {
+                inner_calls += static_cast<int>(hi - lo);
+              },
+              /*min_parallel=*/1);
+        }
+      },
+      /*min_parallel=*/1);
+  EXPECT_EQ(inner_calls.load(), 4 * 8);
 }
 
 TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
