@@ -37,19 +37,21 @@ void RunDataset(const RealWorldSpec& spec, const BenchEnv& env) {
     const std::size_t n =
         std::max<std::size_t>(1000, static_cast<std::size_t>(
                                         fraction * static_cast<double>(cap)));
-    const Dataset subset = Prefix(full, n);
+    // The protocol's growing-prefix subset, as a non-owning view: the fit
+    // runs on Problem.prefix (no per-point deep copy of the dataset).
+    const DatasetView subset = PrefixView(full, n);
     std::vector<std::string> row = {TablePrinter::Cell(n)};
     for (const double epsilon : {0.5, 1.0, 2.0}) {
       const Summary summary = RunTrials(
           env.trials, env.seed + n + static_cast<std::uint64_t>(10 * epsilon),
           [&](std::uint64_t seed) {
             Rng trial_rng(seed);
-            const Problem problem =
-                Problem::ConstrainedErm(loss, subset, ball);
+            Problem problem = Problem::ConstrainedErm(loss, full, ball);
+            problem.prefix = n;
             SolverSpec solver_spec;
             solver_spec.budget = PrivacyBudget::Pure(epsilon);
             solver_spec.tau = EstimateGradientSecondMoment(
-                loss, FullView(subset), Vector(d, 0.0));
+                loss, subset, Vector(d, 0.0));
             const FitResult result =
                 solver->Fit(problem, solver_spec, trial_rng);
             return EmpiricalRisk(loss, full, result.w) - ref_risk;

@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <type_traits>
@@ -210,6 +211,52 @@ void BM_ShrinkDataset(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * d));
 }
 BENCHMARK(BM_ShrinkDataset)->Arg(100)->Arg(400);
+
+// Engine throughput: end-to-end fit jobs/sec at 1, 4 and 16 concurrent
+// jobs. Each outer iteration submits `concurrency` pinned-schedule alg1
+// fits and waits for all of them, so items_per_second in the
+// BENCH_micro.json trajectory reads directly as jobs/sec at that
+// concurrency (the "Engine throughput" section of the perf trajectory).
+void BM_EngineThroughput(benchmark::State& state) {
+  const int concurrency = static_cast<int>(state.range(0));
+  const std::size_t n = 2000;
+  const std::size_t d = 64;
+  Rng rng(33);
+  SyntheticConfig config{n, d, ScalarDistribution::Lognormal(0.0, 0.6),
+                         ScalarDistribution::Normal(0.0, 0.1)};
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  const SquaredLoss loss;
+  const L1Ball ball(d, 1.0);
+
+  Engine engine(Engine::Options{concurrency});
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    std::vector<JobHandle> handles;
+    handles.reserve(static_cast<std::size_t>(concurrency));
+    for (int j = 0; j < concurrency; ++j) {
+      FitJob job;
+      job.solver_name = kSolverAlg1DpFw;
+      job.problem = Problem::ConstrainedErm(loss, data, ball);
+      job.spec.budget = PrivacyBudget::Pure(1.0);
+      job.spec.iterations = 20;  // pinned schedule: measures serving, not
+      job.spec.scale = 5.0;      // the auto-solver
+      job.seed = ++seed;
+      job.tag = "bench";
+      handles.push_back(engine.Submit(std::move(job)));
+    }
+    for (const JobHandle& handle : handles) {
+      benchmark::DoNotOptimize(handle.Wait().ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(concurrency));
+}
+BENCHMARK(BM_EngineThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 // google-benchmark renamed Run::error_occurred to Run::skipped in v1.8.0;
 // detect whichever member this library version has.

@@ -3,6 +3,12 @@
 // actual (eps, delta)-DP estimator (Algorithm 5 with the mean loss) and
 // (ii) the non-private empirical mean, against the information-theoretic
 // bound Omega(tau min{s* log d, log(1/delta)} / (n eps)).
+//
+// The DP column fans its trials out through the Engine: every trial's
+// workload is generated up front, the fits run as concurrent jobs, and the
+// per-trial seeds/metrics reproduce the sequential RunTrials protocol bit
+// for bit (each job continues the exact RNG stream that generated its
+// data).
 
 #include <cstdio>
 #include <memory>
@@ -10,14 +16,72 @@
 
 #include "bench_common.h"
 
-int main() {
-  using namespace htdp;
-  using namespace htdp::bench;
+namespace {
 
-  const std::unique_ptr<Solver> solver =
-      SolverRegistry::Global().Create(kSolverAlg5SparseOpt);
+using namespace htdp;
+using namespace htdp::bench;
+
+/// One generated hard-family trial. Members initialize in declaration
+/// order, consuming `rng` exactly as the sequential trial lambda did:
+/// family construction, instance draw, sampling -- the leftover stream then
+/// drives the fit.
+struct MinimaxTrial {
+  MinimaxTrial(std::size_t d, std::size_t s_star, double tau, double epsilon,
+               double delta, std::size_t n, std::uint64_t seed)
+      : rng(seed),
+        family(d, s_star, 8, tau, epsilon, delta, n, rng),
+        v(rng.UniformInt(family.family_size())),
+        theta(family.Mean(v)),
+        data(family.Sample(v, n, rng)) {}
+
+  Rng rng;
+  SparseMeanHardFamily family;
+  std::size_t v;
+  Vector theta;
+  Dataset data;
+  MeanLoss loss;
+};
+
+/// Engine-backed replacement of the sequential RunTrials call for the DP
+/// column: same derived seeds, same metric, concurrent fits.
+Summary RunDpTrialsOnEngine(Engine& engine, int trials, std::uint64_t seed,
+                            std::size_t d, std::size_t s_star, double tau,
+                            double epsilon, double delta, std::size_t n) {
+  Rng seeder(seed);
+  std::vector<std::unique_ptr<MinimaxTrial>> workloads;
+  std::vector<JobHandle> handles;
+  workloads.reserve(static_cast<std::size_t>(trials));
+  handles.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    workloads.push_back(std::make_unique<MinimaxTrial>(
+        d, s_star, tau, epsilon, delta, n, seeder.Next()));
+    const MinimaxTrial& trial = *workloads.back();
+    FitJob job;
+    job.solver_name = kSolverAlg5SparseOpt;
+    job.problem = Problem::SparseErm(trial.loss, trial.data, s_star);
+    job.spec.budget = PrivacyBudget::Approx(epsilon, delta);
+    job.spec.tau = tau;
+    job.spec.step = 0.25;  // mean loss has curvature 2
+    job.rng = trial.rng;   // continue the post-generation stream
+    job.tag = "minimax-dp";
+    handles.push_back(engine.Submit(std::move(job)));
+  }
+  std::vector<double> values;
+  values.reserve(handles.size());
+  for (std::size_t t = 0; t < handles.size(); ++t) {
+    const StatusOr<FitResult>& fit = handles[t].Wait();
+    values.push_back(NormL2Squared(Sub(fit.value().w, workloads[t]->theta)));
+  }
+  return Summarize(values);
+}
+
+}  // namespace
+
+int main() {
   const BenchEnv env = GetBenchEnv();
   PrintBanner("Lower bound", "Theorem 9 hard instance, sparse mean", env);
+
+  Engine engine;  // workers = NumWorkerThreads()
 
   const std::size_t d = 256;
   const std::size_t s_star = 8;
@@ -31,25 +95,10 @@ int main() {
     const std::size_t n = ScaledN(paper_n, env, 2000);
     for (const double epsilon : {0.5, 2.0}) {
       const double delta = PaperDelta(n);
-      const Summary dp_risk = RunTrials(
-          env.trials,
-          env.seed + n + static_cast<std::uint64_t>(10 * epsilon),
-          [&](std::uint64_t seed) {
-            Rng rng(seed);
-            const SparseMeanHardFamily family(d, s_star, 8, tau, epsilon,
-                                              delta, n, rng);
-            const std::size_t v = rng.UniformInt(family.family_size());
-            const Vector theta = family.Mean(v);
-            const Dataset data = family.Sample(v, n, rng);
-            const MeanLoss loss;
-            const Problem problem = Problem::SparseErm(loss, data, s_star);
-            SolverSpec spec;
-            spec.budget = PrivacyBudget::Approx(epsilon, delta);
-            spec.tau = tau;
-            spec.step = 0.25;  // mean loss has curvature 2
-            const FitResult result = solver->Fit(problem, spec, rng);
-            return NormL2Squared(Sub(result.w, theta));
-          });
+      const Summary dp_risk = RunDpTrialsOnEngine(
+          engine, env.trials,
+          env.seed + n + static_cast<std::uint64_t>(10 * epsilon), d, s_star,
+          tau, epsilon, delta, n);
       const Summary naive_risk = RunTrials(
           env.trials,
           env.seed + n + static_cast<std::uint64_t>(10 * epsilon),
@@ -75,6 +124,10 @@ int main() {
     }
   }
 
+  const EngineStats stats = engine.stats();
+  std::printf(
+      "\nEngine: %zu DP fits served by %d workers (%.1f jobs/sec).\n",
+      stats.completed, engine.workers(), stats.jobs_per_second);
   std::printf(
       "\nReading: every (eps, delta)-DP estimator must sit above the bound\n"
       "column on this family; the non-private empirical mean may go below\n"

@@ -1,12 +1,14 @@
-// Tour of the SolverRegistry: every registered algorithm fitted on the SAME
-// heavy-tailed dataset, one summary line each. This is the point of the
-// facade -- the loop below never names a concrete algorithm, so registering
-// a new Solver automatically adds a row.
+// Tour of the SolverRegistry, served by the Engine: every registered
+// algorithm fitted on the SAME heavy-tailed dataset, submitted as
+// concurrent jobs, one summary line each. This is the point of the facade
+// -- the loop below never names a concrete algorithm, so registering a new
+// Solver automatically adds a row -- and of the Engine: the six fits run in
+// parallel, each bit-identical to a sequential run at the same seed.
 //
 // Build & run:  ./build/examples/solver_registry_tour
 
 #include <cstdio>
-#include <memory>
+#include <vector>
 
 #include "core/htdp.h"
 
@@ -42,34 +44,51 @@ int main() {
 
   std::printf("SolverRegistry tour  (n=%zu, d=%zu, s*=%zu, eps=%.1f)\n\n", n,
               d, s_star, epsilon);
-  std::printf("%-20s %4s %10s %10s %12s %9s\n", "solver", "T", "eps spent",
-              "delta", "excess risk", "seconds");
 
-  for (const std::string& name : SolverRegistry::Global().Names()) {
-    const std::unique_ptr<Solver> solver =
-        SolverRegistry::Global().Create(name);
+  // Submit one job per registered solver; the Engine runs them
+  // concurrently while this thread waits for the rows in registry order.
+  Engine engine;
+  std::vector<JobHandle> handles;
+  const std::vector<std::string> names = SolverRegistry::Global().Names();
+  for (const std::string& name : names) {
+    const Solver* solver = *SolverRegistry::Global().Find(name);
 
-    Problem problem;
-    problem.loss = &loss;
-    problem.data = &data;
-    problem.target_sparsity = s_star;
-    if (solver->requires_constraint()) problem.constraint = &ball;
-
-    SolverSpec spec;
-    spec.budget = solver->supports_pure_dp()
-                      ? PrivacyBudget::Pure(epsilon)
-                      : PrivacyBudget::Approx(epsilon, delta);
-    spec.tau = tau;
-    spec.step = step;
-
-    Rng rng(7);
-    const FitResult fit = solver->Fit(problem, spec, rng);
-    std::printf("%-20s %4d %10.3f %10.1e %12.4f %9.3f\n", name.c_str(),
-                fit.iterations, fit.ledger.TotalEpsilon(),
-                fit.ledger.TotalDelta(),
-                ExcessEmpiricalRisk(loss, data, fit.w, w_star), fit.seconds);
+    FitJob job;
+    job.solver_name = name;
+    job.problem.loss = &loss;
+    job.problem.data = &data;
+    job.problem.target_sparsity = s_star;
+    if (solver->requires_constraint()) job.problem.constraint = &ball;
+    job.spec.budget = solver->supports_pure_dp()
+                          ? PrivacyBudget::Pure(epsilon)
+                          : PrivacyBudget::Approx(epsilon, delta);
+    job.spec.tau = tau;
+    job.spec.step = step;
+    job.seed = 7;  // same per-solver seed as a sequential Rng(7) fit
+    job.tag = name;
+    handles.push_back(engine.Submit(std::move(job)));
   }
 
+  std::printf("%-20s %4s %10s %10s %12s %9s\n", "solver", "T", "eps spent",
+              "delta", "excess risk", "seconds");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const StatusOr<FitResult>& fit = handles[i].Wait();
+    if (!fit.ok()) {  // never aborts: a bad config would print its Status
+      std::printf("%-20s %s\n", names[i].c_str(),
+                  fit.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-20s %4d %10.3f %10.1e %12.4f %9.3f\n", names[i].c_str(),
+                fit->iterations, fit->ledger.TotalEpsilon(),
+                fit->ledger.TotalDelta(),
+                ExcessEmpiricalRisk(loss, data, fit->w, w_star),
+                fit->seconds);
+  }
+
+  const EngineStats stats = engine.stats();
+  std::printf(
+      "\nEngine: %zu jobs on %d workers, %.1f jobs/sec end to end.\n",
+      stats.completed, engine.workers(), stats.jobs_per_second);
   std::printf(
       "\nEvery row used the same Problem and SolverSpec; only the registry\n"
       "name changed. (alg4_peeling is a selection primitive: its \"w\" is\n"

@@ -1,6 +1,7 @@
 // Algorithm 1 (heavy-tailed DP Frank-Wolfe) behind the Solver facade. The
 // iteration body is the former RunHtDpFw implementation, unchanged, so the
-// legacy wrapper reproduces its historical output bit for bit.
+// legacy wrapper reproduces its historical output bit for bit; only the
+// precondition checks moved into the non-aborting TryFit contract.
 
 #include <cmath>
 #include <cstddef>
@@ -26,24 +27,22 @@ class Alg1DpFwSolver final : public Solver {
   bool requires_constraint() const override { return true; }
   bool supports_pure_dp() const override { return true; }
 
-  FitResult Fit(const Problem& problem, const SolverSpec& spec,
-                Rng& rng) const override {
+  StatusOr<FitResult> TryFit(const Problem& problem, const SolverSpec& spec,
+                             Rng& rng) const override {
     const WallTimer timer;
-    ValidateProblemShape(*this, problem, spec);
-    const Dataset& data = *problem.data;
+    HTDP_RETURN_IF_ERROR(ValidateProblem(*this, problem, spec));
+    const DatasetView data = problem.View();
     const Polytope& polytope = *problem.constraint;
     const Loss& loss = *problem.loss;
-    data.Validate();
     const Vector w0 = problem.InitialIterate();
-    HTDP_CHECK_EQ(w0.size(), polytope.dim());
-    HTDP_CHECK_EQ(data.dim(), polytope.dim());
-    HTDP_CHECK_GT(spec.budget.epsilon, 0.0);
-    HTDP_CHECK_GT(spec.beta, 0.0);
+    HTDP_RETURN_IF_ERROR(CheckBetaPositive(spec.beta));
 
-    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    HTDP_ASSIGN_OR_RETURN(const SolverSpec resolved,
+                          TryResolveSpec(*this, problem, spec));
     const double epsilon = resolved.budget.epsilon;
     const int iterations = resolved.iterations;
-    const FoldedRobustPlan plan = MakeFoldedRobustPlan(data, resolved);
+    HTDP_ASSIGN_OR_RETURN(const FoldedRobustPlan plan,
+                          TryMakeFoldedRobustPlan(data, resolved));
 
     FitResult result;
     result.w = w0;
@@ -56,6 +55,7 @@ class Alg1DpFwSolver final : public Solver {
 
     SolverWorkspace ws;
     for (int t = 1; t <= iterations; ++t) {
+      if (StopRequested(resolved)) return CancelledStatus(*this);
       const DatasetView& fold = plan.folds[static_cast<std::size_t>(t - 1)];
       plan.estimator.Estimate(loss, fold, result.w, ws.robust_grad,
                               &ws.gradient);

@@ -1,5 +1,6 @@
 // Algorithm 2 (shrunken-data heavy-tailed private LASSO) behind the Solver
-// facade; squared loss by construction. Former RunHtPrivateLasso body.
+// facade; squared loss by construction. Former RunHtPrivateLasso body; the
+// precondition checks live in the non-aborting TryFit contract.
 
 #include <cstddef>
 
@@ -28,24 +29,20 @@ class Alg2PrivateLassoSolver final : public Solver {
   bool requires_constraint() const override { return true; }
   bool requires_loss() const override { return false; }
 
-  FitResult Fit(const Problem& problem, const SolverSpec& spec,
-                Rng& rng) const override {
+  StatusOr<FitResult> TryFit(const Problem& problem, const SolverSpec& spec,
+                             Rng& rng) const override {
     const WallTimer timer;
-    ValidateProblemShape(*this, problem, spec);
-    const Dataset& data = *problem.data;
+    HTDP_RETURN_IF_ERROR(ValidateProblem(*this, problem, spec));
+    const DatasetView data = problem.View();
     const Polytope& polytope = *problem.constraint;
-    data.Validate();
     const Vector w0 = problem.InitialIterate();
-    HTDP_CHECK_EQ(w0.size(), polytope.dim());
-    HTDP_CHECK_EQ(data.dim(), polytope.dim());
-    spec.budget.params().Validate();
-    HTDP_CHECK_GT(spec.budget.delta, 0.0);
 
-    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    HTDP_ASSIGN_OR_RETURN(const SolverSpec resolved,
+                          TryResolveSpec(*this, problem, spec));
     const int iterations = resolved.iterations;
     const double shrinkage = resolved.shrinkage;
 
-    // Step 2: entrywise shrinkage of the whole dataset.
+    // Step 2: entrywise shrinkage of the training samples.
     const Dataset shrunken = ShrinkDataset(data, shrinkage);
 
     const std::size_t n = data.size();
@@ -72,6 +69,7 @@ class Alg2PrivateLassoSolver final : public Solver {
     result.ledger.Reserve(static_cast<std::size_t>(iterations));
     SolverWorkspace ws;
     for (int t = 1; t <= iterations; ++t) {
+      if (StopRequested(resolved)) return CancelledStatus(*this);
       // g~ = (2/n) sum_i x~_i (<x~_i, w> - y~_i), the exact gradient of the
       // squared loss on the shrunken data.
       EmpiricalGradient(loss, shrunken_view, result.w, ws.robust_grad);

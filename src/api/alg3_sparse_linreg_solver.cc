@@ -1,5 +1,6 @@
 // Algorithm 3 (truncated DP-IHT for sparse linear regression) behind the
-// Solver facade; squared loss by construction. Former RunHtSparseLinReg body.
+// Solver facade; squared loss by construction. Former RunHtSparseLinReg
+// body; the precondition checks live in the non-aborting TryFit contract.
 
 #include <cmath>
 #include <cstddef>
@@ -30,25 +31,22 @@ class Alg3SparseLinRegSolver final : public Solver {
   bool requires_sparsity() const override { return true; }
   bool requires_loss() const override { return false; }
 
-  FitResult Fit(const Problem& problem, const SolverSpec& spec,
-                Rng& rng) const override {
+  StatusOr<FitResult> TryFit(const Problem& problem, const SolverSpec& spec,
+                             Rng& rng) const override {
     const WallTimer timer;
-    ValidateProblemShape(*this, problem, spec);
-    const Dataset& data = *problem.data;
-    data.Validate();
+    HTDP_RETURN_IF_ERROR(ValidateProblem(*this, problem, spec));
+    const DatasetView data = problem.View();
     const Vector w0 = problem.InitialIterate();
-    HTDP_CHECK_EQ(w0.size(), data.dim());
-    spec.budget.params().Validate();
-    HTDP_CHECK_GT(spec.budget.delta, 0.0);
     const double step = spec.StepOr(0.5);
-    HTDP_CHECK_GT(step, 0.0);
+    HTDP_RETURN_IF_ERROR(CheckStepPositive(step));
 
-    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    HTDP_ASSIGN_OR_RETURN(const SolverSpec resolved,
+                          TryResolveSpec(*this, problem, spec));
     const int iterations = resolved.iterations;
     const std::size_t sparsity = resolved.sparsity;
     const double shrinkage = resolved.shrinkage;
-    HTDP_CHECK_LE(sparsity, data.dim());
-    HTDP_CHECK_LE(static_cast<std::size_t>(iterations), data.size());
+    HTDP_RETURN_IF_ERROR(CheckSparsityWithinDim(sparsity, data.dim()));
+    HTDP_RETURN_IF_ERROR(CheckFoldsFitSamples(iterations, data.size()));
 
     // Step 2: entrywise shrinkage.
     const Dataset shrunken = ShrinkDataset(data, shrinkage);
@@ -70,6 +68,7 @@ class Alg3SparseLinRegSolver final : public Solver {
     Vector& grad = ws.robust_grad;
     grad.assign(d, 0.0);
     for (int t = 0; t < iterations; ++t) {
+      if (StopRequested(resolved)) return CancelledStatus(*this);
       const DatasetView& fold = folds[static_cast<std::size_t>(t)];
       const std::size_t m = fold.size();
 

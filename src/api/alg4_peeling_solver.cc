@@ -36,16 +36,15 @@ class Alg4PeelingSolver final : public Solver {
   bool requires_sparsity() const override { return true; }
   bool requires_loss() const override { return false; }
 
-  FitResult Fit(const Problem& problem, const SolverSpec& spec,
-                Rng& rng) const override {
+  StatusOr<FitResult> TryFit(const Problem& problem, const SolverSpec& spec,
+                             Rng& rng) const override {
     const WallTimer timer;
-    ValidateProblemShape(*this, problem, spec);
-    const Dataset& data = *problem.data;
-    data.Validate();
-    spec.budget.params().Validate();
-    HTDP_CHECK_GT(spec.budget.delta, 0.0);
+    HTDP_RETURN_IF_ERROR(ValidateProblem(*this, problem, spec));
+    const DatasetView data = problem.View();
 
-    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    HTDP_ASSIGN_OR_RETURN(const SolverSpec resolved,
+                          TryResolveSpec(*this, problem, spec));
+    if (StopRequested(resolved)) return CancelledStatus(*this);
     const std::size_t n = data.size();
     const std::size_t d = data.dim();
     const double shrinkage = resolved.shrinkage;
@@ -57,7 +56,7 @@ class Alg4PeelingSolver final : public Solver {
     Vector& v = ws.robust_grad;
     v.assign(d, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
-      const double* row = data.x.Row(i);
+      const double* row = data.Row(i);
       for (std::size_t j = 0; j < d; ++j) v[j] += Shrink(row[j], shrinkage);
     }
     Scale(1.0 / static_cast<double>(n), v);

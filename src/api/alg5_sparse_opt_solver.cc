@@ -1,5 +1,6 @@
 // Algorithm 5 (robust-gradient DP-IHT for general smooth losses) behind the
-// Solver facade. Former RunHtSparseOpt body.
+// Solver facade. Former RunHtSparseOpt body; the precondition checks live
+// in the non-aborting TryFit contract.
 
 #include <cmath>
 #include <cstddef>
@@ -25,29 +26,25 @@ class Alg5SparseOptSolver final : public Solver {
   AlgorithmId algorithm() const override { return AlgorithmId::kSparseOpt; }
   bool requires_sparsity() const override { return true; }
 
-  FitResult Fit(const Problem& problem, const SolverSpec& spec,
-                Rng& rng) const override {
+  StatusOr<FitResult> TryFit(const Problem& problem, const SolverSpec& spec,
+                             Rng& rng) const override {
     const WallTimer timer;
-    ValidateProblemShape(*this, problem, spec);
-    const Dataset& data = *problem.data;
+    HTDP_RETURN_IF_ERROR(ValidateProblem(*this, problem, spec));
+    const DatasetView data = problem.View();
     const Loss& loss = *problem.loss;
-    data.Validate();
     const Vector w0 = problem.InitialIterate();
-    HTDP_CHECK_EQ(w0.size(), data.dim());
-    spec.budget.params().Validate();
-    HTDP_CHECK_GT(spec.budget.delta, 0.0);
     const double step = spec.StepOr(0.5);
-    HTDP_CHECK_GT(step, 0.0);
-    HTDP_CHECK_GT(spec.beta, 0.0);
+    HTDP_RETURN_IF_ERROR(CheckStepPositive(step));
+    HTDP_RETURN_IF_ERROR(CheckBetaPositive(spec.beta));
 
-    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    HTDP_ASSIGN_OR_RETURN(const SolverSpec resolved,
+                          TryResolveSpec(*this, problem, spec));
     const int iterations = resolved.iterations;
     const std::size_t sparsity = resolved.sparsity;
     const double scale = resolved.scale;
-    HTDP_CHECK_LE(sparsity, data.dim());
-    HTDP_CHECK_LE(static_cast<std::size_t>(iterations), data.size());
-
-    const FoldedRobustPlan plan = MakeFoldedRobustPlan(data, resolved);
+    HTDP_RETURN_IF_ERROR(CheckSparsityWithinDim(sparsity, data.dim()));
+    HTDP_ASSIGN_OR_RETURN(const FoldedRobustPlan plan,
+                          TryMakeFoldedRobustPlan(data, resolved));
 
     FitResult result;
     result.w = w0;
@@ -58,6 +55,7 @@ class Alg5SparseOptSolver final : public Solver {
     result.ledger.Reserve(static_cast<std::size_t>(iterations));
     SolverWorkspace ws;
     for (int t = 0; t < iterations; ++t) {
+      if (StopRequested(resolved)) return CancelledStatus(*this);
       const DatasetView& fold = plan.folds[static_cast<std::size_t>(t)];
       const std::size_t m = fold.size();
 

@@ -11,7 +11,34 @@
 ///   SolverSpec spec;
 ///   spec.budget = PrivacyBudget::Pure(1.0);
 ///   FitResult fit = solver->Fit(problem, spec, rng);
+///
+/// ## Status taxonomy and the Fit vs. TryFit contract
+///
+/// The API is exception-free and, through TryFit, abort-free: no
+/// user-supplied configuration can crash the process. Fallible entry points
+/// return Status / StatusOr<T> (util/status.h) with typed codes --
+/// kInvalidProblem, kBudgetExhausted, kShapeMismatch, kUnknownSolver, plus
+/// the Engine outcomes kCancelled and kDeadlineExceeded:
+///
+///   StatusOr<FitResult> fit = solver->TryFit(problem, spec, rng);
+///   if (!fit.ok()) {  // e.g. budget-exhausted: epsilon must be > 0
+///     log(fit.status().ToString());
+///   }
+///
+/// Fit() remains the research-tool spelling: a thin wrapper that
+/// HTDP_CHECK-aborts with the same diagnostic, bit-identical to TryFit on
+/// success. SolverRegistry::Find mirrors the split for lookups (aborting
+/// Create vs. StatusOr-returning Find/TryCreate).
+///
+/// ## Serving many fits: the Engine
+///
+/// Engine (api/engine.h) turns the facade into a concurrent job service:
+/// Submit(FitJob{...}) -> JobHandle, with per-job seeds (bit-identical to a
+/// sequential TryFit), cancellation, wall-clock deadlines and aggregate
+/// EngineStats. The harness's scenario sweeps and the benches fan out
+/// through it.
 
+#include "api/engine.h"
 #include "api/fit_result.h"
 #include "api/privacy_budget.h"
 #include "api/problem.h"

@@ -1,7 +1,8 @@
 // The [WXDX20]-style low-dimensional baseline (full-vector Gaussian noise on
 // the robust gradient) behind the Solver facade. Former MinimizeDpRobustGd
-// body. Registered so dimension ablations can enumerate it next to the
-// paper's algorithms.
+// body; the precondition checks live in the non-aborting TryFit contract.
+// Registered so dimension ablations can enumerate it next to the paper's
+// algorithms.
 
 #include <cmath>
 #include <cstddef>
@@ -27,22 +28,21 @@ class BaselineRobustGdSolver final : public Solver {
   }
   AlgorithmId algorithm() const override { return AlgorithmId::kRobustGd; }
 
-  FitResult Fit(const Problem& problem, const SolverSpec& spec,
-                Rng& rng) const override {
+  StatusOr<FitResult> TryFit(const Problem& problem, const SolverSpec& spec,
+                             Rng& rng) const override {
     const WallTimer timer;
-    ValidateProblemShape(*this, problem, spec);
-    const Dataset& data = *problem.data;
+    HTDP_RETURN_IF_ERROR(ValidateProblem(*this, problem, spec));
+    const DatasetView data = problem.View();
     const Loss& loss = *problem.loss;
-    data.Validate();
     const Vector w0 = problem.InitialIterate();
-    HTDP_CHECK_EQ(w0.size(), data.dim());
-    spec.budget.params().Validate();
-    HTDP_CHECK_GT(spec.budget.delta, 0.0);
+    HTDP_RETURN_IF_ERROR(CheckBetaPositive(spec.beta));
 
-    const SolverSpec resolved = ResolveSpecOrDie(*this, problem, spec);
+    HTDP_ASSIGN_OR_RETURN(const SolverSpec resolved,
+                          TryResolveSpec(*this, problem, spec));
     const int iterations = resolved.iterations;
     const std::size_t d = data.dim();
-    const FoldedRobustPlan plan = MakeFoldedRobustPlan(data, resolved);
+    HTDP_ASSIGN_OR_RETURN(const FoldedRobustPlan plan,
+                          TryMakeFoldedRobustPlan(data, resolved));
 
     PgdOptions projection;
     projection.projection = resolved.projection;
@@ -57,6 +57,7 @@ class BaselineRobustGdSolver final : public Solver {
     SolverWorkspace ws;
     Vector& grad = ws.robust_grad;
     for (int t = 1; t <= iterations; ++t) {
+      if (StopRequested(resolved)) return CancelledStatus(*this);
       const DatasetView& fold = plan.folds[static_cast<std::size_t>(t - 1)];
       plan.estimator.Estimate(loss, fold, result.w, grad, &ws.gradient);
 

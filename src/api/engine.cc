@@ -1,0 +1,398 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "api/solver_registry.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace htdp {
+namespace engine_internal {
+
+using Clock = std::chrono::steady_clock;
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Queue, counters and coordination state shared by the Engine and every
+/// JobRecord. Held through shared_ptrs so a JobHandle's Cancel() can update
+/// the queue/counters directly -- and safely even after the Engine object
+/// is gone (by then stop is set and the queue empty, so Cancel degenerates
+/// to a no-op).
+struct EngineShared {
+  std::mutex mu;
+  std::condition_variable work_cv;  // queue became non-empty / stopping
+  std::condition_variable idle_cv;  // a job completed / left the queue
+  std::deque<std::shared_ptr<JobRecord>> queue;
+  bool stop = false;
+
+  // Counters (guarded by mu). Every submitted job increments `completed`
+  // exactly once: at Submit for inline failures, in RunJob's finish, in
+  // Cancel's queued branch, or in Shutdown's orphan sweep.
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t deadline_exceeded = 0;
+  std::size_t running = 0;
+
+  const double start_seconds = MonotonicSeconds();
+};
+
+/// Shared state of one submitted job. The Engine and every JobHandle copy
+/// hold it through a shared_ptr; its own mutex/cv make Wait() independent
+/// of the Engine's lifetime (the Engine completes all jobs before dying).
+///
+/// Stage transitions (guarded by `mu`): kQueued -> kRunning -> kDone, or
+/// kQueued -> kDone directly when Cancel()/Shutdown() completes a job that
+/// never ran. Lock order: the EngineShared mu is always acquired before a
+/// record's mu, never the other way around.
+struct JobRecord {
+  enum class Stage { kQueued, kRunning, kDone };
+
+  FitJob job;
+  const Solver* solver = nullptr;  // resolved at Submit; null on lookup error
+  std::shared_ptr<EngineShared> engine;  // null once completed inline
+  std::atomic<bool> cancel{false};
+  bool has_deadline = false;
+  Clock::time_point deadline;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  Stage stage = Stage::kQueued;
+  std::optional<StatusOr<FitResult>> result;
+
+  /// Publishes the outcome unless the job already completed (e.g. a
+  /// queued-job Cancel() raced with shutdown). Returns whether this call
+  /// won.
+  bool Complete(StatusOr<FitResult> outcome) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (stage == Stage::kDone) return false;
+      result.emplace(std::move(outcome));
+      stage = Stage::kDone;
+    }
+    cv.notify_all();
+    return true;
+  }
+
+  /// Queued -> Running claim, made while the caller holds the engine mu;
+  /// false when the job already completed (cancelled while queued) and must
+  /// simply be dropped -- whoever completed it also counted it.
+  bool TryStartRunning() {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (stage == Stage::kDone) return false;
+    stage = Stage::kRunning;
+    return true;
+  }
+
+  std::string Describe() const {
+    std::string what = "job";
+    if (!job.tag.empty()) what += " \"" + job.tag + "\"";
+    return what;
+  }
+};
+
+}  // namespace engine_internal
+
+using engine_internal::EngineShared;
+using engine_internal::JobRecord;
+
+const std::string& JobHandle::tag() const {
+  HTDP_CHECK(record_ != nullptr) << "JobHandle is empty";
+  return record_->job.tag;
+}
+
+bool JobHandle::done() const {
+  HTDP_CHECK(record_ != nullptr) << "JobHandle is empty";
+  const std::lock_guard<std::mutex> lock(record_->mu);
+  return record_->stage == JobRecord::Stage::kDone;
+}
+
+void JobHandle::Cancel() {
+  HTDP_CHECK(record_ != nullptr) << "JobHandle is empty";
+  record_->cancel.store(true, std::memory_order_release);
+  const std::shared_ptr<EngineShared> engine = record_->engine;
+  if (engine == nullptr) return;  // completed inline at Submit
+  // A job that has not started yet completes right here -- removed from
+  // the queue with the counters updated -- so Wait()/done()/stats() all
+  // observe the cancellation immediately, not after a worker drains the
+  // queue to it. A running job only gets the flag; the should_stop hook
+  // picks it up at the next iteration boundary.
+  bool completed = false;
+  {
+    const std::lock_guard<std::mutex> engine_lock(engine->mu);
+    const std::lock_guard<std::mutex> record_lock(record_->mu);
+    if (record_->stage == JobRecord::Stage::kQueued) {
+      const auto it =
+          std::find(engine->queue.begin(), engine->queue.end(), record_);
+      // A kQueued record absent from the queue was swept into Shutdown's
+      // orphan list, which already counted it and will complete it; only
+      // the path that actually removes the record may count it, keeping
+      // every job counted exactly once.
+      if (it != engine->queue.end()) {
+        engine->queue.erase(it);
+        record_->result.emplace(Status::Cancelled(
+            record_->Describe() + " cancelled before it started"));
+        record_->stage = JobRecord::Stage::kDone;
+        ++engine->completed;
+        ++engine->cancelled;
+        completed = true;
+      }
+    }
+  }
+  if (completed) {
+    record_->cv.notify_all();
+    engine->idle_cv.notify_all();
+  }
+}
+
+const StatusOr<FitResult>& JobHandle::Wait() const& {
+  HTDP_CHECK(record_ != nullptr) << "JobHandle is empty";
+  std::unique_lock<std::mutex> lock(record_->mu);
+  record_->cv.wait(
+      lock, [&] { return record_->stage == JobRecord::Stage::kDone; });
+  return *record_->result;
+}
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(Options options)
+    : state_(std::make_shared<EngineShared>()) {
+  const int workers =
+      options.workers > 0 ? options.workers : NumWorkerThreads();
+  worker_count_ = std::max(workers, 1);
+  workers_.reserve(static_cast<std::size_t>(worker_count_));
+  for (int i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+Engine::~Engine() { Shutdown(); }
+
+JobHandle Engine::Submit(FitJob job) {
+  auto record = std::make_shared<JobRecord>();
+  record->job = std::move(job);
+  if (record->job.deadline_seconds > 0.0) {
+    record->has_deadline = true;
+    record->deadline =
+        engine_internal::Clock::now() +
+        std::chrono::duration_cast<engine_internal::Clock::duration>(
+            std::chrono::duration<double>(record->job.deadline_seconds));
+  }
+
+  // Resolve the solver up front so an unknown name fails fast with the
+  // registry's typed Status (listing the known names) instead of occupying
+  // a worker.
+  if (record->job.solver != nullptr) {
+    record->solver = record->job.solver;
+  } else {
+    StatusOr<const Solver*> found =
+        SolverRegistry::Global().Find(record->job.solver_name);
+    if (!found.ok()) {
+      {
+        const std::lock_guard<std::mutex> lock(state_->mu);
+        ++state_->submitted;
+        ++state_->completed;
+        ++state_->failed;
+        record->Complete(found.status());
+      }
+      state_->idle_cv.notify_all();
+      return JobHandle(std::move(record));
+    }
+    record->solver = *found;
+  }
+
+  bool rejected = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->submitted;
+    if (state_->stop) {
+      ++state_->completed;
+      ++state_->cancelled;
+      record->Complete(Status::Cancelled(record->Describe() +
+                                         " submitted after Engine shutdown"));
+      rejected = true;
+    } else {
+      record->engine = state_;
+      state_->queue.push_back(record);
+    }
+  }
+  if (rejected) {
+    state_->idle_cv.notify_all();
+    return JobHandle(std::move(record));
+  }
+  state_->work_cv.notify_one();
+  return JobHandle(std::move(record));
+}
+
+void Engine::WorkerMain() {
+  for (;;) {
+    std::shared_ptr<JobRecord> record;
+    {
+      std::unique_lock<std::mutex> lock(state_->mu);
+      state_->work_cv.wait(
+          lock, [&] { return state_->stop || !state_->queue.empty(); });
+      if (state_->queue.empty()) return;  // stop set, nothing left to run
+      record = std::move(state_->queue.front());
+      state_->queue.pop_front();
+      // A pop only ever sees live records: Cancel() removes the queued
+      // jobs it completes. The claim is re-checked defensively anyway.
+      if (!record->TryStartRunning()) continue;
+      ++state_->running;
+    }
+    RunJob(*record);
+    state_->idle_cv.notify_all();
+  }
+}
+
+void Engine::RunJob(JobRecord& record) {
+  const auto finish = [&](StatusOr<FitResult> outcome,
+                          std::size_t EngineShared::* counter) {
+    // Publish the result and update the counters in one engine-mutex
+    // critical section (engine mu -> record mu is the global lock order):
+    // when Drain() sees running == 0 the result is already observable, and
+    // when a waiter returns from Wait() the next stats() call -- which must
+    // acquire the engine mutex -- already includes this job.
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    record.Complete(std::move(outcome));
+    --state_->running;
+    ++state_->completed;
+    ++((*state_).*counter);
+  };
+
+  if (record.cancel.load(std::memory_order_acquire)) {
+    finish(Status::Cancelled(record.Describe() +
+                             " cancelled before it started"),
+           &EngineShared::cancelled);
+    return;
+  }
+  if (record.has_deadline &&
+      engine_internal::Clock::now() >= record.deadline) {
+    finish(Status::DeadlineExceeded(record.Describe() +
+                                    " missed its deadline while queued"),
+           &EngineShared::deadline_exceeded);
+    return;
+  }
+
+  // Wire cancellation + deadline into the solver's cooperative-stop hook,
+  // composing with any caller-installed hook. The hook never touches the
+  // RNG, so an unstopped fit is bit-identical to a sequential TryFit.
+  SolverSpec spec = record.job.spec;
+  const std::function<bool()> caller_stop = std::move(spec.should_stop);
+  JobRecord* rec = &record;
+  spec.should_stop = [rec, caller_stop] {
+    if (rec->cancel.load(std::memory_order_relaxed)) return true;
+    if (rec->has_deadline &&
+        engine_internal::Clock::now() >= rec->deadline) {
+      return true;
+    }
+    return caller_stop && caller_stop();
+  };
+
+  Rng rng = record.job.rng.has_value() ? *record.job.rng
+                                       : Rng(record.job.seed);
+  StatusOr<FitResult> result =
+      record.solver->TryFit(record.job.problem, spec, rng);
+
+  // Solver-produced errors get the job tag prefixed (Engine-generated
+  // cancel/deadline statuses below already carry it via Describe()), so a
+  // sweep's aggregated error log attributes every failure to its cell.
+  const auto tagged = [&](const Status& status) {
+    if (record.job.tag.empty()) return status;
+    return Status::WithCode(status.code(),
+                            record.Describe() + ": " + status.message());
+  };
+
+  if (result.ok()) {
+    // Hold the documented deadline contract even when the fit never hit a
+    // should_stop poll after the deadline passed (e.g. single-poll alg4):
+    // a result delivered late is a deadline miss, not a success.
+    if (record.has_deadline &&
+        engine_internal::Clock::now() >= record.deadline) {
+      finish(Status::DeadlineExceeded(record.Describe() +
+                                      " finished after its deadline"),
+             &EngineShared::deadline_exceeded);
+    } else {
+      finish(std::move(result), &EngineShared::succeeded);
+    }
+    return;
+  }
+  if (result.status().code() == StatusCode::kCancelled) {
+    // Attribute the stop: an explicit Cancel() wins; otherwise a deadline
+    // overrun mid-fit reports kDeadlineExceeded.
+    if (!record.cancel.load(std::memory_order_acquire) &&
+        record.has_deadline &&
+        engine_internal::Clock::now() >= record.deadline) {
+      finish(Status::DeadlineExceeded(record.Describe() +
+                                      " missed its deadline mid-fit"),
+             &EngineShared::deadline_exceeded);
+    } else {
+      finish(tagged(result.status()), &EngineShared::cancelled);
+    }
+    return;
+  }
+  finish(tagged(result.status()), &EngineShared::failed);
+}
+
+void Engine::Drain() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->idle_cv.wait(
+      lock, [&] { return state_->queue.empty() && state_->running == 0; });
+}
+
+void Engine::Shutdown() {
+  // Serializes concurrent Shutdown() callers (incl. the destructor) so the
+  // join below runs exactly once.
+  const std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->stop && workers_.empty()) return;  // already shut down
+    state_->stop = true;
+    // Complete the orphans while still holding the engine mutex (engine mu
+    // -> record mu is the global lock order), so their results are
+    // published before the queue empties out of Drain()'s predicate.
+    for (const std::shared_ptr<JobRecord>& record : state_->queue) {
+      record->Complete(Status::Cancelled(record->Describe() +
+                                         " cancelled by Engine shutdown"));
+      ++state_->completed;
+      ++state_->cancelled;
+    }
+    state_->queue.clear();
+  }
+  state_->work_cv.notify_all();
+  state_->idle_cv.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+EngineStats Engine::stats() const {
+  EngineStats stats;
+  const std::lock_guard<std::mutex> lock(state_->mu);
+  stats.submitted = state_->submitted;
+  stats.completed = state_->completed;
+  stats.succeeded = state_->succeeded;
+  stats.failed = state_->failed;
+  stats.cancelled = state_->cancelled;
+  stats.deadline_exceeded = state_->deadline_exceeded;
+  stats.queue_depth = state_->queue.size();
+  stats.running = state_->running;
+  stats.uptime_seconds =
+      engine_internal::MonotonicSeconds() - state_->start_seconds;
+  stats.jobs_per_second = stats.uptime_seconds > 0.0
+                              ? static_cast<double>(stats.completed) /
+                                    stats.uptime_seconds
+                              : 0.0;
+  return stats;
+}
+
+}  // namespace htdp

@@ -1,0 +1,197 @@
+#ifndef HTDP_API_ENGINE_H_
+#define HTDP_API_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/fit_result.h"
+#include "api/problem.h"
+#include "api/solver.h"
+#include "api/solver_spec.h"
+#include "rng/rng.h"
+#include "util/status.h"
+
+namespace htdp {
+
+/// ## The Engine: a concurrent fit-job layer over the Solver facade
+///
+/// The paper's experiments -- and every serving workload built on them --
+/// sweep dozens of (n, d, epsilon, solver) scenarios. The Engine serves
+/// that fan-out natively: callers describe each fit as a FitJob, Submit()
+/// returns immediately with a JobHandle, and a fixed pool of job workers
+/// runs many TryFits concurrently with cancellation and per-job wall-clock
+/// deadlines. Data-level parallelism inside each fit still flows through
+/// ParallelFor's shared worker pool, which the Engine makes multi-tenant:
+/// several jobs' reductions interleave on it safely (its dispatches are
+/// serialized and deterministic per dispatch).
+///
+/// Determinism contract: a job's result is bit-identical to a sequential
+/// `TryFit(problem, spec, rng)` with the same RNG state -- every job runs
+/// on its own Rng seeded from FitJob::seed (or the explicit FitJob::rng
+/// stream), and solver arithmetic never depends on scheduling.
+///
+/// Error contract: Submit() never aborts the process on user-supplied
+/// configuration. An unknown solver name, a malformed problem, an
+/// unfundable budget -- each surfaces as the job's typed error Status
+/// through JobHandle::Wait() (see util/status.h for the taxonomy;
+/// kCancelled and kDeadlineExceeded report the Engine's own outcomes).
+
+/// One fit request. The Problem's non-owning pointers (data, loss,
+/// constraint) must stay valid until the job completes -- the Engine copies
+/// the Problem/SolverSpec values but never the dataset. The spec's
+/// observer/should_stop hooks run on an Engine worker thread; hooks whose
+/// captured state is shared across jobs must be thread-safe.
+struct FitJob {
+  /// SolverRegistry name, e.g. "alg1_dp_fw", resolved at Submit() against
+  /// the global registry. Ignored when `solver` is set.
+  std::string solver_name;
+
+  /// Explicit solver instance (must outlive the job). Takes precedence over
+  /// solver_name; leave null to resolve by name.
+  const Solver* solver = nullptr;
+
+  Problem problem;
+  SolverSpec spec;
+
+  /// Seeds the job's private Rng; two jobs with equal seeds (and specs)
+  /// produce identical results regardless of scheduling.
+  std::uint64_t seed = 0;
+
+  /// Explicit RNG stream state; overrides `seed` when set. Lets callers
+  /// hand a mid-stream generator to the job (e.g. the harness continues the
+  /// stream that generated the trial's data, exactly like the sequential
+  /// path).
+  std::optional<Rng> rng;
+
+  /// Wall-clock budget in seconds, measured from Submit(). 0 = none. A job
+  /// that misses it -- still queued, cooperatively stopped mid-fit, or
+  /// finishing too late -- completes with kDeadlineExceeded. A stopped or
+  /// late fit returns no FitResult (and so no ledger), but any iterations
+  /// that ran did release their DP outputs; wire spec.observer to keep an
+  /// authoritative spend audit for such jobs (each IterationEvent carries
+  /// the running PrivacyLedger).
+  double deadline_seconds = 0.0;
+
+  /// Free-form label for dashboards and debugging; echoed in the job's
+  /// error messages.
+  std::string tag;
+};
+
+namespace engine_internal {
+struct EngineShared;
+struct JobRecord;
+}  // namespace engine_internal
+
+/// Aggregate Engine counters. Snapshot via Engine::stats().
+struct EngineStats {
+  std::size_t submitted = 0;          // total Submit() calls
+  std::size_t completed = 0;          // jobs finished (any outcome)
+  std::size_t succeeded = 0;          // completed with an Ok fit
+  std::size_t failed = 0;             // completed with a config/typed error
+  std::size_t cancelled = 0;          // completed via Cancel()
+  std::size_t deadline_exceeded = 0;  // completed past their deadline
+  std::size_t queue_depth = 0;        // submitted, not yet picked up
+  std::size_t running = 0;            // currently executing
+  double uptime_seconds = 0.0;        // since the Engine started
+  double jobs_per_second = 0.0;       // completed / uptime
+};
+
+/// Caller's reference to a submitted job. Cheap to copy; all copies refer
+/// to the same job. Outliving the Engine is safe: the Engine completes
+/// every job (running or cancelled-on-shutdown) before it is destroyed.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return record_ != nullptr; }
+
+  /// The FitJob::tag this handle was submitted with.
+  const std::string& tag() const;
+
+  /// True once the job completed (successfully or not). Never blocks.
+  bool done() const;
+
+  /// Requests cancellation: a queued job completes with kCancelled right
+  /// here (removed from the queue, counters updated, Wait() unblocked); a
+  /// running job stops cooperatively at its next iteration boundary.
+  /// Idempotent; has no effect on a completed job.
+  void Cancel();
+
+  /// Blocks until the job completes and returns its result: the FitResult,
+  /// or the typed error Status (config error, kCancelled,
+  /// kDeadlineExceeded). The reference stays valid while any handle to the
+  /// job lives -- which is why Wait() is deleted on temporaries: in
+  /// `engine.Submit(job).Wait()` the temporary handle can be the result's
+  /// last owner, dangling the reference. Hold the JobHandle in a variable.
+  const StatusOr<FitResult>& Wait() const&;
+  const StatusOr<FitResult>& Wait() const&& = delete;
+
+ private:
+  friend class Engine;
+  explicit JobHandle(std::shared_ptr<engine_internal::JobRecord> record)
+      : record_(std::move(record)) {}
+
+  std::shared_ptr<engine_internal::JobRecord> record_;
+};
+
+/// The concurrent fit service. Owns a fixed pool of job-worker threads that
+/// drain a FIFO queue of FitJobs. Thread-safe: Submit/Cancel/Wait/stats may
+/// be called from any thread.
+class Engine {
+ public:
+  struct Options {
+    /// Number of concurrent job workers; 0 = NumWorkerThreads().
+    int workers = 0;
+  };
+
+  Engine();  // default Options
+  explicit Engine(Options options);
+
+  /// Shuts down: queued jobs complete with kCancelled, running jobs finish
+  /// (or stop at their deadline), workers join.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueues the job and returns immediately. Never aborts on
+  /// user-supplied configuration: lookup/validation failures surface as the
+  /// job's typed error Status. Jobs submitted after Shutdown() complete
+  /// immediately with kCancelled.
+  JobHandle Submit(FitJob job);
+
+  /// Blocks until every job submitted so far has completed.
+  void Drain();
+
+  /// Stops accepting work, cancels queued jobs, waits for running jobs and
+  /// joins the workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  EngineStats stats() const;
+
+  /// The fixed worker count (stable for the Engine's whole lifetime, so
+  /// safe to read concurrently with Shutdown()).
+  int workers() const { return worker_count_; }
+
+ private:
+  void WorkerMain();
+  void RunJob(engine_internal::JobRecord& record);
+
+  /// Queue, counters and coordination primitives, shared with every
+  /// JobRecord so a JobHandle can complete a queued job (Cancel) with
+  /// accurate accounting even while the Engine's workers are busy.
+  const std::shared_ptr<engine_internal::EngineShared> state_;
+  std::mutex shutdown_mu_;  // serializes Shutdown() callers
+  int worker_count_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_API_ENGINE_H_

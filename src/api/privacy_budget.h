@@ -25,11 +25,15 @@ struct PrivacyBudget {
   /// The dp-layer equivalent (aborts on invalid values via Validate()).
   PrivacyParams params() const { return {epsilon, delta}; }
 
-  /// Non-aborting validation: epsilon > 0 and delta in [0, 1).
+  /// Non-aborting validation: epsilon > 0 and delta in [0, 1). Failures
+  /// carry StatusCode::kBudgetExhausted -- a budget that cannot fund any
+  /// mechanism invocation.
   Status Check() const {
-    if (!(epsilon > 0.0)) return Status::Invalid("epsilon must be > 0");
+    if (!(epsilon > 0.0)) {
+      return Status::BudgetExhausted("epsilon must be > 0");
+    }
     if (delta < 0.0 || delta >= 1.0) {
-      return Status::Invalid("delta must lie in [0, 1)");
+      return Status::BudgetExhausted("delta must lie in [0, 1)");
     }
     return Status::Ok();
   }

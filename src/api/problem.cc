@@ -10,6 +10,11 @@ Vector Problem::InitialIterate() const {
   return Vector(data->dim(), 0.0);
 }
 
+DatasetView Problem::View() const {
+  HTDP_CHECK(data != nullptr) << "Problem.data must be set";
+  return DatasetView{data, 0, size()};
+}
+
 Problem Problem::ConstrainedErm(const Loss& loss, const Dataset& data,
                                 const Polytope& constraint) {
   Problem problem;

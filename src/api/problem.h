@@ -26,6 +26,12 @@ struct Problem {
   /// The dataset D = {(x_i, y_i)}. Required.
   const Dataset* data = nullptr;
 
+  /// Optional sample-count cap: the solver fits on the leading `prefix`
+  /// samples of `data` only -- the non-owning equivalent of Prefix(data, n)
+  /// for sample-size sweeps, with no per-point deep copy. 0 means the whole
+  /// dataset; a value beyond data->size() is a shape-mismatch error.
+  std::size_t prefix = 0;
+
   /// Polytope constraint for the Frank-Wolfe-style solvers; null for the
   /// sparsity-constrained ones.
   const Polytope* constraint = nullptr;
@@ -38,8 +44,16 @@ struct Problem {
   /// problem is polytope-constrained.
   std::size_t target_sparsity = 0;
 
-  std::size_t size() const { return data != nullptr ? data->size() : 0; }
+  /// Effective sample count: the prefix cap when set, else the full size.
+  std::size_t size() const {
+    const std::size_t n = data != nullptr ? data->size() : 0;
+    return prefix > 0 && prefix < n ? prefix : n;
+  }
   std::size_t dim() const { return data != nullptr ? data->dim() : 0; }
+
+  /// The samples the solver actually fits on: the whole dataset, or its
+  /// leading `prefix` rows. Requires data != nullptr.
+  DatasetView View() const;
 
   /// w0 if set, otherwise the origin in dim() dimensions.
   Vector InitialIterate() const;

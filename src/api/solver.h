@@ -2,11 +2,14 @@
 #define HTDP_API_SOLVER_H_
 
 #include <string>
+#include <utility>
 
 #include "api/fit_result.h"
 #include "api/problem.h"
 #include "api/solver_spec.h"
 #include "rng/rng.h"
+#include "util/check.h"
+#include "util/status.h"
 
 namespace htdp {
 
@@ -18,8 +21,28 @@ namespace htdp {
 /// constructible by name through SolverRegistry, so harnesses, benches and
 /// examples can enumerate scenarios generically.
 ///
+/// ## The TryFit vs. Fit contract
+///
+/// TryFit() is the service-grade entry point: no user-supplied
+/// configuration can abort the process through it. Every user-reachable
+/// precondition -- missing loss/constraint/sparsity target, a dataset whose
+/// shapes disagree, an unfundable privacy budget, degenerate schedule knobs
+/// -- comes back as a typed Status (see util/status.h for the taxonomy):
+///
+///   kInvalidProblem   -- the Problem/SolverSpec is malformed for this solver
+///   kBudgetExhausted  -- epsilon/delta cannot fund the request
+///   kShapeMismatch    -- tensor geometry disagrees (x/y, w0, constraint)
+///   kCancelled        -- SolverSpec::should_stop requested a stop mid-fit
+///
+/// Fit() is a thin wrapper that calls TryFit() and HTDP_CHECK-aborts with
+/// the carried diagnostic on error, preserving the legacy research-tool
+/// contract (and its call sites) verbatim. On success both paths return the
+/// same bits: TryFit never draws from the Rng before its validation phase
+/// completes, so a configuration that passes produces a FitResult identical
+/// to what the pre-Status implementation computed.
+///
 /// Implementations are stateless and const; one Solver instance may be
-/// reused across Fit() calls and threads (each call takes its own Rng).
+/// reused across TryFit() calls and threads (each call takes its own Rng).
 class Solver {
  public:
   virtual ~Solver() = default;
@@ -46,12 +69,24 @@ class Solver {
   /// false when it needs delta > 0.
   virtual bool supports_pure_dp() const { return false; }
 
-  /// Runs the algorithm. Aborts (HTDP_CHECK) on violated preconditions,
-  /// matching the legacy free functions; configuration errors surfaced by
-  /// SolverSpec::Resolve are reported in the abort diagnostic. The dataset
-  /// is never modified and must outlive the call.
-  virtual FitResult Fit(const Problem& problem, const SolverSpec& spec,
-                        Rng& rng) const = 0;
+  /// Runs the algorithm without ever aborting on user-supplied
+  /// configuration: violated preconditions return a typed error Status
+  /// instead (see the class comment for the taxonomy). The dataset is never
+  /// modified and must outlive the call.
+  virtual StatusOr<FitResult> TryFit(const Problem& problem,
+                                     const SolverSpec& spec,
+                                     Rng& rng) const = 0;
+
+  /// Legacy aborting wrapper: TryFit() with HTDP_CHECK on error, matching
+  /// the historical free functions' crash-on-misuse contract. Successful
+  /// fits are bit-identical to TryFit() with the same Rng state.
+  FitResult Fit(const Problem& problem, const SolverSpec& spec,
+                Rng& rng) const {
+    StatusOr<FitResult> result = TryFit(problem, spec, rng);
+    HTDP_CHECK(result.ok()) << " " << name() << ": "
+                            << result.status().ToString();
+    return std::move(result).value();
+  }
 };
 
 }  // namespace htdp

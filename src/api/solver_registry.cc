@@ -25,8 +25,13 @@ SolverRegistry& SolverRegistry::Global() {
 void SolverRegistry::Register(const std::string& name, Factory factory) {
   HTDP_CHECK(!name.empty()) << "solver name must be non-empty";
   HTDP_CHECK(factory != nullptr) << "solver factory must be non-null";
+  Entry entry;
+  entry.shared = factory();
+  HTDP_CHECK(entry.shared != nullptr)
+      << "factory for \"" << name << "\" returned null";
+  entry.factory = std::move(factory);
   const bool inserted =
-      factories_.emplace(name, std::move(factory)).second;
+      factories_.emplace(name, std::move(entry)).second;
   HTDP_CHECK(inserted) << "duplicate solver name: " << name;
 }
 
@@ -34,18 +39,38 @@ bool SolverRegistry::Contains(const std::string& name) const {
   return factories_.find(name) != factories_.end();
 }
 
-std::unique_ptr<Solver> SolverRegistry::Create(const std::string& name) const {
+namespace {
+
+Status UnknownSolverStatus(const std::string& name,
+                           const std::vector<std::string>& known) {
+  std::ostringstream message;
+  message << "unknown solver \"" << name << "\"; registered:";
+  for (const std::string& key : known) message << " " << key;
+  return Status::UnknownSolver(message.str());
+}
+
+}  // namespace
+
+StatusOr<const Solver*> SolverRegistry::Find(const std::string& name) const {
   const auto it = factories_.find(name);
-  if (it == factories_.end()) {
-    std::ostringstream known;
-    for (const auto& [key, unused] : factories_) known << " " << key;
-    HTDP_CHECK(false) << " unknown solver \"" << name
-                      << "\"; registered:" << known.str();
-  }
-  std::unique_ptr<Solver> solver = it->second();
+  if (it == factories_.end()) return UnknownSolverStatus(name, Names());
+  return static_cast<const Solver*>(it->second.shared.get());
+}
+
+StatusOr<std::unique_ptr<Solver>> SolverRegistry::TryCreate(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) return UnknownSolverStatus(name, Names());
+  std::unique_ptr<Solver> solver = it->second.factory();
   HTDP_CHECK(solver != nullptr) << "factory for \"" << name
                                 << "\" returned null";
   return solver;
+}
+
+std::unique_ptr<Solver> SolverRegistry::Create(const std::string& name) const {
+  StatusOr<std::unique_ptr<Solver>> solver = TryCreate(name);
+  HTDP_CHECK(solver.ok()) << " " << solver.status().message();
+  return std::move(solver).value();
 }
 
 std::vector<std::string> SolverRegistry::Names() const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "api/solver.h"
+#include "util/status.h"
 
 namespace htdp {
 
@@ -25,7 +26,10 @@ inline constexpr const char* kSolverBaselineRobustGd = "baseline_robust_gd";
 /// registry-driven harness picks them up with zero further code.
 ///
 /// Registration is expected to happen during start-up, before concurrent
-/// use; lookups afterwards are read-only and thread-compatible.
+/// use; lookups afterwards are read-only and thread-compatible. Solvers are
+/// stateless, so Find() hands out a shared per-registry instance (created
+/// once at Register() time) that many threads -- e.g. concurrent Engine
+/// jobs -- may use simultaneously.
 class SolverRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Solver>()>;
@@ -33,20 +37,34 @@ class SolverRegistry {
   /// The process-wide registry, with the built-ins pre-registered.
   static SolverRegistry& Global();
 
-  /// Registers a factory. Aborts on a duplicate or empty name.
+  /// Registers a factory (invoked once immediately for the shared Find()
+  /// instance). Aborts on a duplicate or empty name, a null factory, or a
+  /// factory returning null.
   void Register(const std::string& name, Factory factory);
 
   bool Contains(const std::string& name) const;
 
+  /// Non-aborting lookup of the shared instance: kUnknownSolver -- with the
+  /// registered names in the message -- when `name` is not registered. The
+  /// pointer stays valid for the registry's lifetime.
+  StatusOr<const Solver*> Find(const std::string& name) const;
+
+  /// Non-aborting fresh instantiation of the named solver.
+  StatusOr<std::unique_ptr<Solver>> TryCreate(const std::string& name) const;
+
   /// Instantiates the named solver. Aborts with the known names on an
-  /// unknown name (use Contains() to probe).
+  /// unknown name (use Find()/Contains() for the non-aborting path).
   std::unique_ptr<Solver> Create(const std::string& name) const;
 
   /// All registered names, sorted.
   std::vector<std::string> Names() const;
 
  private:
-  std::map<std::string, Factory> factories_;
+  struct Entry {
+    Factory factory;
+    std::unique_ptr<Solver> shared;  // the Find() instance
+  };
+  std::map<std::string, Entry> factories_;
 };
 
 }  // namespace htdp

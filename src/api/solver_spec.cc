@@ -73,9 +73,7 @@ Status SolverSpec::Resolve(std::size_t n, std::size_t d) {
       if (sparsity == 0) {
         return Status::Invalid("set target_sparsity (s*) or sparsity (s)");
       }
-      if (sparsity > d) {
-        return Status::Invalid("sparsity exceeds the dimension");
-      }
+      if (Status s = CheckSparsityWithinDim(sparsity, d); !s.ok()) return s;
       // Peeling is a single selection round; a pinned iteration count has
       // nothing to drive and is normalized away so FitResult.iterations
       // always reports what actually ran.

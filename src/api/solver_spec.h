@@ -2,6 +2,8 @@
 #define HTDP_API_SOLVER_SPEC_H_
 
 #include <cstddef>
+#include <functional>
+#include <string>
 
 #include "api/fit_result.h"
 #include "api/privacy_budget.h"
@@ -60,6 +62,21 @@ struct SolverSpec {
   bool record_risk_trace = false;
   IterationObserver observer;  // invoked after every iteration
 
+  // --- Cooperative cancellation. -----------------------------------------
+  /// Polled once at the start of every iteration; when it returns true the
+  /// solver stops immediately and TryFit returns a kCancelled Status (no
+  /// partial FitResult). Never sampled from the RNG, so a fit that is not
+  /// stopped stays bit-identical with or without the hook installed. The
+  /// Engine wires job cancellation and wall-clock deadlines through this.
+  ///
+  /// Privacy accounting under cancellation: iterations that ran before the
+  /// stop HAVE released their mechanism outputs, but the discarded
+  /// FitResult's ledger is not returned. Callers that cancel fits and need
+  /// an exact spend audit should install `observer` as well -- every
+  /// IterationEvent carries the running PrivacyLedger, so the last event
+  /// seen is the authoritative record of what was actually released.
+  std::function<bool()> should_stop;
+
   // --- Resolution inputs, filled from the Problem by Solver::Fit. --------
   AlgorithmId algorithm = AlgorithmId::kDpFw;
   std::size_t target_sparsity = 0;  // s* (from Problem.target_sparsity)
@@ -77,12 +94,44 @@ struct SolverSpec {
   Status Resolve(std::size_t n, std::size_t d);
 
   /// step if explicitly set (including invalid negative values, so the
-  /// solvers' HTDP_CHECK_GT(step, 0) can reject them), otherwise the
-  /// per-algorithm default.
+  /// solvers' step validation can reject them), otherwise the per-algorithm
+  /// default.
   double StepOr(double fallback) const {
     return step != 0.0 ? step : fallback;
   }
 };
+
+/// Shared knob checks used by every solver that reads the field, so the
+/// per-solver diagnostics cannot diverge.
+inline Status CheckStepPositive(double step) {
+  if (!(step > 0.0)) {
+    return Status::InvalidProblem("SolverSpec.step must be > 0");
+  }
+  return Status::Ok();
+}
+
+inline Status CheckBetaPositive(double beta) {
+  if (!(beta > 0.0)) {
+    return Status::InvalidProblem("SolverSpec.beta must be > 0");
+  }
+  return Status::Ok();
+}
+
+inline Status CheckSparsityWithinDim(std::size_t sparsity, std::size_t dim) {
+  if (sparsity > dim) {
+    return Status::InvalidProblem("sparsity exceeds the dimension");
+  }
+  return Status::Ok();
+}
+
+inline Status CheckFoldsFitSamples(int iterations, std::size_t samples) {
+  if (iterations > 0 && static_cast<std::size_t>(iterations) > samples) {
+    return Status::InvalidProblem(
+        "schedule has more folds (iterations=" + std::to_string(iterations) +
+        ") than samples (" + std::to_string(samples) + ")");
+  }
+  return Status::Ok();
+}
 
 }  // namespace htdp
 

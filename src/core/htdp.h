@@ -14,10 +14,17 @@
 ///                     from the theorem schedules via SolverSpec::Resolve)
 ///                     + per-iteration observer.
 ///   Solver         -- the estimator interface; all five paper algorithms
-///                     implement it.
-///   SolverRegistry -- WHO solves: algorithms constructible by name.
+///                     implement it. TryFit() is the non-aborting entry
+///                     point (typed Status taxonomy in util/status.h);
+///                     Fit() the legacy CHECK-on-error wrapper.
+///   SolverRegistry -- WHO solves: algorithms constructible by name
+///                     (Find()/TryCreate() for the non-aborting path).
 ///   FitResult      -- iterate + PrivacyLedger audit + resolved schedule +
 ///                     risk trace + timing.
+///   Engine         -- concurrent fit-job service (api/engine.h): Submit
+///                     FitJobs, get JobHandles; cancellation, deadlines,
+///                     EngineStats; results bit-identical to sequential
+///                     TryFit at fixed seeds.
 ///
 /// Registered solver names:
 ///   "alg1_dp_fw"          -- Alg.1, heavy-tailed DP Frank-Wolfe (eps-DP)

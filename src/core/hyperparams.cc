@@ -31,12 +31,11 @@ std::string Describe(const char* field, double value) {
 Status CheckCommon(std::size_t n, double epsilon) {
   if (n == 0) return Status::Invalid("n must be > 0");
   if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
-    return Status::Invalid(Describe("epsilon must be positive and finite; "
-                                    "epsilon",
-                                    epsilon));
+    return Status::BudgetExhausted(
+        Describe("epsilon must be positive and finite; epsilon", epsilon));
   }
   if (static_cast<double>(n) * epsilon < 1.0) {
-    return Status::Invalid(
+    return Status::BudgetExhausted(
         Describe("privacy budget too small: need n * epsilon >= 1, got "
                  "n * epsilon",
                  static_cast<double>(n) * epsilon));

@@ -1,15 +1,26 @@
 #include "data/dataset.h"
 
 #include <cstddef>
+#include <string>
 
 #include "util/check.h"
 
 namespace htdp {
 
+Status Dataset::Check() const {
+  if (x.rows() != y.size()) {
+    return Status::ShapeMismatch(
+        "Dataset: x.rows() (" + std::to_string(x.rows()) +
+        ") must equal y.size() (" + std::to_string(y.size()) + ")");
+  }
+  if (x.rows() == 0) return Status::ShapeMismatch("Dataset: x.rows() is 0");
+  if (x.cols() == 0) return Status::ShapeMismatch("Dataset: x.cols() is 0");
+  return Status::Ok();
+}
+
 void Dataset::Validate() const {
-  HTDP_CHECK_EQ(x.rows(), y.size());
-  HTDP_CHECK_GT(x.rows(), 0u);
-  HTDP_CHECK_GT(x.cols(), 0u);
+  const Status status = Check();
+  HTDP_CHECK(status.ok()) << status.message();
 }
 
 DatasetView FullView(const Dataset& data) {
@@ -18,15 +29,20 @@ DatasetView FullView(const Dataset& data) {
 
 std::vector<DatasetView> SplitIntoFolds(const Dataset& data,
                                         std::size_t folds) {
+  return SplitIntoFolds(FullView(data), folds);
+}
+
+std::vector<DatasetView> SplitIntoFolds(const DatasetView& view,
+                                        std::size_t folds) {
   HTDP_CHECK_GE(folds, 1u);
-  HTDP_CHECK_LE(folds, data.size());
-  const std::size_t m = data.size() / folds;
+  HTDP_CHECK_LE(folds, view.size());
+  const std::size_t m = view.size() / folds;
   std::vector<DatasetView> views;
   views.reserve(folds);
   for (std::size_t t = 0; t < folds; ++t) {
-    const std::size_t begin = t * m;
-    const std::size_t end = (t + 1 == folds) ? data.size() : begin + m;
-    views.push_back(DatasetView{&data, begin, end});
+    const std::size_t begin = view.begin + t * m;
+    const std::size_t end = (t + 1 == folds) ? view.end : begin + m;
+    views.push_back(DatasetView{view.data, begin, end});
   }
   return views;
 }
@@ -38,6 +54,16 @@ Dataset Prefix(const Dataset& data, std::size_t n) {
   out.x = data.x.RowSlice(0, n);
   out.y.assign(data.y.begin(), data.y.begin() + static_cast<long>(n));
   return out;
+}
+
+DatasetView PrefixView(const Dataset& data, std::size_t n) {
+  return Prefix(FullView(data), n);
+}
+
+DatasetView Prefix(const DatasetView& view, std::size_t n) {
+  HTDP_CHECK_LE(n, view.size());
+  HTDP_CHECK_GT(n, 0u);
+  return DatasetView{view.data, view.begin, view.begin + n};
 }
 
 }  // namespace htdp

@@ -6,6 +6,7 @@
 
 #include "linalg/matrix.h"
 #include "linalg/vector_ops.h"
+#include "util/status.h"
 
 namespace htdp {
 
@@ -17,7 +18,12 @@ struct Dataset {
   std::size_t size() const { return x.rows(); }
   std::size_t dim() const { return x.cols(); }
 
-  /// Aborts unless x and y agree on the sample count.
+  /// Non-aborting validation: a shape-mismatch Status when x and y disagree
+  /// on the sample count or the dataset is empty, Ok otherwise. The
+  /// TryFit path reports this to the caller instead of crashing.
+  Status Check() const;
+
+  /// Aborts unless Check() passes (legacy contract).
   void Validate() const;
 };
 
@@ -43,9 +49,24 @@ DatasetView FullView(const Dataset& data);
 std::vector<DatasetView> SplitIntoFolds(const Dataset& data,
                                         std::size_t folds);
 
+/// View-based overload: splits the view's sample range into `folds` disjoint
+/// contiguous sub-views of the same owning dataset, with the identical
+/// leftover-to-last-fold policy. Requires 1 <= folds <= view.size().
+std::vector<DatasetView> SplitIntoFolds(const DatasetView& view,
+                                        std::size_t folds);
+
 /// Copies the first n samples (used by benches that sweep the sample size on
 /// a fixed generated dataset, mirroring the paper's real-data protocol).
 Dataset Prefix(const Dataset& data, std::size_t n);
+
+/// Non-owning prefix: the leading n samples as a view of `data`, so
+/// sample-size sweeps pay nothing per point on the curve. Requires
+/// 1 <= n <= data.size().
+DatasetView PrefixView(const Dataset& data, std::size_t n);
+
+/// Non-owning prefix of a view (the leading n of its samples). Requires
+/// 1 <= n <= view.size().
+DatasetView Prefix(const DatasetView& view, std::size_t n);
 
 }  // namespace htdp
 

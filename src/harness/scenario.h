@@ -3,10 +3,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "api/api.h"
+#include "losses/logistic_loss.h"
+#include "losses/squared_loss.h"
+#include "optim/polytope.h"
 #include "rng/distributions.h"
+#include "stats/summary.h"
 
 namespace htdp {
 
@@ -59,10 +64,62 @@ struct Scenario {
   int reference_fw_iterations = 60;
 };
 
+/// The generated workload of one scenario trial: the dataset, the target,
+/// and the loss/constraint objects the contained Problem points into, plus
+/// the post-generation RNG stream that drives the fit. Owns everything the
+/// Problem references, so it must outlive the fit -- the Engine path keeps
+/// one alive per in-flight job.
+struct ScenarioWorkload {
+  ScenarioWorkload(std::size_t d, double ridge)
+      : logistic(ridge), ball(d, 1.0) {}
+  ScenarioWorkload(const ScenarioWorkload&) = delete;
+  ScenarioWorkload& operator=(const ScenarioWorkload&) = delete;
+
+  Dataset data;
+  Vector w_star;
+  SquaredLoss squared;
+  LogisticLoss logistic;
+  L1Ball ball;
+  const Loss* loss = nullptr;    // &squared or &logistic per the model
+  const Solver* solver = nullptr;  // registry shared instance, resolved once
+  Rng rng{0};                    // stream state after generation; drives the fit
+  Problem problem;               // points into this struct
+  SolverSpec spec;               // scenario spec + estimated tau, if requested
+};
+
+/// Generates the trial workload exactly as RunScenarioTrial does for
+/// `seed`: target and data drawn from Rng(seed) in the legacy order, the
+/// post-generation stream stored for the fit, tau estimated when the
+/// scenario asks for it.
+std::unique_ptr<ScenarioWorkload> MakeScenarioWorkload(
+    const Scenario& scenario, std::uint64_t seed);
+
+/// The Engine job reproducing the workload's fit: solver by registry name,
+/// the workload's Problem/SolverSpec, and its mid-stream RNG. Submitting it
+/// yields a result bit-identical to the sequential RunScenarioTrial path.
+FitJob MakeScenarioJob(const Scenario& scenario,
+                       const ScenarioWorkload& workload);
+
+/// The scenario's metric for a finished fit on `workload`.
+double ScenarioMetric(const Scenario& scenario,
+                      const ScenarioWorkload& workload, const FitResult& fit);
+
 /// Generates the workload from `seed`, fits the named solver through the
 /// registry, and returns the scenario's metric. One call = one trial; feed
 /// it to RunTrials for mean +- stdev summaries.
 double RunScenarioTrial(const Scenario& scenario, std::uint64_t seed);
+
+/// Engine-backed sweep: derives the same per-trial seeds as
+/// RunTrials(trials, seed, RunScenarioTrial-with-scenario), submits every
+/// trial's fit as a concurrent Engine job, and summarizes the metrics --
+/// bit-identical to the sequential path, finished in wall-clock time
+/// bounded by the slowest trial chain instead of the sum. Aborts (like the
+/// sequential harness) if a trial's configuration is rejected. Unlike the
+/// sequential path, any spec.observer / spec.should_stop hooks are invoked
+/// concurrently from Engine worker threads (every trial's job copies them),
+/// so hooks touching shared state must be thread-safe.
+Summary RunScenarioTrials(Engine& engine, const Scenario& scenario,
+                          int trials, std::uint64_t seed);
 
 /// min(L_hat(w_star), L_hat(w_fw)) with w_fw a non-private Frank-Wolfe run
 /// of `fw_iterations` over `constraint` -- the reference risk of

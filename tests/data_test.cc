@@ -56,6 +56,62 @@ TEST(DatasetTest, SingleFoldIsFullView) {
   const auto folds = SplitIntoFolds(data, 1);
   ASSERT_EQ(folds.size(), 1u);
   EXPECT_EQ(folds[0].size(), 7u);
+  EXPECT_EQ(folds[0].begin, 0u);
+  EXPECT_EQ(folds[0].end, 7u);
+}
+
+TEST(DatasetTest, FoldsEqualToSampleCountAreSingletons) {
+  Dataset data;
+  data.x = Matrix(6, 2);
+  data.y.assign(6, 0.0);
+  const auto folds = SplitIntoFolds(data, 6);
+  ASSERT_EQ(folds.size(), 6u);
+  for (std::size_t t = 0; t < folds.size(); ++t) {
+    EXPECT_EQ(folds[t].size(), 1u);
+    EXPECT_EQ(folds[t].begin, t);
+  }
+}
+
+TEST(DatasetTest, LeftoverSamplesGoToLastFold) {
+  // 17 samples over 5 folds: m = 3, so the last fold absorbs 3 + 2.
+  Dataset data;
+  data.x = Matrix(17, 1);
+  data.y.assign(17, 0.0);
+  const auto folds = SplitIntoFolds(data, 5);
+  ASSERT_EQ(folds.size(), 5u);
+  std::size_t total = 0;
+  for (std::size_t t = 0; t + 1 < folds.size(); ++t) {
+    EXPECT_EQ(folds[t].size(), 3u);
+    total += folds[t].size();
+  }
+  EXPECT_EQ(folds.back().size(), 5u);
+  EXPECT_EQ(total + folds.back().size(), 17u);
+}
+
+TEST(DatasetTest, SplitViewOverloadOffsetsIntoOwner) {
+  // Splitting a mid-dataset view must yield sub-views whose rows and labels
+  // match the owning dataset at the shifted indices.
+  Dataset data;
+  data.x = Matrix(10, 1);
+  data.y.resize(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    data.x(i, 0) = static_cast<double>(100 + i);
+    data.y[i] = static_cast<double>(i);
+  }
+  const DatasetView middle{&data, 2, 8};  // samples 2..7
+  const auto folds = SplitIntoFolds(middle, 3);
+  ASSERT_EQ(folds.size(), 3u);
+  EXPECT_EQ(folds[0].begin, 2u);
+  EXPECT_EQ(folds[2].end, 8u);
+  EXPECT_EQ(folds[1].Label(0), 4.0);
+  EXPECT_EQ(folds[1].Row(1)[0], 105.0);
+}
+
+TEST(DatasetDeathTest, SplitRejectsMoreFoldsThanSamples) {
+  Dataset data;
+  data.x = Matrix(3, 1);
+  data.y.assign(3, 0.0);
+  EXPECT_DEATH(SplitIntoFolds(data, 4), "folds");
 }
 
 TEST(DatasetTest, ViewRowAndLabelOffset) {
@@ -77,6 +133,62 @@ TEST(DatasetTest, PrefixCopiesLeadingSamples) {
   EXPECT_EQ(prefix.size(), 3u);
   EXPECT_EQ(prefix.y[2], 2.0);
   EXPECT_EQ(prefix.x(2, 1), 42.0);
+}
+
+TEST(DatasetTest, PrefixViewIsNonOwningAndMatchesCopy) {
+  Dataset data;
+  data.x = Matrix(5, 2);
+  data.y = {0.0, 1.0, 2.0, 3.0, 4.0};
+  for (std::size_t i = 0; i < 5; ++i) {
+    data.x(i, 0) = static_cast<double>(10 * i);
+    data.x(i, 1) = static_cast<double>(10 * i + 1);
+  }
+  const DatasetView view = PrefixView(data, 3);
+  EXPECT_EQ(view.data, &data);  // no copy
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.dim(), 2u);
+
+  const Dataset copy = Prefix(data, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(view.Label(i), copy.y[i]);
+    EXPECT_EQ(view.Row(i)[0], copy.x(i, 0));
+    EXPECT_EQ(view.Row(i)[1], copy.x(i, 1));
+  }
+
+  // A view prefix of a view narrows further into the same owner.
+  const DatasetView narrower = Prefix(view, 2);
+  EXPECT_EQ(narrower.data, &data);
+  EXPECT_EQ(narrower.size(), 2u);
+  EXPECT_EQ(narrower.Row(1)[0], 10.0);
+}
+
+TEST(DatasetTest, ViewRowAndLabelMatchOwningDatasetEverywhere) {
+  Dataset data;
+  data.x = Matrix(9, 3);
+  data.y.resize(9);
+  Rng rng(31);
+  for (std::size_t i = 0; i < 9; ++i) {
+    data.y[i] = rng.Uniform(-1.0, 1.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      data.x(i, j) = rng.Uniform(-1.0, 1.0);
+    }
+  }
+  const DatasetView view{&data, 4, 9};
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view.Label(i), data.y[4 + i]);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(view.Row(i)[j], data.x(4 + i, j));
+    }
+  }
+}
+
+TEST(DatasetTest, CheckReportsShapeMismatchWithoutAborting) {
+  Dataset data;
+  data.x = Matrix(3, 2);
+  data.y = {1.0, 2.0};
+  EXPECT_EQ(data.Check().code(), StatusCode::kShapeMismatch);
+  data.y.push_back(3.0);
+  EXPECT_TRUE(data.Check().ok());
 }
 
 TEST(SyntheticTest, L1BallTargetIsFeasible) {

@@ -1,0 +1,407 @@
+// Tests for the concurrent Engine job layer: bit-identical results to
+// sequential TryFit at fixed seeds for every registered solver, non-aborting
+// typed error statuses through Submit, cancellation (queued and running),
+// wall-clock deadlines, shutdown semantics, and aggregate EngineStats.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/htdp.h"
+#include "gtest/gtest.h"
+#include "harness/experiment.h"
+#include "harness/scenario.h"
+
+namespace htdp {
+namespace {
+
+Dataset EngineTestData(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  SyntheticConfig config;
+  config.n = n;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  config.noise_dist = ScalarDistribution::Normal(0.0, 0.1);
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  return GenerateLinear(config, w_star, rng);
+}
+
+/// The shared workload of the bit-identity tests: every registered solver
+/// can fit it (constraint and sparsity target both present).
+struct SharedWorkload {
+  SharedWorkload() : data(EngineTestData(600, 12, 17)), ball(12, 1.0) {}
+
+  FitJob JobFor(const std::string& name, std::uint64_t seed) const {
+    const Solver* solver = *SolverRegistry::Global().Find(name);
+    FitJob job;
+    job.solver_name = name;
+    job.problem.loss = &loss;
+    job.problem.data = &data;
+    job.problem.target_sparsity = 3;
+    if (solver->requires_constraint()) job.problem.constraint = &ball;
+    job.spec.budget = solver->supports_pure_dp()
+                          ? PrivacyBudget::Pure(1.0)
+                          : PrivacyBudget::Approx(1.0, 1e-5);
+    job.spec.tau = 4.0;
+    job.spec.step = 0.02;
+    job.seed = seed;
+    job.tag = name;
+    return job;
+  }
+
+  Dataset data;
+  SquaredLoss loss;
+  L1Ball ball;
+};
+
+TEST(EngineTest, EverySolverBitIdenticalToSequentialTryFit) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{/*workers=*/4});
+
+  // Submit every solver several times with distinct seeds, all concurrent.
+  const std::vector<std::string> names = SolverRegistry::Global().Names();
+  std::vector<JobHandle> handles;
+  for (const std::string& name : names) {
+    for (std::uint64_t seed : {5u, 99u, 1234u}) {
+      handles.push_back(engine.Submit(workload.JobFor(name, seed)));
+    }
+  }
+
+  std::size_t index = 0;
+  for (const std::string& name : names) {
+    const Solver* solver = *SolverRegistry::Global().Find(name);
+    for (std::uint64_t seed : {5u, 99u, 1234u}) {
+      SCOPED_TRACE(name + " seed=" + std::to_string(seed));
+      const StatusOr<FitResult>& concurrent = handles[index++].Wait();
+      ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
+
+      const FitJob job = workload.JobFor(name, seed);
+      Rng rng(seed);
+      const StatusOr<FitResult> sequential =
+          solver->TryFit(job.problem, job.spec, rng);
+      ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+
+      ASSERT_EQ(concurrent->w.size(), sequential->w.size());
+      for (std::size_t j = 0; j < sequential->w.size(); ++j) {
+        EXPECT_EQ(concurrent->w[j], sequential->w[j]);
+      }
+      EXPECT_EQ(concurrent->iterations, sequential->iterations);
+      EXPECT_EQ(concurrent->ledger.entries().size(),
+                sequential->ledger.entries().size());
+      EXPECT_EQ(concurrent->selected, sequential->selected);
+    }
+  }
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, handles.size());
+  EXPECT_EQ(stats.completed, handles.size());
+  EXPECT_EQ(stats.succeeded, handles.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_GT(stats.jobs_per_second, 0.0);
+}
+
+TEST(EngineTest, ExplicitRngStreamOverridesSeed) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{2});
+
+  // A mid-stream generator (as the harness hands over after data
+  // generation) must be honored verbatim.
+  Rng stream(7);
+  stream.Next();
+  stream.Next();
+  FitJob job = workload.JobFor(kSolverAlg1DpFw, /*seed=*/0);
+  job.rng = stream;  // overrides seed
+  const JobHandle handle = engine.Submit(std::move(job));
+
+  Rng reference_rng(7);
+  reference_rng.Next();
+  reference_rng.Next();
+  const FitJob reference_job = workload.JobFor(kSolverAlg1DpFw, 0);
+  const Solver* solver = *SolverRegistry::Global().Find(kSolverAlg1DpFw);
+  const StatusOr<FitResult> reference =
+      solver->TryFit(reference_job.problem, reference_job.spec,
+                     reference_rng);
+  ASSERT_TRUE(reference.ok());
+
+  const StatusOr<FitResult>& fit = handle.Wait();
+  ASSERT_TRUE(fit.ok());
+  for (std::size_t j = 0; j < reference->w.size(); ++j) {
+    EXPECT_EQ(fit->w[j], reference->w[j]);
+  }
+}
+
+TEST(EngineTest, SubmitNeverAbortsOnUserError) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{2});
+
+  {
+    // Unknown solver name: typed status listing the registered names.
+    FitJob job = workload.JobFor(kSolverAlg1DpFw, 1);
+    job.solver_name = "no_such_solver";
+    const JobHandle handle = engine.Submit(std::move(job));
+    const StatusOr<FitResult>& fit = handle.Wait();
+    ASSERT_FALSE(fit.ok());
+    EXPECT_EQ(fit.status().code(), StatusCode::kUnknownSolver);
+    EXPECT_NE(fit.status().message().find(kSolverAlg5SparseOpt),
+              std::string::npos);
+  }
+  {
+    // Unfundable budget.
+    FitJob job = workload.JobFor(kSolverAlg1DpFw, 2);
+    job.spec.budget.epsilon = -1.0;
+    const JobHandle handle = engine.Submit(std::move(job));
+    const StatusOr<FitResult>& fit = handle.Wait();
+    ASSERT_FALSE(fit.ok());
+    EXPECT_EQ(fit.status().code(), StatusCode::kBudgetExhausted);
+  }
+  {
+    // Missing constraint.
+    FitJob job = workload.JobFor(kSolverAlg1DpFw, 3);
+    job.problem.constraint = nullptr;
+    const JobHandle handle = engine.Submit(std::move(job));
+    const StatusOr<FitResult>& fit = handle.Wait();
+    ASSERT_FALSE(fit.ok());
+    EXPECT_EQ(fit.status().code(), StatusCode::kInvalidProblem);
+  }
+  {
+    // Shape mismatch.
+    FitJob job = workload.JobFor(kSolverBaselineRobustGd, 4);
+    job.problem.w0 = Vector(5, 0.0);
+    const JobHandle handle = engine.Submit(std::move(job));
+    const StatusOr<FitResult>& fit = handle.Wait();
+    ASSERT_FALSE(fit.ok());
+    EXPECT_EQ(fit.status().code(), StatusCode::kShapeMismatch);
+  }
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.failed, 4u);
+  EXPECT_EQ(stats.succeeded, 0u);
+}
+
+/// Blocks a single-worker engine inside a fit until released, so queue
+/// behavior can be tested deterministically.
+struct WorkerGate {
+  std::atomic<bool> reached{false};
+  std::atomic<bool> release{false};
+
+  std::function<bool()> Hook() {
+    return [this] {
+      reached.store(true);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return false;
+    };
+  }
+  void AwaitReached() {
+    while (!reached.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+TEST(EngineTest, CancelQueuedJob) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{1});
+  WorkerGate gate;
+
+  FitJob blocker = workload.JobFor(kSolverAlg1DpFw, 11);
+  blocker.spec.should_stop = gate.Hook();  // parks the only worker
+  const JobHandle running = engine.Submit(std::move(blocker));
+  gate.AwaitReached();
+
+  JobHandle queued = engine.Submit(workload.JobFor(kSolverAlg1DpFw, 12));
+  EXPECT_EQ(engine.stats().queue_depth, 1u);
+  queued.Cancel();
+
+  // The cancellation is visible immediately -- result, done() AND the
+  // engine counters -- while the only worker is still parked inside the
+  // blocking job, before anything dequeues.
+  EXPECT_TRUE(queued.done());
+  const StatusOr<FitResult>& cancelled = queued.Wait();
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine.stats().queue_depth, 0u);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+  gate.release.store(true);
+
+  // The blocking job itself ran to completion: its hook always returned
+  // false, so the fit is bit-identical to an unhooked sequential run.
+  const StatusOr<FitResult>& blocked = running.Wait();
+  ASSERT_TRUE(blocked.ok()) << blocked.status().ToString();
+  const FitJob reference_job = workload.JobFor(kSolverAlg1DpFw, 11);
+  Rng rng(11);
+  const Solver* solver = *SolverRegistry::Global().Find(kSolverAlg1DpFw);
+  const StatusOr<FitResult> reference =
+      solver->TryFit(reference_job.problem, reference_job.spec, rng);
+  ASSERT_TRUE(reference.ok());
+  for (std::size_t j = 0; j < reference->w.size(); ++j) {
+    EXPECT_EQ(blocked->w[j], reference->w[j]);
+  }
+
+  engine.Drain();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.succeeded, 1u);
+}
+
+TEST(EngineTest, CancelRunningJobStopsCooperatively) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{1});
+  WorkerGate gate;
+
+  // The gate parks the fit inside its first should_stop poll -- AFTER the
+  // Engine's wrapped hook checked the (still clear) cancel flag, so the
+  // first iteration proceeds once released. The cancellation then lands
+  // deterministically at the second poll, with no timing window.
+  FitJob job = workload.JobFor(kSolverAlg1DpFw, 13);
+  job.spec.iterations = 20;  // >= 2 iterations so a later poll sees the flag
+  job.spec.should_stop = gate.Hook();
+  JobHandle handle = engine.Submit(std::move(job));
+  gate.AwaitReached();  // the job is mid-fit now
+  handle.Cancel();
+  gate.release.store(true);
+
+  const StatusOr<FitResult>& fit = handle.Wait();
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
+TEST(EngineTest, DeadlineExceededWhileQueued) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{1});
+  WorkerGate gate;
+
+  FitJob blocker = workload.JobFor(kSolverAlg1DpFw, 21);
+  blocker.spec.should_stop = gate.Hook();
+  const JobHandle running = engine.Submit(std::move(blocker));
+  gate.AwaitReached();
+
+  FitJob hurried = workload.JobFor(kSolverAlg1DpFw, 22);
+  hurried.deadline_seconds = 1e-4;
+  const JobHandle late = engine.Submit(std::move(hurried));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  gate.release.store(true);
+
+  const StatusOr<FitResult>& fit = late.Wait();
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(running.Wait().ok());
+  EXPECT_EQ(engine.stats().deadline_exceeded, 1u);
+}
+
+TEST(EngineTest, DeadlineExceededMidFit) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{1});
+
+  FitJob job = workload.JobFor(kSolverAlg1DpFw, 23);
+  job.spec.iterations = 400;
+  job.spec.observer = [](const IterationEvent&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  job.deadline_seconds = 0.05;
+  const JobHandle handle = engine.Submit(std::move(job));
+  const StatusOr<FitResult>& fit = handle.Wait();
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(EngineTest, DeadlineExceededOnLateSuccess) {
+  // alg4 polls should_stop only once, before its single pass, so a short
+  // deadline cannot interrupt it -- the contract still holds because the
+  // Engine rejects the late result after the fit returns.
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{1});
+
+  FitJob job = workload.JobFor(kSolverAlg4Peeling, 25);
+  job.spec.observer = [](const IterationEvent&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  };
+  job.deadline_seconds = 0.005;
+  const JobHandle handle = engine.Submit(std::move(job));
+  const StatusOr<FitResult>& fit = handle.Wait();
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.stats().deadline_exceeded, 1u);
+}
+
+TEST(EngineTest, ShutdownCancelsQueuedAndRejectsLateSubmits) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{1});
+  WorkerGate gate;
+
+  FitJob blocker = workload.JobFor(kSolverAlg1DpFw, 31);
+  blocker.spec.should_stop = gate.Hook();
+  const JobHandle running = engine.Submit(std::move(blocker));
+  gate.AwaitReached();
+  const JobHandle queued = engine.Submit(workload.JobFor(kSolverAlg1DpFw, 32));
+
+  // Shutdown must cancel the queued job and wait for the running one; the
+  // release flips first so Shutdown's join can finish.
+  gate.release.store(true);
+  engine.Shutdown();
+
+  EXPECT_TRUE(running.Wait().ok());
+  const StatusOr<FitResult>& cancelled = queued.Wait();
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+
+  const JobHandle late_handle =
+      engine.Submit(workload.JobFor(kSolverAlg1DpFw, 33));
+  const StatusOr<FitResult>& late = late_handle.Wait();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kCancelled);
+}
+
+TEST(EngineTest, DrainWaitsForAllJobs) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{3});
+  const int jobs = 12;
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < jobs; ++i) {
+    handles.push_back(engine.Submit(
+        workload.JobFor(kSolverAlg5SparseOpt, 100 + static_cast<std::uint64_t>(i))));
+  }
+  engine.Drain();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::size_t>(jobs));
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  for (const JobHandle& handle : handles) EXPECT_TRUE(handle.done());
+}
+
+TEST(EngineScenarioTest, EngineSweepMatchesSequentialRunTrials) {
+  // The harness's Engine path must reproduce the sequential summary bit for
+  // bit: same derived seeds, same per-trial metrics, same Summary.
+  Scenario scenario;
+  scenario.solver = kSolverAlg1DpFw;
+  scenario.n = 800;
+  scenario.d = 10;
+  scenario.spec.budget = PrivacyBudget::Pure(1.0);
+  scenario.estimate_tau = true;
+
+  const int trials = 5;
+  const std::uint64_t seed = 2022;
+  const Summary sequential = RunTrials(trials, seed, [&](std::uint64_t s) {
+    return RunScenarioTrial(scenario, s);
+  });
+
+  Engine engine(Engine::Options{4});
+  const Summary concurrent =
+      RunScenarioTrials(engine, scenario, trials, seed);
+
+  EXPECT_EQ(concurrent.mean, sequential.mean);
+  EXPECT_EQ(concurrent.stdev, sequential.stdev);
+  EXPECT_EQ(concurrent.count, sequential.count);
+}
+
+}  // namespace
+}  // namespace htdp
