@@ -52,6 +52,11 @@ struct BenchRecord {
   double wall_seconds = 0.0;        // mean wall time of one iteration
   double iterations_per_sec = 0.0;  // 1 / wall_seconds
   double items_per_sec = 0.0;       // samples*dims per second (0 if untracked)
+  /// Named auxiliary values tracked alongside the timings (e.g.
+  /// BM_AccountantNoiseMultiplier records sigma and the
+  /// sigma(advanced)/sigma(zcdp) ratio so the trajectory shows the
+  /// accounting payoff per release).
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// Accumulates BenchRecords and writes the machine-readable perf-trajectory
@@ -80,9 +85,13 @@ class BenchJsonWriter {
       const BenchRecord& r = records_[i];
       std::fprintf(file,
                    "%s\n    {\"name\": \"%s\", \"wall_seconds\": %.9g, "
-                   "\"iterations_per_sec\": %.9g, \"items_per_sec\": %.9g}",
+                   "\"iterations_per_sec\": %.9g, \"items_per_sec\": %.9g",
                    i == 0 ? "" : ",", Escaped(r.name).c_str(), r.wall_seconds,
                    r.iterations_per_sec, r.items_per_sec);
+      for (const auto& [key, value] : r.extras) {
+        std::fprintf(file, ", \"%s\": %.9g", Escaped(key).c_str(), value);
+      }
+      std::fprintf(file, "}");
     }
     std::fprintf(file, "\n  ]\n}\n");
     std::fclose(file);
@@ -131,6 +140,7 @@ inline Scenario PolytopeLinearScenario(std::string solver,
   scenario.features = workload.features;
   scenario.noise = workload.noise;
   scenario.spec.budget = budget;
+  scenario.spec.accounting = GetBenchEnv().accounting;
   scenario.estimate_tau = estimate_tau;
   return scenario;
 }
@@ -150,6 +160,7 @@ inline Scenario PolytopeLogisticScenario(std::string solver,
   scenario.features = features;
   scenario.noise = ScalarDistribution::None();
   scenario.spec.budget = budget;
+  scenario.spec.accounting = GetBenchEnv().accounting;
   scenario.estimate_tau = true;  // alg1 wants tau (Assumption 1)
   scenario.metric = Scenario::Metric::kExcessRiskVsBestReference;
   return scenario;
@@ -172,6 +183,7 @@ inline Scenario SparseLinRegScenario(std::string solver, PrivacyBudget budget,
   scenario.features = ScalarDistribution::Normal(0.0, 5.0);
   scenario.noise = noise;
   scenario.spec.budget = budget;
+  scenario.spec.accounting = GetBenchEnv().accounting;
   // eta0 ~ 2/(3 gamma) with gamma = lambda_max(E xx^T) = 25 for N(0,5).
   scenario.spec.step = 2.0 / (3.0 * 25.0);
   return scenario;
@@ -195,6 +207,7 @@ inline Scenario SparseLogisticScenario(std::string solver,
   scenario.noise = noise;
   scenario.ridge = 0.01;
   scenario.spec.budget = budget;
+  scenario.spec.accounting = GetBenchEnv().accounting;
   scenario.spec.tau = tau;
   // eta ~ 2/(3 gamma_r) with gamma_r ~ tau/4 + ridge for the logistic GLM.
   scenario.spec.step = 2.0 / (3.0 * (tau / 4.0 + 0.01));

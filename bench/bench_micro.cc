@@ -110,6 +110,36 @@ BENCHMARK(BM_RobustGradient)
     ->Args({4096, 2048})
     ->Unit(benchmark::kMillisecond);
 
+// Accountant calibration on the release hot path: one NoiseMultiplier call
+// per (backend, T). Timing is the bench; the JSON trajectory additionally
+// records the resulting sigma and -- on the zcdp rows -- the
+// sigma(advanced)/sigma(zcdp) ratio, so BENCH_micro.json tracks the
+// accounting payoff per release PR-over-PR.
+void BM_AccountantNoiseMultiplier(benchmark::State& state) {
+  const Accounting backend = static_cast<Accounting>(state.range(0));
+  const int steps = static_cast<int>(state.range(1));
+  const PrivacyBudget budget = PrivacyBudget::Approx(1.0, 1e-5);
+  const PrivacyAccountant& accountant = GetAccountant(backend);
+  double sigma = 0.0;
+  for (auto _ : state) {
+    sigma = accountant.NoiseMultiplier(budget, steps);
+    benchmark::DoNotOptimize(sigma);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(AccountingName(backend));
+  state.counters["sigma"] = sigma;
+  if (backend == Accounting::kZcdp) {
+    state.counters["sigma_ratio"] =
+        GetAccountant(Accounting::kAdvanced).NoiseMultiplier(budget, steps) /
+        sigma;
+  }
+}
+BENCHMARK(BM_AccountantNoiseMultiplier)
+    ->Args({static_cast<long>(Accounting::kAdvanced), 1})
+    ->Args({static_cast<long>(Accounting::kAdvanced), 32})
+    ->Args({static_cast<long>(Accounting::kZcdp), 1})
+    ->Args({static_cast<long>(Accounting::kZcdp), 32});
+
 void BM_ExponentialMechanism(benchmark::State& state) {
   const std::size_t range = static_cast<std::size_t>(state.range(0));
   Rng rng(7);
@@ -295,6 +325,12 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
                             benchmark::GetTimeUnitMultiplier(run.time_unit);
       record.iterations_per_sec =
           record.wall_seconds > 0.0 ? 1.0 / record.wall_seconds : 0.0;
+      for (const char* extra : {"sigma", "sigma_ratio"}) {
+        const auto it = run.counters.find(extra);
+        if (it != run.counters.end()) {
+          record.extras.emplace_back(extra, it->second.value);
+        }
+      }
       const auto items = run.counters.find("items_per_second");
       if (items != run.counters.end()) {
         // The counter is items / main-thread CPU time; rescale to wall

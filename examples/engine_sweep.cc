@@ -1,4 +1,5 @@
-// Engine quickstart: serve a scenario sweep as concurrent fit jobs.
+// Engine quickstart: serve a scenario sweep as concurrent fit jobs drawing
+// from ONE shared tenant budget.
 //
 // The serving shape behind the paper's figures: one dataset, a grid of
 // (solver, epsilon) cells, every cell an independent DP fit. Instead of a
@@ -6,6 +7,13 @@
 // to the Engine -- non-aborting (typed Status per job), cancellable, under
 // per-job wall-clock deadlines, with aggregate throughput stats. Results
 // are bit-identical to sequential TryFit at the same seeds.
+//
+// New in this revision: tenant budgets. The whole sweep runs on behalf of
+// tenant "research", registered in a BudgetManager with one end-to-end
+// (epsilon, delta) allowance. Every Submit() reserves the job's budget
+// up front (sequential composition across jobs); once the allowance is
+// spent, further submissions are rejected inline with a typed
+// kBudgetExhausted Status -- before any data is touched.
 //
 // Build & run:  ./build/examples/engine_sweep
 
@@ -41,7 +49,18 @@ int main() {
                                             kSolverAlg2PrivateLasso};
   const std::vector<double> epsilons = {0.5, 1.0, 2.0, 4.0};
 
-  Engine engine(Engine::Options{/*workers=*/4});
+  // The tenant's end-to-end allowance: enough for the first ~10 epsilon of
+  // submissions. The sweep requests 15 epsilon total (7.5 per solver), so
+  // the Engine admits cells until the allowance runs dry and rejects the
+  // rest with kBudgetExhausted -- the over-budget cells never run.
+  BudgetManager budgets;
+  const PrivacyBudget allowance = PrivacyBudget::Approx(10.0, 1e-3);
+  if (Status s = budgets.RegisterTenant("research", allowance); !s.ok()) {
+    std::printf("tenant registration failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  Engine engine(Engine::Options{/*workers=*/4, &budgets});
   std::vector<JobHandle> handles;
   for (const std::string& name : solvers) {
     for (const double epsilon : epsilons) {
@@ -55,6 +74,7 @@ int main() {
       job.seed = 42;               // fixed seed: reproducible cell results
       job.deadline_seconds = 30;   // a hung cell cannot wedge the sweep
       job.tag = name + " eps=" + std::to_string(epsilon);
+      job.tenant = "research";     // every cell draws from the shared budget
       handles.push_back(engine.Submit(std::move(job)));
     }
   }
@@ -67,8 +87,10 @@ int main() {
   broken.problem = Problem::ConstrainedErm(loss, data, ball);
   const JobHandle broken_handle = engine.Submit(std::move(broken));
 
-  std::printf("Engine sweep  (n=%zu, d=%zu, %zu jobs on %d workers)\n\n", n,
-              d, handles.size() + 1, engine.workers());
+  std::printf("Engine sweep  (n=%zu, d=%zu, %zu jobs on %d workers, tenant "
+              "\"research\" allowance eps=%.1f delta=%.0e)\n\n",
+              n, d, handles.size() + 1, engine.workers(), allowance.epsilon,
+              allowance.delta);
   std::printf("%-38s %10s %12s %9s\n", "job", "eps spent", "excess risk",
               "seconds");
   std::size_t cell = 0;
@@ -95,9 +117,16 @@ int main() {
 
   const EngineStats stats = engine.stats();
   std::printf(
-      "\nEngineStats: %zu submitted, %zu ok, %zu failed; %.1f jobs/sec "
-      "over %.2f s uptime.\n",
-      stats.submitted, stats.succeeded, stats.failed, stats.jobs_per_second,
-      stats.uptime_seconds);
+      "\nEngineStats: %zu submitted, %zu ok, %zu failed (%zu over tenant "
+      "budget); %.1f jobs/sec over %.2f s uptime.\n",
+      stats.submitted, stats.succeeded, stats.failed, stats.budget_rejected,
+      stats.jobs_per_second, stats.uptime_seconds);
+  if (const auto remaining = budgets.Remaining("research"); remaining.ok()) {
+    std::printf("tenant \"research\": eps %.2f of %.2f left (admitted %zu, "
+                "rejected %zu jobs)\n",
+                remaining->epsilon, allowance.epsilon,
+                budgets.Stats("research")->admitted,
+                budgets.Stats("research")->rejected);
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "api/solver_common.h"
 #include "api/solvers.h"
+#include "dp/accountant.h"
 #include "dp/exponential_mechanism.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -39,7 +40,12 @@ class Alg1DpFwSolver final : public Solver {
 
     HTDP_ASSIGN_OR_RETURN(const SolverSpec resolved,
                           TryResolveSpec(*this, problem, spec));
-    const double epsilon = resolved.budget.epsilon;
+    // One full-budget release per disjoint fold (parallel composition):
+    // every backend hands a single release the whole budget unchanged.
+    const PrivacyAccountant& accountant = GetAccountant(resolved.accounting);
+    const StepBudget release =
+        accountant.StepBudgetFor(resolved.budget, /*steps=*/1);
+    const double epsilon = release.epsilon;
     const int iterations = resolved.iterations;
     HTDP_ASSIGN_OR_RETURN(const FoldedRobustPlan plan,
                           TryMakeFoldedRobustPlan(data, resolved));
@@ -48,6 +54,7 @@ class Alg1DpFwSolver final : public Solver {
     result.w = w0;
     result.iterations = iterations;
     result.scale_used = resolved.scale;
+    result.ledger.SetAccounting(resolved.accounting, resolved.budget.delta);
     // One ledger entry per iteration; reserving up front keeps the fit loop
     // free of heap allocations after the first iteration warms the
     // workspace buffers.

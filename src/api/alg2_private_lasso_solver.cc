@@ -6,8 +6,8 @@
 
 #include "api/solver_common.h"
 #include "api/solvers.h"
+#include "dp/accountant.h"
 #include "dp/exponential_mechanism.h"
-#include "dp/privacy.h"
 #include "losses/squared_loss.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -52,11 +52,16 @@ class Alg2PrivateLassoSolver final : public Solver {
     // the average by twice that over n, and the score by ||v||_1 times that.
     const double sensitivity =
         4.0 * k2 * vertex_norm * (vertex_norm + 1.0) / static_cast<double>(n);
-    const double step_epsilon = AdvancedCompositionStepEpsilon(
-        resolved.budget.epsilon, resolved.budget.delta, iterations);
+    // All T selection steps touch the same shrunken dataset, so the spec's
+    // accounting backend splits the budget: advanced (default) reproduces
+    // the historical Lemma-2 arithmetic bit for bit; zcdp funds a strictly
+    // larger per-step epsilon -- a colder softmax, i.e. less selection
+    // noise -- at the same end-to-end (epsilon, delta).
+    const StepBudget step = GetAccountant(resolved.accounting)
+                                .StepBudgetFor(resolved.budget, iterations);
+    const double step_epsilon = step.epsilon;
     const ExponentialMechanism mechanism(sensitivity, step_epsilon);
-    const double step_delta =
-        AdvancedCompositionStepDelta(resolved.budget.delta, iterations);
+    const double step_delta = step.delta;
 
     const SquaredLoss loss;
     const DatasetView shrunken_view = FullView(shrunken);
@@ -65,6 +70,7 @@ class Alg2PrivateLassoSolver final : public Solver {
     result.w = w0;
     result.iterations = iterations;
     result.shrinkage_used = shrinkage;
+    result.ledger.SetAccounting(resolved.accounting, resolved.budget.delta);
 
     result.ledger.Reserve(static_cast<std::size_t>(iterations));
     SolverWorkspace ws;

@@ -8,7 +8,7 @@
 #include "api/solver_common.h"
 #include "api/solvers.h"
 #include "core/peeling.h"
-#include "dp/privacy.h"
+#include "dp/accountant.h"
 #include "linalg/projections.h"
 #include "losses/squared_loss.h"
 #include "util/check.h"
@@ -54,11 +54,18 @@ class Alg3SparseLinRegSolver final : public Solver {
     const std::vector<DatasetView> folds =
         SplitIntoFolds(shrunken, static_cast<std::size_t>(iterations));
 
+    // Each Peeling call touches its own disjoint fold, so every iteration
+    // spends the full budget (parallel composition): a single release is
+    // backend-independent by the accountant's steps == 1 contract.
+    const StepBudget release = GetAccountant(resolved.accounting)
+                                   .StepBudgetFor(resolved.budget, /*steps=*/1);
+
     FitResult result;
     result.w = w0;
     result.iterations = iterations;
     result.sparsity_used = sparsity;
     result.shrinkage_used = shrinkage;
+    result.ledger.SetAccounting(resolved.accounting, resolved.budget.delta);
 
     const SquaredLoss loss;
     const std::size_t d = data.dim();
@@ -87,8 +94,8 @@ class Alg3SparseLinRegSolver final : public Solver {
       // Step 6: Peeling with lambda = 2 K^2 eta0 (sqrt(s) + 1) / m.
       PeelingOptions peeling;
       peeling.sparsity = sparsity;
-      peeling.epsilon = resolved.budget.epsilon;
-      peeling.delta = resolved.budget.delta;
+      peeling.epsilon = release.epsilon;
+      peeling.delta = release.delta;
       peeling.linf_sensitivity =
           2.0 * k2 * step *
           (std::sqrt(static_cast<double>(sparsity)) + 1.0) /

@@ -18,6 +18,7 @@
 #include "api/solver_common.h"
 #include "api/solvers.h"
 #include "core/peeling.h"
+#include "dp/accountant.h"
 #include "robust/shrinkage.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -61,10 +62,14 @@ class Alg4PeelingSolver final : public Solver {
     }
     Scale(1.0 / static_cast<double>(n), v);
 
+    // Single selection round: the whole budget funds the one Peeling call,
+    // identically under every accounting backend (steps == 1 contract).
+    const StepBudget release = GetAccountant(resolved.accounting)
+                                   .StepBudgetFor(resolved.budget, /*steps=*/1);
     PeelingOptions peeling;
     peeling.sparsity = resolved.sparsity;
-    peeling.epsilon = resolved.budget.epsilon;
-    peeling.delta = resolved.budget.delta;
+    peeling.epsilon = release.epsilon;
+    peeling.delta = release.delta;
     // Replacing one sample moves each shrunken coordinate sum by at most 2K.
     // Always derived -- unlike the other solvers, spec.scale is NOT read
     // here, so a spec shared across the registry cannot miscalibrate the
@@ -72,6 +77,7 @@ class Alg4PeelingSolver final : public Solver {
     peeling.linf_sensitivity = 2.0 * shrinkage / static_cast<double>(n);
 
     FitResult result;
+    result.ledger.SetAccounting(resolved.accounting, resolved.budget.delta);
     const PeelingResult peeled =
         Peel(v, peeling, rng, &result.ledger, /*fold=*/-1);
     result.w = peeled.value;

@@ -8,7 +8,7 @@
 #include "api/solver_common.h"
 #include "api/solvers.h"
 #include "core/peeling.h"
-#include "dp/privacy.h"
+#include "dp/accountant.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -46,11 +46,17 @@ class Alg5SparseOptSolver final : public Solver {
     HTDP_ASSIGN_OR_RETURN(const FoldedRobustPlan plan,
                           TryMakeFoldedRobustPlan(data, resolved));
 
+    // One full-budget Peeling release per disjoint fold (parallel
+    // composition); backend-independent by the steps == 1 contract.
+    const StepBudget release = GetAccountant(resolved.accounting)
+                                   .StepBudgetFor(resolved.budget, /*steps=*/1);
+
     FitResult result;
     result.w = w0;
     result.iterations = iterations;
     result.sparsity_used = sparsity;
     result.scale_used = scale;
+    result.ledger.SetAccounting(resolved.accounting, resolved.budget.delta);
 
     result.ledger.Reserve(static_cast<std::size_t>(iterations));
     SolverWorkspace ws;
@@ -68,8 +74,8 @@ class Alg5SparseOptSolver final : public Solver {
       // dominates the true step sensitivity eta * 4 sqrt(2) k / (3 m).
       PeelingOptions peeling;
       peeling.sparsity = sparsity;
-      peeling.epsilon = resolved.budget.epsilon;
-      peeling.delta = resolved.budget.delta;
+      peeling.epsilon = release.epsilon;
+      peeling.delta = release.delta;
       peeling.linf_sensitivity = 4.0 * std::sqrt(2.0) * scale * step /
                                  static_cast<double>(m);
       const PeelingResult peeled =

@@ -30,14 +30,30 @@
 /// success. SolverRegistry::Find mirrors the split for lookups (aborting
 /// Create vs. StatusOr-returning Find/TryCreate).
 ///
+/// ## Privacy accounting
+///
+/// One budget type (PrivacyBudget, dp/privacy.h) flows from the spec down
+/// to the mechanisms; a pluggable PrivacyAccountant (dp/accountant.h),
+/// chosen per fit with SolverSpec::accounting, splits it across the
+/// solver's mechanism invocations and composes the FitResult's
+/// PrivacyLedger totals. `advanced` (the default) is bit-identical to the
+/// historical Lemma-2 arithmetic; `zcdp` buys strictly less noise at the
+/// same (epsilon, delta) for sequentially-composed solvers; `basic` is the
+/// loose sum rule.
+///
 /// ## Serving many fits: the Engine
 ///
 /// Engine (api/engine.h) turns the facade into a concurrent job service:
 /// Submit(FitJob{...}) -> JobHandle, with per-job seeds (bit-identical to a
 /// sequential TryFit), cancellation, wall-clock deadlines and aggregate
 /// EngineStats. The harness's scenario sweeps and the benches fan out
-/// through it.
+/// through it. An Engine configured with a BudgetManager
+/// (api/budget_manager.h) additionally enforces shared named-tenant
+/// budgets: FitJob::tenant reserves the job's budget at Submit, and
+/// over-budget submissions come back as typed kBudgetExhausted before any
+/// work runs.
 
+#include "api/budget_manager.h"
 #include "api/engine.h"
 #include "api/fit_result.h"
 #include "api/privacy_budget.h"

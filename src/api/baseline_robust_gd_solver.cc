@@ -9,8 +9,8 @@
 
 #include "api/solver_common.h"
 #include "api/solvers.h"
+#include "dp/accountant.h"
 #include "dp/gaussian_mechanism.h"
-#include "dp/privacy.h"
 #include "optim/pgd.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -48,10 +48,20 @@ class BaselineRobustGdSolver final : public Solver {
     projection.projection = resolved.projection;
     projection.radius = resolved.radius;
 
+    // One full-budget Gaussian release per disjoint fold (parallel
+    // composition). GaussianFor at steps == 1 keeps the classic
+    // sqrt(2 ln(1.25/delta))/epsilon calibration for the advanced/basic
+    // backends (bit-identical to the historical construction); the zcdp
+    // backend may substitute its rho-derived sigma when that is tighter.
+    const GaussianCalibration calibration =
+        GetAccountant(resolved.accounting)
+            .GaussianFor(resolved.budget, /*steps=*/1);
+
     FitResult result;
     result.w = w0;
     result.iterations = iterations;
     result.scale_used = resolved.scale;
+    result.ledger.SetAccounting(resolved.accounting, resolved.budget.delta);
 
     result.ledger.Reserve(static_cast<std::size_t>(iterations));
     SolverWorkspace ws;
@@ -65,17 +75,20 @@ class BaselineRobustGdSolver final : public Solver {
       // that in l2 -- the full-vector release is where poly(d) enters.
       const double l2_sensitivity = std::sqrt(static_cast<double>(d)) *
                                     plan.estimator.Sensitivity(fold.size());
-      const GaussianMechanism mechanism(l2_sensitivity,
-                                        resolved.budget.epsilon,
-                                        resolved.budget.delta);
+      const GaussianMechanism mechanism =
+          calibration.sigma_multiplier > 0.0
+              ? GaussianMechanism::WithSigma(l2_sensitivity *
+                                             calibration.sigma_multiplier)
+              : GaussianMechanism(l2_sensitivity, calibration.step_epsilon,
+                                  calibration.step_delta);
       if (resolved.vector_noise_fill) {
         mechanism.PrivatizeInPlaceFilled(grad, ws.noise, rng);
       } else {
         mechanism.PrivatizeInPlace(grad, rng);
       }
-      result.ledger.Record({"gaussian", resolved.budget.epsilon,
-                            resolved.budget.delta, l2_sensitivity,
-                            /*fold=*/t - 1});
+      result.ledger.Record({"gaussian", calibration.step_epsilon,
+                            calibration.step_delta, l2_sensitivity,
+                            /*fold=*/t - 1, /*rho=*/calibration.rho});
 
       const double eta = resolved.step > 0.0
                              ? resolved.step

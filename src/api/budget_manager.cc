@@ -1,0 +1,103 @@
+#include "api/budget_manager.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace htdp {
+namespace {
+
+std::string FormatBudget(double epsilon, double delta) {
+  std::ostringstream out;
+  out << "(epsilon=" << epsilon << ", delta=" << delta << ")";
+  return out.str();
+}
+
+}  // namespace
+
+Status BudgetManager::RegisterTenant(const std::string& name,
+                                     PrivacyBudget total) {
+  if (Status s = total.Check(); !s.ok()) {
+    return Status::WithCode(s.code(),
+                            "tenant \"" + name + "\": " + s.message());
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = tenants_.emplace(name, Tenant{total});
+  if (!inserted) {
+    return Status::InvalidProblem("tenant \"" + name +
+                                  "\" is already registered");
+  }
+  return Status::Ok();
+}
+
+Status BudgetManager::TryReserve(const std::string& name,
+                                 const PrivacyBudget& cost) {
+  if (Status s = cost.Check(); !s.ok()) {
+    return Status::WithCode(s.code(),
+                            "tenant \"" + name + "\": " + s.message());
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::InvalidProblem("unknown tenant \"" + name +
+                                  "\"; register it with "
+                                  "BudgetManager::RegisterTenant first");
+  }
+  Tenant& tenant = it->second;
+  const double remaining_epsilon = tenant.total.epsilon - tenant.spent_epsilon;
+  const double remaining_delta = tenant.total.delta - tenant.spent_delta;
+  if (cost.epsilon > remaining_epsilon || cost.delta > remaining_delta) {
+    ++tenant.rejected;
+    return Status::BudgetExhausted(
+        "tenant \"" + name + "\" budget exhausted: remaining " +
+        FormatBudget(std::max(remaining_epsilon, 0.0),
+                     std::max(remaining_delta, 0.0)) +
+        ", requested " + FormatBudget(cost.epsilon, cost.delta));
+  }
+  tenant.spent_epsilon += cost.epsilon;
+  tenant.spent_delta += cost.delta;
+  ++tenant.admitted;
+  return Status::Ok();
+}
+
+void BudgetManager::Refund(const std::string& name,
+                           const PrivacyBudget& cost) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) return;
+  Tenant& tenant = it->second;
+  tenant.spent_epsilon = std::max(tenant.spent_epsilon - cost.epsilon, 0.0);
+  tenant.spent_delta = std::max(tenant.spent_delta - cost.delta, 0.0);
+  ++tenant.refunded;
+}
+
+StatusOr<PrivacyBudget> BudgetManager::Remaining(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::InvalidProblem("unknown tenant \"" + name + "\"");
+  }
+  const Tenant& tenant = it->second;
+  return PrivacyBudget{
+      std::max(tenant.total.epsilon - tenant.spent_epsilon, 0.0),
+      std::max(tenant.total.delta - tenant.spent_delta, 0.0)};
+}
+
+StatusOr<BudgetManager::TenantStats> BudgetManager::Stats(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::InvalidProblem("unknown tenant \"" + name + "\"");
+  }
+  const Tenant& tenant = it->second;
+  TenantStats stats;
+  stats.total = tenant.total;
+  stats.spent = {tenant.spent_epsilon, tenant.spent_delta};
+  stats.admitted = tenant.admitted;
+  stats.rejected = tenant.rejected;
+  stats.refunded = tenant.refunded;
+  return stats;
+}
+
+}  // namespace htdp

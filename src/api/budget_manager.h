@@ -1,0 +1,87 @@
+#ifndef HTDP_API_BUDGET_MANAGER_H_
+#define HTDP_API_BUDGET_MANAGER_H_
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "dp/privacy.h"
+#include "util/status.h"
+
+namespace htdp {
+
+/// ## BudgetManager: shared named-tenant privacy budgets for the Engine
+///
+/// A serving deployment does not hand every fit job its own fresh epsilon:
+/// a tenant (a team, a dataset owner, a product surface) holds ONE
+/// end-to-end budget, and every job run on that tenant's behalf draws from
+/// it. The BudgetManager is that ledger-of-record: tenants are registered
+/// with a total PrivacyBudget, each admitted job reserves its
+/// SolverSpec::budget up front under sequential composition (epsilons and
+/// deltas add -- the sound rule across jobs that may touch the same data),
+/// and a submission whose cost no longer fits is rejected with a typed
+/// kBudgetExhausted Status BEFORE any work -- or any privacy spend --
+/// happens.
+///
+/// The Engine integrates it at Submit() (see FitJob::tenant in
+/// api/engine.h): reservation happens inline, so a rejected job never
+/// occupies a worker; jobs that complete without releasing any mechanism
+/// output (validation failures, cancelled while still queued) are refunded
+/// automatically.
+///
+/// Thread-safe; one manager may serve several Engines. The manager must
+/// outlive every Engine configured with it.
+class BudgetManager {
+ public:
+  BudgetManager() = default;
+  BudgetManager(const BudgetManager&) = delete;
+  BudgetManager& operator=(const BudgetManager&) = delete;
+
+  /// Creates tenant `name` with the given total budget. Errors with
+  /// kInvalidProblem on a duplicate name and kBudgetExhausted (via
+  /// PrivacyBudget::Check) on an unfundable total.
+  Status RegisterTenant(const std::string& name, PrivacyBudget total);
+
+  /// Atomically reserves `cost` from the tenant's remaining budget under
+  /// sequential composition. Errors: kInvalidProblem for an unknown tenant,
+  /// kBudgetExhausted when the cost fails Check() or does not fit in what
+  /// remains (the message reports remaining vs. requested).
+  Status TryReserve(const std::string& name, const PrivacyBudget& cost);
+
+  /// Returns a reservation whose job never released any mechanism output.
+  /// Clamps at zero spend; unknown tenants are ignored (the manager never
+  /// aborts on names coming from job records).
+  void Refund(const std::string& name, const PrivacyBudget& cost);
+
+  /// The tenant's remaining (total - reserved) budget, clamped at zero.
+  /// kInvalidProblem for an unknown tenant.
+  StatusOr<PrivacyBudget> Remaining(const std::string& name) const;
+
+  /// Aggregate per-tenant accounting for dashboards.
+  struct TenantStats {
+    PrivacyBudget total;
+    PrivacyBudget spent;         // currently reserved (refunds subtracted)
+    std::size_t admitted = 0;    // successful TryReserve calls
+    std::size_t rejected = 0;    // TryReserve calls that did not fit
+    std::size_t refunded = 0;    // Refund calls
+  };
+  StatusOr<TenantStats> Stats(const std::string& name) const;
+
+ private:
+  struct Tenant {
+    PrivacyBudget total;
+    double spent_epsilon = 0.0;
+    double spent_delta = 0.0;
+    std::size_t admitted = 0;
+    std::size_t rejected = 0;
+    std::size_t refunded = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Tenant> tenants_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_API_BUDGET_MANAGER_H_

@@ -34,6 +34,10 @@ struct EngineShared {
   std::deque<std::shared_ptr<JobRecord>> queue;
   bool stop = false;
 
+  /// Tenant-budget ledger (Options::budgets). Not owned; set once at Engine
+  /// construction and never mutated, so it is safe to read without `mu`.
+  BudgetManager* budgets = nullptr;
+
   // Counters (guarded by mu). Every submitted job increments `completed`
   // exactly once: at Submit for inline failures, in RunJob's finish, in
   // Cancel's queued branch, or in Shutdown's orphan sweep.
@@ -43,6 +47,7 @@ struct EngineShared {
   std::size_t failed = 0;
   std::size_t cancelled = 0;
   std::size_t deadline_exceeded = 0;
+  std::size_t budget_rejected = 0;
   std::size_t running = 0;
 
   const double start_seconds = MonotonicSeconds();
@@ -65,6 +70,19 @@ struct JobRecord {
   std::atomic<bool> cancel{false};
   bool has_deadline = false;
   Clock::time_point deadline;
+
+  /// True while the job holds a tenant-budget reservation. Only the path
+  /// that completes the job (the unique Complete() winner) reads or clears
+  /// it, so no extra synchronization is needed.
+  bool charged = false;
+
+  /// Refunds the tenant reservation of a job that released no mechanism
+  /// output. Call only from the completing path.
+  void RefundIfCharged(BudgetManager* budgets) {
+    if (!charged || budgets == nullptr) return;
+    budgets->Refund(job.tenant, job.spec.budget);
+    charged = false;
+  }
 
   std::mutex mu;
   std::condition_variable cv;
@@ -151,6 +169,7 @@ void JobHandle::Cancel() {
     }
   }
   if (completed) {
+    record_->RefundIfCharged(engine->budgets);  // cancelled before running
     record_->cv.notify_all();
     engine->idle_cv.notify_all();
   }
@@ -168,6 +187,7 @@ Engine::Engine() : Engine(Options{}) {}
 
 Engine::Engine(Options options)
     : state_(std::make_shared<EngineShared>()) {
+  state_->budgets = options.budgets;
   const int workers =
       options.workers > 0 ? options.workers : NumWorkerThreads();
   worker_count_ = std::max(workers, 1);
@@ -212,6 +232,39 @@ JobHandle Engine::Submit(FitJob job) {
     record->solver = *found;
   }
 
+  // Tenant-budget admission: reserve the job's spec.budget from its named
+  // tenant before it can reach a worker. Rejections complete inline with
+  // the manager's typed Status (kBudgetExhausted when the budget is spent,
+  // kInvalidProblem for an unknown tenant or an Engine without a
+  // BudgetManager) -- no work runs, no privacy is spent. Reservation takes
+  // only the manager's own lock, never the engine mutex.
+  if (!record->job.tenant.empty()) {
+    Status reserved =
+        state_->budgets != nullptr
+            ? state_->budgets->TryReserve(record->job.tenant,
+                                          record->job.spec.budget)
+            : Status::InvalidProblem(
+                  record->Describe() + " names tenant \"" +
+                  record->job.tenant +
+                  "\" but the Engine has no BudgetManager "
+                  "(set Engine::Options::budgets)");
+    if (!reserved.ok()) {
+      {
+        const std::lock_guard<std::mutex> lock(state_->mu);
+        ++state_->submitted;
+        ++state_->completed;
+        ++state_->failed;
+        if (reserved.code() == StatusCode::kBudgetExhausted) {
+          ++state_->budget_rejected;
+        }
+        record->Complete(std::move(reserved));
+      }
+      state_->idle_cv.notify_all();
+      return JobHandle(std::move(record));
+    }
+    record->charged = true;
+  }
+
   bool rejected = false;
   {
     const std::lock_guard<std::mutex> lock(state_->mu);
@@ -228,6 +281,7 @@ JobHandle Engine::Submit(FitJob job) {
     }
   }
   if (rejected) {
+    record->RefundIfCharged(state_->budgets);  // never ran
     state_->idle_cv.notify_all();
     return JobHandle(std::move(record));
   }
@@ -256,6 +310,24 @@ void Engine::WorkerMain() {
 }
 
 void Engine::RunJob(JobRecord& record) {
+  // Refunds the tenant reservation when the outcome proves no mechanism
+  // output was released: the job never started, or the solver rejected it
+  // in its up-front validation (every solver validates before its first
+  // mechanism invocation; only kCancelled/kDeadlineExceeded can interrupt a
+  // fit that already released iterations).
+  const auto refund_if_unreleased = [&](const Status& status) {
+    switch (status.code()) {
+      case StatusCode::kInvalidProblem:
+      case StatusCode::kBudgetExhausted:
+      case StatusCode::kShapeMismatch:
+      case StatusCode::kUnknownSolver:
+        record.RefundIfCharged(state_->budgets);
+        break;
+      default:
+        break;
+    }
+  };
+
   const auto finish = [&](StatusOr<FitResult> outcome,
                           std::size_t EngineShared::* counter) {
     // Publish the result and update the counters in one engine-mutex
@@ -271,6 +343,7 @@ void Engine::RunJob(JobRecord& record) {
   };
 
   if (record.cancel.load(std::memory_order_acquire)) {
+    record.RefundIfCharged(state_->budgets);  // never ran
     finish(Status::Cancelled(record.Describe() +
                              " cancelled before it started"),
            &EngineShared::cancelled);
@@ -278,6 +351,7 @@ void Engine::RunJob(JobRecord& record) {
   }
   if (record.has_deadline &&
       engine_internal::Clock::now() >= record.deadline) {
+    record.RefundIfCharged(state_->budgets);  // never ran
     finish(Status::DeadlineExceeded(record.Describe() +
                                     " missed its deadline while queued"),
            &EngineShared::deadline_exceeded);
@@ -341,6 +415,7 @@ void Engine::RunJob(JobRecord& record) {
     }
     return;
   }
+  refund_if_unreleased(result.status());
   finish(tagged(result.status()), &EngineShared::failed);
 }
 
@@ -364,6 +439,7 @@ void Engine::Shutdown() {
     for (const std::shared_ptr<JobRecord>& record : state_->queue) {
       record->Complete(Status::Cancelled(record->Describe() +
                                          " cancelled by Engine shutdown"));
+      record->RefundIfCharged(state_->budgets);  // never ran
       ++state_->completed;
       ++state_->cancelled;
     }
@@ -384,6 +460,7 @@ EngineStats Engine::stats() const {
   stats.failed = state_->failed;
   stats.cancelled = state_->cancelled;
   stats.deadline_exceeded = state_->deadline_exceeded;
+  stats.budget_rejected = state_->budget_rejected;
   stats.queue_depth = state_->queue.size();
   stats.running = state_->running;
   stats.uptime_seconds =

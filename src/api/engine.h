@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/budget_manager.h"
 #include "api/fit_result.h"
 #include "api/problem.h"
 #include "api/solver.h"
@@ -41,6 +42,21 @@ namespace htdp {
 /// unfundable budget -- each surfaces as the job's typed error Status
 /// through JobHandle::Wait() (see util/status.h for the taxonomy;
 /// kCancelled and kDeadlineExceeded report the Engine's own outcomes).
+///
+/// Tenant budgets: an Engine constructed with Options::budgets enforces
+/// shared named-tenant privacy budgets (api/budget_manager.h). A job that
+/// names a FitJob::tenant reserves its spec.budget from that tenant AT
+/// SUBMIT TIME, under sequential composition across jobs; when the
+/// reservation does not fit, the job completes inline with a typed
+/// kBudgetExhausted Status and never reaches a worker -- no data is
+/// touched, no mechanism runs. The reservation is refunded automatically
+/// when the job provably released nothing: cancelled or shut down while
+/// still queued, rejected by the pre-run deadline/cancel checks, or failed
+/// by the solver's up-front validation (kInvalidProblem, kShapeMismatch,
+/// kUnknownSolver, kBudgetExhausted -- every solver validates before its
+/// first mechanism invocation). Jobs that ran iterations (success, mid-fit
+/// kCancelled or kDeadlineExceeded) stay charged: their released outputs
+/// are privacy spend whether or not the caller keeps the FitResult.
 
 /// One fit request. The Problem's non-owning pointers (data, loss,
 /// constraint) must stay valid until the job completes -- the Engine copies
@@ -81,6 +97,12 @@ struct FitJob {
   /// Free-form label for dashboards and debugging; echoed in the job's
   /// error messages.
   std::string tag;
+
+  /// Named tenant whose shared budget funds this job (see the tenant-budget
+  /// contract above). Empty = no tenant accounting. Non-empty names require
+  /// an Engine configured with Options::budgets and a tenant registered
+  /// there; violations surface as the job's typed error Status.
+  std::string tenant;
 };
 
 namespace engine_internal {
@@ -96,6 +118,8 @@ struct EngineStats {
   std::size_t failed = 0;             // completed with a config/typed error
   std::size_t cancelled = 0;          // completed via Cancel()
   std::size_t deadline_exceeded = 0;  // completed past their deadline
+  std::size_t budget_rejected = 0;    // rejected at Submit by tenant budget
+                                      // (also counted in `failed`)
   std::size_t queue_depth = 0;        // submitted, not yet picked up
   std::size_t running = 0;            // currently executing
   double uptime_seconds = 0.0;        // since the Engine started
@@ -148,6 +172,12 @@ class Engine {
   struct Options {
     /// Number of concurrent job workers; 0 = NumWorkerThreads().
     int workers = 0;
+
+    /// Shared tenant-budget ledger consulted for jobs that set
+    /// FitJob::tenant. Not owned; must outlive the Engine. Null disables
+    /// tenant accounting (tenant-naming jobs then fail with
+    /// kInvalidProblem).
+    BudgetManager* budgets = nullptr;
   };
 
   Engine();  // default Options

@@ -1,44 +1,10 @@
 #ifndef HTDP_API_PRIVACY_BUDGET_H_
 #define HTDP_API_PRIVACY_BUDGET_H_
 
-#include "dp/privacy.h"
-#include "util/status.h"
-
-namespace htdp {
-
-/// The privacy contract a Solver must satisfy end to end: pure epsilon-DP
-/// (delta == 0) or approximate (epsilon, delta)-DP. How the budget is split
-/// across iterations (parallel composition over disjoint folds, advanced
-/// composition on shared data) is the solver's business; the FitResult's
-/// PrivacyLedger records what actually happened.
-struct PrivacyBudget {
-  double epsilon = 1.0;
-  double delta = 0.0;  // 0 => pure epsilon-DP
-
-  static PrivacyBudget Pure(double epsilon) { return {epsilon, 0.0}; }
-  static PrivacyBudget Approx(double epsilon, double delta) {
-    return {epsilon, delta};
-  }
-
-  bool pure() const { return delta == 0.0; }
-
-  /// The dp-layer equivalent (aborts on invalid values via Validate()).
-  PrivacyParams params() const { return {epsilon, delta}; }
-
-  /// Non-aborting validation: epsilon > 0 and delta in [0, 1). Failures
-  /// carry StatusCode::kBudgetExhausted -- a budget that cannot fund any
-  /// mechanism invocation.
-  Status Check() const {
-    if (!(epsilon > 0.0)) {
-      return Status::BudgetExhausted("epsilon must be > 0");
-    }
-    if (delta < 0.0 || delta >= 1.0) {
-      return Status::BudgetExhausted("delta must lie in [0, 1)");
-    }
-    return Status::Ok();
-  }
-};
-
-}  // namespace htdp
+// PrivacyBudget is the library-wide budget type and lives with the rest of
+// the privacy arithmetic in dp/privacy.h (one type from the api facade down
+// to the mechanisms -- there is no separate dp-layer PrivacyParams anymore).
+// This header remains for source compatibility with pre-accountant callers.
+#include "dp/privacy.h"  // IWYU pragma: export
 
 #endif  // HTDP_API_PRIVACY_BUDGET_H_

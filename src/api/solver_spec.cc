@@ -20,7 +20,7 @@ Status SolverSpec::Resolve(std::size_t n, std::size_t d) {
       if (iterations <= 0 || scale <= 0.0) {
         Alg1Schedule schedule;
         if (Status s = TrySolveAlg1Schedule(
-                n, d, budget.epsilon, tau,
+                n, d, budget, tau,
                 num_vertices > 0 ? num_vertices : 2 * d, zeta, &schedule);
             !s.ok()) {
           return s;
@@ -33,7 +33,7 @@ Status SolverSpec::Resolve(std::size_t n, std::size_t d) {
     case AlgorithmId::kPrivateLasso: {
       if (iterations <= 0 || shrinkage <= 0.0) {
         Alg2Schedule schedule;
-        if (Status s = TrySolveAlg2Schedule(n, budget.epsilon, &schedule);
+        if (Status s = TrySolveAlg2Schedule(n, budget, &schedule);
             !s.ok()) {
           return s;
         }
@@ -50,7 +50,7 @@ Status SolverSpec::Resolve(std::size_t n, std::size_t d) {
         const std::size_t s_star =
             target_sparsity > 0 ? target_sparsity : sparsity;
         Alg3Schedule schedule;
-        if (Status s = TrySolveAlg3Schedule(n, budget.epsilon, s_star,
+        if (Status s = TrySolveAlg3Schedule(n, budget, s_star,
                                             sparsity_multiplier, &schedule);
             !s.ok()) {
           return s;
@@ -59,7 +59,7 @@ Status SolverSpec::Resolve(std::size_t n, std::size_t d) {
         if (sparsity == 0) sparsity = schedule.sparsity;
         if (shrinkage <= 0.0) {
           // Recompute K with the final (s, T) in case the caller pinned them.
-          if (Status s = TrySolveAlg3Shrinkage(n, budget.epsilon, sparsity,
+          if (Status s = TrySolveAlg3Shrinkage(n, budget, sparsity,
                                                iterations, &shrinkage);
               !s.ok()) {
             return s;
@@ -79,7 +79,7 @@ Status SolverSpec::Resolve(std::size_t n, std::size_t d) {
       // always reports what actually ran.
       iterations = 1;
       if (shrinkage <= 0.0) {
-        if (Status s = TrySolvePeelingShrinkage(n, budget.epsilon,
+        if (Status s = TrySolvePeelingShrinkage(n, budget,
                                                 &shrinkage);
             !s.ok()) {
           return s;
@@ -96,7 +96,7 @@ Status SolverSpec::Resolve(std::size_t n, std::size_t d) {
             target_sparsity > 0 ? target_sparsity : sparsity / 2;
         Alg5Schedule schedule;
         if (Status s = TrySolveAlg5Schedule(
-                n, d, budget.epsilon, tau,
+                n, d, budget, tau,
                 std::max<std::size_t>(s_star, 1), zeta, &schedule);
             !s.ok()) {
           return s;
@@ -112,7 +112,7 @@ Status SolverSpec::Resolve(std::size_t n, std::size_t d) {
         // Mirrors Algorithm 1's schedule with the l1-ball vertex count, as
         // the legacy MinimizeDpRobustGd did.
         Alg1Schedule schedule;
-        if (Status s = TrySolveAlg1Schedule(n, d, budget.epsilon, tau, 2 * d,
+        if (Status s = TrySolveAlg1Schedule(n, d, budget, tau, 2 * d,
                                             zeta, &schedule);
             !s.ok()) {
           return s;

@@ -33,6 +33,16 @@ struct SolverSpec {
   /// delta; every other solver requires delta > 0.
   PrivacyBudget budget;
 
+  /// The PrivacyAccountant backend (dp/accountant.h) that splits `budget`
+  /// across the solver's mechanism invocations and composes the FitResult's
+  /// ledger totals. The default, kAdvanced, reproduces the historical
+  /// Lemma-2 arithmetic bit for bit; kZcdp buys a strictly larger per-step
+  /// budget (less noise) at the same end-to-end (epsilon, delta) for every
+  /// solver that composes sequentially (alg2_private_lasso); kBasic is the
+  /// loose sum-split. The disjoint-fold solvers spend the full budget per
+  /// fold (parallel composition), so their noise is backend-independent.
+  Accounting accounting = Accounting::kAdvanced;
+
   // --- Schedule (0 = auto-solve from hyperparams.h). ---------------------
   int iterations = 0;        // T
   double scale = 0.0;        // Catoni truncation scale s/k (alg1/alg5/

@@ -9,7 +9,12 @@
 ///
 ///   Problem        -- WHAT to solve: loss + dataset + constraint geometry
 ///                     (a Polytope) or sparsity target s*.
-///   PrivacyBudget  -- the end-to-end contract: eps (pure) or (eps, delta).
+///   PrivacyBudget  -- the end-to-end contract: eps (pure) or (eps, delta);
+///                     THE budget type everywhere (dp/privacy.h), split and
+///                     audited by the PrivacyAccountant backends of
+///                     dp/accountant.h (SolverSpec::accounting picks basic /
+///                     advanced / zcdp; advanced is the bit-identical
+///                     default).
 ///   SolverSpec     -- HOW to solve: budget + schedule overrides (0 = auto
 ///                     from the theorem schedules via SolverSpec::Resolve)
 ///                     + per-iteration observer.
@@ -24,7 +29,10 @@
 ///   Engine         -- concurrent fit-job service (api/engine.h): Submit
 ///                     FitJobs, get JobHandles; cancellation, deadlines,
 ///                     EngineStats; results bit-identical to sequential
-///                     TryFit at fixed seeds.
+///                     TryFit at fixed seeds. With a BudgetManager
+///                     (api/budget_manager.h) it enforces shared
+///                     named-tenant budgets: over-budget submissions are
+///                     rejected as kBudgetExhausted before any work runs.
 ///
 /// Registered solver names:
 ///   "alg1_dp_fw"          -- Alg.1, heavy-tailed DP Frank-Wolfe (eps-DP)
@@ -57,6 +65,7 @@
 #include "data/dataset.h"
 #include "data/real_world_sim.h"
 #include "data/synthetic.h"
+#include "dp/accountant.h"
 #include "dp/exponential_mechanism.h"
 #include "dp/gaussian_mechanism.h"
 #include "dp/laplace_mechanism.h"

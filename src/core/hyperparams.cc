@@ -25,20 +25,18 @@ std::string Describe(const char* field, double value) {
   return out.str();
 }
 
-// Shared strict validation of the inputs every schedule depends on. The
-// legacy Solve* entry points HTDP_CHECK the same conditions except for the
+// Shared strict validation of the inputs every schedule depends on: the
+// typed PrivacyBudget check plus the fundability floor. The legacy Solve*
+// entry points HTDP_CHECK the same conditions except for the
 // n * epsilon >= 1 floor, which they clamp instead (tests rely on that).
-Status CheckCommon(std::size_t n, double epsilon) {
+Status CheckCommon(std::size_t n, const PrivacyBudget& budget) {
   if (n == 0) return Status::Invalid("n must be > 0");
-  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
-    return Status::BudgetExhausted(
-        Describe("epsilon must be positive and finite; epsilon", epsilon));
-  }
-  if (static_cast<double>(n) * epsilon < 1.0) {
+  if (Status s = budget.Check(); !s.ok()) return s;  // incl. finiteness
+  if (static_cast<double>(n) * budget.epsilon < 1.0) {
     return Status::BudgetExhausted(
         Describe("privacy budget too small: need n * epsilon >= 1, got "
                  "n * epsilon",
-                 static_cast<double>(n) * epsilon));
+                 static_cast<double>(n) * budget.epsilon));
   }
   return Status::Ok();
 }
@@ -94,15 +92,16 @@ Alg1Schedule SolveAlg1Schedule(std::size_t n, std::size_t d, double epsilon,
   return schedule;
 }
 
-Status TrySolveAlg1Schedule(std::size_t n, std::size_t d, double epsilon,
-                            double tau, std::size_t num_vertices, double zeta,
+Status TrySolveAlg1Schedule(std::size_t n, std::size_t d,
+                            const PrivacyBudget& budget, double tau,
+                            std::size_t num_vertices, double zeta,
                             Alg1Schedule* out) {
-  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  if (Status s = CheckCommon(n, budget); !s.ok()) return s;
   if (d == 0) return Status::Invalid("d must be > 0");
   if (num_vertices == 0) return Status::Invalid("num_vertices must be > 0");
   if (Status s = CheckTau(tau); !s.ok()) return s;
   if (Status s = CheckZeta(zeta); !s.ok()) return s;
-  *out = SolveAlg1Schedule(n, d, epsilon, tau, num_vertices, zeta);
+  *out = SolveAlg1Schedule(n, d, budget.epsilon, tau, num_vertices, zeta);
   if (Status s = CheckScalePositive(
           "Alg1 schedule produced a degenerate truncation scale; scale",
           out->scale);
@@ -131,12 +130,13 @@ Alg1RobustSchedule SolveAlg1RobustSchedule(std::size_t n, std::size_t d,
   return schedule;
 }
 
-Status TrySolveAlg1RobustSchedule(std::size_t n, std::size_t d, double epsilon,
-                                  double zeta, Alg1RobustSchedule* out) {
-  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+Status TrySolveAlg1RobustSchedule(std::size_t n, std::size_t d,
+                                  const PrivacyBudget& budget, double zeta,
+                                  Alg1RobustSchedule* out) {
+  if (Status s = CheckCommon(n, budget); !s.ok()) return s;
   if (d == 0) return Status::Invalid("d must be > 0");
   if (Status s = CheckZeta(zeta); !s.ok()) return s;
-  *out = SolveAlg1RobustSchedule(n, d, epsilon, zeta);
+  *out = SolveAlg1RobustSchedule(n, d, budget.epsilon, zeta);
   if (Status s = CheckScalePositive(
           "Alg1 robust schedule produced a degenerate truncation scale; "
           "scale",
@@ -160,9 +160,10 @@ Alg2Schedule SolveAlg2Schedule(std::size_t n, double epsilon) {
   return schedule;
 }
 
-Status TrySolveAlg2Schedule(std::size_t n, double epsilon, Alg2Schedule* out) {
-  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
-  *out = SolveAlg2Schedule(n, epsilon);
+Status TrySolveAlg2Schedule(std::size_t n, const PrivacyBudget& budget,
+                            Alg2Schedule* out) {
+  if (Status s = CheckCommon(n, budget); !s.ok()) return s;
+  *out = SolveAlg2Schedule(n, budget.epsilon);
   if (Status s = CheckScalePositive(
           "Alg2 schedule produced a degenerate shrinkage threshold; "
           "shrinkage",
@@ -189,15 +190,15 @@ Alg3Schedule SolveAlg3Schedule(std::size_t n, double epsilon,
   return schedule;
 }
 
-Status TrySolveAlg3Schedule(std::size_t n, double epsilon,
+Status TrySolveAlg3Schedule(std::size_t n, const PrivacyBudget& budget,
                             std::size_t target_sparsity, int multiplier,
                             Alg3Schedule* out) {
-  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  if (Status s = CheckCommon(n, budget); !s.ok()) return s;
   if (target_sparsity == 0) {
     return Status::Invalid("set target_sparsity (s*) or sparsity (s)");
   }
   if (multiplier < 1) return Status::Invalid("sparsity_multiplier must be >= 1");
-  *out = SolveAlg3Schedule(n, epsilon, target_sparsity, multiplier);
+  *out = SolveAlg3Schedule(n, budget.epsilon, target_sparsity, multiplier);
   if (Status s = CheckScalePositive(
           "Alg3 schedule produced a degenerate shrinkage threshold; "
           "shrinkage",
@@ -208,23 +209,23 @@ Status TrySolveAlg3Schedule(std::size_t n, double epsilon,
   return Status::Ok();
 }
 
-Status TrySolveAlg3Shrinkage(std::size_t n, double epsilon,
+Status TrySolveAlg3Shrinkage(std::size_t n, const PrivacyBudget& budget,
                              std::size_t sparsity, int iterations,
                              double* shrinkage) {
-  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+  if (Status s = CheckCommon(n, budget); !s.ok()) return s;
   if (sparsity == 0) return Status::Invalid("sparsity must be > 0");
   if (iterations < 1) return Status::Invalid("iterations must be >= 1");
-  *shrinkage = Alg3ShrinkageFor(n, epsilon, sparsity, iterations);
+  *shrinkage = Alg3ShrinkageFor(n, budget.epsilon, sparsity, iterations);
   return CheckScalePositive(
       "Alg3 schedule produced a degenerate shrinkage threshold; "
       "shrinkage",
       *shrinkage);
 }
 
-Status TrySolvePeelingShrinkage(std::size_t n, double epsilon,
+Status TrySolvePeelingShrinkage(std::size_t n, const PrivacyBudget& budget,
                                 double* shrinkage) {
-  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
-  *shrinkage = std::pow(static_cast<double>(n) * epsilon, 0.25);
+  if (Status s = CheckCommon(n, budget); !s.ok()) return s;
+  *shrinkage = std::pow(static_cast<double>(n) * budget.epsilon, 0.25);
   return CheckScalePositive(
       "Peeling schedule produced a degenerate shrinkage threshold; "
       "shrinkage",
@@ -255,17 +256,18 @@ Alg5Schedule SolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
   return schedule;
 }
 
-Status TrySolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
-                            double tau, std::size_t target_sparsity,
-                            double zeta, Alg5Schedule* out) {
-  if (Status s = CheckCommon(n, epsilon); !s.ok()) return s;
+Status TrySolveAlg5Schedule(std::size_t n, std::size_t d,
+                            const PrivacyBudget& budget, double tau,
+                            std::size_t target_sparsity, double zeta,
+                            Alg5Schedule* out) {
+  if (Status s = CheckCommon(n, budget); !s.ok()) return s;
   if (d == 0) return Status::Invalid("d must be > 0");
   if (Status s = CheckTau(tau); !s.ok()) return s;
   if (target_sparsity == 0) {
     return Status::Invalid("set target_sparsity (s*) or sparsity (s)");
   }
   if (Status s = CheckZeta(zeta); !s.ok()) return s;
-  *out = SolveAlg5Schedule(n, d, epsilon, tau, target_sparsity, zeta);
+  *out = SolveAlg5Schedule(n, d, budget.epsilon, tau, target_sparsity, zeta);
   if (Status s = CheckScalePositive(
           "Alg5 schedule produced a degenerate truncation scale; scale",
           out->scale);

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "dp/privacy.h"
 #include "util/status.h"
 
 namespace htdp {
@@ -23,7 +24,11 @@ namespace htdp {
 ///                     (0, 1), non-finite results) instead of proceeding.
 ///                     SolverSpec::Resolve uses these, which is what makes
 ///                     the facade guarantee T >= 1, s >= 1 and finite
-///                     positive scales.
+///                     positive scales. The strict solvers take the typed
+///                     PrivacyBudget (dp/privacy.h) -- the same budget type
+///                     the accountant splits and the ledger audits -- and
+///                     validate it with PrivacyBudget::Check before the
+///                     n * epsilon fundability floor.
 
 /// Algorithm 1 (Theorem 2 / Section 6.2).
 struct Alg1Schedule {
@@ -34,8 +39,9 @@ struct Alg1Schedule {
 Alg1Schedule SolveAlg1Schedule(std::size_t n, std::size_t d, double epsilon,
                                double tau, std::size_t num_vertices,
                                double zeta);
-Status TrySolveAlg1Schedule(std::size_t n, std::size_t d, double epsilon,
-                            double tau, std::size_t num_vertices, double zeta,
+Status TrySolveAlg1Schedule(std::size_t n, std::size_t d,
+                            const PrivacyBudget& budget, double tau,
+                            std::size_t num_vertices, double zeta,
                             Alg1Schedule* out);
 
 /// Algorithm 1 variant for the non-convex robust regression of Theorem 3:
@@ -49,8 +55,9 @@ struct Alg1RobustSchedule {
 };
 Alg1RobustSchedule SolveAlg1RobustSchedule(std::size_t n, std::size_t d,
                                            double epsilon, double zeta);
-Status TrySolveAlg1RobustSchedule(std::size_t n, std::size_t d, double epsilon,
-                                  double zeta, Alg1RobustSchedule* out);
+Status TrySolveAlg1RobustSchedule(std::size_t n, std::size_t d,
+                                  const PrivacyBudget& budget, double zeta,
+                                  Alg1RobustSchedule* out);
 
 /// Algorithm 2 (Theorem 5 / Section 6.2).
 struct Alg2Schedule {
@@ -58,7 +65,8 @@ struct Alg2Schedule {
   double shrinkage = 1.0;  // K = (n eps)^(1/4) / T^(1/8)
 };
 Alg2Schedule SolveAlg2Schedule(std::size_t n, double epsilon);
-Status TrySolveAlg2Schedule(std::size_t n, double epsilon, Alg2Schedule* out);
+Status TrySolveAlg2Schedule(std::size_t n, const PrivacyBudget& budget,
+                            Alg2Schedule* out);
 
 /// Algorithm 3 (Theorem 7 / Section 6.2).
 struct Alg3Schedule {
@@ -69,14 +77,14 @@ struct Alg3Schedule {
 };
 Alg3Schedule SolveAlg3Schedule(std::size_t n, double epsilon,
                                std::size_t target_sparsity, int multiplier);
-Status TrySolveAlg3Schedule(std::size_t n, double epsilon,
+Status TrySolveAlg3Schedule(std::size_t n, const PrivacyBudget& budget,
                             std::size_t target_sparsity, int multiplier,
                             Alg3Schedule* out);
 
 /// The Algorithm 3 shrinkage rule K = (n eps / (s T))^(1/4) alone, for
 /// recomputing K against a caller-pinned (s, T) pair. The single source of
 /// truth shared with SolveAlg3Schedule.
-Status TrySolveAlg3Shrinkage(std::size_t n, double epsilon,
+Status TrySolveAlg3Shrinkage(std::size_t n, const PrivacyBudget& budget,
                              std::size_t sparsity, int iterations,
                              double* shrinkage);
 
@@ -84,7 +92,7 @@ Status TrySolveAlg3Shrinkage(std::size_t n, double epsilon,
 /// shrinkage threshold K = (n eps)^(1/4) bounding each sample's influence
 /// on the released coordinate means. Shares the n * epsilon >= 1 floor with
 /// every other strict schedule solver.
-Status TrySolvePeelingShrinkage(std::size_t n, double epsilon,
+Status TrySolvePeelingShrinkage(std::size_t n, const PrivacyBudget& budget,
                                 double* shrinkage);
 
 /// Algorithm 5 (Theorem 8 / Section 6.2).
@@ -98,9 +106,10 @@ struct Alg5Schedule {
 Alg5Schedule SolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
                                double tau, std::size_t target_sparsity,
                                double zeta);
-Status TrySolveAlg5Schedule(std::size_t n, std::size_t d, double epsilon,
-                            double tau, std::size_t target_sparsity,
-                            double zeta, Alg5Schedule* out);
+Status TrySolveAlg5Schedule(std::size_t n, std::size_t d,
+                            const PrivacyBudget& budget, double tau,
+                            std::size_t target_sparsity, double zeta,
+                            Alg5Schedule* out);
 
 }  // namespace htdp
 

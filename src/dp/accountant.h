@@ -1,0 +1,137 @@
+#ifndef HTDP_DP_ACCOUNTANT_H_
+#define HTDP_DP_ACCOUNTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "dp/privacy.h"
+#include "dp/privacy_ledger.h"
+#include "util/status.h"
+
+namespace htdp {
+
+/// ## PrivacyAccountant: pluggable composition backends
+///
+/// Every htdp algorithm faces the same three accounting questions, and
+/// before this subsystem each answered them with hand-rolled free-function
+/// calls:
+///
+///   1. SPLIT:   given a total (epsilon, delta) and T adaptive invocations
+///               on the same data, how much may each invocation spend?
+///   2. CALIBRATE: what Gaussian noise multiplier sigma / l2-sensitivity
+///               funds one of T vector releases under the total budget?
+///   3. AUDIT:   given the PrivacyLedger's recorded event stream, what
+///               (epsilon, delta) was actually consumed end to end?
+///
+/// A PrivacyAccountant answers all three under one composition arithmetic.
+/// Three backends are built in (see Accounting in dp/privacy.h): `basic`
+/// (sum), `advanced` (the paper's Lemma 2 -- the default, bit-identical to
+/// the historical free-function path), and `zcdp` (rho-composition with the
+/// optimal conversion back to (epsilon, delta), yielding a strictly larger
+/// per-step budget -- hence a strictly smaller noise multiplier -- than
+/// `advanced` for every T > 1).
+///
+/// ### Contracts every backend satisfies
+///
+///  * `StepBudgetFor(total, 1) == {total.epsilon, total.delta}` exactly: a
+///    single release needs no composition, so routing the disjoint-fold
+///    solvers (one full-budget release per fold, parallel composition)
+///    through any backend is bit-identical to the pre-accountant code.
+///  * `GaussianFor(total, 1)` calibrates with the classic
+///    sqrt(2 ln(1.25/delta))/epsilon formula (zcdp additionally takes its
+///    own calibration when that is tighter, which preserves the invariant
+///    sigma(zcdp) <= sigma(advanced) at every T).
+///  * `Compose` never reports more than basic composition would: tighter
+///    backends take the minimum of their bound and the basic sum, so a
+///    single-entry ledger always composes to exactly what it recorded.
+///  * Budgets are validated by the caller (PrivacyBudget::Check); the
+///    accountant itself only HTDP_CHECKs internal invariants (steps >= 1).
+///
+/// Backends are stateless and shared: GetAccountant returns process-wide
+/// singletons, safe to use concurrently from Engine workers.
+
+/// The per-invocation slice of a total budget under some backend. The
+/// `delta` can be 0 even for an approximate total (zcdp spends the whole
+/// delta in the final rho -> (epsilon, delta) conversion, not per step).
+struct StepBudget {
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+/// Gaussian-mechanism calibration for one of `steps` vector releases.
+/// When `sigma_multiplier` > 0 the noise scale is
+/// l2_sensitivity * sigma_multiplier directly (the zcdp path); otherwise
+/// the mechanism derives sigma from (step_epsilon, step_delta) with its
+/// classic formula -- which keeps the advanced/basic paths bit-identical to
+/// the historical GaussianMechanism(sens, eps', delta') construction.
+struct GaussianCalibration {
+  double step_epsilon = 0.0;
+  double step_delta = 0.0;
+  double sigma_multiplier = 0.0;  // 0 = derive from (step_epsilon, step_delta)
+  double rho = 0.0;  // per-step zCDP parameter when sigma_multiplier is set;
+                     // forward it into PrivacyLedger::Entry::rho
+
+  /// The effective sigma / l2-sensitivity ratio, whichever path is taken.
+  double NoiseMultiplier() const;
+};
+
+/// The composed end-to-end guarantee of a recorded event stream.
+struct ComposedPrivacy {
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+class PrivacyAccountant {
+ public:
+  virtual ~PrivacyAccountant() = default;
+
+  virtual Accounting id() const = 0;
+  const char* name() const { return AccountingName(id()); }
+
+  /// SPLIT: the per-invocation (epsilon', delta') such that `steps`
+  /// adaptive invocations on the same data compose to at most `total`.
+  /// steps == 1 returns `total` unchanged for every backend. Backends that
+  /// need delta > 0 (advanced, zcdp) fall back to basic epsilon/T splitting
+  /// for pure totals.
+  virtual StepBudget StepBudgetFor(const PrivacyBudget& total,
+                                   int steps) const = 0;
+
+  /// CALIBRATE: the Gaussian-mechanism calibration for one of `steps`
+  /// full-vector releases on the same data under `total`. Requires an
+  /// approximate total (delta > 0), like the mechanism itself.
+  virtual GaussianCalibration GaussianFor(const PrivacyBudget& total,
+                                          int steps) const = 0;
+
+  /// Convenience: the sigma / l2-sensitivity ratio of GaussianFor. The
+  /// quantity BENCH_micro.json tracks as sigma(advanced)/sigma(zcdp).
+  double NoiseMultiplier(const PrivacyBudget& total, int steps) const {
+    return GaussianFor(total, steps).NoiseMultiplier();
+  }
+
+  /// AUDIT: the end-to-end (epsilon, delta) of a recorded event stream
+  /// under this backend, in one pass over the entries: invocations on the
+  /// full dataset (fold < 0) compose sequentially, invocations on disjoint
+  /// folds contribute the maximum over folds, and the two groups add.
+  /// `conversion_delta` is the delta at which rho-composition converts back
+  /// to (epsilon, delta) (ignored by basic/advanced; when 0 the zcdp
+  /// backend falls back to the basic total).
+  virtual ComposedPrivacy Compose(
+      const std::vector<PrivacyLedger::Entry>& entries,
+      double conversion_delta) const = 0;
+
+  ComposedPrivacy Compose(const PrivacyLedger& ledger,
+                          double conversion_delta) const {
+    return Compose(ledger.entries(), conversion_delta);
+  }
+};
+
+/// The process-wide singleton backend for `backend`. Never fails.
+const PrivacyAccountant& GetAccountant(Accounting backend);
+
+/// Parses "basic" / "advanced" / "zcdp"; unknown names yield a typed
+/// kInvalidProblem Status listing the valid spellings.
+StatusOr<Accounting> ParseAccounting(const std::string& name);
+
+}  // namespace htdp
+
+#endif  // HTDP_DP_ACCOUNTANT_H_

@@ -15,6 +15,13 @@ GaussianMechanism::GaussianMechanism(double l2_sensitivity, double epsilon,
   sigma_ = l2_sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
 }
 
+GaussianMechanism GaussianMechanism::WithSigma(double sigma) {
+  HTDP_CHECK_GT(sigma, 0.0);
+  GaussianMechanism mechanism;
+  mechanism.sigma_ = sigma;
+  return mechanism;
+}
+
 double GaussianMechanism::Privatize(double value, Rng& rng) const {
   return value + SampleNormal(rng, 0.0, sigma_);
 }

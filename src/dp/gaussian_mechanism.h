@@ -15,6 +15,12 @@ class GaussianMechanism {
  public:
   GaussianMechanism(double l2_sensitivity, double epsilon, double delta);
 
+  /// A mechanism with an externally calibrated noise scale -- the
+  /// PrivacyAccountant's zCDP backend computes sigma via rho-composition
+  /// (sigma = l2_sensitivity * sqrt(T / (2 rho))) instead of the classic
+  /// per-step formula above.
+  static GaussianMechanism WithSigma(double sigma);
+
   /// The calibrated noise standard deviation.
   double sigma() const { return sigma_; }
 
@@ -33,7 +39,9 @@ class GaussianMechanism {
                               Rng& rng) const;
 
  private:
-  double sigma_;
+  GaussianMechanism() = default;  // for WithSigma; sigma_ set directly
+
+  double sigma_ = 0.0;
 };
 
 }  // namespace htdp

@@ -6,9 +6,16 @@
 
 namespace htdp {
 
-void PrivacyParams::Validate() const {
-  HTDP_CHECK_GT(epsilon, 0.0);
-  HTDP_CHECK(delta >= 0.0 && delta < 1.0) << "delta=" << delta;
+const char* AccountingName(Accounting backend) {
+  switch (backend) {
+    case Accounting::kBasic:
+      return "basic";
+    case Accounting::kAdvanced:
+      return "advanced";
+    case Accounting::kZcdp:
+      return "zcdp";
+  }
+  return "unknown";
 }
 
 double AdvancedCompositionStepEpsilon(double epsilon, double delta, int t) {
@@ -29,6 +36,20 @@ double BasicCompositionStepEpsilon(double epsilon, int t) {
   HTDP_CHECK_GT(epsilon, 0.0);
   HTDP_CHECK_GT(t, 0);
   return epsilon / static_cast<double>(t);
+}
+
+double ZcdpRhoForBudget(double epsilon, double delta) {
+  HTDP_CHECK_GT(epsilon, 0.0);
+  HTDP_CHECK(delta > 0.0 && delta < 1.0) << "delta=" << delta;
+  const double log_term = std::log(1.0 / delta);
+  const double sqrt_rho = std::sqrt(log_term + epsilon) - std::sqrt(log_term);
+  return sqrt_rho * sqrt_rho;
+}
+
+double ZcdpEpsilonForRho(double rho, double delta) {
+  HTDP_CHECK_GE(rho, 0.0);
+  HTDP_CHECK(delta > 0.0 && delta < 1.0) << "delta=" << delta;
+  return rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta));
 }
 
 }  // namespace htdp

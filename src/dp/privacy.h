@@ -1,18 +1,71 @@
 #ifndef HTDP_DP_PRIVACY_H_
 #define HTDP_DP_PRIVACY_H_
 
+#include <cmath>
+
+#include "util/status.h"
+
 namespace htdp {
 
-/// An (epsilon, delta) differential-privacy budget (Definition 1).
-/// delta == 0 denotes pure epsilon-DP.
-struct PrivacyParams {
+/// Which composition arithmetic a PrivacyAccountant backend uses to split a
+/// total budget across adaptive mechanism invocations and to total a
+/// PrivacyLedger back up (dp/accountant.h):
+///
+///   kBasic     -- sequential composition: epsilons and deltas add. Loosest,
+///                 but valid for every mechanism and for delta == 0.
+///   kAdvanced  -- the paper's Lemma 2 (Dwork-Roth advanced composition):
+///                 eps' = eps / (2 sqrt(2 T ln(2/delta))). The historical
+///                 default; every pre-accountant fit used exactly this.
+///   kZcdp      -- zero-concentrated DP (Bun-Steinke 2016): convert
+///                 (eps, delta) to the largest rho with
+///                 rho + 2 sqrt(rho ln(1/delta)) <= eps, compose in rho
+///                 (rhos add), convert back. Tighter per-step budgets than
+///                 kAdvanced for every T > 1, hence less noise at the same
+///                 end-to-end guarantee.
+enum class Accounting {
+  kBasic,
+  kAdvanced,
+  kZcdp,
+};
+
+/// Stable lower-case backend name, e.g. "advanced".
+const char* AccountingName(Accounting backend);
+
+/// An (epsilon, delta) differential-privacy budget (Definition 1) -- THE
+/// budget type of the library, shared by the dp mechanisms, the schedule
+/// solvers, the Solver facade and the Engine's tenant budgets. delta == 0
+/// denotes pure epsilon-DP. How a budget is split across iterations
+/// (parallel composition over disjoint folds, a PrivacyAccountant backend
+/// on shared data) is the consumer's business; the FitResult's
+/// PrivacyLedger records what actually happened.
+struct PrivacyBudget {
   double epsilon = 1.0;
-  double delta = 0.0;
+  double delta = 0.0;  // 0 => pure epsilon-DP
 
-  /// Aborts unless epsilon > 0 and delta in [0, 1).
-  void Validate() const;
+  static PrivacyBudget Pure(double epsilon) { return {epsilon, 0.0}; }
+  static PrivacyBudget Approx(double epsilon, double delta) {
+    return {epsilon, delta};
+  }
 
-  static PrivacyParams PureDp(double epsilon) { return {epsilon, 0.0}; }
+  bool pure() const { return delta == 0.0; }
+
+  /// The one validation path: epsilon positive and finite, delta in [0, 1).
+  /// The conditions are written so NaN fails them too (NaN compares false
+  /// everywhere, so naive `delta < 0 || delta >= 1` would let it through
+  /// into the noise calibrations). Failures carry
+  /// StatusCode::kBudgetExhausted -- a budget that cannot fund any
+  /// mechanism invocation. Callers that must abort on invalid budgets
+  /// HTDP_CHECK the returned Status; there is no separate aborting
+  /// Validate() anymore.
+  Status Check() const {
+    if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+      return Status::BudgetExhausted("epsilon must be positive and finite");
+    }
+    if (!(delta >= 0.0 && delta < 1.0)) {
+      return Status::BudgetExhausted("delta must lie in [0, 1)");
+    }
+    return Status::Ok();
+  }
 };
 
 /// Advanced Composition (Lemma 2): to guarantee (epsilon, delta)-DP overall
@@ -20,6 +73,8 @@ struct PrivacyParams {
 /// may spend epsilon' = epsilon / (2 sqrt(2 T ln(2/delta))). Requires
 /// 0 < epsilon < 1 bound in the lemma statement is not enforced here because
 /// the paper's algorithms apply the formula for all epsilon; we follow them.
+/// (These free functions are the arithmetic behind the kAdvanced accountant
+/// backend; prefer GetAccountant(Accounting::kAdvanced) in new code.)
 double AdvancedCompositionStepEpsilon(double epsilon, double delta, int t);
 
 /// delta' = delta / T, the per-step delta of Lemma 2.
@@ -27,6 +82,16 @@ double AdvancedCompositionStepDelta(double delta, int t);
 
 /// Basic (sequential) composition: per-step epsilon for T invocations.
 double BasicCompositionStepEpsilon(double epsilon, int t);
+
+/// The largest rho such that rho-zCDP implies (epsilon, delta)-DP via the
+/// optimal conversion epsilon = rho + 2 sqrt(rho ln(1/delta)) (Bun-Steinke
+/// Proposition 1.3): rho = (sqrt(ln(1/delta) + epsilon) - sqrt(ln(1/delta)))^2.
+/// Requires epsilon > 0 and delta in (0, 1).
+double ZcdpRhoForBudget(double epsilon, double delta);
+
+/// The inverse direction: the epsilon of the (epsilon, delta)-DP guarantee
+/// implied by rho-zCDP at the given delta in (0, 1).
+double ZcdpEpsilonForRho(double rho, double delta);
 
 }  // namespace htdp
 

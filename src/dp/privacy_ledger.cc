@@ -1,38 +1,17 @@
 #include "dp/privacy_ledger.h"
 
-#include <algorithm>
-#include <map>
+#include "dp/accountant.h"
 
 namespace htdp {
-namespace {
-
-// Aggregates (sequential within a fold, parallel across folds).
-double ComposeTotals(const std::vector<PrivacyLedger::Entry>& entries,
-                     double PrivacyLedger::Entry::*field) {
-  double sequential = 0.0;           // entries touching the full dataset
-  std::map<int, double> per_fold;    // entries on disjoint folds
-  for (const auto& entry : entries) {
-    if (entry.fold < 0) {
-      sequential += entry.*field;
-    } else {
-      per_fold[entry.fold] += entry.*field;
-    }
-  }
-  double fold_max = 0.0;
-  for (const auto& [fold, total] : per_fold) {
-    fold_max = std::max(fold_max, total);
-  }
-  return sequential + fold_max;
-}
-
-}  // namespace
 
 double PrivacyLedger::TotalEpsilon() const {
-  return ComposeTotals(entries_, &Entry::epsilon);
+  return GetAccountant(accounting_).Compose(entries_, conversion_delta_)
+      .epsilon;
 }
 
 double PrivacyLedger::TotalDelta() const {
-  return ComposeTotals(entries_, &Entry::delta);
+  return GetAccountant(accounting_).Compose(entries_, conversion_delta_)
+      .delta;
 }
 
 }  // namespace htdp

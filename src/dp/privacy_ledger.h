@@ -5,16 +5,20 @@
 #include <string>
 #include <vector>
 
+#include "dp/privacy.h"
+
 namespace htdp {
 
-/// Audit trail of differential-privacy mechanism invocations.
+/// Audit trail of differential-privacy mechanism invocations -- the
+/// PrivacyAccountant's event stream.
 ///
 /// Every htdp algorithm records each mechanism call (which mechanism, the
 /// sensitivity used, the (epsilon, delta) spent, and whether the call touched
 /// a disjoint data fold). Tests use the ledger to verify that each algorithm
 /// consumes exactly its declared budget: invocations on disjoint folds
-/// compose in parallel (max), invocations on shared data compose sequentially
-/// (sum), matching Theorems 1, 4, 6 and 8.
+/// compose in parallel (max), invocations on shared data compose
+/// sequentially under the ledger's accounting backend, matching Theorems 1,
+/// 4, 6 and 8.
 class PrivacyLedger {
  public:
   struct Entry {
@@ -25,6 +29,14 @@ class PrivacyLedger {
     // Identifier of the disjoint data fold the call consumed, or -1 when the
     // call used the full dataset.
     int fold = -1;
+    // The release's zCDP parameter when it was calibrated natively in rho
+    // (the zcdp backend's Gaussian releases); 0 for classic (epsilon,
+    // delta)-calibrated entries. A rho-native entry's epsilon is the
+    // pure-DP-equivalent sqrt(2 rho) carrier the zcdp backend composes
+    // with, NOT a standalone pure-DP guarantee -- which is why the zcdp
+    // Compose only takes its basic-composition shortcut when no entry is
+    // rho-native.
+    double rho = 0.0;
   };
 
   void Record(Entry entry) { entries_.push_back(std::move(entry)); }
@@ -36,9 +48,24 @@ class PrivacyLedger {
   const std::vector<Entry>& entries() const { return entries_; }
   void Clear() { entries_.clear(); }
 
-  /// Total epsilon under the correct composition rule: entries sharing the
-  /// full dataset (fold == -1) add up; entries on disjoint folds contribute
-  /// the maximum over folds.
+  /// Tags the stream with the composition backend that produced it, so the
+  /// totals below are computed by that backend rather than a hard-coded
+  /// sum/max. Solvers set this to the SolverSpec's accounting choice;
+  /// `conversion_delta` is the declared total delta, which the zcdp backend
+  /// spends converting its composed rho back to an (epsilon, delta) report.
+  /// A fresh ledger defaults to basic accounting (plain sum/max), the
+  /// historical TotalEpsilon/TotalDelta behavior.
+  void SetAccounting(Accounting backend, double conversion_delta) {
+    accounting_ = backend;
+    conversion_delta_ = conversion_delta;
+  }
+  Accounting accounting() const { return accounting_; }
+  double conversion_delta() const { return conversion_delta_; }
+
+  /// Total epsilon composed by the ledger's accounting backend: entries
+  /// sharing the full dataset (fold == -1) compose sequentially, entries on
+  /// disjoint folds contribute the maximum over folds, and the two parts
+  /// add -- all in one pass over the entries (dp/accountant.h).
   double TotalEpsilon() const;
 
   /// Total delta composed the same way as TotalEpsilon.
@@ -46,6 +73,8 @@ class PrivacyLedger {
 
  private:
   std::vector<Entry> entries_;
+  Accounting accounting_ = Accounting::kBasic;
+  double conversion_delta_ = 0.0;
 };
 
 }  // namespace htdp

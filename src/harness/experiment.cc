@@ -1,9 +1,11 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "dp/accountant.h"
 #include "rng/rng.h"
 #include "util/check.h"
 
@@ -21,6 +23,15 @@ BenchEnv GetBenchEnv() {
   }
   if (const char* seed = std::getenv("HTDP_BENCH_SEED")) {
     env.seed = static_cast<std::uint64_t>(std::atoll(seed));
+  }
+  if (const char* accounting = std::getenv("HTDP_BENCH_ACCOUNTING")) {
+    if (const StatusOr<Accounting> parsed = ParseAccounting(accounting);
+        parsed.ok()) {
+      env.accounting = *parsed;
+    } else {
+      std::fprintf(stderr, "HTDP_BENCH_ACCOUNTING: %s\n",
+                   parsed.status().ToString().c_str());
+    }
   }
   return env;
 }

@@ -5,20 +5,28 @@
 #include <cstdint>
 #include <functional>
 
+#include "dp/privacy.h"
 #include "stats/summary.h"
 
 namespace htdp {
 
 /// Environment knobs shared by the figure-regeneration benches so the whole
 /// suite runs in minutes by default and at paper scale when requested:
-///   HTDP_BENCH_TRIALS -- repeats per point (default 5; paper uses >= 20)
-///   HTDP_BENCH_SCALE  -- multiplies every sample-size n (default 0.2;
-///                        1.0 reproduces the paper's n exactly)
-///   HTDP_BENCH_SEED   -- base RNG seed (default 42)
+///   HTDP_BENCH_TRIALS     -- repeats per point (default 5; paper >= 20)
+///   HTDP_BENCH_SCALE      -- multiplies every sample-size n (default 0.2;
+///                            1.0 reproduces the paper's n exactly)
+///   HTDP_BENCH_SEED       -- base RNG seed (default 42)
+///   HTDP_BENCH_ACCOUNTING -- privacy-accounting backend for every scenario
+///                            ("basic", "advanced", "zcdp"; default
+///                            "advanced" -- the historical arithmetic). Run
+///                            any figure under zcdp to measure the
+///                            tighter-composition payoff at unchanged
+///                            (epsilon, delta).
 struct BenchEnv {
   int trials = 5;
   double scale = 0.2;
   std::uint64_t seed = 42;
+  Accounting accounting = Accounting::kAdvanced;
 };
 
 /// Reads the knobs from the environment (once per call).

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "dp/accountant.h"
 #include "dp/exponential_mechanism.h"
-#include "dp/privacy.h"
 #include "util/check.h"
 
 namespace htdp {
@@ -18,14 +18,22 @@ DpFwRegularResult MinimizeDpFwRegular(const Loss& loss, const Dataset& data,
   HTDP_CHECK_EQ(w0.size(), polytope.dim());
   HTDP_CHECK_GT(options.iterations, 0);
   HTDP_CHECK_GT(options.gradient_linf_bound, 0.0);
-  PrivacyParams{options.epsilon, options.delta}.Validate();
+  const PrivacyBudget budget{options.epsilon, options.delta};
+  {
+    const Status budget_status = budget.Check();
+    HTDP_CHECK(budget_status.ok()) << budget_status.ToString();
+  }
   HTDP_CHECK_GT(options.delta, 0.0);
 
   const std::size_t n = data.size();
   const std::size_t d = data.dim();
   const double g_bound = options.gradient_linf_bound;
-  const double step_epsilon = AdvancedCompositionStepEpsilon(
-      options.epsilon, options.delta, options.iterations);
+  // Lemma 2 per-step budget from the advanced accountant (the historical
+  // arithmetic, verbatim for every T > 1).
+  const StepBudget step_budget =
+      GetAccountant(Accounting::kAdvanced)
+          .StepBudgetFor(budget, options.iterations);
+  const double step_epsilon = step_budget.epsilon;
   // Replacing one sample moves the clipped average gradient by at most
   // 2 * g_bound / n per coordinate, hence the score <v, g> by
   // ||W||_1 * 2 * g_bound / n.
@@ -35,6 +43,7 @@ DpFwRegularResult MinimizeDpFwRegular(const Loss& loss, const Dataset& data,
 
   DpFwRegularResult result;
   result.w = w0;
+  result.ledger.SetAccounting(Accounting::kAdvanced, options.delta);
 
   Vector grad(d);
   Vector sample_grad(d);
@@ -53,9 +62,7 @@ DpFwRegularResult MinimizeDpFwRegular(const Loss& loss, const Dataset& data,
     polytope.VertexInnerProducts(grad, scores);
     for (double& s : scores) s = -s;
     const std::size_t pick = mechanism.SelectGumbel(scores, rng);
-    result.ledger.Record({"exponential", step_epsilon,
-                          AdvancedCompositionStepDelta(options.delta,
-                                                       options.iterations),
+    result.ledger.Record({"exponential", step_epsilon, step_budget.delta,
                           sensitivity, /*fold=*/-1});
 
     const double eta = 2.0 / (static_cast<double>(t) + 2.0);

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <cstddef>
 
-#include "dp/privacy.h"
+#include "dp/accountant.h"
 #include "rng/distributions.h"
 #include "util/check.h"
 
@@ -17,20 +17,28 @@ DpSgdResult MinimizeDpSgd(const Loss& loss, const Dataset& data,
   HTDP_CHECK_GT(options.iterations, 0);
   HTDP_CHECK_GT(options.batch_size, 0u);
   HTDP_CHECK_GT(options.clip_norm, 0.0);
-  PrivacyParams{options.epsilon, options.delta}.Validate();
+  const PrivacyBudget budget{options.epsilon, options.delta};
+  {
+    const Status budget_status = budget.Check();
+    HTDP_CHECK(budget_status.ok()) << budget_status.ToString();
+  }
   HTDP_CHECK_GT(options.delta, 0.0);
 
   const std::size_t n = data.size();
   const std::size_t d = data.dim();
   const std::size_t batch = std::min(options.batch_size, n);
 
-  // Advanced composition splits (epsilon, delta) into T Gaussian-mechanism
-  // steps; each step gets (eps', delta'/2) from composition and uses the
-  // remaining delta'/2 inside the Gaussian mechanism tail bound.
-  const double step_epsilon = AdvancedCompositionStepEpsilon(
-      options.epsilon, options.delta / 2.0, options.iterations);
-  const double step_delta =
-      AdvancedCompositionStepDelta(options.delta / 2.0, options.iterations);
+  // The advanced accountant splits (epsilon, delta) into T Gaussian steps:
+  // half the delta funds Lemma 2's composition slack, half the Gaussian
+  // tail bounds -- the historical MinimizeDpSgd arithmetic, verbatim for
+  // every T > 1. At T == 1 the accountant's identity contract applies (a
+  // single release needs no composition), which spends the whole budget
+  // where the old code still shaved it through the T = 1 Lemma-2 formula.
+  const GaussianCalibration calibration =
+      GetAccountant(Accounting::kAdvanced)
+          .GaussianFor(budget, options.iterations);
+  const double step_epsilon = calibration.step_epsilon;
+  const double step_delta = calibration.step_delta;
   // Replacement sensitivity of the averaged clipped minibatch gradient.
   const double l2_sensitivity =
       2.0 * options.clip_norm / static_cast<double>(batch);
@@ -44,6 +52,7 @@ DpSgdResult MinimizeDpSgd(const Loss& loss, const Dataset& data,
 
   DpSgdResult result;
   result.w = w0;
+  result.ledger.SetAccounting(Accounting::kAdvanced, options.delta);
 
   Vector grad(d);
   Vector sample_grad(d);

@@ -439,20 +439,20 @@ TEST(SolverSpecTest, ResolveRejectsDegenerateConfigurations) {
 TEST(HyperparamsTest, TrySolversRejectDegenerateInputsButMatchOtherwise) {
   Alg1Schedule alg1;
   EXPECT_FALSE(
-      TrySolveAlg1Schedule(10, 10, 0.01, 1.0, 20, 0.1, &alg1).ok());
+      TrySolveAlg1Schedule(10, 10, PrivacyBudget::Pure(0.01), 1.0, 20, 0.1, &alg1).ok());
   EXPECT_FALSE(
-      TrySolveAlg1Schedule(10000, 10, 1.0, 1.0, 20, 1.5, &alg1).ok());
+      TrySolveAlg1Schedule(10000, 10, PrivacyBudget::Pure(1.0), 1.0, 20, 1.5, &alg1).ok());
   ASSERT_TRUE(
-      TrySolveAlg1Schedule(10000, 200, 1.0, 1.0, 400, 0.1, &alg1).ok());
+      TrySolveAlg1Schedule(10000, 200, PrivacyBudget::Pure(1.0), 1.0, 400, 0.1, &alg1).ok());
   const Alg1Schedule legacy1 =
       SolveAlg1Schedule(10000, 200, 1.0, 1.0, 400, 0.1);
   EXPECT_EQ(alg1.iterations, legacy1.iterations);
   EXPECT_EQ(alg1.scale, legacy1.scale);
 
   Alg1RobustSchedule robust;
-  EXPECT_FALSE(TrySolveAlg1RobustSchedule(10, 10, 0.01, 0.1, &robust).ok());
-  EXPECT_FALSE(TrySolveAlg1RobustSchedule(10000, 10, 1.0, 1.5, &robust).ok());
-  ASSERT_TRUE(TrySolveAlg1RobustSchedule(10000, 200, 1.0, 0.1, &robust).ok());
+  EXPECT_FALSE(TrySolveAlg1RobustSchedule(10, 10, PrivacyBudget::Pure(0.01), 0.1, &robust).ok());
+  EXPECT_FALSE(TrySolveAlg1RobustSchedule(10000, 10, PrivacyBudget::Pure(1.0), 1.5, &robust).ok());
+  ASSERT_TRUE(TrySolveAlg1RobustSchedule(10000, 200, PrivacyBudget::Pure(1.0), 0.1, &robust).ok());
   const Alg1RobustSchedule legacy_robust =
       SolveAlg1RobustSchedule(10000, 200, 1.0, 0.1);
   EXPECT_EQ(robust.iterations, legacy_robust.iterations);
@@ -460,15 +460,15 @@ TEST(HyperparamsTest, TrySolversRejectDegenerateInputsButMatchOtherwise) {
   EXPECT_EQ(robust.step, legacy_robust.step);
 
   Alg2Schedule alg2;
-  EXPECT_FALSE(TrySolveAlg2Schedule(10, 0.01, &alg2).ok());
-  ASSERT_TRUE(TrySolveAlg2Schedule(10000, 1.0, &alg2).ok());
+  EXPECT_FALSE(TrySolveAlg2Schedule(10, PrivacyBudget::Pure(0.01), &alg2).ok());
+  ASSERT_TRUE(TrySolveAlg2Schedule(10000, PrivacyBudget::Pure(1.0), &alg2).ok());
   const Alg2Schedule legacy2 = SolveAlg2Schedule(10000, 1.0);
   EXPECT_EQ(alg2.iterations, legacy2.iterations);
   EXPECT_EQ(alg2.shrinkage, legacy2.shrinkage);
 
   Alg3Schedule alg3;
-  EXPECT_FALSE(TrySolveAlg3Schedule(10000, 1.0, 0, 2, &alg3).ok());
-  ASSERT_TRUE(TrySolveAlg3Schedule(10000, 1.0, 5, 2, &alg3).ok());
+  EXPECT_FALSE(TrySolveAlg3Schedule(10000, PrivacyBudget::Pure(1.0), 0, 2, &alg3).ok());
+  ASSERT_TRUE(TrySolveAlg3Schedule(10000, PrivacyBudget::Pure(1.0), 5, 2, &alg3).ok());
   const Alg3Schedule legacy3 = SolveAlg3Schedule(10000, 1.0, 5, 2);
   EXPECT_EQ(alg3.iterations, legacy3.iterations);
   EXPECT_EQ(alg3.sparsity, legacy3.sparsity);
@@ -476,9 +476,9 @@ TEST(HyperparamsTest, TrySolversRejectDegenerateInputsButMatchOtherwise) {
 
   Alg5Schedule alg5;
   EXPECT_FALSE(
-      TrySolveAlg5Schedule(10000, 100, 1.0, 1.0, 0, 0.1, &alg5).ok());
+      TrySolveAlg5Schedule(10000, 100, PrivacyBudget::Pure(1.0), 1.0, 0, 0.1, &alg5).ok());
   ASSERT_TRUE(
-      TrySolveAlg5Schedule(10000, 100, 1.0, 1.0, 5, 0.1, &alg5).ok());
+      TrySolveAlg5Schedule(10000, 100, PrivacyBudget::Pure(1.0), 1.0, 5, 0.1, &alg5).ok());
   const Alg5Schedule legacy5 = SolveAlg5Schedule(10000, 100, 1.0, 1.0, 5, 0.1);
   EXPECT_EQ(alg5.iterations, legacy5.iterations);
   EXPECT_EQ(alg5.sparsity, legacy5.sparsity);

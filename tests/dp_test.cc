@@ -1,7 +1,9 @@
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
+#include "dp/accountant.h"
 #include "dp/exponential_mechanism.h"
 #include "dp/laplace_mechanism.h"
 #include "dp/privacy.h"
@@ -13,17 +15,44 @@
 namespace htdp {
 namespace {
 
-TEST(PrivacyParamsTest, ValidationAcceptsLegalValues) {
-  PrivacyParams{1.0, 0.0}.Validate();
-  PrivacyParams{0.1, 1e-6}.Validate();
-  PrivacyParams pure = PrivacyParams::PureDp(2.0);
+TEST(PrivacyBudgetTest, CheckAcceptsLegalValues) {
+  EXPECT_TRUE((PrivacyBudget{1.0, 0.0}).Check().ok());
+  EXPECT_TRUE((PrivacyBudget{0.1, 1e-6}).Check().ok());
+  const PrivacyBudget pure = PrivacyBudget::Pure(2.0);
   EXPECT_EQ(pure.delta, 0.0);
-  pure.Validate();
+  EXPECT_TRUE(pure.pure());
+  EXPECT_TRUE(pure.Check().ok());
+  EXPECT_FALSE(PrivacyBudget::Approx(0.5, 1e-5).pure());
 }
 
-TEST(PrivacyParamsDeathTest, RejectsIllegalValues) {
-  EXPECT_DEATH(PrivacyParams({0.0, 0.0}).Validate(), "epsilon");
-  EXPECT_DEATH(PrivacyParams({1.0, 1.5}).Validate(), "delta");
+TEST(PrivacyBudgetTest, CheckRejectsIllegalValuesWithTypedStatus) {
+  // There is no aborting Validate() anymore: every consumer branches on the
+  // one typed Check() (kBudgetExhausted -- a budget that cannot fund any
+  // mechanism invocation).
+  const Status zero_epsilon = PrivacyBudget{0.0, 0.0}.Check();
+  EXPECT_EQ(zero_epsilon.code(), StatusCode::kBudgetExhausted);
+  EXPECT_NE(zero_epsilon.message().find("epsilon"), std::string::npos);
+  const Status bad_delta = PrivacyBudget{1.0, 1.5}.Check();
+  EXPECT_EQ(bad_delta.code(), StatusCode::kBudgetExhausted);
+  EXPECT_NE(bad_delta.message().find("delta"), std::string::npos);
+  EXPECT_EQ((PrivacyBudget{-1.0, 0.0}).Check().code(),
+            StatusCode::kBudgetExhausted);
+  EXPECT_EQ((PrivacyBudget{1.0, -1e-9}).Check().code(),
+            StatusCode::kBudgetExhausted);
+}
+
+TEST(PrivacyBudgetTest, CheckRejectsNonFiniteValues) {
+  // NaN compares false against everything, so the bounds are written to
+  // fail it explicitly -- a NaN budget must never reach the noise
+  // calibrations with an Ok status.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ((PrivacyBudget{nan, 0.0}).Check().code(),
+            StatusCode::kBudgetExhausted);
+  EXPECT_EQ((PrivacyBudget{1.0, nan}).Check().code(),
+            StatusCode::kBudgetExhausted);
+  EXPECT_EQ((PrivacyBudget{inf, 1e-5}).Check().code(),
+            StatusCode::kBudgetExhausted);
 }
 
 TEST(CompositionTest, AdvancedCompositionFormula) {
@@ -192,6 +221,111 @@ TEST(PrivacyLedgerTest, ClearResets) {
   ledger.Clear();
   EXPECT_EQ(ledger.entries().size(), 0u);
   EXPECT_EQ(ledger.TotalEpsilon(), 0.0);
+}
+
+// --- Mixed-composition regression suite: streams interleaving fold == -1
+// --- and folded entries must compose as sum-over-shared + max-over-folds
+// --- in one pass, for every arrival order.
+
+TEST(PrivacyLedgerTest, MixedEntriesInterleavedArbitraryOrder) {
+  // Shared and folded entries interleaved, folds revisited out of order --
+  // the composed totals must not depend on arrival order.
+  PrivacyLedger ledger;
+  ledger.Record({"fold", 0.4, 1e-6, 1.0, 2});
+  ledger.Record({"full", 0.3, 1e-7, 1.0, -1});
+  ledger.Record({"fold", 0.5, 2e-6, 1.0, 0});
+  ledger.Record({"full", 0.2, 1e-7, 1.0, -1});
+  ledger.Record({"fold", 0.7, 1e-6, 1.0, 2});  // fold 2 revisited after 0
+  ledger.Record({"fold", 0.6, 0.0, 1.0, 1});
+  // shared = 0.5; fold sums: f0 = 0.5, f1 = 0.6, f2 = 1.1 -> max 1.1.
+  EXPECT_NEAR(ledger.TotalEpsilon(), 0.5 + 1.1, 1e-12);
+  // shared delta = 2e-7; fold deltas: f0 = 2e-6, f1 = 0, f2 = 2e-6.
+  EXPECT_NEAR(ledger.TotalDelta(), 2e-7 + 2e-6, 1e-18);
+}
+
+TEST(PrivacyLedgerTest, MixedEntriesFoldIdsWithGaps) {
+  // Fold ids need not be dense or start at zero.
+  PrivacyLedger ledger;
+  ledger.Record({"full", 0.1, 0.0, 1.0, -1});
+  ledger.Record({"fold", 0.9, 0.0, 1.0, 17});
+  ledger.Record({"fold", 0.2, 0.0, 1.0, 3});
+  ledger.Record({"fold", 0.3, 0.0, 1.0, 17});
+  EXPECT_NEAR(ledger.TotalEpsilon(), 0.1 + 1.2, 1e-12);
+  EXPECT_NEAR(ledger.TotalDelta(), 0.0, 1e-18);
+}
+
+TEST(PrivacyLedgerTest, SharedAfterAllFoldsStillAdds) {
+  // A trailing full-dataset release (e.g. a final model release after
+  // per-fold training) adds on top of the fold maximum.
+  PrivacyLedger ledger;
+  for (int fold = 0; fold < 4; ++fold) {
+    ledger.Record({"fold", 0.25, 1e-6, 1.0, fold});
+  }
+  ledger.Record({"final", 0.5, 1e-6, 1.0, -1});
+  EXPECT_NEAR(ledger.TotalEpsilon(), 0.25 + 0.5, 1e-12);
+  EXPECT_NEAR(ledger.TotalDelta(), 2e-6, 1e-18);
+}
+
+// --- Backend-tagged ledgers: TotalEpsilon/TotalDelta are computed by the
+// --- accountant backend the solver stamped, not a hard-coded sum/max.
+
+TEST(PrivacyLedgerTest, AdvancedAccountingInvertsLemma2Exactly) {
+  // T homogeneous steps split by the advanced accountant compose back to
+  // exactly the declared budget, not the loose T * eps' sum.
+  const PrivacyBudget budget = PrivacyBudget::Approx(1.0, 1e-5);
+  const int steps = 400;  // large enough that the basic sum exceeds 1.0
+  const StepBudget step =
+      GetAccountant(Accounting::kAdvanced).StepBudgetFor(budget, steps);
+  ASSERT_GT(step.epsilon * steps, budget.epsilon);  // basic sum overshoots
+  PrivacyLedger ledger;
+  ledger.SetAccounting(Accounting::kAdvanced, budget.delta);
+  for (int t = 0; t < steps; ++t) {
+    ledger.Record({"exponential", step.epsilon, step.delta, 1.0, -1});
+  }
+  EXPECT_NEAR(ledger.TotalEpsilon(), budget.epsilon, 1e-9);
+  EXPECT_NEAR(ledger.TotalDelta(), budget.delta, 1e-15);
+}
+
+TEST(PrivacyLedgerTest, AdvancedAccountingKeepsSmallSumsExact) {
+  // When few steps ran (cancellation, small T), the basic sum is below the
+  // advanced bound and must be reported verbatim.
+  PrivacyLedger ledger;
+  ledger.SetAccounting(Accounting::kAdvanced, 1e-5);
+  ledger.Record({"exponential", 0.01, 1e-6, 1.0, -1});
+  ledger.Record({"exponential", 0.02, 1e-6, 1.0, -1});
+  EXPECT_NEAR(ledger.TotalEpsilon(), 0.03, 1e-12);
+}
+
+TEST(PrivacyLedgerTest, ZcdpAccountingComposesInRho) {
+  const PrivacyBudget budget = PrivacyBudget::Approx(1.0, 1e-5);
+  const int steps = 64;
+  const StepBudget step =
+      GetAccountant(Accounting::kZcdp).StepBudgetFor(budget, steps);
+  EXPECT_EQ(step.delta, 0.0);  // delta is spent in the final conversion
+  PrivacyLedger ledger;
+  ledger.SetAccounting(Accounting::kZcdp, budget.delta);
+  for (int t = 0; t < steps; ++t) {
+    ledger.Record({"exponential", step.epsilon, 0.0, 1.0, -1});
+  }
+  EXPECT_NEAR(ledger.TotalEpsilon(), budget.epsilon, 1e-9);
+  EXPECT_NEAR(ledger.TotalDelta(), budget.delta, 1e-15);
+}
+
+TEST(PrivacyLedgerTest, BackendTagDoesNotChangeSingleReleaseTotals) {
+  // Parallel-composition streams (one full-budget entry per fold) total the
+  // same under every backend.
+  for (const Accounting backend :
+       {Accounting::kBasic, Accounting::kAdvanced, Accounting::kZcdp}) {
+    PrivacyLedger ledger;
+    ledger.SetAccounting(backend, 1e-5);
+    for (int fold = 0; fold < 8; ++fold) {
+      ledger.Record({"laplace-peeling", 1.0, 1e-5, 1.0, fold});
+    }
+    EXPECT_NEAR(ledger.TotalEpsilon(), 1.0, 1e-12)
+        << AccountingName(backend);
+    EXPECT_NEAR(ledger.TotalDelta(), 1e-5, 1e-15)
+        << AccountingName(backend);
+  }
 }
 
 }  // namespace

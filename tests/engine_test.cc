@@ -378,6 +378,190 @@ TEST(EngineTest, DrainWaitsForAllJobs) {
   for (const JobHandle& handle : handles) EXPECT_TRUE(handle.done());
 }
 
+// ---------------------------------------------------------------------------
+// Tenant budgets: shared named budgets enforced at Submit via the
+// BudgetManager (api/budget_manager.h).
+// ---------------------------------------------------------------------------
+
+TEST(BudgetManagerTest, RegisterReserveRefundLifecycle) {
+  BudgetManager budgets;
+  ASSERT_TRUE(budgets.RegisterTenant("team-a", PrivacyBudget::Approx(2.0, 1e-4))
+                  .ok());
+  EXPECT_EQ(budgets.RegisterTenant("team-a", PrivacyBudget::Pure(1.0)).code(),
+            StatusCode::kInvalidProblem);  // duplicate
+  EXPECT_EQ(
+      budgets.RegisterTenant("broke", PrivacyBudget::Approx(-1.0, 0.0)).code(),
+      StatusCode::kBudgetExhausted);  // unfundable total
+
+  ASSERT_TRUE(
+      budgets.TryReserve("team-a", PrivacyBudget::Approx(1.5, 5e-5)).ok());
+  const StatusOr<PrivacyBudget> remaining = budgets.Remaining("team-a");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_NEAR(remaining->epsilon, 0.5, 1e-12);
+  EXPECT_NEAR(remaining->delta, 5e-5, 1e-15);
+
+  // Does not fit anymore -> typed kBudgetExhausted naming the remainder.
+  const Status rejected =
+      budgets.TryReserve("team-a", PrivacyBudget::Approx(1.0, 1e-5));
+  EXPECT_EQ(rejected.code(), StatusCode::kBudgetExhausted);
+  EXPECT_NE(rejected.message().find("remaining"), std::string::npos);
+
+  // Refund restores headroom.
+  budgets.Refund("team-a", PrivacyBudget::Approx(1.5, 5e-5));
+  EXPECT_TRUE(
+      budgets.TryReserve("team-a", PrivacyBudget::Approx(1.0, 1e-5)).ok());
+
+  EXPECT_EQ(budgets.TryReserve("never-registered", PrivacyBudget::Pure(0.1))
+                .code(),
+            StatusCode::kInvalidProblem);
+  const auto stats = budgets.Stats("team-a");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->admitted, 2u);
+  EXPECT_EQ(stats->rejected, 1u);
+  EXPECT_EQ(stats->refunded, 1u);
+}
+
+TEST(BudgetManagerTest, PureTenantCannotFundApproxJobs) {
+  BudgetManager budgets;
+  ASSERT_TRUE(budgets.RegisterTenant("pure", PrivacyBudget::Pure(5.0)).ok());
+  EXPECT_TRUE(budgets.TryReserve("pure", PrivacyBudget::Pure(1.0)).ok());
+  EXPECT_EQ(budgets.TryReserve("pure", PrivacyBudget::Approx(1.0, 1e-6))
+                .code(),
+            StatusCode::kBudgetExhausted);
+}
+
+TEST(EngineTenantTest, OverBudgetSubmissionsRejectedBeforeAnyWorkRuns) {
+  const SharedWorkload workload;
+  BudgetManager budgets;
+  ASSERT_TRUE(
+      budgets.RegisterTenant("sweep", PrivacyBudget::Approx(2.5, 1e-4)).ok());
+  Engine engine(Engine::Options{/*workers=*/2, &budgets});
+
+  // Three (eps = 1, delta = 1e-5) jobs: the first two fit in the 2.5
+  // epsilon budget, the third must be rejected inline with
+  // kBudgetExhausted -- before it ever reaches a worker.
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    FitJob job = workload.JobFor(kSolverAlg2PrivateLasso, 7);
+    job.tenant = "sweep";
+    handles.push_back(engine.Submit(std::move(job)));
+  }
+  ASSERT_TRUE(handles[0].Wait().ok());
+  ASSERT_TRUE(handles[1].Wait().ok());
+  const StatusOr<FitResult>& rejected = handles[2].Wait();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_TRUE(handles[2].done());  // completed inline at Submit
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.budget_rejected, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.succeeded, 2u);
+
+  // The admitted fits stay bit-identical to an untenanted sequential fit.
+  const Solver* solver =
+      *SolverRegistry::Global().Find(kSolverAlg2PrivateLasso);
+  Rng rng(7);
+  const FitJob reference = workload.JobFor(kSolverAlg2PrivateLasso, 7);
+  const StatusOr<FitResult> sequential =
+      solver->TryFit(reference.problem, reference.spec, rng);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_EQ(handles[0].Wait()->w.size(), sequential->w.size());
+  for (std::size_t i = 0; i < sequential->w.size(); ++i) {
+    EXPECT_EQ(handles[0].Wait()->w[i], sequential->w[i]);
+  }
+
+  const StatusOr<PrivacyBudget> remaining = budgets.Remaining("sweep");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_NEAR(remaining->epsilon, 0.5, 1e-12);
+}
+
+TEST(EngineTenantTest, TenantWithoutManagerIsATypedError) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{/*workers=*/1});
+  FitJob job = workload.JobFor(kSolverAlg1DpFw, 3);
+  job.tenant = "nobody-configured-budgets";
+  const JobHandle handle = engine.Submit(std::move(job));
+  const StatusOr<FitResult>& result = handle.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidProblem);
+  EXPECT_NE(result.status().message().find("BudgetManager"),
+            std::string::npos);
+}
+
+TEST(EngineTenantTest, UnknownTenantIsATypedError) {
+  const SharedWorkload workload;
+  BudgetManager budgets;
+  Engine engine(Engine::Options{/*workers=*/1, &budgets});
+  FitJob job = workload.JobFor(kSolverAlg1DpFw, 3);
+  job.tenant = "unregistered";
+  const JobHandle handle = engine.Submit(std::move(job));
+  EXPECT_EQ(handle.Wait().status().code(), StatusCode::kInvalidProblem);
+  EXPECT_EQ(engine.stats().budget_rejected, 0u);  // config error, not spend
+}
+
+TEST(EngineTenantTest, QueuedCancellationRefundsTheReservation) {
+  const SharedWorkload workload;
+  BudgetManager budgets;
+  ASSERT_TRUE(
+      budgets.RegisterTenant("cancelme", PrivacyBudget::Approx(1.0, 1e-5))
+          .ok());
+  Engine engine(Engine::Options{/*workers=*/1, &budgets});
+
+  // Occupy the single worker so the tenant job stays queued.
+  std::atomic<bool> release{false};
+  FitJob blocker = workload.JobFor(kSolverAlg1DpFw, 11);
+  blocker.spec.iterations = 1000000;
+  blocker.spec.scale = 5.0;
+  blocker.spec.should_stop = [&release] { return release.load(); };
+  blocker.problem.target_sparsity = 0;
+  const JobHandle blocking_handle = engine.Submit(std::move(blocker));
+
+  FitJob queued = workload.JobFor(kSolverAlg2PrivateLasso, 13);
+  queued.tenant = "cancelme";
+  JobHandle queued_handle = engine.Submit(std::move(queued));
+  {
+    const StatusOr<PrivacyBudget> reserved = budgets.Remaining("cancelme");
+    ASSERT_TRUE(reserved.ok());
+    EXPECT_NEAR(reserved->epsilon, 0.0, 1e-12);  // fully reserved
+  }
+
+  queued_handle.Cancel();
+  EXPECT_EQ(queued_handle.Wait().status().code(), StatusCode::kCancelled);
+  {
+    // The job never ran, so its reservation came back.
+    const StatusOr<PrivacyBudget> refunded = budgets.Remaining("cancelme");
+    ASSERT_TRUE(refunded.ok());
+    EXPECT_NEAR(refunded->epsilon, 1.0, 1e-12);
+  }
+
+  release.store(true);
+  (void)blocking_handle.Wait();
+}
+
+TEST(EngineTenantTest, ValidationFailureRefundsTheReservation) {
+  const SharedWorkload workload;
+  BudgetManager budgets;
+  ASSERT_TRUE(
+      budgets.RegisterTenant("strict", PrivacyBudget::Approx(1.0, 1e-5))
+          .ok());
+  Engine engine(Engine::Options{/*workers=*/1, &budgets});
+
+  // The reservation succeeds (the budget itself is fundable), but the
+  // solver rejects the malformed problem before any mechanism runs -- the
+  // tenant must not be charged for a fit that never released anything.
+  FitJob job = workload.JobFor(kSolverAlg2PrivateLasso, 5);
+  job.tenant = "strict";
+  job.problem.constraint = nullptr;  // alg2 requires a constraint
+  const JobHandle handle = engine.Submit(std::move(job));
+  EXPECT_EQ(handle.Wait().status().code(), StatusCode::kInvalidProblem);
+  engine.Drain();
+  const StatusOr<PrivacyBudget> remaining = budgets.Remaining("strict");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_NEAR(remaining->epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(remaining->delta, 1e-5, 1e-15);
+}
+
 TEST(EngineScenarioTest, EngineSweepMatchesSequentialRunTrials) {
   // The harness's Engine path must reproduce the sequential summary bit for
   // bit: same derived seeds, same per-trial metrics, same Summary.

@@ -8,11 +8,14 @@
 
 #include <cmath>
 #include <cstddef>
+#include <string>
 #include <tuple>
 #include <vector>
 
+#include "api/api.h"
 #include "core/robust_gradient.h"
 #include "data/synthetic.h"
+#include "dp/accountant.h"
 #include "gtest/gtest.h"
 #include "losses/logistic_loss.h"
 #include "losses/squared_loss.h"
@@ -183,6 +186,119 @@ TEST(PrivacyAuditTest, LooseSensitivityClaimWouldViolateBound) {
     worst_ratio = std::max(worst_ratio, q[v] / p[v]);
   }
   EXPECT_GT(worst_ratio, std::exp(epsilon));
+}
+
+// ---------------------------------------------------------------------------
+// Accountant property sweep: for every registered solver x every accounting
+// backend x a grid of (epsilon, delta, n, d), the fit must succeed and its
+// ledger -- composed by the SAME backend that split the budget -- must never
+// exceed the declared (epsilon, delta). This is the end-to-end contract the
+// PrivacyAccountant subsystem exists to uphold.
+// ---------------------------------------------------------------------------
+
+struct AuditGridPoint {
+  std::string solver;
+  Accounting accounting;
+  double epsilon;
+  double delta;
+  std::size_t n;
+  std::size_t d;
+};
+
+class AccountantPropertySweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, Accounting, std::tuple<double, std::size_t>>> {
+};
+
+TEST_P(AccountantPropertySweep, ComposedLedgerNeverExceedsDeclaredBudget) {
+  const std::string solver_name = std::get<0>(GetParam());
+  const Accounting accounting = std::get<1>(GetParam());
+  const auto [epsilon, n] = std::get<2>(GetParam());
+  const std::size_t d = 24;
+  const double delta = 1e-5;
+
+  const StatusOr<const Solver*> solver =
+      SolverRegistry::Global().Find(solver_name);
+  ASSERT_TRUE(solver.ok());
+
+  Rng data_rng(1000 + static_cast<std::uint64_t>(n) +
+               static_cast<std::uint64_t>(epsilon * 10.0));
+  SyntheticConfig config;
+  config.n = n;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  config.noise_dist = ScalarDistribution::Normal(0.0, 0.1);
+  const Vector w_star = MakeL1BallTarget(d, data_rng);
+  const Dataset data = GenerateLinear(config, w_star, data_rng);
+  const SquaredLoss loss;
+  const L1Ball ball(d, 1.0);
+
+  const Problem problem = (*solver)->requires_sparsity()
+                              ? Problem::SparseErm(loss, data, 4)
+                              : Problem::ConstrainedErm(loss, data, ball);
+  SolverSpec spec;
+  spec.accounting = accounting;
+  spec.budget = (*solver)->supports_pure_dp()
+                    ? PrivacyBudget::Pure(epsilon)
+                    : PrivacyBudget::Approx(epsilon, delta);
+
+  Rng rng(17);
+  const StatusOr<FitResult> fit = (*solver)->TryFit(problem, spec, rng);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  ASSERT_FALSE(fit->ledger.entries().empty());
+  EXPECT_EQ(fit->ledger.accounting(), accounting);
+
+  // The ledger's own totals (already composed by the stamped backend)...
+  EXPECT_LE(fit->ledger.TotalEpsilon(), spec.budget.epsilon * (1.0 + 1e-9));
+  EXPECT_LE(fit->ledger.TotalDelta(), spec.budget.delta + 1e-15);
+  // ...agree with composing the raw event stream explicitly.
+  const ComposedPrivacy composed = GetAccountant(accounting)
+                                       .Compose(fit->ledger,
+                                                fit->ledger.conversion_delta());
+  EXPECT_EQ(composed.epsilon, fit->ledger.TotalEpsilon());
+  EXPECT_EQ(composed.delta, fit->ledger.TotalDelta());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolversAllBackends, AccountantPropertySweep,
+    ::testing::Combine(
+        ::testing::Values("alg1_dp_fw", "alg2_private_lasso",
+                          "alg3_sparse_linreg", "alg4_peeling",
+                          "alg5_sparse_opt", "baseline_robust_gd"),
+        ::testing::Values(Accounting::kBasic, Accounting::kAdvanced,
+                          Accounting::kZcdp),
+        ::testing::Values(std::make_tuple(0.5, std::size_t{500}),
+                          std::make_tuple(2.0, std::size_t{500}),
+                          std::make_tuple(1.0, std::size_t{1500}))),
+    [](const auto& info) {
+      const double epsilon = std::get<0>(std::get<2>(info.param));
+      const std::size_t n = std::get<1>(std::get<2>(info.param));
+      return std::get<0>(info.param) + "_" +
+             AccountingName(std::get<1>(info.param)) + "_eps" +
+             std::to_string(static_cast<int>(epsilon * 10.0)) + "_n" +
+             std::to_string(n);
+    });
+
+TEST(AccountantPropertyTest, ZcdpSigmaNeverExceedsAdvancedAcrossTheGrid) {
+  // The sigma ordering at the accountant level, over the same grid the
+  // sweep fits: sigma(zcdp) <= sigma(advanced) with strict improvement for
+  // every multi-step count.
+  for (const double epsilon : {0.5, 1.0, 2.0}) {
+    for (const double delta : {1e-6, 1e-5}) {
+      const PrivacyBudget budget = PrivacyBudget::Approx(epsilon, delta);
+      for (const int steps : {1, 2, 8, 32, 128}) {
+        const double advanced_sigma =
+            GetAccountant(Accounting::kAdvanced).NoiseMultiplier(budget, steps);
+        const double zcdp_sigma =
+            GetAccountant(Accounting::kZcdp).NoiseMultiplier(budget, steps);
+        EXPECT_LE(zcdp_sigma, advanced_sigma)
+            << "eps=" << epsilon << " delta=" << delta << " T=" << steps;
+        if (steps > 1) {
+          EXPECT_LT(zcdp_sigma, advanced_sigma);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
