@@ -22,6 +22,7 @@
 #include "harness/scenario.h"
 #include "harness/table.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 // Generated into the build tree by cmake/git_rev.cmake on every build of a
 // bench target; absent when bench_common.h is compiled outside the bench
@@ -55,13 +56,24 @@ struct BenchRecord {
   /// Named auxiliary values tracked alongside the timings (e.g.
   /// BM_AccountantNoiseMultiplier records sigma and the
   /// sigma(advanced)/sigma(zcdp) ratio so the trajectory shows the
-  /// accounting payoff per release).
+  /// accounting payoff per release; the memory-traffic benches record
+  /// bytes_per_sec so memory-bound and compute-bound regressions are
+  /// distinguishable).
   std::vector<std::pair<std::string, double>> extras;
 };
+
+/// The SIMD ISA tag recorded in the trajectory header: the compile-time ISA
+/// of the kernel layer when the runtime toggle is on, "off" when the run is
+/// forced scalar (HTDP_SIMD=off), so A/B rows are distinguishable in the
+/// archive.
+inline const char* SimdTag() {
+  return SimdEnabled() ? SimdInfo().isa : "off";
+}
 
 /// Accumulates BenchRecords and writes the machine-readable perf-trajectory
 /// schema tracked PR-over-PR:
 ///   { "bench": <name>, "git_rev": <rev>, "threads": <NumWorkerThreads()>,
+///     "simd": <SimdTag()>,
 ///     "records": [ { "name", "wall_seconds", "iterations_per_sec",
 ///                    "items_per_sec" }, ... ] }
 /// Every bench binary emits BENCH_<suffix>.json next to its table output so
@@ -78,9 +90,9 @@ class BenchJsonWriter {
     if (file == nullptr) return false;
     std::fprintf(file,
                  "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n"
-                 "  \"threads\": %d,\n  \"records\": [",
+                 "  \"threads\": %d,\n  \"simd\": \"%s\",\n  \"records\": [",
                  Escaped(bench_name_).c_str(), Escaped(GitRevision()).c_str(),
-                 NumWorkerThreads());
+                 NumWorkerThreads(), Escaped(SimdTag()).c_str());
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
       std::fprintf(file,

@@ -62,6 +62,11 @@ void BM_RobustMeanEstimate(benchmark::State& state) {
     benchmark::DoNotOptimize(estimator.Estimate(values));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  // Memory traffic: one streaming read of the input row. Tracking bytes/sec
+  // next to items/sec separates memory-bound regressions (bytes/sec falls)
+  // from compute-bound ones (items/sec falls while bytes/sec tracks it).
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(n * sizeof(double)));
 }
 BENCHMARK(BM_RobustMeanEstimate)->Arg(1000)->Arg(10000)->Arg(100000);
 
@@ -77,6 +82,9 @@ void BM_AccumulateContributions(benchmark::State& state) {
     benchmark::DoNotOptimize(acc.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  // Memory traffic: read xs, read-modify-write acc = three double streams.
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(3 * n * sizeof(double)));
 }
 BENCHMARK(BM_AccumulateContributions)->Arg(1000)->Arg(10000)->Arg(100000);
 
@@ -153,6 +161,22 @@ void BM_ExponentialMechanism(benchmark::State& state) {
                           static_cast<int64_t>(range));
 }
 BENCHMARK(BM_ExponentialMechanism)->Arg(400)->Arg(1600)->Arg(12800);
+
+// The SolverSpec::simd_select fast path: identical uniform stream, Gumbel
+// transform through the vectorized log.
+void BM_ExponentialMechanismSimd(benchmark::State& state) {
+  const std::size_t range = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Vector scores(range);
+  for (double& s : scores) s = rng.Uniform(-1.0, 1.0);
+  const ExponentialMechanism mechanism(0.1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.SelectGumbelSimd(scores, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(range));
+}
+BENCHMARK(BM_ExponentialMechanismSimd)->Arg(400)->Arg(1600)->Arg(12800);
 
 void BM_Peeling(benchmark::State& state) {
   const std::size_t d = static_cast<std::size_t>(state.range(0));
@@ -331,17 +355,21 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
           record.extras.emplace_back(extra, it->second.value);
         }
       }
+      // Rate counters are per main-thread CPU time; rescale to wall clock
+      // so pooled runs report true throughput (the number the perf
+      // trajectory tracks).
+      const double wall_rescale =
+          (run.real_accumulated_time > 0.0 && run.cpu_accumulated_time > 0.0)
+              ? run.cpu_accumulated_time / run.real_accumulated_time
+              : 1.0;
       const auto items = run.counters.find("items_per_second");
       if (items != run.counters.end()) {
-        // The counter is items / main-thread CPU time; rescale to wall
-        // clock so pooled runs report true throughput (the number the
-        // perf trajectory tracks).
-        double rate = items->second.value;
-        if (run.real_accumulated_time > 0.0 &&
-            run.cpu_accumulated_time > 0.0) {
-          rate = rate * run.cpu_accumulated_time / run.real_accumulated_time;
-        }
-        record.items_per_sec = rate;
+        record.items_per_sec = items->second.value * wall_rescale;
+      }
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        record.extras.emplace_back("bytes_per_sec",
+                                   bytes->second.value * wall_rescale);
       }
       writer_.Add(std::move(record));
     }
@@ -383,8 +411,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }
-  std::printf("perf trajectory written to %s (git %s, %d threads)\n",
+  std::printf("perf trajectory written to %s (git %s, %d threads, simd %s)\n",
               json_path.c_str(), htdp::bench::GitRevision(),
-              htdp::NumWorkerThreads());
+              htdp::NumWorkerThreads(), htdp::bench::SimdTag());
   return 0;
 }

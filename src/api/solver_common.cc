@@ -83,7 +83,7 @@ StatusOr<FoldedRobustPlan> TryMakeFoldedRobustPlan(
   HTDP_RETURN_IF_ERROR(CheckFoldsFitSamples(resolved.iterations,
                                             data.size()));
   return FoldedRobustPlan{
-      RobustGradientEstimator(resolved.scale, resolved.beta),
+      RobustGradientEstimator(resolved.scale, resolved.beta, resolved.simd),
       SplitIntoFolds(data, static_cast<std::size_t>(resolved.iterations))};
 }
 

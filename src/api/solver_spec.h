@@ -8,6 +8,7 @@
 #include "api/fit_result.h"
 #include "api/privacy_budget.h"
 #include "optim/pgd.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace htdp {
@@ -67,6 +68,27 @@ struct SolverSpec {
                                    // changes the RNG stream, so pinned seeds
                                    // only stay bit-identical while this is
                                    // off. baseline_robust_gd only.
+
+  /// Per-fit SIMD override for the robust-gradient hot path (the Catoni
+  /// kernels threaded through TryMakeFoldedRobustPlan). kAuto follows the
+  /// process-wide toggle (HTDP_SIMD env, on by default); kOff forces this
+  /// fit's robust kernels down the scalar reference path. NOTE: generic
+  /// linalg reductions (Dot, DistanceL2, MatVec) are controlled only by the
+  /// process-wide toggle -- a fully scalar, golden-reference fit needs
+  /// HTDP_SIMD=off (or SetSimdEnabled(false)), not just this field. See the
+  /// contract in util/simd.h.
+  SimdMode simd = SimdMode::kAuto;
+
+  /// Route exponential-mechanism selections through the SIMD Gumbel-max
+  /// kernel (ExponentialMechanism::SelectGumbelSimd): the per-candidate
+  /// Gumbel draws are computed with the vectorized log, so the draw stream
+  /// consumes exactly the same uniforms but the realized noise can differ
+  /// from the scalar sampler by a few ULP -- enough to flip an argmax on
+  /// rare near-ties. Off by default so pinned seeds keep reproducing the
+  /// historical selections bit for bit; the samplers are distributionally
+  /// identical (pinned by tests/dp_test.cc). Read by the selection solvers
+  /// (alg1_dp_fw, alg2_private_lasso).
+  bool simd_select = false;
 
   // --- Instrumentation (never affects the optimization path). ------------
   bool record_risk_trace = false;

@@ -9,8 +9,9 @@
 
 namespace htdp {
 
-RobustGradientEstimator::RobustGradientEstimator(double scale, double beta)
-    : estimator_(scale, beta) {}
+RobustGradientEstimator::RobustGradientEstimator(double scale, double beta,
+                                                 SimdMode simd)
+    : estimator_(scale, beta, simd) {}
 
 void RobustGradientEstimator::Estimate(const Loss& loss,
                                        const DatasetView& view,

@@ -34,11 +34,16 @@ struct RobustGradientWorkspace {
 class RobustGradientEstimator {
  public:
   /// `scale` is the truncation scale (s in Algorithm 1, k in Algorithm 5);
-  /// `beta` the smoothing precision.
-  RobustGradientEstimator(double scale, double beta);
+  /// `beta` the smoothing precision. `simd` selects the evaluation path of
+  /// the per-coordinate Catoni kernel (see RobustMeanEstimator and the
+  /// HTDP_SIMD contract in util/simd.h); solvers thread SolverSpec::simd
+  /// through here so a scalar-reference fit can be forced per job.
+  RobustGradientEstimator(double scale, double beta,
+                          SimdMode simd = SimdMode::kAuto);
 
   double scale() const { return estimator_.scale(); }
   double beta() const { return estimator_.beta(); }
+  bool simd() const { return estimator_.simd(); }
 
   /// Computes g~(w, view) into `out` (resized to w.size()). Uses the fused
   /// batched GLM row kernel of `loss` when available; thread-parallel over

@@ -1,11 +1,14 @@
 #include "dp/exponential_mechanism.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <vector>
 
 #include "rng/distributions.h"
 #include "util/check.h"
+#include "util/simd.h"
+#include "util/simd_math.h"
 
 namespace htdp {
 
@@ -29,6 +32,46 @@ std::size_t ExponentialMechanism::SelectGumbel(const Vector& scores,
     }
   }
   return best;
+}
+
+std::size_t ExponentialMechanism::SelectGumbelSimd(const Vector& scores,
+                                                   Rng& rng) const {
+#if HTDP_SIMD_COMPILED
+  if (SimdEnabled()) {
+    HTDP_CHECK(!scores.empty());
+    const double beta = epsilon_ / (2.0 * sensitivity_);
+    const std::size_t n = scores.size();
+    // Stack blocks keep the kernel allocation-free: draw the uniforms in
+    // index order (exactly SelectGumbel's stream), transform them to Gumbel
+    // noise in lanes, then scan for the argmax with SelectGumbel's strict
+    // ">" tie-breaking.
+    constexpr std::size_t kBlock = 128;
+    constexpr std::size_t kW = static_cast<std::size_t>(simd::kLanes);
+    double uniforms[kBlock];
+    double noise[kBlock];
+    std::size_t best = 0;
+    double best_value = -1e300;
+    for (std::size_t base = 0; base < n; base += kBlock) {
+      const std::size_t m = std::min(kBlock, n - base);
+      for (std::size_t j = 0; j < m; ++j) uniforms[j] = rng.UniformOpen();
+      std::size_t j = 0;
+      for (; j + kW <= m; j += kW) {
+        const simd::VecD u = simd::LoadU(uniforms + j);
+        simd::StoreU(noise + j, -simd::LogPd(-simd::LogPd(u)));
+      }
+      for (; j < m; ++j) noise[j] = -std::log(-std::log(uniforms[j]));
+      for (std::size_t r = 0; r < m; ++r) {
+        const double value = beta * scores[base + r] + noise[r];
+        if (value > best_value) {
+          best_value = value;
+          best = base + r;
+        }
+      }
+    }
+    return best;
+  }
+#endif
+  return SelectGumbel(scores, rng);
 }
 
 std::size_t ExponentialMechanism::SelectLogSumExp(const Vector& scores,

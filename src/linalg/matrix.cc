@@ -20,12 +20,13 @@ void Matrix::MatVec(const Vector& x, Vector& out) const {
 void Matrix::MatTVec(const Vector& x, Vector& out) const {
   HTDP_CHECK_EQ(x.size(), rows_);
   out.assign(cols_, 0.0);
-  // Row-major layout: accumulate row-by-row to keep streaming access.
+  // Row-major layout: accumulate row-by-row to keep streaming access. Each
+  // row update is an elementwise axpy, so the lane-widened kernel changes
+  // no bits (the cross-row accumulation order is unchanged).
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = Row(r);
     const double xr = x[r];
     if (xr == 0.0) continue;
-    for (std::size_t c = 0; c < cols_; ++c) out[c] += xr * row[c];
+    AxpyKernel(xr, Row(r), out.data(), cols_);
   }
 }
 

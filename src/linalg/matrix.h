@@ -39,9 +39,14 @@ class Matrix {
   std::vector<double>& data() { return data_; }
 
   /// out = M * x. Requires x.size() == cols(); resizes out to rows().
+  /// Thread-parallel over rows; each row product runs through the
+  /// lane-widened DotKernel (reassociated under SIMD, scalar reference
+  /// under HTDP_SIMD=off -- see linalg/vector_ops.h).
   void MatVec(const Vector& x, Vector& out) const;
 
   /// out = M^T * x. Requires x.size() == rows(); resizes out to cols().
+  /// Row-streaming lane-widened axpy updates; bit-identical in both SIMD
+  /// modes.
   void MatTVec(const Vector& x, Vector& out) const;
 
   /// Returns the submatrix made of rows [begin, end).

@@ -4,18 +4,102 @@
 #include <cstddef>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace htdp {
+namespace {
 
-double DotKernel(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
+// Scalar reference loops: strictly sequential accumulation, bit-identical
+// to the historical kernels. These stay the HTDP_SIMD=off path (see the
+// contract in util/simd.h).
+
+double DotScalar(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
                  std::size_t n) {
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
   return acc;
 }
 
+double DistanceL2Scalar(const double* HTDP_RESTRICT a,
+                        const double* HTDP_RESTRICT b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+#if HTDP_SIMD_COMPILED
+
+using simd::VecD;
+
+// Lane-widened reductions: two accumulator vectors to break the add
+// dependency chain, lanes summed in index order at the end. Reassociates
+// the sum, so results differ from the scalar reference by rounding --
+// pinned by the relative-error tests in tests/simd_test.cc.
+
+double DotSimd(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
+               std::size_t n) {
+  constexpr std::size_t kW = static_cast<std::size_t>(simd::kLanes);
+  VecD acc0 = simd::Set1(0.0);
+  VecD acc1 = simd::Set1(0.0);
+  std::size_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    acc0 = acc0 + simd::LoadU(a + i) * simd::LoadU(b + i);
+    acc1 = acc1 + simd::LoadU(a + i + kW) * simd::LoadU(b + i + kW);
+  }
+  if (i + kW <= n) {
+    acc0 = acc0 + simd::LoadU(a + i) * simd::LoadU(b + i);
+    i += kW;
+  }
+  double acc = simd::ReduceAdd(acc0 + acc1);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double DistanceL2Simd(const double* HTDP_RESTRICT a,
+                      const double* HTDP_RESTRICT b, std::size_t n) {
+  constexpr std::size_t kW = static_cast<std::size_t>(simd::kLanes);
+  VecD acc0 = simd::Set1(0.0);
+  VecD acc1 = simd::Set1(0.0);
+  std::size_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    const VecD d0 = simd::LoadU(a + i) - simd::LoadU(b + i);
+    const VecD d1 = simd::LoadU(a + i + kW) - simd::LoadU(b + i + kW);
+    acc0 = acc0 + d0 * d0;
+    acc1 = acc1 + d1 * d1;
+  }
+  if (i + kW <= n) {
+    const VecD d0 = simd::LoadU(a + i) - simd::LoadU(b + i);
+    acc0 = acc0 + d0 * d0;
+    i += kW;
+  }
+  double acc = simd::ReduceAdd(acc0 + acc1);
+  for (; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+#endif  // HTDP_SIMD_COMPILED
+
+}  // namespace
+
+double DotKernel(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
+                 std::size_t n) {
+#if HTDP_SIMD_COMPILED
+  if (SimdEnabled()) return DotSimd(a, b, n);
+#endif
+  return DotScalar(a, b, n);
+}
+
 void AxpyKernel(double alpha, const double* HTDP_RESTRICT x,
                 double* HTDP_RESTRICT y, std::size_t n) {
+  // Elementwise: the lane-widened form performs the same multiply-add per
+  // element as the scalar loop, so no mode split is needed -- any decent
+  // compiler emits the vector form of this loop directly.
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
@@ -32,12 +116,10 @@ void ScaledSumKernel(double alpha, const double* HTDP_RESTRICT x, double beta,
 
 double DistanceL2Kernel(const double* HTDP_RESTRICT a,
                         const double* HTDP_RESTRICT b, std::size_t n) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double diff = a[i] - b[i];
-    acc += diff * diff;
-  }
-  return std::sqrt(acc);
+#if HTDP_SIMD_COMPILED
+  if (SimdEnabled()) return DistanceL2Simd(a, b, n);
+#endif
+  return DistanceL2Scalar(a, b, n);
 }
 
 void ConvexCombinationKernel(double eta, const double* HTDP_RESTRICT v,

@@ -19,9 +19,15 @@ namespace htdp {
 using Vector = std::vector<double>;
 
 /// Raw-pointer kernels shared by the Vector wrappers below and the batched
-/// gradient path. The pointers must not alias (except where documented);
-/// accumulation order is strictly sequential so results are deterministic
-/// and bit-identical to the historical loops.
+/// gradient path. The pointers must not alias (except where documented).
+///
+/// SIMD contract (see util/simd.h): the reduction kernels (DotKernel,
+/// DistanceL2Kernel) run lane-widened with reassociated accumulation when
+/// SimdEnabled() -- deterministic for a fixed build, but not bit-identical
+/// to the scalar order; HTDP_SIMD=off restores the strictly sequential
+/// historical loops bit for bit. The elementwise kernels (Axpy, Sub,
+/// ScaledSum, ConvexCombination) perform the same per-element operations in
+/// either mode and never change results.
 
 /// Returns <a[0..n), b[0..n)>.
 double DotKernel(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,

@@ -3,9 +3,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <numbers>
 
+#include "linalg/vector_ops.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace htdp {
 
@@ -125,6 +128,64 @@ inline double SmoothedPhi(double a, double b) {
   }
   return std::clamp(catoni_internal::SmoothedPhiBySplit(a, b), -PhiBound(),
                     PhiBound());
+}
+
+/// Array form of SmoothedPhi: out[j] = SmoothedPhi(a[j], b[j]) for j in
+/// [0, n). Requires b[j] >= 0; a, b and out must not overlap.
+///
+/// With `use_simd` true (and the SIMD layer compiled in, see util/simd.h)
+/// full lane groups whose every element classifies as ClosedFormApplies run
+/// through the vectorized closed form -- ExpPd / ErfcxPd cores from
+/// util/simd_math.h -- while groups containing a cold element (tiny-b or
+/// exact-split) and the remainder tail spill to the scalar SmoothedPhi.
+/// Branch classification is computed with exactly the scalar
+/// ClosedFormApplies arithmetic, so an element can never be smoothed by a
+/// different branch than the scalar path would pick; values on the
+/// vectorized branch agree with scalar SmoothedPhi within
+/// SmoothedPhiBatchTolerance(a[j], b[j]).
+///
+/// With `use_simd` false every element takes the scalar SmoothedPhi path:
+/// the result is bit-identical to n scalar calls (the golden scalar
+/// reference; see the HTDP_SIMD contract in util/simd.h).
+///
+/// Allocation-free: all scratch lives in registers / on the stack.
+void SmoothedPhiBatch(const double* HTDP_RESTRICT a,
+                      const double* HTDP_RESTRICT b,
+                      double* HTDP_RESTRICT out, std::size_t n,
+                      bool use_simd);
+
+/// Convenience overload following the process-wide SIMD toggle.
+inline void SmoothedPhiBatch(const double* HTDP_RESTRICT a,
+                             const double* HTDP_RESTRICT b,
+                             double* HTDP_RESTRICT out, std::size_t n) {
+  SmoothedPhiBatch(a, b, out, n, SimdEnabled());
+}
+
+/// The documented agreement bound between the vectorized batch kernel and
+/// scalar SmoothedPhi at the same input: |batch - scalar| is bounded by a
+/// small floor (the polynomial exp/erfc cores are a few ULP from libm and
+/// the result is O(1)) plus machine epsilon times the closed form's
+/// CONDITIONING -- the magnitude by which the T1..T5 terms amplify last-bit
+/// differences of their exp/erfc inputs before cancelling. Two factors
+/// drive it: the cancellation magnitude that kCancellationLimit caps
+/// (max(|a|^3/6, |a| b^2/2), the T2/T4 scale), and the T3/T5 prefactors
+/// b and b^3/6, which dominate in the small-|a|, large-b corner of the
+/// closed-form region. The scalar path amplifies libm's own rounding by the
+/// same factors, so this is the inherent agreement limit of two correctly-
+/// rounded-to-a-few-ULP evaluations, not SIMD sloppiness. The bound is
+/// capped at 2 * PhiBound(): both evaluations clamp, so no disagreement can
+/// exceed the function's range. tests/robust_test.cc sweeps a log-spaced
+/// (a, b) grid straddling kTinyB and kCancellationLimit and pins the batch
+/// kernel to this bound.
+inline double SmoothedPhiBatchTolerance(double a, double b) {
+  const double abs_a = std::abs(a);
+  const double cancellation =
+      std::max(abs_a * abs_a * abs_a / 6.0, 0.5 * abs_a * b * b);
+  const double correction_scale = 0.4 * (b + b * b * b / 6.0);
+  const double conditioning =
+      std::max({1.0, cancellation, correction_scale});
+  return std::min(1e-13 + 256.0 * 2.220446049250313e-16 * conditioning,
+                  2.0 * PhiBound());
 }
 
 }  // namespace htdp

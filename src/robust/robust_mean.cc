@@ -16,10 +16,44 @@ namespace {
   return scale * SmoothedPhi(a, b);
 }
 
+// Stack-block size of the SIMD batch path: big enough to amortize the
+// per-block loop overhead, small enough that the three scratch arrays
+// (6 KiB) stay hot in L1.
+constexpr std::size_t kSimdBlock = 256;
+
+// The blocked SIMD transform shared by AccumulateContributions and
+// Estimate: derives SmoothedPhi's (a, b) arguments for each stack block
+// (the elementwise loop auto-vectorizes), pushes the block through
+// SmoothedPhiBatch, and hands (base, count, phi values) to `consume`.
+// Allocation-free.
+template <typename Consumer>
+void ForEachSmoothedPhiBlock(const double* HTDP_RESTRICT xs, std::size_t n,
+                             double scale, double sqrt_beta,
+                             Consumer&& consume) {
+  double a_buf[kSimdBlock];
+  double b_buf[kSimdBlock];
+  double phi_buf[kSimdBlock];
+  for (std::size_t base = 0; base < n; base += kSimdBlock) {
+    const std::size_t m = std::min(kSimdBlock, n - base);
+    const double* HTDP_RESTRICT x_blk = xs + base;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double a = x_blk[j] / scale;
+      a_buf[j] = a;
+      b_buf[j] = std::abs(a) / sqrt_beta;
+    }
+    SmoothedPhiBatch(a_buf, b_buf, phi_buf, m, /*use_simd=*/true);
+    consume(base, m, phi_buf);
+  }
+}
+
 }  // namespace
 
-RobustMeanEstimator::RobustMeanEstimator(double scale, double beta)
-    : scale_(scale), beta_(beta), sqrt_beta_(std::sqrt(beta)) {
+RobustMeanEstimator::RobustMeanEstimator(double scale, double beta,
+                                         SimdMode simd)
+    : scale_(scale),
+      beta_(beta),
+      sqrt_beta_(std::sqrt(beta)),
+      use_simd_(ResolveSimd(simd)) {
   HTDP_CHECK_GT(scale, 0.0);
   HTDP_CHECK_GT(beta, 0.0);
 }
@@ -34,13 +68,23 @@ double RobustMeanEstimator::SampleContribution(double x) const {
 void RobustMeanEstimator::AccumulateContributions(
     const double* HTDP_RESTRICT xs, std::size_t n,
     double* HTDP_RESTRICT acc) const {
-  // SmoothedPhi's classification, hoisted through the shared helpers of
-  // catoni.h so the common closed-form branch runs as one tight loop over
-  // the row while the rare tiny-b / exact-split elements divert to the cold
-  // helper. Every element performs the exact operation sequence of
-  // SampleContribution, so the result is bit-identical to the scalar path.
   const double scale = scale_;
   const double sqrt_beta = sqrt_beta_;
+  if (use_simd_) {
+    ForEachSmoothedPhiBlock(
+        xs, n, scale, sqrt_beta,
+        [acc, scale](std::size_t base, std::size_t m, const double* phi) {
+          double* HTDP_RESTRICT acc_blk = acc + base;
+          for (std::size_t j = 0; j < m; ++j) acc_blk[j] += scale * phi[j];
+        });
+    return;
+  }
+  // Scalar reference: SmoothedPhi's classification, hoisted through the
+  // shared helpers of catoni.h so the common closed-form branch runs as one
+  // tight loop over the row while the rare tiny-b / exact-split elements
+  // divert to the cold helper. Every element performs the exact operation
+  // sequence of SampleContribution, so the result is bit-identical to the
+  // scalar path.
   for (std::size_t j = 0; j < n; ++j) {
     const double a = xs[j] / scale;
     const double abs_a = std::abs(a);
@@ -57,6 +101,18 @@ double RobustMeanEstimator::Estimate(const double* values,
                                      std::size_t n) const {
   HTDP_CHECK_GT(n, 0u);
   double acc = 0.0;
+  if (use_simd_) {
+    // Same blocked kernel as AccumulateContributions; the final sum runs
+    // over elements in index order, like the scalar loop, so the two modes
+    // differ only by the per-element ULP bound, not by summation order.
+    const double scale = scale_;
+    ForEachSmoothedPhiBlock(
+        values, n, scale, sqrt_beta_,
+        [&acc, scale](std::size_t, std::size_t m, const double* phi) {
+          for (std::size_t j = 0; j < m; ++j) acc += scale * phi[j];
+        });
+    return acc / static_cast<double>(n);
+  }
   for (std::size_t i = 0; i < n; ++i) acc += SampleContribution(values[i]);
   return acc / static_cast<double>(n);
 }

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "linalg/vector_ops.h"
+#include "util/simd.h"
 
 namespace htdp {
 
@@ -20,10 +21,16 @@ namespace htdp {
 class RobustMeanEstimator {
  public:
   /// `scale` is the truncation scale s > 0; `beta` the noise precision.
-  RobustMeanEstimator(double scale, double beta);
+  /// `simd` selects the evaluation path of the batched kernels (resolved
+  /// once at construction; see util/simd.h): kAuto follows the process-wide
+  /// toggle, kOff forces the scalar reference. Scalar entry points
+  /// (SampleContribution) are unaffected.
+  RobustMeanEstimator(double scale, double beta,
+                      SimdMode simd = SimdMode::kAuto);
 
   double scale() const { return scale_; }
   double beta() const { return beta_; }
+  bool simd() const { return use_simd_; }
 
   /// The smoothed, truncated contribution of a single raw value:
   /// s * E_eta[ phi((x + eta x)/s) ], bounded by s * 2*sqrt(2)/3.
@@ -31,9 +38,12 @@ class RobustMeanEstimator {
 
   /// acc[j] += SampleContribution(xs[j]) for every j in [0, n): the batched
   /// kernel the robust gradient estimator runs over contiguous per-sample
-  /// gradient rows. The common closed-form branch runs as a tight loop;
-  /// tiny-b and exact-split outliers take the cold paths. Bit-identical to n
-  /// scalar SampleContribution calls. xs and acc must not overlap.
+  /// gradient rows. Routes through SmoothedPhiBatch (robust/catoni.h): in
+  /// scalar mode the result is bit-identical to n scalar SampleContribution
+  /// calls; in SIMD mode each element agrees with the scalar path within
+  /// scale() * SmoothedPhiBatchTolerance(a, b) (tiny-b and exact-split
+  /// outliers always take the scalar cold path). Allocation-free either
+  /// way. xs and acc must not overlap.
   void AccumulateContributions(const double* HTDP_RESTRICT xs, std::size_t n,
                                double* HTDP_RESTRICT acc) const;
 
@@ -53,6 +63,7 @@ class RobustMeanEstimator {
   double scale_;
   double beta_;
   double sqrt_beta_;
+  bool use_simd_;
 };
 
 }  // namespace htdp

@@ -1,0 +1,55 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace htdp {
+namespace {
+
+bool SimdEnabledFromEnv() {
+  const char* value = std::getenv("HTDP_SIMD");
+  if (value == nullptr) return true;
+  std::string folded(value);
+  for (char& c : folded) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return !(folded == "off" || folded == "0" || folded == "false" ||
+           folded == "scalar");
+}
+
+std::atomic<bool>& SimdFlag() {
+  static std::atomic<bool> flag{SimdEnabledFromEnv()};
+  return flag;
+}
+
+}  // namespace
+
+bool SimdEnabled() {
+  return HTDP_SIMD_COMPILED != 0 &&
+         SimdFlag().load(std::memory_order_relaxed);
+}
+
+void SetSimdEnabled(bool enabled) {
+  SimdFlag().store(enabled, std::memory_order_relaxed);
+}
+
+SimdCaps SimdInfo() {
+  return SimdCaps{simd::kIsaName, simd::kLanes, HTDP_SIMD_COMPILED != 0,
+                  SimdEnabled()};
+}
+
+bool ResolveSimd(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kOn:
+      return HTDP_SIMD_COMPILED != 0;
+    case SimdMode::kOff:
+      return false;
+    case SimdMode::kAuto:
+      break;
+  }
+  return SimdEnabled();
+}
+
+}  // namespace htdp

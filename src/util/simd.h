@@ -1,0 +1,198 @@
+#ifndef HTDP_UTIL_SIMD_H_
+#define HTDP_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+/// Portable SIMD kernel layer.
+///
+/// The wrapper below is width-agnostic: `simd::VecD` is a fixed logical
+/// vector of `simd::kLanes` doubles built on the GCC/Clang vector
+/// extensions, so the same kernel source lowers to AVX-512, AVX2, SSE2
+/// pairs or NEON pairs depending on the compile flags (see the ISA table in
+/// SimdInfo()). The ISA is selected at COMPILE time -- build with
+/// -DHTDP_NATIVE=ON (-march=native) to unlock AVX2/AVX-512 on machines that
+/// have them; the default build targets the baseline ISA of the platform --
+/// and queried at RUN time via SimdInfo(), which the bench harness records
+/// into BENCH_*.json next to `threads` and `git_rev`.
+///
+/// Two switches control whether vectorized kernels actually run:
+///  - the process-wide runtime toggle (`HTDP_SIMD` environment variable,
+///    overridable with SetSimdEnabled). `HTDP_SIMD=off` forces every kernel
+///    in linalg/, robust/ and dp/ down its original scalar loop, which is
+///    the bit-identity reference for the golden-checksum tests: a fit under
+///    `HTDP_SIMD=off` reproduces the pre-SIMD outputs bit for bit.
+///  - `SolverSpec::simd`, a per-fit override threaded into the
+///    robust-estimator hot path (the Catoni kernels), for callers that need
+///    one scalar-reference fit inside a SIMD-enabled process.
+///
+/// Numerical contract: vectorized kernels are NOT bit-identical to the
+/// scalar reference. Reductions (Dot, DistanceL2, MatVec) reassociate the
+/// sum across lanes; the transcendental kernels (util/simd_math.h) carry
+/// small documented ULP bounds. Agreement with the scalar path is pinned by
+/// ULP-bound tests (tests/simd_test.cc, tests/robust_test.cc), not
+/// bit-identity.
+
+namespace htdp {
+
+/// Per-fit SIMD override carried by SolverSpec (see solver_spec.h).
+///  - kAuto: follow the process-wide toggle (the default);
+///  - kOn:   vectorize if compiled in, even if the process toggle is off;
+///  - kOff:  force the scalar reference path for this fit.
+enum class SimdMode { kAuto, kOn, kOff };
+
+/// Runtime description of the compiled kernel layer.
+struct SimdCaps {
+  const char* isa;  // "avx512f", "avx2", "sse2", "neon", "generic", "scalar"
+  int lanes;        // doubles per logical vector (1 when not compiled in)
+  bool compiled;    // vector kernels were compiled into this binary
+  bool enabled;     // current process-wide toggle state
+};
+
+/// True when vector kernels are compiled in AND the process-wide toggle is
+/// on. Kernels branch on this once per call (relaxed atomic load).
+bool SimdEnabled();
+
+/// Flips the process-wide toggle (initially from the HTDP_SIMD environment
+/// variable: "off" / "0" / "false" / "scalar" disable, anything else --
+/// including unset -- enables). Affects kernels process-wide, including
+/// concurrently running Engine jobs; prefer SolverSpec::simd for a per-fit
+/// override.
+void SetSimdEnabled(bool enabled);
+
+/// Compile-time ISA + runtime toggle state, for logging and the bench JSON.
+SimdCaps SimdInfo();
+
+/// Resolves a per-call SimdMode against availability and the global toggle.
+bool ResolveSimd(SimdMode mode);
+
+/// RAII scalar-mode (or forced-SIMD) scope for tests that pin the scalar
+/// reference, e.g. the golden-checksum suite. Not thread-safe against
+/// concurrent SetSimdEnabled calls.
+class ScopedSimdOverride {
+ public:
+  explicit ScopedSimdOverride(bool enabled) : previous_(SimdEnabled()) {
+    SetSimdEnabled(enabled);
+  }
+  ~ScopedSimdOverride() { SetSimdEnabled(previous_); }
+  ScopedSimdOverride(const ScopedSimdOverride&) = delete;
+  ScopedSimdOverride& operator=(const ScopedSimdOverride&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// ---------------------------------------------------------------------------
+// The vector wrapper. Compiled wherever the GCC/Clang vector extensions are
+// available; other compilers fall back to the scalar paths (kLanes == 1,
+// SimdEnabled() == false).
+// ---------------------------------------------------------------------------
+
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(HTDP_NO_SIMD)
+#define HTDP_SIMD_COMPILED 1
+#else
+#define HTDP_SIMD_COMPILED 0
+#endif
+
+namespace simd {
+
+#if HTDP_SIMD_COMPILED
+
+#if defined(__AVX512F__)
+inline constexpr int kLanes = 8;
+inline constexpr const char* kIsaName = "avx512f";
+#elif defined(__AVX2__)
+inline constexpr int kLanes = 4;
+inline constexpr const char* kIsaName = "avx2";
+#elif defined(__x86_64__) || defined(_M_X64)
+// Baseline x86-64: the 4-lane logical vector lowers to SSE2 pairs, which
+// still buys 2-wide math plus the polynomial transcendentals.
+inline constexpr int kLanes = 4;
+inline constexpr const char* kIsaName = "sse2";
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+inline constexpr int kLanes = 4;  // lowers to NEON pairs
+inline constexpr const char* kIsaName = "neon";
+#else
+inline constexpr int kLanes = 4;  // compiler-lowered, possibly scalar code
+inline constexpr const char* kIsaName = "generic";
+#endif
+
+typedef double VecD __attribute__((vector_size(sizeof(double) * kLanes)));
+typedef std::int64_t VecI __attribute__((vector_size(sizeof(std::int64_t) *
+                                                     kLanes)));
+
+inline VecD Set1(double x) {
+  VecD v;
+  for (int i = 0; i < kLanes; ++i) v[i] = x;
+  return v;
+}
+
+inline VecI Set1I(std::int64_t x) {
+  VecI v;
+  for (int i = 0; i < kLanes; ++i) v[i] = x;
+  return v;
+}
+
+inline VecD LoadU(const double* p) {
+  VecD v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreU(double* p, VecD v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// Lane select: mask lanes are all-ones (from a vector comparison) or zero.
+inline VecD Select(VecI mask, VecD a, VecD b) {
+  return (VecD)((mask & (VecI)a) | (~mask & (VecI)b));
+}
+
+inline VecD Abs(VecD x) {
+  return (VecD)((VecI)x & Set1I(0x7FFFFFFFFFFFFFFFLL));
+}
+
+inline VecD Max(VecD a, VecD b) { return Select(a > b, a, b); }
+inline VecD Min(VecD a, VecD b) { return Select(a < b, a, b); }
+
+inline VecD Clamp(VecD x, VecD lo, VecD hi) { return Min(Max(x, lo), hi); }
+
+/// True when every lane of a comparison result is set.
+inline bool AllTrue(VecI mask) {
+  std::int64_t acc = -1;
+  for (int i = 0; i < kLanes; ++i) acc &= mask[i];
+  return acc == -1;
+}
+
+/// True when no lane of a comparison result is set.
+inline bool NoneTrue(VecI mask) {
+  std::int64_t acc = 0;
+  for (int i = 0; i < kLanes; ++i) acc |= mask[i];
+  return acc == 0;
+}
+
+/// Sequential horizontal sum (lane 0 first): deterministic and identical
+/// across ISAs of the same lane count.
+inline double ReduceAdd(VecD v) {
+  double acc = 0.0;
+  for (int i = 0; i < kLanes; ++i) acc += v[i];
+  return acc;
+}
+
+/// Round-to-nearest-even for |x| < 2^51, via the classic shift trick.
+inline VecD RoundNearest(VecD x) {
+  const VecD shift = Set1(6755399441055744.0);  // 1.5 * 2^52
+  return (x + shift) - shift;
+}
+
+#else  // !HTDP_SIMD_COMPILED
+
+inline constexpr int kLanes = 1;
+inline constexpr const char* kIsaName = "scalar";
+
+#endif  // HTDP_SIMD_COMPILED
+
+}  // namespace simd
+
+}  // namespace htdp
+
+#endif  // HTDP_UTIL_SIMD_H_

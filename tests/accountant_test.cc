@@ -240,6 +240,11 @@ struct GoldenCase {
 };
 
 TEST(AccountantGoldenTest, DefaultAccountingFitsAreBitIdenticalToPrePr) {
+  // The checksums are a property of the SCALAR reference path: force the
+  // process-wide SIMD toggle off for the duration (equivalent to running
+  // under HTDP_SIMD=off), so the lane-widened kernels cannot reassociate
+  // reductions or swap the Catoni transcendentals. See util/simd.h.
+  ScopedSimdOverride scalar_reference(false);
   const GoldenCase cases[] = {
       {"alg1_dp_fw", -3.5111111111111111, 1.0, 0.0},
       {"alg2_private_lasso", 3.1428571428571432, 0.36487046274705309,

@@ -181,12 +181,14 @@ TEST(RobustMeanTest, BatchedAccumulateBitIdenticalToScalarAcrossBranches) {
   // One batch spanning every SmoothedPhi branch: the common closed form
   // (moderate |a|), exact zero, values straddling the 1e6 cancellation
   // limit (|a|^3/6 ~ 1e6 at |a| ~ 181.7), far beyond it (exact-split
-  // fallback), and denormal-adjacent magnitudes.
+  // fallback), and denormal-adjacent magnitudes. Scalar mode: the batch
+  // kernel is the bit-identity reference there (SIMD-mode agreement is
+  // pinned by the ULP-bound sweeps below instead).
   const double scale = 1.0;
   const Vector xs = {0.0,     0.3,     -0.7,    1.0,     -1.4142, 5.0,
                      -25.0,   181.0,   -181.7,  181.8,   -182.5,  250.0,
                      -1e3,    1e6,     -1e9,    1e-8,    -1e-300, 42.0};
-  const RobustMeanEstimator estimator(scale, 1.0);
+  const RobustMeanEstimator estimator(scale, 1.0, SimdMode::kOff);
   Vector batched(xs.size(), 0.0);
   estimator.AccumulateContributions(xs.data(), xs.size(), batched.data());
   for (std::size_t j = 0; j < xs.size(); ++j) {
@@ -198,8 +200,9 @@ TEST(RobustMeanTest, BatchedAccumulateBitIdenticalToScalarAcrossBranches) {
 TEST(RobustMeanTest, BatchedAccumulateBitIdenticalOnTinyBBranch) {
   // b = |a| / sqrt(beta): a huge beta pushes b below SmoothedPhi's 1e-12
   // threshold so the batch must take the degenerate Phi(a) path, still bit
-  // for bit.
-  const RobustMeanEstimator estimator(1.0, 1e30);
+  // for bit. (Mode-independent: tiny-b elements always spill to the scalar
+  // cold path, which the SIMD sweep below re-checks; pinned scalar here.)
+  const RobustMeanEstimator estimator(1.0, 1e30, SimdMode::kOff);
   const Vector xs = {0.0, 1e-9, -1e-6, 0.5, -1.0, 2.0};
   Vector batched(xs.size(), 0.0);
   estimator.AccumulateContributions(xs.data(), xs.size(), batched.data());
@@ -210,7 +213,7 @@ TEST(RobustMeanTest, BatchedAccumulateBitIdenticalOnTinyBBranch) {
 }
 
 TEST(RobustMeanTest, BatchedAccumulateAddsOntoExistingValues) {
-  const RobustMeanEstimator estimator(2.0, 1.0);
+  const RobustMeanEstimator estimator(2.0, 1.0, SimdMode::kOff);
   const Vector xs = {1.0, -2.0, 3.0};
   Vector acc = {10.0, 20.0, 30.0};
   estimator.AccumulateContributions(xs.data(), xs.size(), acc.data());
@@ -227,13 +230,89 @@ TEST(RobustMeanTest, BatchedAccumulateMatchesScalarOnHeavyTailedDraws) {
   Vector xs(n);
   for (double& x : xs) x = SamplePareto(rng, 1.1) - SampleLognormal(rng, 0.0, 2.0);
   for (const double beta : {0.25, 1.0, 4.0}) {
-    const RobustMeanEstimator estimator(3.0, beta);
+    const RobustMeanEstimator estimator(3.0, beta, SimdMode::kOff);
     Vector batched(n, 0.0);
     estimator.AccumulateContributions(xs.data(), n, batched.data());
     for (std::size_t j = 0; j < n; ++j) {
       ASSERT_EQ(batched[j], estimator.SampleContribution(xs[j]))
           << "beta=" << beta << " x=" << xs[j];
     }
+  }
+}
+
+TEST(RobustMeanTest, SmoothedPhiBatchPropertySweepAgainstScalar) {
+  // Log-spaced (a, b) grid straddling BOTH branch thresholds of SmoothedPhi
+  // -- b across kTinyB (1e-12) and the pair across the kCancellationLimit
+  // (1e6) seam -- each point replicated to a full lane group so hot points
+  // are guaranteed to take the vectorized closed form. Contract
+  // (robust/catoni.h): branch classification identical to scalar -- cold
+  // points (tiny-b / exact-split) come back bit-identical, since the batch
+  // spills them to the very same scalar code -- and closed-form points
+  // agree within the documented SmoothedPhiBatchTolerance.
+  std::vector<double> a_grid = {0.0};
+  for (double mag = 1e-9; mag < 3e3; mag *= 4.0) {
+    a_grid.push_back(mag);
+    a_grid.push_back(-mag);
+  }
+  std::vector<double> b_grid = {0.0};
+  for (double b = 1e-14; b < 1e8; b *= 8.0) b_grid.push_back(b);
+
+  constexpr std::size_t kGroup = 16;  // >= any compiled lane width
+  Vector a_buf(kGroup);
+  Vector b_buf(kGroup);
+  Vector out(kGroup);
+  std::size_t closed_form_points = 0;
+  for (const double a : a_grid) {
+    for (const double b : b_grid) {
+      for (std::size_t j = 0; j < kGroup; ++j) {
+        a_buf[j] = a;
+        b_buf[j] = b;
+      }
+      SmoothedPhiBatch(a_buf.data(), b_buf.data(), out.data(), kGroup,
+                       /*use_simd=*/true);
+      const double scalar = SmoothedPhi(a, b);
+      const bool closed_form =
+          b >= 1e-12 && catoni_internal::ClosedFormApplies(std::abs(a), b);
+      for (std::size_t j = 0; j < kGroup; ++j) {
+        if (!closed_form) {
+          ASSERT_EQ(out[j], scalar) << "cold point a=" << a << " b=" << b;
+        } else {
+          ASSERT_NEAR(out[j], scalar, SmoothedPhiBatchTolerance(a, b))
+              << "a=" << a << " b=" << b;
+        }
+      }
+      closed_form_points += closed_form ? 1 : 0;
+    }
+  }
+  // The sweep must genuinely exercise the vector branch.
+  EXPECT_GT(closed_form_points, 100u);
+}
+
+TEST(RobustMeanTest, SimdAccumulateAgreesWithScalarWithinTolerance) {
+  Rng rng(137);
+  const std::size_t n = 4000;
+  Vector xs(n);
+  for (double& x : xs)
+    x = SamplePareto(rng, 1.2) - SampleLognormal(rng, 0.0, 1.5);
+  for (const double beta : {0.5, 2.0}) {
+    const double scale = 3.0;
+    const RobustMeanEstimator simd_est(scale, beta, SimdMode::kOn);
+    const RobustMeanEstimator scalar_est(scale, beta, SimdMode::kOff);
+    if (!simd_est.simd()) GTEST_SKIP() << "SIMD layer not compiled";
+    Vector simd_acc(n, 0.0);
+    Vector scalar_acc(n, 0.0);
+    simd_est.AccumulateContributions(xs.data(), n, simd_acc.data());
+    scalar_est.AccumulateContributions(xs.data(), n, scalar_acc.data());
+    const double sqrt_beta = std::sqrt(beta);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a = xs[j] / scale;
+      const double b = std::abs(a) / sqrt_beta;
+      ASSERT_NEAR(simd_acc[j], scalar_acc[j],
+                  scale * SmoothedPhiBatchTolerance(a, b))
+          << "beta=" << beta << " x=" << xs[j];
+    }
+    // The mean estimate stays within the averaged tolerance as well.
+    EXPECT_NEAR(simd_est.Estimate(xs), scalar_est.Estimate(xs), 1e-10);
   }
 }
 
