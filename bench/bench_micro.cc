@@ -11,16 +11,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/htdp.h"
+#include "daemon/server.h"
+#include "net/client.h"
 
 namespace htdp {
 namespace {
@@ -312,6 +317,85 @@ BENCHMARK(BM_EngineThroughput)
     ->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
+// Serving latency: one submit -> result round trip against an in-process
+// htdpd Server over a real loopback socket -- dataset serialization, frame
+// codec, kernel socket hops, engine dispatch and the result frames back.
+// The solver schedule is pinned tiny so the number is the WIRE cost, not
+// the fit. Besides the mean the trajectory records p50_ms / p99_ms (tail
+// latency regresses first when the event loop misbehaves), which
+// JsonTrajectoryReporter forwards into BENCH_micro.json.
+void BM_DaemonRoundTrip(benchmark::State& state) {
+  daemon::ServerOptions options;
+  options.port = 0;
+  StatusOr<std::unique_ptr<daemon::Server>> server =
+      daemon::Server::Create(std::move(options));
+  if (!server.ok()) {
+    state.SkipWithError(server.status().message().c_str());
+    return;
+  }
+  std::thread serve([&] { server.value()->Run(); });
+  StatusOr<std::unique_ptr<net::Client>> client =
+      net::Client::Connect("127.0.0.1", server.value()->port());
+  if (!client.ok()) {
+    server.value()->RequestDrain();
+    serve.join();
+    state.SkipWithError(client.status().message().c_str());
+    return;
+  }
+
+  const std::size_t n = 400;
+  const std::size_t d = 10;
+  Rng rng(35);
+  SyntheticConfig config{n, d, ScalarDistribution::Lognormal(0.0, 0.6),
+                         ScalarDistribution::Normal(0.0, 0.1)};
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  net::SubmitRequest request;
+  request.solver = kSolverAlg1DpFw;
+  request.seed = 1;
+  request.spec.budget = PrivacyBudget::Pure(1.0);
+  request.spec.iterations = 5;  // pinned: measures serving, not the solver
+  request.spec.scale = 5.0;
+  request.problem.data = GenerateLinear(config, w_star, rng);
+  request.problem.loss = net::kWireLossSquared;
+  request.problem.constraint = net::WireConstraint::kL1Ball;
+  request.problem.constraint_radius = 1.0;
+
+  std::vector<double> latencies_ms;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<std::uint64_t> job = client.value()->Submit(request);
+    if (!job.ok()) {
+      state.SkipWithError(job.status().message().c_str());
+      break;
+    }
+    StatusOr<FitResult> result = client.value()->WaitResult(job.value());
+    if (!result.ok()) {
+      state.SkipWithError(result.status().message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result.value().w.data());
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  server.value()->RequestDrain();
+  serve.join();
+
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const auto percentile = [&](double q) {
+      const auto rank = static_cast<std::size_t>(
+          q * static_cast<double>(latencies_ms.size()));
+      return latencies_ms[std::min(rank, latencies_ms.size() - 1)];
+    };
+    state.counters["p50_ms"] = percentile(0.50);
+    state.counters["p99_ms"] = percentile(0.99);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DaemonRoundTrip)->Unit(benchmark::kMillisecond);
+
 // google-benchmark renamed Run::error_occurred to Run::skipped in v1.8.0;
 // detect whichever member this library version has.
 template <typename R, typename = void>
@@ -349,7 +433,7 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
                             benchmark::GetTimeUnitMultiplier(run.time_unit);
       record.iterations_per_sec =
           record.wall_seconds > 0.0 ? 1.0 / record.wall_seconds : 0.0;
-      for (const char* extra : {"sigma", "sigma_ratio"}) {
+      for (const char* extra : {"sigma", "sigma_ratio", "p50_ms", "p99_ms"}) {
         const auto it = run.counters.find(extra);
         if (it != run.counters.end()) {
           record.extras.emplace_back(extra, it->second.value);

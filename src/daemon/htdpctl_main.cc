@@ -1,0 +1,389 @@
+// htdpctl -- control CLI for htdpd.
+//
+// Subcommands mirror the protocol one to one:
+//
+//   htdpctl [--host=H] [--port=P] [--json] list-solvers
+//   htdpctl ... stats
+//   htdpctl ... submit --solver=NAME [--tenant=T] [--seed=S] [--n=N] [--d=D]
+//                      [--data-seed=S] [--epsilon=E] [--delta=D]
+//                      [--iterations=T] [--deadline=SECS] [--tag=TAG]
+//                      [--wait] [--stream]
+//   htdpctl ... poll --job=ID [--wait]
+//   htdpctl ... cancel --job=ID
+//   htdpctl ... selfcheck [submit flags]   # remote fit == local fit, bit-exact
+//
+// The demo problem is generated CLIENT-side (Section 6.1 synthetic linear
+// data, unit l1-ball constraint) from --n/--d/--data-seed, so a submit is
+// fully reproducible from its command line.
+//
+// Exit codes: 0 success, 1 usage/connection error, 3 selfcheck mismatch,
+// 10 + wire_code for a typed remote rejection -- so an over-budget tenant's
+// submit exits 12 (BUDGET_EXHAUSTED = 2), a cancelled wait exits 15.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/solver_registry.h"
+#include "data/synthetic.h"
+#include "net/client.h"
+#include "net/wire_status.h"
+#include "rng/rng.h"
+
+namespace {
+
+using htdp::PrivacyBudget;
+using htdp::Rng;
+using htdp::Status;
+using htdp::StatusOr;
+using htdp::Vector;
+
+struct Cli {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7411;
+  bool json = false;
+
+  std::string command;
+  std::string solver = "alg1_dp_fw";
+  std::string tenant;
+  std::string tag;
+  std::uint64_t seed = 17;
+  std::uint64_t data_seed = 4242;
+  std::size_t n = 400;
+  std::size_t d = 10;
+  double epsilon = 1.0;
+  double delta = 0.01;
+  int iterations = 0;
+  double deadline = 0.0;
+  bool risk_trace = false;
+  bool wait = false;
+  bool stream = false;
+  std::uint64_t job = 0;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: htdpctl [--host=H] [--port=P] [--json] COMMAND ...\n"
+               "commands: list-solvers | stats | submit | poll --job=ID |\n"
+               "          cancel --job=ID | selfcheck\n");
+  return 1;
+}
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+/// Typed remote errors map to stable exit codes scripts can branch on.
+int ExitCodeFor(const Status& status) {
+  return 10 + static_cast<int>(htdp::net::WireStatusFor(status.code()));
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "htdpctl: %s\n", status.message().c_str());
+  return ExitCodeFor(status);
+}
+
+/// FNV-1a over the iterate's IEEE-754 bytes: a cheap, stable fingerprint two
+/// processes can compare to assert bit-identity.
+std::uint64_t ChecksumW(const Vector& w) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (double value : w) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (bits >> (8 * i)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  }
+  return hash;
+}
+
+/// The reproducible demo workload: Section 6.1 synthetic linear data on the
+/// unit l1 ball, derived entirely from the CLI flags.
+htdp::net::WireProblem MakeProblem(const Cli& cli) {
+  Rng rng(cli.data_seed);
+  htdp::SyntheticConfig config;
+  config.n = cli.n;
+  config.d = cli.d;
+  const Vector w_star = htdp::MakeL1BallTarget(cli.d, rng);
+
+  htdp::net::WireProblem problem;
+  problem.data = htdp::GenerateLinear(config, w_star, rng);
+  problem.loss = htdp::net::kWireLossSquared;
+  problem.constraint = htdp::net::WireConstraint::kL1Ball;
+  problem.constraint_radius = 1.0;
+  return problem;
+}
+
+htdp::net::SubmitRequest MakeSubmit(const Cli& cli) {
+  htdp::net::SubmitRequest request;
+  request.tenant = cli.tenant;
+  request.solver = cli.solver;
+  request.tag = cli.tag;
+  request.seed = cli.seed;
+  request.deadline_seconds = cli.deadline;
+  request.stream = cli.stream;
+  request.spec.budget = PrivacyBudget::Approx(cli.epsilon, cli.delta);
+  if (cli.iterations > 0) request.spec.iterations = cli.iterations;
+  request.spec.record_risk_trace = cli.risk_trace;
+  request.problem = MakeProblem(cli);
+  return request;
+}
+
+void PrintResult(const Cli& cli, std::uint64_t job,
+                 const htdp::FitResult& result) {
+  const std::uint64_t checksum = ChecksumW(result.w);
+  if (cli.json) {
+    std::printf("{\"job\": %" PRIu64 ", \"iterations\": %d, "
+                "\"seconds\": %.6f, \"dim\": %zu, "
+                "\"checksum\": \"%016" PRIx64 "\", "
+                "\"ledger_entries\": %zu}\n",
+                job, result.iterations, result.seconds, result.w.size(),
+                checksum, result.ledger.entries().size());
+    return;
+  }
+  std::printf("job %" PRIu64 " done: %d iterations in %.3fs, d=%zu, "
+              "w checksum %016" PRIx64 ", %zu ledger entries\n",
+              job, result.iterations, result.seconds, result.w.size(),
+              checksum, result.ledger.entries().size());
+}
+
+int RunListSolvers(const Cli& cli, htdp::net::Client& client) {
+  StatusOr<htdp::net::SolverListReply> reply = client.ListSolvers();
+  if (!reply.ok()) return Fail(reply.status());
+  if (cli.json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < reply.value().solvers.size(); ++i) {
+      const auto& row = reply.value().solvers[i];
+      std::printf("%s{\"name\": \"%s\", \"description\": \"%s\"}",
+                  i == 0 ? "" : ", ", row.name.c_str(),
+                  row.description.c_str());
+    }
+    std::printf("]\n");
+    return 0;
+  }
+  for (const auto& row : reply.value().solvers) {
+    std::printf("%-22s %s\n", row.name.c_str(), row.description.c_str());
+  }
+  return 0;
+}
+
+int RunStats(const Cli& cli, htdp::net::Client& client) {
+  StatusOr<htdp::net::StatsReply> reply = client.Stats();
+  if (!reply.ok()) return Fail(reply.status());
+  const htdp::net::StatsReply& stats = reply.value();
+  if (cli.json) {
+    std::printf("{\"submitted\": %zu, \"completed\": %zu, \"succeeded\": %zu, "
+                "\"failed\": %zu, \"cancelled\": %zu, "
+                "\"budget_rejected\": %zu, \"queue_depth\": %zu, "
+                "\"running\": %zu, \"connections\": %" PRIu64 ", "
+                "\"retained_jobs\": %" PRIu64 ", \"draining\": %s, "
+                "\"tenants\": [",
+                stats.engine.submitted, stats.engine.completed,
+                stats.engine.succeeded, stats.engine.failed,
+                stats.engine.cancelled, stats.engine.budget_rejected,
+                stats.engine.queue_depth, stats.engine.running,
+                stats.connections, stats.retained_jobs,
+                stats.draining ? "true" : "false");
+    for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
+      const auto& row = stats.tenants[i];
+      std::printf("%s{\"name\": \"%s\", \"epsilon_total\": %g, "
+                  "\"epsilon_spent\": %g, \"admitted\": %" PRIu64 ", "
+                  "\"rejected\": %" PRIu64 "}",
+                  i == 0 ? "" : ", ", row.name.c_str(), row.total.epsilon,
+                  row.spent.epsilon, row.admitted, row.rejected);
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+  std::printf("engine: %zu submitted, %zu completed (%zu ok, %zu failed, "
+              "%zu cancelled), %zu budget-rejected, %zu queued, %zu running\n",
+              stats.engine.submitted, stats.engine.completed,
+              stats.engine.succeeded, stats.engine.failed,
+              stats.engine.cancelled, stats.engine.budget_rejected,
+              stats.engine.queue_depth, stats.engine.running);
+  std::printf("daemon: %" PRIu64 " connections, %" PRIu64
+              " retained jobs%s\n",
+              stats.connections, stats.retained_jobs,
+              stats.draining ? ", draining" : "");
+  for (const auto& row : stats.tenants) {
+    std::printf("tenant %-12s eps %.3f/%.3f  admitted %" PRIu64
+                "  rejected %" PRIu64 "  refunded %" PRIu64 "\n",
+                row.name.c_str(), row.spent.epsilon, row.total.epsilon,
+                row.admitted, row.rejected, row.refunded);
+  }
+  return 0;
+}
+
+int RunSubmit(const Cli& cli, htdp::net::Client& client) {
+  StatusOr<std::uint64_t> job = client.Submit(MakeSubmit(cli));
+  if (!job.ok()) return Fail(job.status());
+  if (!cli.wait && !cli.stream) {
+    if (cli.json) {
+      std::printf("{\"job\": %" PRIu64 "}\n", job.value());
+    } else {
+      std::printf("job %" PRIu64 " submitted\n", job.value());
+    }
+    return 0;
+  }
+  StatusOr<htdp::FitResult> result = cli.stream
+                                         ? client.AwaitStreamed(job.value())
+                                         : client.WaitResult(job.value());
+  if (!result.ok()) return Fail(result.status());
+  PrintResult(cli, job.value(), result.value());
+  return 0;
+}
+
+int RunPoll(const Cli& cli, htdp::net::Client& client) {
+  if (cli.job == 0) return Usage();
+  if (cli.wait) {
+    StatusOr<htdp::FitResult> result = client.WaitResult(cli.job);
+    if (!result.ok()) return Fail(result.status());
+    PrintResult(cli, cli.job, result.value());
+    return 0;
+  }
+  StatusOr<htdp::net::JobStateMsg> state = client.Poll(cli.job, false);
+  if (!state.ok()) return Fail(state.status());
+  const char* name =
+      state.value().state == htdp::net::WireJobState::kInFlight ? "in-flight"
+      : state.value().state == htdp::net::WireJobState::kDoneOk ? "done"
+                                                                : "error";
+  if (cli.json) {
+    std::printf("{\"job\": %" PRIu64 ", \"state\": \"%s\", \"code\": %u}\n",
+                cli.job, name, state.value().wire_code);
+  } else {
+    std::printf("job %" PRIu64 ": %s%s%s\n", cli.job, name,
+                state.value().message.empty() ? "" : " -- ",
+                state.value().message.c_str());
+  }
+  return 0;
+}
+
+int RunCancel(const Cli& cli, htdp::net::Client& client) {
+  if (cli.job == 0) return Usage();
+  StatusOr<htdp::net::JobStateMsg> state = client.Cancel(cli.job);
+  if (!state.ok()) return Fail(state.status());
+  std::printf("job %" PRIu64 ": cancel %s\n", cli.job,
+              state.value().state == htdp::net::WireJobState::kDoneOk
+                  ? "too late (already done)"
+                  : "requested");
+  return 0;
+}
+
+/// Submits the demo problem AND fits it locally with the same seed, then
+/// asserts the two iterates are bit-identical -- the end-to-end proof that
+/// the codec, the serializer and the daemon preserve every bit.
+int RunSelfcheck(const Cli& cli, htdp::net::Client& client) {
+  StatusOr<std::uint64_t> job = client.Submit(MakeSubmit(cli));
+  if (!job.ok()) return Fail(job.status());
+  StatusOr<htdp::FitResult> remote = client.WaitResult(job.value());
+  if (!remote.ok()) return Fail(remote.status());
+
+  htdp::net::SubmitRequest request = MakeSubmit(cli);
+  StatusOr<std::unique_ptr<htdp::net::ProblemHolder>> holder =
+      htdp::net::ProblemHolder::Materialize(std::move(request.problem));
+  if (!holder.ok()) return Fail(holder.status());
+  StatusOr<const htdp::Solver*> solver =
+      htdp::SolverRegistry::Global().Find(cli.solver);
+  if (!solver.ok()) return Fail(solver.status());
+  Rng rng(cli.seed);
+  StatusOr<htdp::FitResult> local =
+      solver.value()->TryFit(holder.value()->problem(), request.spec, rng);
+  if (!local.ok()) return Fail(local.status());
+
+  const std::uint64_t remote_sum = ChecksumW(remote.value().w);
+  const std::uint64_t local_sum = ChecksumW(local.value().w);
+  if (remote.value().w != local.value().w) {
+    std::fprintf(stderr,
+                 "selfcheck MISMATCH: remote %016" PRIx64 " != local %016"
+                 PRIx64 "\n",
+                 remote_sum, local_sum);
+    return 3;
+  }
+  if (cli.json) {
+    std::printf("{\"selfcheck\": \"ok\", \"checksum\": \"%016" PRIx64 "\"}\n",
+                remote_sum);
+  } else {
+    std::printf("selfcheck ok: remote == local, checksum %016" PRIx64 "\n",
+                remote_sum);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (FlagValue(argv[i], "--host", &value)) {
+      cli.host = value;
+    } else if (FlagValue(argv[i], "--port", &value)) {
+      cli.port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      cli.json = true;
+    } else if (FlagValue(argv[i], "--solver", &value)) {
+      cli.solver = value;
+    } else if (FlagValue(argv[i], "--tenant", &value)) {
+      cli.tenant = value;
+    } else if (FlagValue(argv[i], "--tag", &value)) {
+      cli.tag = value;
+    } else if (FlagValue(argv[i], "--seed", &value)) {
+      cli.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--data-seed", &value)) {
+      cli.data_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--n", &value)) {
+      cli.n = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argv[i], "--d", &value)) {
+      cli.d = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argv[i], "--epsilon", &value)) {
+      cli.epsilon = std::atof(value.c_str());
+    } else if (FlagValue(argv[i], "--delta", &value)) {
+      cli.delta = std::atof(value.c_str());
+    } else if (FlagValue(argv[i], "--iterations", &value)) {
+      cli.iterations = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--deadline", &value)) {
+      cli.deadline = std::atof(value.c_str());
+    } else if (FlagValue(argv[i], "--job", &value)) {
+      cli.job = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--risk-trace") == 0) {
+      cli.risk_trace = true;
+    } else if (std::strcmp(argv[i], "--wait") == 0) {
+      cli.wait = true;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      cli.stream = true;
+    } else if (argv[i][0] != '-' && cli.command.empty()) {
+      cli.command = argv[i];
+    } else {
+      std::fprintf(stderr, "htdpctl: unknown argument \"%s\"\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (cli.command.empty()) return Usage();
+
+  htdp::StatusOr<std::unique_ptr<htdp::net::Client>> client =
+      htdp::net::Client::Connect(cli.host, cli.port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "htdpctl: cannot reach htdpd at %s:%u: %s\n",
+                 cli.host.c_str(), static_cast<unsigned>(cli.port),
+                 client.status().message().c_str());
+    return 1;
+  }
+
+  if (cli.command == "list-solvers") return RunListSolvers(cli, *client.value());
+  if (cli.command == "stats") return RunStats(cli, *client.value());
+  if (cli.command == "submit") return RunSubmit(cli, *client.value());
+  if (cli.command == "poll") return RunPoll(cli, *client.value());
+  if (cli.command == "cancel") return RunCancel(cli, *client.value());
+  if (cli.command == "selfcheck") return RunSelfcheck(cli, *client.value());
+  std::fprintf(stderr, "htdpctl: unknown command \"%s\"\n",
+               cli.command.c_str());
+  return Usage();
+}

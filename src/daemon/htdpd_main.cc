@@ -1,0 +1,115 @@
+// htdpd -- the htdp fit daemon.
+//
+// Binds a TCP socket, prints "htdpd listening on HOST:PORT" (how scripts
+// discover a --port=0 ephemeral port), and serves the htdpd protocol
+// (docs/protocol.md) until SIGINT/SIGTERM. The first signal drains
+// gracefully -- stop accepting, finish in-flight fits, flush result frames,
+// exit 0; a second signal hard-exits with status 130 for operators who want
+// out NOW.
+//
+// Usage:
+//   htdpd [--host=H] [--port=P] [--workers=N] [--idle-timeout=SECONDS]
+//         [--max-frame-mb=M] [--tenant NAME=EPS[,DELTA]]...
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "daemon/server.h"
+
+namespace {
+
+std::atomic<htdp::daemon::Server*> g_server{nullptr};
+
+void HandleSignal(int) {
+  htdp::daemon::Server* server = g_server.load(std::memory_order_acquire);
+  if (server == nullptr) std::_Exit(130);
+  if (server->OnSignal() == htdp::daemon::SignalAction::kHardExit) {
+    // Only async-signal-safe calls on this path.
+    std::_Exit(130);
+  }
+}
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: htdpd [--host=H] [--port=P] [--workers=N]\n"
+      "             [--idle-timeout=SECONDS] [--max-frame-mb=M]\n"
+      "             [--tenant NAME=EPS[,DELTA]]...\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  htdp::daemon::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (FlagValue(argv[i], "--host", &value)) {
+      options.host = value;
+    } else if (FlagValue(argv[i], "--port", &value)) {
+      options.port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+    } else if (FlagValue(argv[i], "--workers", &value)) {
+      options.engine_workers = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--idle-timeout", &value)) {
+      options.idle_timeout_seconds = std::atof(value.c_str());
+    } else if (FlagValue(argv[i], "--max-frame-mb", &value)) {
+      options.max_payload_bytes =
+          static_cast<std::size_t>(std::atoi(value.c_str())) << 20;
+    } else if (FlagValue(argv[i], "--tenant", &value) ||
+               (std::strcmp(argv[i], "--tenant") == 0 && i + 1 < argc &&
+                (value = argv[++i], true))) {
+      htdp::StatusOr<htdp::daemon::TenantConfig> tenant =
+          htdp::daemon::ParseTenantFlag(value);
+      if (!tenant.ok()) {
+        std::fprintf(stderr, "htdpd: %s\n",
+                     tenant.status().message().c_str());
+        return 1;
+      }
+      options.tenants.push_back(std::move(tenant).value());
+    } else {
+      std::fprintf(stderr, "htdpd: unknown argument \"%s\"\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  const std::string host =
+      options.host.empty() || options.host == "localhost" ? "127.0.0.1"
+                                                          : options.host;
+  htdp::StatusOr<std::unique_ptr<htdp::daemon::Server>> server =
+      htdp::daemon::Server::Create(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "htdpd: %s\n", server.status().message().c_str());
+    return 1;
+  }
+  g_server.store(server.value().get(), std::memory_order_release);
+
+  struct sigaction action{};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::printf("htdpd listening on %s:%u\n", host.c_str(),
+              static_cast<unsigned>(server.value()->port()));
+  std::fflush(stdout);
+
+  htdp::Status run = server.value()->Run();
+  g_server.store(nullptr, std::memory_order_release);
+  if (!run.ok()) {
+    std::fprintf(stderr, "htdpd: %s\n", run.message().c_str());
+    return 1;
+  }
+  return 0;
+}

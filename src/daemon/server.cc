@@ -1,0 +1,479 @@
+#include "daemon/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/solver_registry.h"
+#include "net/wire_status.h"
+
+namespace htdp {
+namespace daemon {
+
+StatusOr<TenantConfig> ParseTenantFlag(const std::string& value) {
+  const std::size_t eq = value.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidProblem(
+        "--tenant wants NAME=EPSILON or NAME=EPSILON,DELTA, got \"" + value +
+        "\"");
+  }
+  TenantConfig config;
+  config.name = value.substr(0, eq);
+  std::string budget = value.substr(eq + 1);
+  const std::size_t comma = budget.find(',');
+  try {
+    if (comma == std::string::npos) {
+      config.budget = PrivacyBudget::Pure(std::stod(budget));
+    } else {
+      config.budget = PrivacyBudget::Approx(std::stod(budget.substr(0, comma)),
+                                            std::stod(budget.substr(comma + 1)));
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidProblem("unparseable budget in --tenant \"" + value +
+                                  "\"");
+  }
+  return config;
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<Server>> Server::Create(ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+
+  for (const TenantConfig& tenant : server->options_.tenants) {
+    HTDP_RETURN_IF_ERROR(
+        server->budgets_.RegisterTenant(tenant.name, tenant.budget));
+  }
+
+  StatusOr<net::UniqueFd> listener =
+      net::ListenTcp(server->options_.host, server->options_.port);
+  HTDP_RETURN_IF_ERROR(listener.status());
+  server->listener_ = std::move(listener).value();
+  StatusOr<std::uint16_t> port = net::LocalPort(server->listener_.get());
+  HTDP_RETURN_IF_ERROR(port.status());
+  server->port_ = port.value();
+
+  Engine::Options engine_options;
+  engine_options.workers = server->options_.engine_workers;
+  engine_options.budgets = &server->budgets_;
+  server->engine_ = std::make_unique<Engine>(engine_options);
+
+  Server* raw = server.get();
+  net::EventLoop::Callbacks callbacks;
+  callbacks.on_accept = [raw](int fd) { raw->OnAccept(fd); };
+  callbacks.on_data = [raw](int fd, const std::uint8_t* data, std::size_t n) {
+    raw->OnData(fd, data, n);
+  };
+  callbacks.on_close = [raw](int fd, const Status& reason) {
+    raw->OnConnClosed(fd, reason);
+  };
+  callbacks.on_wake = [raw] { raw->OnWake(); };
+  server->loop_ = std::make_unique<net::EventLoop>(
+      std::move(callbacks), server->options_.idle_timeout_seconds);
+  HTDP_RETURN_IF_ERROR(server->loop_->Init());
+  return server;
+}
+
+Server::~Server() {
+  // The loop has exited by now; waiter threads were joined in FinishJob,
+  // except for jobs that never completed processing (hard teardown paths).
+  for (auto& [id, job] : jobs_) {
+    if (job.waiter.joinable()) {
+      job.handle.Cancel();
+      job.waiter.join();
+    }
+  }
+}
+
+Status Server::Run() {
+  loop_->SetListener(std::move(listener_));
+  return loop_->Run();
+}
+
+SignalAction Server::OnSignal() {
+  // Async-signal-safe by construction: an atomic increment plus one
+  // write(2) on the wake pipe. No locks, no allocation, no streams.
+  const int count = signal_count_.fetch_add(1, std::memory_order_relaxed);
+  if (count == 0) {
+    drain_requested_.store(true, std::memory_order_release);
+    loop_->Wake();
+    return SignalAction::kDrain;
+  }
+  return SignalAction::kHardExit;
+}
+
+void Server::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  loop_->Wake();
+}
+
+// ---------------------------------------------------------------------------
+// Loop-thread handlers
+
+void Server::OnAccept(int fd) {
+  conns_.emplace(fd, Connection(options_.max_payload_bytes));
+}
+
+void Server::OnData(int fd, const std::uint8_t* data, std::size_t n) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  it->second.decoder.Feed(data, n);
+  while (true) {
+    std::optional<net::Frame> frame;
+    Status status = it->second.decoder.Next(&frame);
+    if (!status.ok()) {
+      // Header corruption: a length-prefixed stream cannot re-synchronize,
+      // so explain and hang up (best effort -- the peer may be gone).
+      SendError(fd, status, 0);
+      loop_->CloseAfterFlush(fd, status);
+      return;
+    }
+    if (!frame.has_value()) return;
+    HandleFrame(fd, *frame);
+    // The handler may have closed the connection (protocol error path).
+    it = conns_.find(fd);
+    if (it == conns_.end()) return;
+  }
+}
+
+void Server::OnConnClosed(int fd, const Status& reason) {
+  (void)reason;
+  conns_.erase(fd);
+  for (auto& [id, job] : jobs_) {
+    if (job.origin_fd == fd) job.origin_fd = -1;
+    job.parked.erase(std::remove(job.parked.begin(), job.parked.end(), fd),
+                     job.parked.end());
+  }
+  if (draining_) MaybeFinishDrain();
+}
+
+void Server::OnWake() {
+  if (drain_requested_.exchange(false, std::memory_order_acq_rel)) {
+    BeginDrain();
+  }
+  std::vector<std::uint64_t> done;
+  {
+    std::lock_guard<std::mutex> lock(completed_mu_);
+    done.swap(completed_);
+  }
+  for (std::uint64_t id : done) FinishJob(id);
+  if (draining_) MaybeFinishDrain();
+}
+
+void Server::HandleFrame(int fd, const net::Frame& frame) {
+  switch (frame.type) {
+    case net::FrameType::kSubmit:
+      HandleSubmit(fd, frame);
+      return;
+    case net::FrameType::kPoll:
+      HandlePoll(fd, frame);
+      return;
+    case net::FrameType::kCancel:
+      HandleCancel(fd, frame);
+      return;
+    case net::FrameType::kStats:
+      HandleStats(fd);
+      return;
+    case net::FrameType::kListSolvers:
+      HandleListSolvers(fd);
+      return;
+    default: {
+      // A known frame type that only ever flows server -> client.
+      Status status = Status::InvalidProblem(
+          std::string("frame type ") + net::FrameTypeName(frame.type) +
+          " is not a request");
+      SendError(fd, status, 0);
+      loop_->CloseAfterFlush(fd, status);
+      return;
+    }
+  }
+}
+
+void Server::HandleSubmit(int fd, const net::Frame& frame) {
+  net::WireReader reader(frame.payload);
+  net::SubmitRequest request;
+  Status decoded = DecodeSubmit(reader, &request);
+  if (!decoded.ok()) {
+    SendError(fd, decoded, 0);
+    return;
+  }
+  if (draining_) {
+    SendError(fd, Status::Cancelled("htdpd is draining; not accepting jobs"),
+              0);
+    return;
+  }
+
+  StatusOr<std::unique_ptr<net::ProblemHolder>> holder =
+      net::ProblemHolder::Materialize(std::move(request.problem));
+  if (!holder.ok()) {
+    SendError(fd, holder.status(), 0);
+    return;
+  }
+
+  FitJob fit;
+  fit.solver_name = request.solver;
+  fit.problem = holder.value()->problem();
+  fit.spec = request.spec;
+  fit.seed = request.seed;
+  fit.deadline_seconds = request.deadline_seconds;
+  fit.tag = request.tag;
+  fit.tenant = request.tenant;
+  JobHandle handle = engine_->Submit(std::move(fit));
+
+  if (handle.done() && !handle.Wait().ok()) {
+    // Inline rejection -- unknown solver, malformed spec, or the acceptance
+    // contract's headline case: an over-budget tenant, refused at the
+    // socket with the BUDGET_EXHAUSTED wire code before any worker or any
+    // data was touched.
+    SendError(fd, handle.Wait().status(), 0);
+    return;
+  }
+
+  const std::uint64_t id = next_job_id_++;
+  Job& job = jobs_[id];
+  job.handle = handle;
+  job.holder = std::move(holder).value();
+  job.origin_fd = fd;
+  job.stream = request.stream;
+  ++inflight_;
+  if (job.stream) loop_->MarkBusy(fd, true);
+
+  net::WireWriter writer;
+  EncodeSubmitOk(writer, net::SubmitOk{id});
+  SendFrame(fd, net::FrameType::kSubmitOk, writer);
+
+  net::EventLoop* loop = loop_.get();
+  std::mutex* mu = &completed_mu_;
+  std::vector<std::uint64_t>* completed = &completed_;
+  job.waiter = std::thread([handle, id, loop, mu, completed] {
+    handle.Wait();
+    {
+      std::lock_guard<std::mutex> lock(*mu);
+      completed->push_back(id);
+    }
+    loop->Wake();
+  });
+}
+
+void Server::HandlePoll(int fd, const net::Frame& frame) {
+  net::WireReader reader(frame.payload);
+  net::PollRequest request;
+  Status decoded = DecodePoll(reader, &request);
+  if (!decoded.ok()) {
+    SendError(fd, decoded, 0);
+    return;
+  }
+  auto it = jobs_.find(request.job_id);
+  if (it == jobs_.end()) {
+    SendError(fd,
+              Status::InvalidProblem("unknown job id " +
+                                     std::to_string(request.job_id) +
+                                     " (evicted or never submitted)"),
+              request.job_id);
+    return;
+  }
+  Job& job = it->second;
+  if (!job.completed) {
+    if (request.deliver) {
+      // Parked: the reply is sent by FinishJob, so waiting clients block on
+      // the socket instead of spinning poll frames.
+      job.parked.push_back(fd);
+      loop_->MarkBusy(fd, true);
+      return;
+    }
+    net::WireWriter writer;
+    EncodeJobState(writer, net::JobStateMsg{request.job_id,
+                                            net::WireJobState::kInFlight, 0,
+                                            std::string()});
+    SendFrame(fd, net::FrameType::kJobState, writer);
+    return;
+  }
+  SendJobState(fd, request.job_id, job);
+  if (request.deliver && job.handle.Wait().ok()) {
+    SendResultFrames(fd, request.job_id, job);
+  }
+}
+
+void Server::HandleCancel(int fd, const net::Frame& frame) {
+  net::WireReader reader(frame.payload);
+  net::CancelRequest request;
+  Status decoded = DecodeCancel(reader, &request);
+  if (!decoded.ok()) {
+    SendError(fd, decoded, 0);
+    return;
+  }
+  auto it = jobs_.find(request.job_id);
+  if (it == jobs_.end()) {
+    SendError(fd,
+              Status::InvalidProblem("unknown job id " +
+                                     std::to_string(request.job_id)),
+              request.job_id);
+    return;
+  }
+  Job& job = it->second;
+  job.handle.Cancel();
+  if (job.completed) {
+    SendJobState(fd, request.job_id, job);
+    return;
+  }
+  // Queued jobs are already complete at this point but their completion
+  // frame processing is still queued behind the wake; report in-flight and
+  // let the caller poll for the terminal state.
+  net::WireWriter writer;
+  EncodeJobState(writer,
+                 net::JobStateMsg{request.job_id, net::WireJobState::kInFlight,
+                                  0, "cancel requested"});
+  SendFrame(fd, net::FrameType::kJobState, writer);
+}
+
+void Server::HandleStats(int fd) {
+  net::StatsReply reply;
+  reply.engine = engine_->stats();
+  for (const TenantConfig& tenant : options_.tenants) {
+    StatusOr<BudgetManager::TenantStats> stats = budgets_.Stats(tenant.name);
+    if (!stats.ok()) continue;
+    net::StatsReply::TenantRow row;
+    row.name = tenant.name;
+    row.total = stats.value().total;
+    row.spent = stats.value().spent;
+    row.admitted = stats.value().admitted;
+    row.rejected = stats.value().rejected;
+    row.refunded = stats.value().refunded;
+    reply.tenants.push_back(std::move(row));
+  }
+  reply.connections = loop_->connection_count();
+  reply.retained_jobs = retained_order_.size();
+  reply.draining = draining_;
+
+  net::WireWriter writer;
+  EncodeStats(writer, reply);
+  SendFrame(fd, net::FrameType::kStatsOk, writer);
+}
+
+void Server::HandleListSolvers(int fd) {
+  net::SolverListReply reply;
+  const SolverRegistry& registry = SolverRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    StatusOr<const Solver*> solver = registry.Find(name);
+    if (!solver.ok()) continue;
+    reply.solvers.push_back({name, solver.value()->description()});
+  }
+  net::WireWriter writer;
+  EncodeSolverList(writer, reply);
+  SendFrame(fd, net::FrameType::kSolverList, writer);
+}
+
+// ---------------------------------------------------------------------------
+// Completion and shutdown
+
+void Server::FinishJob(std::uint64_t id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  if (job.completed) return;
+  job.completed = true;
+  --inflight_;
+  if (job.waiter.joinable()) job.waiter.join();
+
+  if (job.stream && job.origin_fd >= 0) {
+    SendJobState(job.origin_fd, id, job);
+    if (job.handle.Wait().ok()) SendResultFrames(job.origin_fd, id, job);
+    loop_->MarkBusy(job.origin_fd, false);
+  }
+  for (int fd : job.parked) {
+    SendJobState(fd, id, job);
+    if (job.handle.Wait().ok()) SendResultFrames(fd, id, job);
+    loop_->MarkBusy(fd, false);
+  }
+  job.parked.clear();
+
+  // The dataset is no longer needed -- only the (small) result is retained
+  // for late polls.
+  job.holder.reset();
+  retained_order_.push_back(id);
+  while (retained_order_.size() > options_.max_retained_jobs) {
+    jobs_.erase(retained_order_.front());
+    retained_order_.pop_front();
+  }
+}
+
+void Server::SendFrame(int fd, net::FrameType type,
+                       const net::WireWriter& writer) {
+  std::vector<std::uint8_t> frame =
+      net::EncodeFrame(type, writer.bytes(), options_.max_payload_bytes);
+  loop_->Send(fd, frame.data(), frame.size());
+}
+
+void Server::SendError(int fd, const Status& status, std::uint64_t job_id) {
+  net::WireWriter writer;
+  EncodeError(writer, net::WireError{net::WireStatusFor(status.code()),
+                                     job_id, std::string(status.message())});
+  SendFrame(fd, net::FrameType::kError, writer);
+}
+
+void Server::SendJobState(int fd, std::uint64_t id, const Job& job) {
+  const StatusOr<FitResult>& outcome = job.handle.Wait();  // completed
+  net::JobStateMsg msg;
+  msg.job_id = id;
+  if (outcome.ok()) {
+    msg.state = net::WireJobState::kDoneOk;
+  } else {
+    msg.state = net::WireJobState::kDoneError;
+    msg.wire_code = net::WireStatusFor(outcome.status().code());
+    msg.message = std::string(outcome.status().message());
+  }
+  net::WireWriter writer;
+  EncodeJobState(writer, msg);
+  SendFrame(fd, net::FrameType::kJobState, writer);
+}
+
+void Server::SendResultFrames(int fd, std::uint64_t id, const Job& job) {
+  net::WireWriter body;
+  EncodeFitResult(body, job.handle.Wait().value());
+  const std::vector<std::uint8_t>& bytes = body.bytes();
+  std::size_t offset = 0;
+  do {
+    const std::size_t take =
+        std::min(net::kResultChunkBytes, bytes.size() - offset);
+    net::ResultChunk chunk;
+    chunk.job_id = id;
+    chunk.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                       bytes.begin() +
+                           static_cast<std::ptrdiff_t>(offset + take));
+    net::WireWriter writer;
+    EncodeResultChunk(writer, chunk);
+    SendFrame(fd, net::FrameType::kResultChunk, writer);
+    offset += take;
+  } while (offset < bytes.size());
+
+  net::WireWriter end;
+  EncodeResultEnd(end, net::ResultEnd{id, bytes.size()});
+  SendFrame(fd, net::FrameType::kResultEnd, end);
+}
+
+void Server::BeginDrain() {
+  if (draining_) return;
+  draining_ = true;
+  loop_->StopAccepting();
+  MaybeFinishDrain();
+}
+
+void Server::MaybeFinishDrain() {
+  if (inflight_ > 0) return;  // completions re-enter via OnWake
+  // Every job is done; Drain() returns immediately and certifies it.
+  engine_->Drain();
+  if (loop_->connection_count() == 0) {
+    loop_->Stop();
+    return;
+  }
+  // Flush whatever is still buffered (e.g. final result frames), then close
+  // each connection; the last on_close lands back here and stops the loop.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (int fd : fds) {
+    loop_->CloseAfterFlush(fd, Status::Cancelled("htdpd shut down"));
+  }
+}
+
+}  // namespace daemon
+}  // namespace htdp

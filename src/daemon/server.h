@@ -1,0 +1,165 @@
+#ifndef HTDP_DAEMON_SERVER_H_
+#define HTDP_DAEMON_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/budget_manager.h"
+#include "api/engine.h"
+#include "dp/privacy.h"
+#include "net/codec.h"
+#include "net/serialize.h"
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace htdp {
+namespace daemon {
+
+/// ## The htdpd server: the Engine behind a socket
+///
+/// One Server is one listening socket, one Engine, and one poll(2) loop
+/// thread that owns every connection and every job record. Engine workers
+/// never touch sockets: each submitted job gets a tiny waiter thread that
+/// blocks on JobHandle::Wait() and then wakes the loop through the
+/// EventLoop's signal-safe pipe, so frame writing happens on exactly one
+/// thread and the determinism contract is untouched -- a remote fit returns
+/// the same bits as an in-process TryFit at the same seed.
+///
+/// Tenant budgets are enforced AT THE SOCKET: the Engine completes an
+/// over-budget submission inline (api/engine.h), and the server translates
+/// that into a protocol-level ERROR frame carrying the
+/// BUDGET_EXHAUSTED wire code before the job ever reaches a worker.
+
+/// One named tenant funded at daemon start (--tenant NAME=EPS[,DELTA]).
+struct TenantConfig {
+  std::string name;
+  PrivacyBudget budget;
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = kernel-assigned; read back with port()
+  int engine_workers = 0;  // 0 = hardware default
+  /// Idle connections are closed after this long; <= 0 disables. Parked
+  /// waits (deliver-polls and streamed jobs) are exempt while in flight.
+  double idle_timeout_seconds = 300.0;
+  std::size_t max_payload_bytes = net::kDefaultMaxPayloadBytes;
+  std::vector<TenantConfig> tenants;
+  /// Completed jobs kept around for late POLLs; the oldest are evicted
+  /// beyond this many.
+  std::size_t max_retained_jobs = 256;
+};
+
+/// What the process should do about a delivery of SIGINT/SIGTERM.
+enum class SignalAction {
+  kDrain,     // first signal: stop accepting, drain, flush, exit 0
+  kHardExit,  // repeated signal: the operator wants OUT -- _Exit now
+};
+
+class Server {
+ public:
+  /// Binds the listener (errors surface here, e.g. a taken port) and
+  /// registers the tenants. The daemon is not serving until Run().
+  static StatusOr<std::unique_ptr<Server>> Create(ServerOptions options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Serves until a drain completes. Blocks the calling thread (which
+  /// becomes the loop thread).
+  Status Run();
+
+  /// Async-signal-safe signal bookkeeping: call from the SIGINT/SIGTERM
+  /// handler. First call schedules a graceful drain and returns kDrain;
+  /// every later call returns kHardExit (the handler should _Exit).
+  /// Also unit-testable without raising any signal.
+  SignalAction OnSignal();
+
+  /// Thread-safe programmatic equivalent of the first signal (tests).
+  void RequestDrain();
+
+ private:
+  struct Connection {
+    net::FrameDecoder decoder;
+    explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
+  };
+
+  struct Job {
+    JobHandle handle;
+    /// Owns the materialized dataset/loss/constraint for the job's
+    /// lifetime (the Engine copies the Problem but not the data).
+    std::unique_ptr<net::ProblemHolder> holder;
+    int origin_fd = -1;  // -1 once the submitting connection is gone
+    bool stream = false;
+    bool completed = false;
+    std::vector<int> parked;  // fds whose deliver-POLL awaits completion
+    std::thread waiter;
+  };
+
+  explicit Server(ServerOptions options);
+
+  // Loop-thread handlers.
+  void OnAccept(int fd);
+  void OnData(int fd, const std::uint8_t* data, std::size_t n);
+  void OnConnClosed(int fd, const Status& reason);
+  void OnWake();
+  void HandleFrame(int fd, const net::Frame& frame);
+  void HandleSubmit(int fd, const net::Frame& frame);
+  void HandlePoll(int fd, const net::Frame& frame);
+  void HandleCancel(int fd, const net::Frame& frame);
+  void HandleStats(int fd);
+  void HandleListSolvers(int fd);
+
+  /// Completion processing: sends the JOB_STATE (+ result frames) to the
+  /// streamed origin and every parked poller, then applies retention.
+  void FinishJob(std::uint64_t id);
+  void SendFrame(int fd, net::FrameType type, const net::WireWriter& writer);
+  void SendError(int fd, const Status& status, std::uint64_t job_id);
+  void SendJobState(int fd, std::uint64_t id, const Job& job);
+  void SendResultFrames(int fd, std::uint64_t id, const Job& job);
+  void BeginDrain();
+  void MaybeFinishDrain();
+
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+  net::UniqueFd listener_;
+
+  BudgetManager budgets_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<net::EventLoop> loop_;
+
+  // Loop-thread state.
+  std::map<int, Connection> conns_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::deque<std::uint64_t> retained_order_;  // completed ids, oldest first
+  std::uint64_t next_job_id_ = 1;
+  std::size_t inflight_ = 0;  // submitted, completion not yet processed
+  bool draining_ = false;
+
+  // Cross-thread completion queue (waiter threads -> loop thread).
+  std::mutex completed_mu_;
+  std::vector<std::uint64_t> completed_;
+
+  std::atomic<int> signal_count_{0};
+  std::atomic<bool> drain_requested_{false};
+};
+
+/// Parses "NAME=EPS" or "NAME=EPS,DELTA" (the --tenant flag).
+StatusOr<TenantConfig> ParseTenantFlag(const std::string& value);
+
+}  // namespace daemon
+}  // namespace htdp
+
+#endif  // HTDP_DAEMON_SERVER_H_

@@ -1,0 +1,269 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/wire_status.h"
+
+namespace htdp {
+namespace net {
+namespace {
+
+constexpr std::size_t kClientReadChunk = 64 * 1024;
+
+Status UnexpectedFrame(const Frame& frame) {
+  return Status::InvalidProblem(std::string("unexpected ") +
+                                FrameTypeName(frame.type) +
+                                " frame from the server");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                  std::uint16_t port,
+                                                  std::size_t max_payload) {
+  IgnoreSigpipeOnce();
+  StatusOr<UniqueFd> fd = DialTcp(host, port);
+  HTDP_RETURN_IF_ERROR(fd.status());
+  return std::unique_ptr<Client>(
+      new Client(std::move(fd).value(), max_payload));
+}
+
+Status Client::SendFrame(FrameType type,
+                         const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame = EncodeFrame(type, payload, max_payload_);
+  return SendAll(fd_.get(), frame.data(), frame.size());
+}
+
+StatusOr<Frame> Client::ReadFrame() {
+  std::uint8_t buffer[kClientReadChunk];
+  while (true) {
+    std::optional<Frame> frame;
+    HTDP_RETURN_IF_ERROR(decoder_.Next(&frame));
+    if (frame.has_value()) return std::move(*frame);
+
+    StatusOr<std::size_t> got =
+        RecvSome(fd_.get(), buffer, sizeof(buffer));
+    HTDP_RETURN_IF_ERROR(got.status());
+    if (got.value() == 0) {
+      return Status::InvalidProblem(
+          "server closed the connection mid-conversation");
+    }
+    decoder_.Feed(buffer, got.value());
+  }
+}
+
+Status Client::AbsorbPush(const Frame& frame) {
+  WireReader reader(frame.payload);
+  switch (frame.type) {
+    case FrameType::kJobState: {
+      JobStateMsg msg;
+      HTDP_RETURN_IF_ERROR(DecodeJobState(reader, &msg));
+      pushed_states_[msg.job_id] = std::move(msg);
+      return Status::Ok();
+    }
+    case FrameType::kResultChunk: {
+      ResultChunk chunk;
+      HTDP_RETURN_IF_ERROR(DecodeResultChunk(reader, &chunk));
+      std::vector<std::uint8_t>& bytes = assembling_[chunk.job_id];
+      bytes.insert(bytes.end(), chunk.bytes.begin(), chunk.bytes.end());
+      return Status::Ok();
+    }
+    case FrameType::kResultEnd: {
+      ResultEnd end;
+      HTDP_RETURN_IF_ERROR(DecodeResultEnd(reader, &end));
+      std::vector<std::uint8_t> bytes = std::move(assembling_[end.job_id]);
+      assembling_.erase(end.job_id);
+      if (bytes.size() != end.total_bytes) {
+        return Status::InvalidProblem(
+            "result stream for job " + std::to_string(end.job_id) +
+            " delivered " + std::to_string(bytes.size()) +
+            " bytes but declared " + std::to_string(end.total_bytes));
+      }
+      finished_[end.job_id] = std::move(bytes);
+      return Status::Ok();
+    }
+    default:
+      return UnexpectedFrame(frame);
+  }
+}
+
+StatusOr<Frame> Client::ReadReply(std::uint64_t expect_job) {
+  while (true) {
+    StatusOr<Frame> frame = ReadFrame();
+    HTDP_RETURN_IF_ERROR(frame.status());
+    switch (frame.value().type) {
+      case FrameType::kResultChunk:
+      case FrameType::kResultEnd:
+        HTDP_RETURN_IF_ERROR(AbsorbPush(frame.value()));
+        continue;
+      case FrameType::kJobState: {
+        // A JOB_STATE about some other job is a push for a streamed job;
+        // about `expect_job` it is the reply we are waiting for.
+        WireReader peek(frame.value().payload);
+        JobStateMsg msg;
+        HTDP_RETURN_IF_ERROR(DecodeJobState(peek, &msg));
+        if (msg.job_id != expect_job) {
+          pushed_states_[msg.job_id] = std::move(msg);
+          continue;
+        }
+        return frame;
+      }
+      default:
+        return frame;
+    }
+  }
+}
+
+StatusOr<std::uint64_t> Client::Submit(const SubmitRequest& request) {
+  WireWriter writer;
+  EncodeSubmit(writer, request);
+  HTDP_RETURN_IF_ERROR(SendFrame(FrameType::kSubmit, writer.bytes()));
+
+  StatusOr<Frame> reply = ReadReply(0);
+  HTDP_RETURN_IF_ERROR(reply.status());
+  WireReader reader(reply.value().payload);
+  if (reply.value().type == FrameType::kError) {
+    WireError error;
+    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
+    return StatusFromWire(error.wire_code, std::move(error.message));
+  }
+  if (reply.value().type != FrameType::kSubmitOk) {
+    return UnexpectedFrame(reply.value());
+  }
+  SubmitOk ok;
+  HTDP_RETURN_IF_ERROR(DecodeSubmitOk(reader, &ok));
+  if (request.stream) streamed_.insert(ok.job_id);
+  return ok.job_id;
+}
+
+StatusOr<JobStateMsg> Client::Poll(std::uint64_t job_id, bool deliver) {
+  WireWriter writer;
+  EncodePoll(writer, PollRequest{job_id, deliver});
+  HTDP_RETURN_IF_ERROR(SendFrame(FrameType::kPoll, writer.bytes()));
+
+  StatusOr<Frame> reply = ReadReply(job_id);
+  HTDP_RETURN_IF_ERROR(reply.status());
+  WireReader reader(reply.value().payload);
+  if (reply.value().type == FrameType::kError) {
+    WireError error;
+    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
+    return StatusFromWire(error.wire_code, std::move(error.message));
+  }
+  if (reply.value().type != FrameType::kJobState) {
+    return UnexpectedFrame(reply.value());
+  }
+  JobStateMsg msg;
+  HTDP_RETURN_IF_ERROR(DecodeJobState(reader, &msg));
+  return msg;
+}
+
+StatusOr<FitResult> Client::CollectResult(std::uint64_t job_id) {
+  while (finished_.find(job_id) == finished_.end()) {
+    StatusOr<Frame> frame = ReadFrame();
+    HTDP_RETURN_IF_ERROR(frame.status());
+    HTDP_RETURN_IF_ERROR(AbsorbPush(frame.value()));
+  }
+  std::vector<std::uint8_t> bytes = std::move(finished_[job_id]);
+  finished_.erase(job_id);
+  WireReader reader(bytes.data(), bytes.size());
+  FitResult result;
+  HTDP_RETURN_IF_ERROR(DecodeFitResult(reader, &result));
+  return result;
+}
+
+StatusOr<FitResult> Client::WaitResult(std::uint64_t job_id) {
+  while (true) {
+    StatusOr<JobStateMsg> state = Poll(job_id, /*deliver=*/true);
+    HTDP_RETURN_IF_ERROR(state.status());
+    switch (state.value().state) {
+      case WireJobState::kInFlight:
+        // The server parks deliver-polls until completion, so this loop
+        // does not spin; a plain re-poll is just a retry after a spurious
+        // in-flight report.
+        continue;
+      case WireJobState::kDoneError:
+        return StatusFromWire(state.value().wire_code,
+                              std::move(state.value().message));
+      case WireJobState::kDoneOk:
+        return CollectResult(job_id);
+    }
+  }
+}
+
+StatusOr<FitResult> Client::AwaitStreamed(std::uint64_t job_id) {
+  while (true) {
+    auto done = pushed_states_.find(job_id);
+    if (done != pushed_states_.end() &&
+        done->second.state != WireJobState::kInFlight) {
+      JobStateMsg msg = std::move(done->second);
+      pushed_states_.erase(done);
+      if (msg.state == WireJobState::kDoneError) {
+        return StatusFromWire(msg.wire_code, std::move(msg.message));
+      }
+      return CollectResult(job_id);
+    }
+    StatusOr<Frame> frame = ReadFrame();
+    HTDP_RETURN_IF_ERROR(frame.status());
+    HTDP_RETURN_IF_ERROR(AbsorbPush(frame.value()));
+  }
+}
+
+StatusOr<JobStateMsg> Client::Cancel(std::uint64_t job_id) {
+  WireWriter writer;
+  EncodeCancel(writer, CancelRequest{job_id});
+  HTDP_RETURN_IF_ERROR(SendFrame(FrameType::kCancel, writer.bytes()));
+
+  StatusOr<Frame> reply = ReadReply(job_id);
+  HTDP_RETURN_IF_ERROR(reply.status());
+  WireReader reader(reply.value().payload);
+  if (reply.value().type == FrameType::kError) {
+    WireError error;
+    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
+    return StatusFromWire(error.wire_code, std::move(error.message));
+  }
+  if (reply.value().type != FrameType::kJobState) {
+    return UnexpectedFrame(reply.value());
+  }
+  JobStateMsg msg;
+  HTDP_RETURN_IF_ERROR(DecodeJobState(reader, &msg));
+  return msg;
+}
+
+StatusOr<StatsReply> Client::Stats() {
+  HTDP_RETURN_IF_ERROR(SendFrame(FrameType::kStats, {}));
+  StatusOr<Frame> reply = ReadReply(0);
+  HTDP_RETURN_IF_ERROR(reply.status());
+  WireReader reader(reply.value().payload);
+  if (reply.value().type == FrameType::kError) {
+    WireError error;
+    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
+    return StatusFromWire(error.wire_code, std::move(error.message));
+  }
+  if (reply.value().type != FrameType::kStatsOk) {
+    return UnexpectedFrame(reply.value());
+  }
+  StatsReply stats;
+  HTDP_RETURN_IF_ERROR(DecodeStats(reader, &stats));
+  return stats;
+}
+
+StatusOr<SolverListReply> Client::ListSolvers() {
+  HTDP_RETURN_IF_ERROR(SendFrame(FrameType::kListSolvers, {}));
+  StatusOr<Frame> reply = ReadReply(0);
+  HTDP_RETURN_IF_ERROR(reply.status());
+  WireReader reader(reply.value().payload);
+  if (reply.value().type == FrameType::kError) {
+    WireError error;
+    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
+    return StatusFromWire(error.wire_code, std::move(error.message));
+  }
+  if (reply.value().type != FrameType::kSolverList) {
+    return UnexpectedFrame(reply.value());
+  }
+  SolverListReply list;
+  HTDP_RETURN_IF_ERROR(DecodeSolverList(reader, &list));
+  return list;
+}
+
+}  // namespace net
+}  // namespace htdp

@@ -1,0 +1,97 @@
+#ifndef HTDP_NET_CLIENT_H_
+#define HTDP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/fit_result.h"
+#include "net/codec.h"
+#include "net/serialize.h"
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace htdp {
+namespace net {
+
+/// ## net::Client -- the library face of the htdpd protocol
+///
+/// One Client is one connection. htdpctl's subcommands, the loopback tests
+/// and the BM_DaemonRoundTrip bench all drive the daemon through this class,
+/// so the wire logic exists in exactly one place on the client side.
+///
+/// Every remote failure comes back as the same typed Status the in-process
+/// API would have produced (wire_status.h reconstructs the code), so calling
+/// code branches on status.code() identically for local and remote fits.
+///
+/// Blocking and single-threaded: one request is in flight at a time. Frames
+/// the server pushes for streamed jobs (JOB_STATE / RESULT_CHUNK /
+/// RESULT_END) are absorbed whenever the client is reading and replayed by
+/// AwaitStreamed, so interleaving streamed submits with polls on one
+/// connection works.
+class Client {
+ public:
+  /// Dials host:port. The returned client owns the connection.
+  static StatusOr<std::unique_ptr<Client>> Connect(
+      const std::string& host, std::uint16_t port,
+      std::size_t max_payload = kDefaultMaxPayloadBytes);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// SUBMIT -> job id, or the typed rejection (kBudgetExhausted for an
+  /// over-budget tenant, kUnknownSolver, kInvalidProblem, ...).
+  StatusOr<std::uint64_t> Submit(const SubmitRequest& request);
+
+  /// POLL -> the job's state. With deliver=true a done-ok job's result
+  /// frames follow the reply and are retained for FetchResult/WaitResult.
+  StatusOr<JobStateMsg> Poll(std::uint64_t job_id, bool deliver);
+
+  /// Polls until the job completes, then returns its FitResult (done-ok) or
+  /// the carried typed error (done-error, e.g. kCancelled).
+  StatusOr<FitResult> WaitResult(std::uint64_t job_id);
+
+  /// For a job submitted with stream=true: blocks on the pushed frames
+  /// (no polling) and returns the result or carried error.
+  StatusOr<FitResult> AwaitStreamed(std::uint64_t job_id);
+
+  /// CANCEL -> the job's resulting state (kDoneError/kCancelled if the
+  /// cancel landed; done-ok if the job had already finished).
+  StatusOr<JobStateMsg> Cancel(std::uint64_t job_id);
+
+  StatusOr<StatsReply> Stats();
+  StatusOr<SolverListReply> ListSolvers();
+
+ private:
+  Client(UniqueFd fd, std::size_t max_payload)
+      : fd_(std::move(fd)), max_payload_(max_payload), decoder_(max_payload) {}
+
+  Status SendFrame(FrameType type, const std::vector<std::uint8_t>& payload);
+  /// Blocks for the next frame (pushes included).
+  StatusOr<Frame> ReadFrame();
+  /// Blocks for the reply to the outstanding request, absorbing pushed
+  /// frames. `expect_job` disambiguates a JOB_STATE reply from a pushed
+  /// JOB_STATE of some other streamed job (0 = no job-scoped reply).
+  StatusOr<Frame> ReadReply(std::uint64_t expect_job);
+  /// Files a pushed frame into the assembly/completion maps. Returns the
+  /// decode error for a malformed push.
+  Status AbsorbPush(const Frame& frame);
+  /// Reads frames until job_id's result bytes are complete, then decodes.
+  StatusOr<FitResult> CollectResult(std::uint64_t job_id);
+
+  UniqueFd fd_;
+  std::size_t max_payload_;
+  FrameDecoder decoder_;
+  std::set<std::uint64_t> streamed_;  // jobs submitted with stream=true
+  std::map<std::uint64_t, std::vector<std::uint8_t>> assembling_;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> finished_;
+  std::map<std::uint64_t, JobStateMsg> pushed_states_;
+};
+
+}  // namespace net
+}  // namespace htdp
+
+#endif  // HTDP_NET_CLIENT_H_

@@ -1,0 +1,325 @@
+#include "net/codec.h"
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+#include "util/check.h"
+
+namespace htdp {
+namespace net {
+namespace {
+
+std::string TruncatedMessage(const char* what) {
+  return std::string("truncated payload reading ") + what;
+}
+
+}  // namespace
+
+bool KnownFrameType(std::uint8_t value) {
+  switch (static_cast<FrameType>(value)) {
+    case FrameType::kSubmit:
+    case FrameType::kSubmitOk:
+    case FrameType::kPoll:
+    case FrameType::kJobState:
+    case FrameType::kCancel:
+    case FrameType::kStats:
+    case FrameType::kStatsOk:
+    case FrameType::kListSolvers:
+    case FrameType::kSolverList:
+    case FrameType::kResultChunk:
+    case FrameType::kResultEnd:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kSubmit:
+      return "submit";
+    case FrameType::kSubmitOk:
+      return "submit-ok";
+    case FrameType::kPoll:
+      return "poll";
+    case FrameType::kJobState:
+      return "job-state";
+    case FrameType::kCancel:
+      return "cancel";
+    case FrameType::kStats:
+      return "stats";
+    case FrameType::kStatsOk:
+      return "stats-ok";
+    case FrameType::kListSolvers:
+      return "list-solvers";
+    case FrameType::kSolverList:
+      return "solver-list";
+    case FrameType::kResultChunk:
+      return "result-chunk";
+    case FrameType::kResultEnd:
+      return "result-end";
+    case FrameType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// WireWriter
+
+void WireWriter::U16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::U32(std::uint32_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 16));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void WireWriter::U64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::Str(const std::string& v) {
+  HTDP_CHECK(v.size() <= 0xffffffffu) << "string too long for the wire";
+  U32(static_cast<std::uint32_t>(v.size()));
+  Raw(v.data(), v.size());
+}
+
+void WireWriter::F64Vec(const std::vector<double>& v) {
+  U64(static_cast<std::uint64_t>(v.size()));
+  for (double x : v) F64(x);
+}
+
+void WireWriter::U64Vec(const std::vector<std::uint64_t>& v) {
+  U64(static_cast<std::uint64_t>(v.size()));
+  for (std::uint64_t x : v) U64(x);
+}
+
+void WireWriter::Raw(const void* data, std::size_t n) {
+  const std::uint8_t* bytes = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), bytes, bytes + n);
+}
+
+// ---------------------------------------------------------------------------
+// WireReader
+
+Status WireReader::Need(std::size_t n, const char* what) {
+  if (size_ - offset_ < n) {
+    return Status::InvalidProblem(TruncatedMessage(what));
+  }
+  return Status::Ok();
+}
+
+Status WireReader::U8(std::uint8_t* out, const char* what) {
+  HTDP_RETURN_IF_ERROR(Need(1, what));
+  *out = data_[offset_++];
+  return Status::Ok();
+}
+
+Status WireReader::U16(std::uint16_t* out, const char* what) {
+  HTDP_RETURN_IF_ERROR(Need(2, what));
+  *out = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(data_[offset_]) |
+      static_cast<std::uint16_t>(data_[offset_ + 1]) << 8);
+  offset_ += 2;
+  return Status::Ok();
+}
+
+Status WireReader::U32(std::uint32_t* out, const char* what) {
+  HTDP_RETURN_IF_ERROR(Need(4, what));
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  *out = v;
+  return Status::Ok();
+}
+
+Status WireReader::U64(std::uint64_t* out, const char* what) {
+  HTDP_RETURN_IF_ERROR(Need(8, what));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  *out = v;
+  return Status::Ok();
+}
+
+Status WireReader::I32(std::int32_t* out, const char* what) {
+  std::uint32_t raw = 0;
+  HTDP_RETURN_IF_ERROR(U32(&raw, what));
+  *out = static_cast<std::int32_t>(raw);
+  return Status::Ok();
+}
+
+Status WireReader::F64(double* out, const char* what) {
+  std::uint64_t raw = 0;
+  HTDP_RETURN_IF_ERROR(U64(&raw, what));
+  *out = std::bit_cast<double>(raw);
+  return Status::Ok();
+}
+
+Status WireReader::Bool(bool* out, const char* what) {
+  std::uint8_t raw = 0;
+  HTDP_RETURN_IF_ERROR(U8(&raw, what));
+  if (raw > 1) {
+    return Status::InvalidProblem(std::string("non-boolean byte reading ") +
+                                  what);
+  }
+  *out = raw != 0;
+  return Status::Ok();
+}
+
+Status WireReader::Str(std::string* out, const char* what) {
+  std::uint32_t length = 0;
+  HTDP_RETURN_IF_ERROR(U32(&length, what));
+  HTDP_RETURN_IF_ERROR(Need(length, what));
+  out->assign(reinterpret_cast<const char*>(data_ + offset_), length);
+  offset_ += length;
+  return Status::Ok();
+}
+
+Status WireReader::F64Vec(std::vector<double>* out, const char* what) {
+  std::uint64_t count = 0;
+  HTDP_RETURN_IF_ERROR(U64(&count, what));
+  // Validate the declared count against the bytes actually present before
+  // allocating, so a corrupted count cannot force a huge allocation.
+  if (count > remaining() / 8) {
+    return Status::InvalidProblem(TruncatedMessage(what));
+  }
+  out->resize(static_cast<std::size_t>(count));
+  for (double& x : *out) HTDP_RETURN_IF_ERROR(F64(&x, what));
+  return Status::Ok();
+}
+
+Status WireReader::U64Vec(std::vector<std::uint64_t>* out, const char* what) {
+  std::uint64_t count = 0;
+  HTDP_RETURN_IF_ERROR(U64(&count, what));
+  if (count > remaining() / 8) {
+    return Status::InvalidProblem(TruncatedMessage(what));
+  }
+  out->resize(static_cast<std::size_t>(count));
+  for (std::uint64_t& x : *out) HTDP_RETURN_IF_ERROR(U64(&x, what));
+  return Status::Ok();
+}
+
+Status WireReader::Bytes(void* out, std::size_t n, const char* what) {
+  HTDP_RETURN_IF_ERROR(Need(n, what));
+  std::memcpy(out, data_ + offset_, n);
+  offset_ += n;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+
+void AppendFrame(std::vector<std::uint8_t>& out, FrameType type,
+                 const std::uint8_t* payload, std::size_t payload_size,
+                 std::size_t max_payload) {
+  HTDP_CHECK(payload_size <= max_payload)
+      << "frame payload of " << payload_size
+      << " bytes exceeds the limit of " << max_payload
+      << " (chunk large messages)";
+  const std::uint32_t length = static_cast<std::uint32_t>(payload_size);
+  out.reserve(out.size() + kFrameHeaderBytes + payload_size);
+  // Magic, spelled as bytes so the file encodes exactly "htdp".
+  out.push_back('h');
+  out.push_back('t');
+  out.push_back('d');
+  out.push_back('p');
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);  // reserved flags
+  out.push_back(0);
+  out.push_back(static_cast<std::uint8_t>(length));
+  out.push_back(static_cast<std::uint8_t>(length >> 8));
+  out.push_back(static_cast<std::uint8_t>(length >> 16));
+  out.push_back(static_cast<std::uint8_t>(length >> 24));
+  out.insert(out.end(), payload, payload + payload_size);
+}
+
+std::vector<std::uint8_t> EncodeFrame(FrameType type,
+                                      const std::vector<std::uint8_t>& payload,
+                                      std::size_t max_payload) {
+  std::vector<std::uint8_t> out;
+  AppendFrame(out, type, payload.data(), payload.size(), max_payload);
+  return out;
+}
+
+void FrameDecoder::Feed(const std::uint8_t* data, std::size_t n) {
+  // Compact lazily: once the consumed prefix dominates the buffer, slide the
+  // live bytes down so the buffer does not grow without bound on a
+  // long-lived connection.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+Status FrameDecoder::Next(std::optional<Frame>* frame) {
+  frame->reset();
+  if (!poisoned_.ok()) return poisoned_;
+
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Status::Ok();
+  const std::uint8_t* h = buffer_.data() + consumed_;
+
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(h[i]) << (8 * i);
+  }
+  if (magic != kWireMagic) {
+    poisoned_ = Status::InvalidProblem("bad frame magic (not an htdp peer?)");
+    return poisoned_;
+  }
+  if (h[4] != kWireVersion) {
+    poisoned_ = Status::InvalidProblem(
+        "unsupported wire version " + std::to_string(h[4]) +
+        " (this build speaks version " + std::to_string(kWireVersion) + ")");
+    return poisoned_;
+  }
+  if (!KnownFrameType(h[5])) {
+    poisoned_ = Status::InvalidProblem("unknown frame type " +
+                                       std::to_string(h[5]));
+    return poisoned_;
+  }
+  if (h[6] != 0 || h[7] != 0) {
+    poisoned_ =
+        Status::InvalidProblem("reserved frame flag bits are not zero");
+    return poisoned_;
+  }
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(h[8 + i]) << (8 * i);
+  }
+  if (length > max_payload_) {
+    poisoned_ = Status::InvalidProblem(
+        "oversized frame: " + std::to_string(length) +
+        " payload bytes exceeds the limit of " + std::to_string(max_payload_));
+    return poisoned_;
+  }
+  if (available < kFrameHeaderBytes + length) return Status::Ok();  // partial
+
+  Frame out;
+  out.type = static_cast<FrameType>(h[5]);
+  out.payload.assign(h + kFrameHeaderBytes, h + kFrameHeaderBytes + length);
+  consumed_ += kFrameHeaderBytes + length;
+  frame->emplace(std::move(out));
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace htdp

@@ -1,0 +1,204 @@
+#ifndef HTDP_NET_CODEC_H_
+#define HTDP_NET_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htdp {
+namespace net {
+
+/// ## The htdpd wire codec: length-prefixed frames, explicit little-endian
+///
+/// Everything htdpd speaks is a FRAME:
+///
+///   offset  size  field
+///   0       4     magic   'h' 't' 'd' 'p' (0x70647468 as little-endian u32)
+///   4       1     version (kWireVersion)
+///   5       1     type    (FrameType)
+///   6       2     flags   reserved, must be zero
+///   8       4     payload length in bytes (little-endian)
+///   12      ...   payload
+///
+/// Integers are encoded little-endian BY BYTE SHIFTS -- never by casting a
+/// struct or pointer onto the buffer -- so the format is identical on every
+/// host and the readers have no alignment or aliasing hazards. Doubles
+/// travel as their IEEE-754 bit pattern in a u64, which makes every numeric
+/// payload bit-exact end to end: a dataset uploaded through the codec fits
+/// to the same bits as the in-process original.
+///
+/// This is the daemon's trust boundary, so the decoding contract is strict:
+/// a malformed, truncated, corrupted-length or oversized frame surfaces as a
+/// typed error Status (util/status.h taxonomy, kInvalidProblem) and NEVER
+/// crashes, allocates unboundedly, or aborts the process
+/// (tests/codec_test.cc sweeps these cases under sanitizers).
+inline constexpr std::uint32_t kWireMagic = 0x70647468u;  // "htdp"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// Hard ceiling on a single frame's payload, defending the daemon against a
+/// hostile 4 GiB length prefix. Large enough for the biggest practical
+/// dataset upload (64 MiB ~ a 1M x 8 or 16k x 512 double matrix); results
+/// larger than one frame stream as RESULT_CHUNK frames instead.
+inline constexpr std::size_t kDefaultMaxPayloadBytes = 64u << 20;
+
+/// Streamed FitResult payloads are cut into chunks of at most this size so
+/// one giant result cannot monopolize a connection's write buffer.
+inline constexpr std::size_t kResultChunkBytes = 256u << 10;
+
+/// Every message type of protocol version 1. Values are wire-stable: never
+/// renumber, only append. (6 was reserved for a dedicated CANCEL_OK and is
+/// intentionally unused -- CANCEL replies with a JOB_STATE frame.)
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,       // client -> server: run a fit
+  kSubmitOk = 2,     // server -> client: job accepted, carries the job id
+  kPoll = 3,         // client -> server: query a job
+  kJobState = 4,     // server -> client: job status (poll/cancel reply, or
+                     //   pushed for streamed jobs)
+  kCancel = 5,       // client -> server: cancel a job
+  kStats = 7,        // client -> server: engine/tenant/daemon counters
+  kStatsOk = 8,      // server -> client
+  kListSolvers = 9,  // client -> server
+  kSolverList = 10,  // server -> client
+  kResultChunk = 11,  // server -> client: slice of a serialized FitResult
+  kResultEnd = 12,    // server -> client: result complete, carries total size
+  kError = 13,        // server -> client: typed request failure
+};
+
+/// True for the type values a version-1 peer understands.
+bool KnownFrameType(std::uint8_t value);
+
+/// Stable lower-case frame-type name for diagnostics, e.g. "submit".
+const char* FrameTypeName(FrameType type);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends primitive values to a byte buffer in the wire encoding. All
+/// multi-byte integers little-endian via shifts; see the format comment
+/// above. The writer never fails: encoding is total.
+class WireWriter {
+ public:
+  void U8(std::uint8_t v) { bytes_.push_back(v); }
+  void U16(std::uint16_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  /// Two's-complement via the u32 carrier (well-defined both directions).
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  /// IEEE-754 bit pattern in a u64: bit-exact for every value including
+  /// NaN payloads, infinities, -0.0 and denormals.
+  void F64(double v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  /// u32 byte length + raw bytes (no terminator).
+  void Str(const std::string& v);
+  /// u64 element count + per-element F64.
+  void F64Vec(const std::vector<double>& v);
+  /// u64 element count + per-element U64.
+  void U64Vec(const std::vector<std::uint64_t>& v);
+  void Raw(const void* data, std::size_t n);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reads primitive values back out of a payload, with every read bounds-
+/// checked: running past the end returns kInvalidProblem naming the field
+/// ("truncated payload reading <what>") instead of touching out-of-range
+/// memory. Container reads validate the declared element count against the
+/// bytes actually remaining BEFORE allocating, so a corrupted count cannot
+/// trigger a multi-gigabyte allocation.
+///
+/// Readers do not require payload exhaustion: trailing bytes they were not
+/// asked to read are ignored, which is the protocol's forward-compatibility
+/// rule (newer peers append fields at the end of existing payloads).
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  Status U8(std::uint8_t* out, const char* what);
+  Status U16(std::uint16_t* out, const char* what);
+  Status U32(std::uint32_t* out, const char* what);
+  Status U64(std::uint64_t* out, const char* what);
+  Status I32(std::int32_t* out, const char* what);
+  Status F64(double* out, const char* what);
+  Status Bool(bool* out, const char* what);
+  Status Str(std::string* out, const char* what);
+  Status F64Vec(std::vector<double>* out, const char* what);
+  Status U64Vec(std::vector<std::uint64_t>* out, const char* what);
+  /// Copies exactly n raw bytes.
+  Status Bytes(void* out, std::size_t n, const char* what);
+
+  std::size_t remaining() const { return size_ - offset_; }
+  std::size_t offset() const { return offset_; }
+
+ private:
+  Status Need(std::size_t n, const char* what);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+/// Encodes a complete frame (header + payload). Aborts via HTDP_CHECK if the
+/// payload exceeds `max_payload` -- oversized frames are a programming error
+/// on the sending side (results are chunked; nothing else grows unbounded).
+std::vector<std::uint8_t> EncodeFrame(
+    FrameType type, const std::vector<std::uint8_t>& payload,
+    std::size_t max_payload = kDefaultMaxPayloadBytes);
+
+/// Appends the encoded frame to `out` (the per-connection write buffer).
+void AppendFrame(std::vector<std::uint8_t>& out, FrameType type,
+                 const std::uint8_t* payload, std::size_t payload_size,
+                 std::size_t max_payload = kDefaultMaxPayloadBytes);
+
+/// Incremental frame extractor over a byte stream: feed it whatever the
+/// socket produced, then pull complete frames out. Unlike the payload
+/// readers it is stateful, because TCP has no message boundaries.
+///
+/// Error contract: Next() returning a non-ok Status means the STREAM is
+/// poisoned (bad magic, unsupported version, reserved flag bits, unknown
+/// type, oversized length) -- there is no way to re-synchronize a
+/// length-prefixed stream after a corrupt header, so the connection must be
+/// closed (after sending a best-effort ERROR frame). A truncated stream is
+/// NOT an error: Next() just reports no-frame-yet until more bytes arrive.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw socket bytes. No validation happens here.
+  void Feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extracts the next complete frame:
+  ///   ok,  frame set   -> one frame decoded, call again (more may be ready)
+  ///   ok,  frame empty -> need more bytes
+  ///   !ok              -> protocol violation; close the connection
+  /// After an error the decoder stays poisoned and keeps returning it.
+  Status Next(std::optional<Frame>* frame);
+
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // bytes of buffer_ already handed out
+  Status poisoned_ = Status::Ok();
+};
+
+}  // namespace net
+}  // namespace htdp
+
+#endif  // HTDP_NET_CODEC_H_

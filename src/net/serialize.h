@@ -1,0 +1,225 @@
+#ifndef HTDP_NET_SERIALIZE_H_
+#define HTDP_NET_SERIALIZE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/fit_result.h"
+#include "api/problem.h"
+#include "api/solver_spec.h"
+#include "data/dataset.h"
+#include "dp/privacy.h"
+#include "losses/loss.h"
+#include "net/codec.h"
+#include "optim/polytope.h"
+#include "util/status.h"
+
+namespace htdp {
+namespace net {
+
+/// ## Message payloads of the htdpd protocol (version 1)
+///
+/// This layer turns the library's value types -- Problem, SolverSpec,
+/// FitResult, EngineStats -- into frame payloads and back, on top of the
+/// WireWriter/WireReader primitives of net/codec.h. Every Decode* returns a
+/// typed Status (never aborts, never trusts a length field), and every
+/// numeric field round-trips bit-exactly, which is what makes a remote fit
+/// bit-identical to an in-process TryFit on the same seed.
+///
+/// A Problem cannot travel as-is: it holds non-owning pointers to a Loss, a
+/// Dataset and a Polytope that live in the caller's process. WireProblem is
+/// the owning, nominal description that does travel -- the dataset by value,
+/// the loss and constraint by registry-style name + parameter -- and
+/// ProblemHolder materializes it back into real objects server-side.
+
+// --- WireProblem --------------------------------------------------------
+
+/// Loss families constructible over the wire. Values are wire-stable.
+inline constexpr const char* kWireLossSquared = "squared";
+inline constexpr const char* kWireLossLogistic = "logistic";  // param = ridge
+inline constexpr const char* kWireLossHuber = "huber";        // param = c
+inline constexpr const char* kWireLossBiweight = "biweight";  // param = c
+inline constexpr const char* kWireLossMean = "mean";
+
+/// Constraint geometries constructible over the wire. Values are
+/// wire-stable.
+enum class WireConstraint : std::uint8_t {
+  kNone = 0,
+  kL1Ball = 1,   // radius field applies
+  kSimplex = 2,  // probability simplex, radius ignored
+};
+
+/// The owning wire form of a Problem.
+struct WireProblem {
+  Dataset data;
+  std::string loss;        // one of the kWireLoss* names; "" = no loss
+  double loss_param = 0.0; // ridge (logistic) or c (huber/biweight)
+  WireConstraint constraint = WireConstraint::kNone;
+  double constraint_radius = 1.0;
+  std::uint64_t prefix = 0;
+  std::uint64_t target_sparsity = 0;
+  Vector w0;
+};
+
+void EncodeWireProblem(WireWriter& w, const WireProblem& problem);
+Status DecodeWireProblem(WireReader& r, WireProblem* out);
+
+/// Owns the Loss/Polytope/Dataset materialized from a WireProblem and the
+/// Problem view pointing into them. Heap-pinned (no copies or moves) because
+/// the Problem's non-owning pointers alias the members.
+class ProblemHolder {
+ public:
+  /// kInvalidProblem on an unknown loss or constraint name; shape errors are
+  /// left to the solver's own validation so the diagnostics match the
+  /// in-process path exactly.
+  static StatusOr<std::unique_ptr<ProblemHolder>> Materialize(WireProblem wp);
+
+  ProblemHolder(const ProblemHolder&) = delete;
+  ProblemHolder& operator=(const ProblemHolder&) = delete;
+
+  const Problem& problem() const { return problem_; }
+
+ private:
+  ProblemHolder() = default;
+
+  Dataset data_;
+  std::unique_ptr<Loss> loss_;
+  std::unique_ptr<Polytope> constraint_;
+  Problem problem_;
+};
+
+// --- SolverSpec ---------------------------------------------------------
+
+/// Encodes the POD surface of a SolverSpec (budget, accounting backend,
+/// schedule and knob fields). The function-valued members (observer,
+/// should_stop) and the resolution inputs the solver fills itself
+/// (algorithm, target_sparsity, num_vertices) do not travel.
+void EncodeSpec(WireWriter& w, const SolverSpec& spec);
+Status DecodeSpec(WireReader& r, SolverSpec* out);
+
+// --- FitResult ----------------------------------------------------------
+
+void EncodeFitResult(WireWriter& w, const FitResult& result);
+Status DecodeFitResult(WireReader& r, FitResult* out);
+
+// --- Request / reply messages -------------------------------------------
+
+/// SUBMIT payload.
+struct SubmitRequest {
+  std::string tenant;  // "" = no tenant accounting
+  std::string solver;  // SolverRegistry name
+  std::string tag;
+  std::uint64_t seed = 0;
+  double deadline_seconds = 0.0;
+  bool stream = false;  // push JOB_STATE + result frames on completion
+  SolverSpec spec;
+  WireProblem problem;
+};
+void EncodeSubmit(WireWriter& w, const SubmitRequest& request);
+Status DecodeSubmit(WireReader& r, SubmitRequest* out);
+
+/// SUBMIT_OK payload.
+struct SubmitOk {
+  std::uint64_t job_id = 0;
+};
+void EncodeSubmitOk(WireWriter& w, const SubmitOk& msg);
+Status DecodeSubmitOk(WireReader& r, SubmitOk* out);
+
+/// POLL payload.
+struct PollRequest {
+  std::uint64_t job_id = 0;
+  bool deliver = false;  // when done-ok, follow up with the result frames
+};
+void EncodePoll(WireWriter& w, const PollRequest& request);
+Status DecodePoll(WireReader& r, PollRequest* out);
+
+/// Job lifecycle state on the wire. Values are wire-stable (1 was reserved
+/// for a distinct "running" state the Engine does not currently expose).
+enum class WireJobState : std::uint8_t {
+  kInFlight = 0,   // queued or running
+  kDoneOk = 2,     // finished with a FitResult
+  kDoneError = 3,  // finished with the carried typed error
+};
+
+/// JOB_STATE payload (reply to POLL/CANCEL; pushed for streamed jobs).
+struct JobStateMsg {
+  std::uint64_t job_id = 0;
+  WireJobState state = WireJobState::kInFlight;
+  std::uint16_t wire_code = 0;  // wire_status.h code when kDoneError
+  std::string message;
+};
+void EncodeJobState(WireWriter& w, const JobStateMsg& msg);
+Status DecodeJobState(WireReader& r, JobStateMsg* out);
+
+/// CANCEL payload.
+struct CancelRequest {
+  std::uint64_t job_id = 0;
+};
+void EncodeCancel(WireWriter& w, const CancelRequest& request);
+Status DecodeCancel(WireReader& r, CancelRequest* out);
+
+/// STATS_OK payload: the Engine counters plus per-tenant budget accounting
+/// and daemon-level gauges.
+struct StatsReply {
+  EngineStats engine;
+  struct TenantRow {
+    std::string name;
+    PrivacyBudget total;
+    PrivacyBudget spent;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t refunded = 0;
+  };
+  std::vector<TenantRow> tenants;
+  std::uint64_t connections = 0;
+  std::uint64_t retained_jobs = 0;
+  bool draining = false;
+};
+void EncodeStats(WireWriter& w, const StatsReply& msg);
+Status DecodeStats(WireReader& r, StatsReply* out);
+
+/// SOLVER_LIST payload.
+struct SolverListReply {
+  struct Row {
+    std::string name;
+    std::string description;
+  };
+  std::vector<Row> solvers;
+};
+void EncodeSolverList(WireWriter& w, const SolverListReply& msg);
+Status DecodeSolverList(WireReader& r, SolverListReply* out);
+
+/// RESULT_CHUNK payload: one slice of a serialized FitResult. Chunks for a
+/// job arrive in order on a connection; RESULT_END closes the sequence.
+struct ResultChunk {
+  std::uint64_t job_id = 0;
+  std::vector<std::uint8_t> bytes;
+};
+void EncodeResultChunk(WireWriter& w, const ResultChunk& msg);
+Status DecodeResultChunk(WireReader& r, ResultChunk* out);
+
+/// RESULT_END payload.
+struct ResultEnd {
+  std::uint64_t job_id = 0;
+  std::uint64_t total_bytes = 0;  // must equal the concatenated chunk size
+};
+void EncodeResultEnd(WireWriter& w, const ResultEnd& msg);
+Status DecodeResultEnd(WireReader& r, ResultEnd* out);
+
+/// ERROR payload: a typed request failure. job_id is 0 when the error is
+/// not about a specific job (e.g. a malformed frame).
+struct WireError {
+  std::uint16_t wire_code = 0;  // wire_status.h table
+  std::uint64_t job_id = 0;
+  std::string message;
+};
+void EncodeError(WireWriter& w, const WireError& msg);
+Status DecodeError(WireReader& r, WireError* out);
+
+}  // namespace net
+}  // namespace htdp
+
+#endif  // HTDP_NET_SERIALIZE_H_

@@ -1,0 +1,384 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace htdp {
+namespace net {
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+Status Errno(const char* op) {
+  return Status::InvalidProblem(std::string(op) + ": " +
+                                std::strerror(errno));
+}
+
+/// "localhost" convenience alias aside, hosts are IPv4 dotted-quad: the
+/// daemon is a loopback/LAN control surface, not a public endpoint.
+StatusOr<in_addr> ParseHost(const std::string& host) {
+  std::string spelled = host.empty() || host == "localhost"
+                            ? std::string("127.0.0.1")
+                            : host;
+  in_addr addr{};
+  if (inet_pton(AF_INET, spelled.c_str(), &addr) != 1) {
+    return Status::InvalidProblem("unparseable IPv4 host \"" + host + "\"");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<UniqueFd> ListenTcp(const std::string& host, std::uint16_t port) {
+  StatusOr<in_addr> addr = ParseHost(host);
+  HTDP_RETURN_IF_ERROR(addr.status());
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr = *addr;
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), 64) != 0) return Errno("listen");
+  return fd;
+}
+
+StatusOr<UniqueFd> DialTcp(const std::string& host, std::uint16_t port) {
+  StatusOr<in_addr> addr = ParseHost(host);
+  HTDP_RETURN_IF_ERROR(addr.status());
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+
+  int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr = *addr;
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  return fd;
+}
+
+StatusOr<std::uint16_t> LocalPort(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<std::uint16_t>(ntohs(sa.sin_port));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Status SendAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::size_t> RecvSome(int fd, std::uint8_t* out, std::size_t n) {
+  while (true) {
+    ssize_t rc = ::recv(fd, out, n, 0);
+    if (rc >= 0) return static_cast<std::size_t>(rc);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+void IgnoreSigpipeOnce() {
+  static const bool ignored = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)ignored;
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop
+
+EventLoop::EventLoop(Callbacks callbacks, double idle_timeout_seconds)
+    : callbacks_(std::move(callbacks)),
+      idle_timeout_seconds_(idle_timeout_seconds) {}
+
+EventLoop::~EventLoop() = default;
+
+Status EventLoop::Init() {
+  IgnoreSigpipeOnce();
+  int fds[2];
+  if (::pipe(fds) != 0) return Errno("pipe");
+  wake_read_ = UniqueFd(fds[0]);
+  wake_write_ = UniqueFd(fds[1]);
+  HTDP_RETURN_IF_ERROR(SetNonBlocking(wake_read_.get()));
+  HTDP_RETURN_IF_ERROR(SetNonBlocking(wake_write_.get()));
+  return Status::Ok();
+}
+
+void EventLoop::SetListener(UniqueFd listener) {
+  (void)SetNonBlocking(listener.get());
+  listener_ = std::move(listener);
+}
+
+void EventLoop::StopAccepting() { listener_.Reset(); }
+
+void EventLoop::AddConnection(UniqueFd fd) {
+  (void)SetNonBlocking(fd.get());
+  int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int key = fd.get();
+  Connection conn;
+  conn.fd = std::move(fd);
+  conn.last_activity = std::chrono::steady_clock::now();
+  connections_.emplace(key, std::move(conn));
+}
+
+void EventLoop::Send(int fd, const std::uint8_t* data, std::size_t n) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  it->second.outbox.insert(it->second.outbox.end(), data, data + n);
+}
+
+void EventLoop::CloseAfterFlush(int fd, Status reason) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (it->second.outbox.size() == it->second.outbox_offset) {
+    Remove(fd, reason);
+    return;
+  }
+  it->second.closing = true;
+  it->second.close_reason = std::move(reason);
+}
+
+void EventLoop::Close(int fd, Status reason) { Remove(fd, reason); }
+
+void EventLoop::MarkBusy(int fd, bool busy) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  it->second.busy += busy ? 1 : -1;
+  if (it->second.busy < 0) it->second.busy = 0;
+  if (!busy) it->second.last_activity = std::chrono::steady_clock::now();
+}
+
+void EventLoop::Wake() {
+  // write(2) is async-signal-safe; the pipe is non-blocking, so a full pipe
+  // (wake already pending) is fine to ignore.
+  const std::uint8_t byte = 1;
+  [[maybe_unused]] ssize_t rc = ::write(wake_write_.get(), &byte, 1);
+}
+
+bool EventLoop::AllFlushed() const {
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.outbox.size() != conn.outbox_offset) return false;
+  }
+  return true;
+}
+
+void EventLoop::Stop() { running_ = false; }
+
+int EventLoop::PollTimeoutMs() const {
+  if (idle_timeout_seconds_ <= 0 || connections_.empty()) return 1000;
+  // Wake at least often enough to notice the earliest possible expiry.
+  const int ms = static_cast<int>(idle_timeout_seconds_ * 1000.0 / 2.0);
+  return std::clamp(ms, 10, 1000);
+}
+
+void EventLoop::SweepIdle() {
+  if (idle_timeout_seconds_ <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.busy > 0 || conn.closing) continue;
+    const double idle =
+        std::chrono::duration<double>(now - conn.last_activity).count();
+    if (idle >= idle_timeout_seconds_) expired.push_back(fd);
+  }
+  for (int fd : expired) {
+    Remove(fd, Status::DeadlineExceeded("connection idle timeout"));
+  }
+}
+
+void EventLoop::AcceptPending() {
+  while (listener_.valid()) {
+    int raw = ::accept(listener_.get(), nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (no more pending) or a transient accept error
+    }
+    AddConnection(UniqueFd(raw));
+    if (callbacks_.on_accept) callbacks_.on_accept(raw);
+  }
+}
+
+bool EventLoop::HandleReadable(Connection& conn) {
+  std::uint8_t buffer[kReadChunkBytes];
+  while (true) {
+    ssize_t rc = ::recv(conn.fd.get(), buffer, sizeof(buffer), 0);
+    if (rc > 0) {
+      conn.last_activity = std::chrono::steady_clock::now();
+      if (!conn.closing && callbacks_.on_data) {
+        callbacks_.on_data(conn.fd.get(), buffer,
+                           static_cast<std::size_t>(rc));
+        // The callback may have closed the connection re-entrantly.
+        if (connections_.find(conn.fd.get()) == connections_.end()) {
+          return false;
+        }
+      }
+      if (rc < static_cast<ssize_t>(sizeof(buffer))) return true;
+      continue;
+    }
+    if (rc == 0) {
+      Remove(conn.fd.get(), Status::Ok());  // orderly peer shutdown
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    Remove(conn.fd.get(), Errno("recv"));
+    return false;
+  }
+}
+
+bool EventLoop::HandleWritable(Connection& conn) {
+  while (conn.outbox_offset < conn.outbox.size()) {
+    ssize_t rc = ::send(conn.fd.get(), conn.outbox.data() + conn.outbox_offset,
+                        conn.outbox.size() - conn.outbox_offset, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      Remove(conn.fd.get(), Errno("send"));
+      return false;
+    }
+    conn.outbox_offset += static_cast<std::size_t>(rc);
+    conn.last_activity = std::chrono::steady_clock::now();
+  }
+  if (conn.outbox_offset == conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.outbox_offset = 0;
+    if (conn.closing) {
+      Remove(conn.fd.get(), conn.close_reason);
+      return false;
+    }
+  }
+  return true;
+}
+
+void EventLoop::Remove(int fd, const Status& reason) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  connections_.erase(it);  // closes via UniqueFd
+  if (callbacks_.on_close) callbacks_.on_close(fd, reason);
+}
+
+Status EventLoop::Run() {
+  running_ = true;
+  std::vector<pollfd> pfds;
+  std::vector<int> conn_fds;
+  while (running_) {
+    pfds.clear();
+    conn_fds.clear();
+    pfds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+    if (listener_.valid()) {
+      pfds.push_back(pollfd{listener_.get(), POLLIN, 0});
+    }
+    const std::size_t first_conn = pfds.size();
+    for (auto& [fd, conn] : connections_) {
+      short events = POLLIN;
+      if (conn.outbox_offset < conn.outbox.size()) events |= POLLOUT;
+      pfds.push_back(pollfd{fd, events, 0});
+      conn_fds.push_back(fd);
+    }
+
+    int ready = ::poll(pfds.data(), pfds.size(), PollTimeoutMs());
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+
+    // Wake pipe first: drain it, then run the scheduled work.
+    if (pfds[0].revents & POLLIN) {
+      std::uint8_t sink[64];
+      while (::read(wake_read_.get(), sink, sizeof(sink)) > 0) {
+      }
+      if (callbacks_.on_wake) callbacks_.on_wake();
+      if (!running_) break;
+    }
+
+    if (listener_.valid() && first_conn == 2 && (pfds[1].revents & POLLIN)) {
+      AcceptPending();
+    }
+
+    for (std::size_t i = 0; i < conn_fds.size(); ++i) {
+      const pollfd& p = pfds[first_conn + i];
+      auto it = connections_.find(conn_fds[i]);
+      if (it == connections_.end()) continue;  // removed by a callback
+      if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // Read any final bytes the peer sent before the hangup, then drop.
+        if (p.revents & POLLIN) {
+          if (!HandleReadable(it->second)) continue;
+          it = connections_.find(conn_fds[i]);
+          if (it == connections_.end()) continue;
+        }
+        Remove(conn_fds[i], Status::Ok());
+        continue;
+      }
+      if (p.revents & POLLIN) {
+        if (!HandleReadable(it->second)) continue;
+        it = connections_.find(conn_fds[i]);
+        if (it == connections_.end()) continue;
+      }
+      if ((p.revents & POLLOUT) ||
+          it->second.outbox_offset < it->second.outbox.size()) {
+        if (!HandleWritable(it->second)) continue;
+      }
+    }
+
+    SweepIdle();
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace htdp

@@ -1,0 +1,185 @@
+#ifndef HTDP_NET_TRANSPORT_H_
+#define HTDP_NET_TRANSPORT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htdp {
+namespace net {
+
+/// ## Portable socket transport for htdpd
+///
+/// Thin POSIX layer under the daemon and the client: RAII file descriptors,
+/// IPv4 listen/dial helpers, and a single-threaded poll(2) event loop with
+/// per-connection write buffering, idle timeouts and an async-signal-safe
+/// wake pipe. Nothing here knows about frames or the Engine -- bytes in,
+/// bytes out -- which keeps the protocol logic (daemon/server.cc) testable
+/// against loopback sockets and the codec testable with no sockets at all.
+
+/// RAII owner of a file descriptor. Moveable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();  // closes if valid
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (IPv4 dotted-quad or "localhost";
+/// port 0 = kernel-assigned ephemeral port, read back with LocalPort).
+/// SO_REUSEADDR is set so restarts do not trip over TIME_WAIT.
+StatusOr<UniqueFd> ListenTcp(const std::string& host, std::uint16_t port);
+
+/// Connects to host:port (blocking connect; the caller owns any deadline).
+StatusOr<UniqueFd> DialTcp(const std::string& host, std::uint16_t port);
+
+/// The locally-bound port of a socket -- how tests and the smoke script
+/// discover the ephemeral port of an htdpd started with --port=0.
+StatusOr<std::uint16_t> LocalPort(int fd);
+
+Status SetNonBlocking(int fd);
+
+/// Blocking write of the whole buffer (client side). Returns a typed error
+/// on a broken connection; never raises SIGPIPE.
+Status SendAll(int fd, const std::uint8_t* data, std::size_t n);
+
+/// One blocking read. Returns the byte count, 0 on orderly peer shutdown,
+/// or a typed error. EINTR is retried internally.
+StatusOr<std::size_t> RecvSome(int fd, std::uint8_t* out, std::size_t n);
+
+/// One-shot, process-wide SIGPIPE ignore (writes to dead sockets must
+/// surface as EPIPE Statuses, not kill the daemon).
+void IgnoreSigpipeOnce();
+
+/// Single-threaded poll(2) event loop.
+///
+/// Threading contract: every method except Wake() must be called on the
+/// loop thread (i.e. from inside a callback, or before/after Run()).
+/// Wake() is callable from any thread AND from signal handlers -- it only
+/// write(2)s one byte to a pipe -- and schedules on_wake on the loop thread.
+class EventLoop {
+ public:
+  struct Callbacks {
+    /// A new connection was accepted (already non-blocking and registered).
+    std::function<void(int fd)> on_accept;
+    /// Bytes arrived on a connection.
+    std::function<void(int fd, const std::uint8_t* data, std::size_t n)>
+        on_data;
+    /// A connection was removed (peer closed, error, idle timeout, or an
+    /// explicit Close). The fd is already closed; use it only as a key.
+    std::function<void(int fd, const Status& reason)> on_close;
+    /// Wake() was called (runs once per drain, on the loop thread).
+    std::function<void()> on_wake;
+  };
+
+  /// idle_timeout_seconds <= 0 disables idle sweeping.
+  EventLoop(Callbacks callbacks, double idle_timeout_seconds);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the wake pipe. Must be called (and checked) before Run().
+  Status Init();
+
+  /// Hands the listening socket to the loop (made non-blocking here).
+  void SetListener(UniqueFd listener);
+
+  /// Stops accepting: the listener is closed; existing connections live on.
+  void StopAccepting();
+  bool accepting() const { return listener_.valid(); }
+
+  /// Registers an externally-created connection (tests use this).
+  void AddConnection(UniqueFd fd);
+
+  /// Queues bytes on the connection's write buffer (drained as POLLOUT
+  /// fires). No-op for an unknown fd (it may have just closed).
+  void Send(int fd, const std::uint8_t* data, std::size_t n);
+
+  /// Closes after the write buffer drains -- the "send ERROR, then hang up"
+  /// path. No more on_data will be delivered for this fd.
+  void CloseAfterFlush(int fd, Status reason);
+
+  /// Immediate close (buffered writes are dropped).
+  void Close(int fd, Status reason);
+
+  /// Exempts a connection from the idle sweep while it has server-side work
+  /// in flight (e.g. awaiting a streamed fit). Nestable: each MarkBusy(true)
+  /// must be matched by a MarkBusy(false).
+  void MarkBusy(int fd, bool busy);
+
+  /// Runs until Stop(). Returns the first fatal poll error, else Ok.
+  Status Run();
+
+  /// Ends Run() after the current iteration (loop thread).
+  void Stop();
+
+  /// Async-signal-safe: schedules on_wake on the loop thread.
+  void Wake();
+
+  std::size_t connection_count() const { return connections_.size(); }
+
+  /// True when every connection's write buffer is empty.
+  bool AllFlushed() const;
+
+ private:
+  struct Connection {
+    UniqueFd fd;
+    std::vector<std::uint8_t> outbox;
+    std::size_t outbox_offset = 0;
+    int busy = 0;
+    bool closing = false;  // close once the outbox drains
+    Status close_reason = Status::Ok();
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  void AcceptPending();
+  /// Returns false when the connection was removed.
+  bool HandleReadable(Connection& conn);
+  bool HandleWritable(Connection& conn);
+  void Remove(int fd, const Status& reason);
+  void SweepIdle();
+  int PollTimeoutMs() const;
+
+  Callbacks callbacks_;
+  double idle_timeout_seconds_;
+  UniqueFd listener_;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  std::map<int, Connection> connections_;
+  bool running_ = false;
+};
+
+}  // namespace net
+}  // namespace htdp
+
+#endif  // HTDP_NET_TRANSPORT_H_

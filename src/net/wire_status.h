@@ -1,0 +1,83 @@
+#ifndef HTDP_NET_WIRE_STATUS_H_
+#define HTDP_NET_WIRE_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace htdp {
+namespace net {
+
+/// ## The wire-status table: StatusCode <-> protocol error code
+///
+/// The htdpd protocol reports every failure as a numeric error code inside
+/// an ERROR or JOB_STATE frame (docs/protocol.md). Client and server MUST
+/// agree on those numbers forever -- an htdpctl built last year has to
+/// understand a BUDGET_EXHAUSTED rejection from an htdpd built tomorrow --
+/// so the mapping lives in exactly one table, below, and both directions
+/// (WireStatusFor / StatusCodeFromWire) are generated from it. Never reorder
+/// or renumber rows; append new codes with fresh numbers.
+///
+/// The numeric values deliberately do NOT depend on the StatusCode
+/// enumerator order: util/status.h is free to grow or reorder its enum, and
+/// the wire stays stable (tests/wire_status_test.cc pins every number).
+#define HTDP_WIRE_STATUS_TABLE(X)              \
+  X(StatusCode::kOk, 0)                        \
+  X(StatusCode::kInvalidProblem, 1)            \
+  X(StatusCode::kBudgetExhausted, 2)           \
+  X(StatusCode::kShapeMismatch, 3)             \
+  X(StatusCode::kUnknownSolver, 4)             \
+  X(StatusCode::kCancelled, 5)                 \
+  X(StatusCode::kDeadlineExceeded, 6)
+
+/// The protocol code for a StatusCode. Total over the enum: the table covers
+/// every StatusCode, which the round-trip test enforces.
+constexpr std::uint16_t WireStatusFor(StatusCode code) {
+#define HTDP_WIRE_STATUS_TO_WIRE(status_code, wire_value) \
+  if (code == (status_code)) return (wire_value);
+  HTDP_WIRE_STATUS_TABLE(HTDP_WIRE_STATUS_TO_WIRE)
+#undef HTDP_WIRE_STATUS_TO_WIRE
+  // Unreachable for in-range enumerators; a defensively-cast out-of-range
+  // value degrades to the generic malformed-request code rather than UB.
+  return 1;  // kInvalidProblem
+}
+
+/// The StatusCode for a protocol code; nullopt for a number this build does
+/// not know (a newer peer) -- callers surface that as a typed decode error
+/// instead of guessing.
+constexpr std::optional<StatusCode> StatusCodeFromWire(std::uint16_t wire) {
+#define HTDP_WIRE_STATUS_FROM_WIRE(status_code, wire_value) \
+  if (wire == (wire_value)) return (status_code);
+  HTDP_WIRE_STATUS_TABLE(HTDP_WIRE_STATUS_FROM_WIRE)
+#undef HTDP_WIRE_STATUS_FROM_WIRE
+  return std::nullopt;
+}
+
+/// Named constant for the code the acceptance contract calls out: an
+/// over-budget tenant's SUBMIT is rejected at the socket with this value.
+inline constexpr std::uint16_t kWireBudgetExhausted =
+    WireStatusFor(StatusCode::kBudgetExhausted);
+
+/// Reconstructs a typed Status from a wire code + message, so a remote
+/// rejection branches exactly like a local one (client code switches on
+/// status.code(), never on strings). Unknown codes -- a peer newer than this
+/// build -- come back as kInvalidProblem with the raw number preserved in
+/// the message.
+inline Status StatusFromWire(std::uint16_t wire, std::string message) {
+  const std::optional<StatusCode> code = StatusCodeFromWire(wire);
+  if (!code.has_value()) {
+    return Status::InvalidProblem("unrecognized wire status code " +
+                                  std::to_string(wire) + ": " +
+                                  std::move(message));
+  }
+  if (*code == StatusCode::kOk) return Status::Ok();
+  return Status::WithCode(*code, std::move(message));
+}
+
+}  // namespace net
+}  // namespace htdp
+
+#endif  // HTDP_NET_WIRE_STATUS_H_
