@@ -396,6 +396,121 @@ void BM_DaemonRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_DaemonRoundTrip)->Unit(benchmark::kMillisecond);
 
+// Serving under overload: the same round trip against a deliberately
+// saturated daemon -- one engine worker, a queue cap of 4, and a background
+// flood of submits keeping the queue at its watermark -- driven through
+// SubmitAndWaitWithRetry. This measures what a caller actually experiences
+// during an overload event: the retried round-trip latency (p50/p99 WITH
+// backoff waits included), the flood's shed rate, and the retries each
+// completed operation needed. All three land in BENCH_micro.json, so a
+// regression in the shed path or the backoff schedule shows up in the perf
+// trajectory PR-over-PR.
+void BM_DaemonOverloadRoundTrip(benchmark::State& state) {
+  daemon::ServerOptions options;
+  options.port = 0;
+  options.engine_workers = 1;
+  options.max_queue_depth = 4;
+  StatusOr<std::unique_ptr<daemon::Server>> server =
+      daemon::Server::Create(std::move(options));
+  if (!server.ok()) {
+    state.SkipWithError(server.status().message().c_str());
+    return;
+  }
+  std::thread serve([&] { server.value()->Run(); });
+  StatusOr<std::unique_ptr<net::Client>> flood =
+      net::Client::Connect("127.0.0.1", server.value()->port());
+  StatusOr<std::unique_ptr<net::Client>> probe =
+      flood.ok() ? net::Client::Connect("127.0.0.1", server.value()->port())
+                 : StatusOr<std::unique_ptr<net::Client>>(flood.status());
+  if (!probe.ok()) {
+    server.value()->RequestDrain();
+    serve.join();
+    state.SkipWithError(probe.status().message().c_str());
+    return;
+  }
+
+  const std::size_t n = 400;
+  const std::size_t d = 10;
+  Rng rng(36);
+  SyntheticConfig config{n, d, ScalarDistribution::Lognormal(0.0, 0.6),
+                         ScalarDistribution::Normal(0.0, 0.1)};
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  net::SubmitRequest request;
+  request.solver = kSolverAlg1DpFw;
+  request.spec.budget = PrivacyBudget::Pure(1.0);
+  request.spec.iterations = 20;  // heavy enough that the flood backs up
+  request.spec.scale = 5.0;
+  request.problem.data = GenerateLinear(config, w_star, rng);
+  request.problem.loss = net::kWireLossSquared;
+  request.problem.constraint = net::WireConstraint::kL1Ball;
+  request.problem.constraint_radius = 1.0;
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 0;  // unlimited; the deadline bounds each op
+  policy.deadline_seconds = 30.0;
+  policy.initial_backoff_ms = 1.0;
+  policy.max_backoff_ms = 20.0;
+  policy.jitter_seed = 7;
+
+  std::uint64_t seed = 0;
+  std::size_t flood_submits = 0;
+  std::size_t flood_shed = 0;
+  std::vector<double> latencies_ms;
+  for (auto _ : state) {
+    // Keep the single worker saturated: a burst of fire-and-forget submits,
+    // some of which the watermark latch sheds with immediate UNAVAILABLE
+    // replies (the daemon's memory stays bounded either way).
+    for (int burst = 0; burst < 6; ++burst) {
+      request.seed = ++seed;
+      StatusOr<std::uint64_t> job = flood.value()->Submit(request);
+      ++flood_submits;
+      if (!job.ok()) {
+        if (job.status().code() != StatusCode::kUnavailable) {
+          state.SkipWithError(job.status().message().c_str());
+          break;
+        }
+        ++flood_shed;
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    request.seed = ++seed;
+    StatusOr<FitResult> result =
+        probe.value()->SubmitAndWaitWithRetry(request, policy);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result.value().w.data());
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  const std::size_t probe_retries = probe.value()->retries_used();
+  server.value()->RequestDrain();
+  serve.join();
+
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const auto percentile = [&](double q) {
+      const auto rank = static_cast<std::size_t>(
+          q * static_cast<double>(latencies_ms.size()));
+      return latencies_ms[std::min(rank, latencies_ms.size() - 1)];
+    };
+    state.counters["p50_retry_ms"] = percentile(0.50);
+    state.counters["p99_retry_ms"] = percentile(0.99);
+    state.counters["shed_rate"] =
+        flood_submits > 0 ? static_cast<double>(flood_shed) /
+                                static_cast<double>(flood_submits)
+                          : 0.0;
+    state.counters["retries_per_op"] =
+        static_cast<double>(probe_retries) /
+        static_cast<double>(latencies_ms.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DaemonOverloadRoundTrip)->Unit(benchmark::kMillisecond);
+
 // google-benchmark renamed Run::error_occurred to Run::skipped in v1.8.0;
 // detect whichever member this library version has.
 template <typename R, typename = void>
@@ -433,7 +548,9 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
                             benchmark::GetTimeUnitMultiplier(run.time_unit);
       record.iterations_per_sec =
           record.wall_seconds > 0.0 ? 1.0 / record.wall_seconds : 0.0;
-      for (const char* extra : {"sigma", "sigma_ratio", "p50_ms", "p99_ms"}) {
+      for (const char* extra :
+           {"sigma", "sigma_ratio", "p50_ms", "p99_ms", "p50_retry_ms",
+            "p99_retry_ms", "shed_rate", "retries_per_op"}) {
         const auto it = run.counters.find(extra);
         if (it != run.counters.end()) {
           record.extras.emplace_back(extra, it->second.value);

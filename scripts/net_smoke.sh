@@ -18,6 +18,10 @@
 #     from poll --wait;
 #   * SIGINT drains gracefully: the daemon finishes in-flight work and
 #     exits 0; a SECOND signal mid-drain fast-exits with 130.
+#   * overload: with --queue-cap=2 a flood of heavy submits is shed with
+#     exit 17 (10 + UNAVAILABLE wire code 7) carrying a retry hint, the
+#     shed is visible in stats, and `submit --retry` backs off and
+#     completes once the backlog drains.
 
 set -u
 
@@ -147,6 +151,42 @@ kill -0 "$DAEMON_PID" 2>/dev/null \
     || fail "daemon exited before the drain finished its in-flight job"
 kill -INT "$DAEMON_PID"
 stop_daemon_expect 130 "second SIGINT fast-exits 130"
+
+# ---------------------------------------------------------------------------
+# Daemon 3: overload shedding and the retry/backoff client.
+
+start_daemon "$WORK/d3.log" --workers=1 --queue-cap=2
+
+# One heavy job occupies the single worker, two more fill the queue to its
+# cap; the fourth submit must be shed with the typed UNAVAILABLE exit and a
+# retry hint in the message.
+run_expect 0 "overload: heavy job occupies the worker" \
+    submit --risk-trace --n=10000 --d=40 --iterations=1200 --seed=21
+run_expect 0 "overload: queue slot 1" \
+    submit --risk-trace --n=10000 --d=40 --iterations=1200 --seed=22
+run_expect 0 "overload: queue slot 2" \
+    submit --risk-trace --n=10000 --d=40 --iterations=1200 --seed=23
+run_expect 17 "overload: flood shed exits 17" submit --seed=24
+grep -q "retry after" "$WORK/err" \
+    || fail "shed rejection carried no retry hint"
+
+# The backoff client rides out the backlog (unlimited attempts, bounded by
+# the deadline) and still completes with a checksum.
+run_expect 0 "overload: submit --retry completes" \
+    submit --retry --retry-attempts=0 --retry-deadline=120 --seed=25
+grep -q "w checksum" "$WORK/out" || fail "--retry submit printed no checksum"
+
+# The shedding shows up in the overload counters, text and JSON. The exact
+# count is >= 1: the --retry client's shed attempts counted too.
+run_expect 0 "overload: stats counts the shed" stats
+grep -Eq "[1-9][0-9]* shed at submit" "$WORK/out" \
+    || fail "stats output lacks the shed counter"
+run_expect 0 "overload: stats --json" --json stats
+grep -Eq '"unavailable_rejected": [1-9]' "$WORK/out" \
+    || fail "json stats unavailable_rejected is 0"
+
+kill -INT "$DAEMON_PID"
+stop_daemon_expect 0 "overload daemon drains and exits 0"
 
 # ---------------------------------------------------------------------------
 

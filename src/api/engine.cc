@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <map>
 #include <utility>
 
 #include "api/solver_registry.h"
@@ -38,6 +39,14 @@ struct EngineShared {
   /// construction and never mutated, so it is safe to read without `mu`.
   BudgetManager* budgets = nullptr;
 
+  // Overload-admission knobs (set once at construction, read-only after) and
+  // the watermark latch + per-tenant inflight counts (guarded by mu).
+  std::size_t max_queue_depth = 0;
+  std::size_t queue_resume_depth = 0;
+  std::size_t max_inflight_per_tenant = 0;
+  bool overloaded = false;
+  std::map<std::string, std::size_t> tenant_inflight;
+
   // Counters (guarded by mu). Every submitted job increments `completed`
   // exactly once: at Submit for inline failures, in RunJob's finish, in
   // Cancel's queued branch, or in Shutdown's orphan sweep.
@@ -48,6 +57,8 @@ struct EngineShared {
   std::size_t cancelled = 0;
   std::size_t deadline_exceeded = 0;
   std::size_t budget_rejected = 0;
+  std::size_t unavailable_rejected = 0;
+  std::size_t shed_expired = 0;
   std::size_t running = 0;
 
   const double start_seconds = MonotonicSeconds();
@@ -75,6 +86,10 @@ struct JobRecord {
   /// that completes the job (the unique Complete() winner) reads or clears
   /// it, so no extra synchronization is needed.
   bool charged = false;
+
+  /// True while the job counts against its tenant's inflight cap. Guarded
+  /// by the ENGINE mutex (the count lives in EngineShared::tenant_inflight).
+  bool counted_inflight = false;
 
   /// Refunds the tenant reservation of a job that released no mechanism
   /// output. Call only from the completing path.
@@ -120,10 +135,26 @@ struct JobRecord {
   }
 };
 
+/// Returns the job's slot in its tenant's inflight count. Caller must hold
+/// the engine mutex; idempotent (every completion path calls it once).
+void ReleaseTenantInflightLocked(EngineShared& engine, JobRecord& record) {
+  if (!record.counted_inflight) return;
+  record.counted_inflight = false;
+  const auto it = engine.tenant_inflight.find(record.job.tenant);
+  if (it != engine.tenant_inflight.end()) {
+    if (it->second <= 1) {
+      engine.tenant_inflight.erase(it);
+    } else {
+      --it->second;
+    }
+  }
+}
+
 }  // namespace engine_internal
 
 using engine_internal::EngineShared;
 using engine_internal::JobRecord;
+using engine_internal::ReleaseTenantInflightLocked;
 
 const std::string& JobHandle::tag() const {
   HTDP_CHECK(record_ != nullptr) << "JobHandle is empty";
@@ -164,6 +195,7 @@ void JobHandle::Cancel() {
         record_->stage = JobRecord::Stage::kDone;
         ++engine->completed;
         ++engine->cancelled;
+        ReleaseTenantInflightLocked(*engine, *record_);
         completed = true;
       }
     }
@@ -188,6 +220,15 @@ Engine::Engine() : Engine(Options{}) {}
 Engine::Engine(Options options)
     : state_(std::make_shared<EngineShared>()) {
   state_->budgets = options.budgets;
+  state_->max_queue_depth = options.max_queue_depth;
+  if (options.max_queue_depth > 0) {
+    state_->queue_resume_depth =
+        options.queue_resume_depth > 0 &&
+                options.queue_resume_depth < options.max_queue_depth
+            ? options.queue_resume_depth
+            : options.max_queue_depth / 2;
+  }
+  state_->max_inflight_per_tenant = options.max_inflight_per_tenant;
   const int workers =
       options.workers > 0 ? options.workers : NumWorkerThreads();
   worker_count_ = std::max(workers, 1);
@@ -275,9 +316,23 @@ JobHandle Engine::Submit(FitJob job) {
       record->Complete(Status::Cancelled(record->Describe() +
                                          " submitted after Engine shutdown"));
       rejected = true;
+    } else if (Status admitted = AdmitLocked(*record); !admitted.ok()) {
+      // Overload shedding: the queue watermark latch or the tenant inflight
+      // cap refused the job. kUnavailable is retryable by contract -- the
+      // job never ran and the refund below returns the budget reservation.
+      ++state_->completed;
+      ++state_->failed;
+      ++state_->unavailable_rejected;
+      record->Complete(std::move(admitted));
+      rejected = true;
     } else {
       record->engine = state_;
       state_->queue.push_back(record);
+      if (!record->job.tenant.empty() &&
+          state_->max_inflight_per_tenant > 0) {
+        ++state_->tenant_inflight[record->job.tenant];
+        record->counted_inflight = true;
+      }
     }
   }
   if (rejected) {
@@ -289,9 +344,46 @@ JobHandle Engine::Submit(FitJob job) {
   return JobHandle(std::move(record));
 }
 
+Status Engine::AdmitLocked(engine_internal::JobRecord& record) {
+  // High/low watermark hysteresis: the latch flips on at max_queue_depth and
+  // off once a drain cycle brings the queue back to queue_resume_depth, so
+  // admission does not flap once per popped job at the boundary.
+  if (state_->max_queue_depth > 0) {
+    const std::size_t depth = state_->queue.size();
+    if (state_->overloaded && depth <= state_->queue_resume_depth) {
+      state_->overloaded = false;
+    }
+    if (!state_->overloaded && depth >= state_->max_queue_depth) {
+      state_->overloaded = true;
+    }
+    if (state_->overloaded) {
+      return Status::Unavailable(
+          record.Describe() + " shed: queue depth " + std::to_string(depth) +
+          " at cap " + std::to_string(state_->max_queue_depth) +
+          "; retry after ~" +
+          std::to_string(RetryAfterHintMs(depth + state_->running,
+                                          worker_count_)) +
+          " ms");
+    }
+  }
+  if (state_->max_inflight_per_tenant > 0 && !record.job.tenant.empty()) {
+    const auto it = state_->tenant_inflight.find(record.job.tenant);
+    if (it != state_->tenant_inflight.end() &&
+        it->second >= state_->max_inflight_per_tenant) {
+      return Status::Unavailable(
+          record.Describe() + " shed: tenant \"" + record.job.tenant +
+          "\" already has " + std::to_string(it->second) +
+          " jobs inflight (cap " +
+          std::to_string(state_->max_inflight_per_tenant) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
 void Engine::WorkerMain() {
   for (;;) {
     std::shared_ptr<JobRecord> record;
+    bool shed = false;
     {
       std::unique_lock<std::mutex> lock(state_->mu);
       state_->work_cv.wait(
@@ -299,10 +391,33 @@ void Engine::WorkerMain() {
       if (state_->queue.empty()) return;  // stop set, nothing left to run
       record = std::move(state_->queue.front());
       state_->queue.pop_front();
-      // A pop only ever sees live records: Cancel() removes the queued
-      // jobs it completes. The claim is re-checked defensively anyway.
-      if (!record->TryStartRunning()) continue;
-      ++state_->running;
+      // Deadline-aware shedding: a job whose wall-clock deadline already
+      // expired while it sat queued is completed right here -- the worker
+      // immediately pops the next job instead of spinning up RunJob for a
+      // fit that could only ever report kDeadlineExceeded. (Records in the
+      // queue are only ever completed under this mutex, so Complete wins.)
+      if (record->has_deadline &&
+          engine_internal::Clock::now() >= record->deadline) {
+        shed = record->Complete(Status::DeadlineExceeded(
+            record->Describe() + " deadline expired while queued; shed"));
+        if (shed) {
+          ++state_->completed;
+          ++state_->deadline_exceeded;
+          ++state_->shed_expired;
+          ReleaseTenantInflightLocked(*state_, *record);
+        }
+      } else if (!record->TryStartRunning()) {
+        // A pop only ever sees live records: Cancel() removes the queued
+        // jobs it completes. The claim is re-checked defensively anyway.
+        continue;
+      } else {
+        ++state_->running;
+      }
+    }
+    if (shed) {
+      record->RefundIfCharged(state_->budgets);  // never ran
+      state_->idle_cv.notify_all();
+      continue;
     }
     RunJob(*record);
     state_->idle_cv.notify_all();
@@ -340,6 +455,7 @@ void Engine::RunJob(JobRecord& record) {
     --state_->running;
     ++state_->completed;
     ++((*state_).*counter);
+    ReleaseTenantInflightLocked(*state_, record);
   };
 
   if (record.cancel.load(std::memory_order_acquire)) {
@@ -442,6 +558,7 @@ void Engine::Shutdown() {
       record->RefundIfCharged(state_->budgets);  // never ran
       ++state_->completed;
       ++state_->cancelled;
+      ReleaseTenantInflightLocked(*state_, *record);
     }
     state_->queue.clear();
   }
@@ -461,8 +578,11 @@ EngineStats Engine::stats() const {
   stats.cancelled = state_->cancelled;
   stats.deadline_exceeded = state_->deadline_exceeded;
   stats.budget_rejected = state_->budget_rejected;
+  stats.unavailable_rejected = state_->unavailable_rejected;
+  stats.shed_expired = state_->shed_expired;
   stats.queue_depth = state_->queue.size();
   stats.running = state_->running;
+  stats.overloaded = state_->overloaded;
   stats.uptime_seconds =
       engine_internal::MonotonicSeconds() - state_->start_seconds;
   stats.jobs_per_second = stats.uptime_seconds > 0.0
@@ -470,6 +590,12 @@ EngineStats Engine::stats() const {
                                     stats.uptime_seconds
                               : 0.0;
   return stats;
+}
+
+std::uint32_t Engine::SuggestedRetryAfterMs() const {
+  const std::lock_guard<std::mutex> lock(state_->mu);
+  return RetryAfterHintMs(state_->queue.size() + state_->running,
+                          worker_count_);
 }
 
 }  // namespace htdp

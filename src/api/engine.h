@@ -43,6 +43,18 @@ namespace htdp {
 /// through JobHandle::Wait() (see util/status.h for the taxonomy;
 /// kCancelled and kDeadlineExceeded report the Engine's own outcomes).
 ///
+/// Overload protection: an Engine constructed with Options::max_queue_depth
+/// sheds load instead of queueing unboundedly. Admission uses high/low
+/// watermarks -- once the queue reaches max_queue_depth the Engine latches
+/// overloaded and rejects every submit with a typed kUnavailable until the
+/// queue drains back to queue_resume_depth -- and jobs whose wall-clock
+/// deadline already expired while queued are shed AT DEQUEUE (completed
+/// with kDeadlineExceeded by the worker that pops them, without running the
+/// solver). Options::max_inflight_per_tenant bounds one tenant's
+/// queued+running jobs so a single flooding tenant cannot monopolize the
+/// queue. kUnavailable rejections are retryable by contract: nothing ran,
+/// and any tenant-budget reservation is refunded in full.
+///
 /// Tenant budgets: an Engine constructed with Options::budgets enforces
 /// shared named-tenant privacy budgets (api/budget_manager.h). A job that
 /// names a FitJob::tenant reserves its spec.budget from that tenant AT
@@ -120,11 +132,30 @@ struct EngineStats {
   std::size_t deadline_exceeded = 0;  // completed past their deadline
   std::size_t budget_rejected = 0;    // rejected at Submit by tenant budget
                                       // (also counted in `failed`)
+  std::size_t unavailable_rejected = 0;  // shed at Submit by the queue cap or
+                                         // tenant inflight cap (also counted
+                                         // in `failed`)
+  std::size_t shed_expired = 0;       // deadline-expired while queued, shed
+                                      // at dequeue (also counted in
+                                      // `deadline_exceeded`)
   std::size_t queue_depth = 0;        // submitted, not yet picked up
   std::size_t running = 0;            // currently executing
+  bool overloaded = false;            // watermark latch currently shedding
   double uptime_seconds = 0.0;        // since the Engine started
   double jobs_per_second = 0.0;       // completed / uptime
 };
+
+/// Deterministic retry hint for a shed request: ~50 ms of expected service
+/// time per backlogged job per worker, clamped to [25 ms, 2000 ms]. Pure so
+/// the server, the client tests and the docs all agree on the number.
+constexpr std::uint32_t RetryAfterHintMs(std::size_t backlog, int workers) {
+  const std::size_t per_worker =
+      backlog / static_cast<std::size_t>(workers > 0 ? workers : 1);
+  const std::size_t ms = 50 * (per_worker + 1);
+  if (ms < 25) return 25;
+  if (ms > 2000) return 2000;
+  return static_cast<std::uint32_t>(ms);
+}
 
 /// Caller's reference to a submitted job. Cheap to copy; all copies refer
 /// to the same job. Outliving the Engine is safe: the Engine completes
@@ -178,6 +209,21 @@ class Engine {
     /// tenant accounting (tenant-naming jobs then fail with
     /// kInvalidProblem).
     BudgetManager* budgets = nullptr;
+
+    /// Queue high watermark: a Submit that finds this many jobs queued is
+    /// shed with a typed kUnavailable (retryable; tenant reservations are
+    /// refunded). 0 = unbounded (the pre-overload-protection behavior).
+    std::size_t max_queue_depth = 0;
+
+    /// Queue low watermark: once overloaded, the Engine keeps shedding until
+    /// the queue drains to this depth, so admission flaps per drain cycle
+    /// instead of per job. 0 (with a cap set) = max_queue_depth / 2.
+    std::size_t queue_resume_depth = 0;
+
+    /// Max queued+running jobs a single tenant may hold; further submits
+    /// from that tenant are shed with kUnavailable until one completes.
+    /// 0 = unlimited. Applies only to jobs that name a tenant.
+    std::size_t max_inflight_per_tenant = 0;
   };
 
   Engine();  // default Options
@@ -205,6 +251,11 @@ class Engine {
 
   EngineStats stats() const;
 
+  /// The retry_after_ms hint a shed caller should honor, derived from the
+  /// current backlog via RetryAfterHintMs. The daemon stamps this into
+  /// UNAVAILABLE error frames.
+  std::uint32_t SuggestedRetryAfterMs() const;
+
   /// The fixed worker count (stable for the Engine's whole lifetime, so
   /// safe to read concurrently with Shutdown()).
   int workers() const { return worker_count_; }
@@ -212,6 +263,10 @@ class Engine {
  private:
   void WorkerMain();
   void RunJob(engine_internal::JobRecord& record);
+
+  /// Overload admission (queue watermarks + tenant inflight cap). Called
+  /// with the engine mutex held; Ok() admits, kUnavailable sheds.
+  Status AdmitLocked(engine_internal::JobRecord& record);
 
   /// Queue, counters and coordination primitives, shared with every
   /// JobRecord so a JobHandle can complete a queued job (Cancel) with

@@ -8,6 +8,7 @@
 //                      [--data-seed=S] [--epsilon=E] [--delta=D]
 //                      [--iterations=T] [--deadline=SECS] [--tag=TAG]
 //                      [--wait] [--stream]
+//                      [--retry] [--retry-attempts=K] [--retry-deadline=SECS]
 //   htdpctl ... poll --job=ID [--wait]
 //   htdpctl ... cancel --job=ID
 //   htdpctl ... selfcheck [submit flags]   # remote fit == local fit, bit-exact
@@ -18,7 +19,11 @@
 //
 // Exit codes: 0 success, 1 usage/connection error, 3 selfcheck mismatch,
 // 10 + wire_code for a typed remote rejection -- so an over-budget tenant's
-// submit exits 12 (BUDGET_EXHAUSTED = 2), a cancelled wait exits 15.
+// submit exits 12 (BUDGET_EXHAUSTED = 2), a cancelled wait exits 15, and a
+// shed submit (queue/connection cap) exits 17 (UNAVAILABLE = 7) unless
+// --retry is given, in which case the client backs off per the server's
+// retry_after_ms hints and resubmits (safe: fits are deterministic at a
+// fixed seed).
 
 #include <cinttypes>
 #include <cstdio>
@@ -63,6 +68,9 @@ struct Cli {
   bool wait = false;
   bool stream = false;
   std::uint64_t job = 0;
+  bool retry = false;
+  int retry_attempts = 8;
+  double retry_deadline = 0.0;
 };
 
 int Usage() {
@@ -183,13 +191,17 @@ int RunStats(const Cli& cli, htdp::net::Client& client) {
     std::printf("{\"submitted\": %zu, \"completed\": %zu, \"succeeded\": %zu, "
                 "\"failed\": %zu, \"cancelled\": %zu, "
                 "\"budget_rejected\": %zu, \"queue_depth\": %zu, "
-                "\"running\": %zu, \"connections\": %" PRIu64 ", "
+                "\"running\": %zu, \"unavailable_rejected\": %zu, "
+                "\"shed_expired\": %zu, \"overloaded\": %s, "
+                "\"connections\": %" PRIu64 ", "
                 "\"retained_jobs\": %" PRIu64 ", \"draining\": %s, "
                 "\"tenants\": [",
                 stats.engine.submitted, stats.engine.completed,
                 stats.engine.succeeded, stats.engine.failed,
                 stats.engine.cancelled, stats.engine.budget_rejected,
                 stats.engine.queue_depth, stats.engine.running,
+                stats.engine.unavailable_rejected, stats.engine.shed_expired,
+                stats.engine.overloaded ? "true" : "false",
                 stats.connections, stats.retained_jobs,
                 stats.draining ? "true" : "false");
     for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
@@ -209,6 +221,9 @@ int RunStats(const Cli& cli, htdp::net::Client& client) {
               stats.engine.succeeded, stats.engine.failed,
               stats.engine.cancelled, stats.engine.budget_rejected,
               stats.engine.queue_depth, stats.engine.running);
+  std::printf("overload: %zu shed at submit, %zu expired in queue%s\n",
+              stats.engine.unavailable_rejected, stats.engine.shed_expired,
+              stats.engine.overloaded ? ", SHEDDING NOW" : "");
   std::printf("daemon: %" PRIu64 " connections, %" PRIu64
               " retained jobs%s\n",
               stats.connections, stats.retained_jobs,
@@ -223,6 +238,19 @@ int RunStats(const Cli& cli, htdp::net::Client& client) {
 }
 
 int RunSubmit(const Cli& cli, htdp::net::Client& client) {
+  if (cli.retry) {
+    // Retry implies waiting for the result: only a completed fit proves
+    // the resubmission loop converged.
+    htdp::net::RetryPolicy policy;
+    policy.max_attempts = cli.retry_attempts;
+    policy.deadline_seconds = cli.retry_deadline;
+    policy.jitter_seed = cli.seed;
+    StatusOr<htdp::FitResult> result =
+        client.SubmitAndWaitWithRetry(MakeSubmit(cli), policy);
+    if (!result.ok()) return Fail(result.status());
+    PrintResult(cli, client.last_job_id(), result.value());
+    return 0;
+  }
   StatusOr<std::uint64_t> job = client.Submit(MakeSubmit(cli));
   if (!job.ok()) return Fail(job.status());
   if (!cli.wait && !cli.stream) {
@@ -359,6 +387,12 @@ int main(int argc, char** argv) {
       cli.wait = true;
     } else if (std::strcmp(argv[i], "--stream") == 0) {
       cli.stream = true;
+    } else if (std::strcmp(argv[i], "--retry") == 0) {
+      cli.retry = true;
+    } else if (FlagValue(argv[i], "--retry-attempts", &value)) {
+      cli.retry_attempts = std::atoi(value.c_str());
+    } else if (FlagValue(argv[i], "--retry-deadline", &value)) {
+      cli.retry_deadline = std::atof(value.c_str());
     } else if (argv[i][0] != '-' && cli.command.empty()) {
       cli.command = argv[i];
     } else {

@@ -10,6 +10,11 @@
 // Usage:
 //   htdpd [--host=H] [--port=P] [--workers=N] [--idle-timeout=SECONDS]
 //         [--max-frame-mb=M] [--tenant NAME=EPS[,DELTA]]...
+//         [--queue-cap=K] [--queue-resume=K] [--max-inflight-per-tenant=K]
+//         [--max-connections=K] [--write-buffer-mb=M] [--read-deadline=SECS]
+//
+// Chaos: set HTDP_FAULT_PLAN (e.g. "seed=7,drop=0.03,truncate=0.03") to
+// inject deterministic wire faults into every connection's writes.
 
 #include <atomic>
 #include <csignal>
@@ -46,7 +51,10 @@ int Usage() {
       stderr,
       "usage: htdpd [--host=H] [--port=P] [--workers=N]\n"
       "             [--idle-timeout=SECONDS] [--max-frame-mb=M]\n"
-      "             [--tenant NAME=EPS[,DELTA]]...\n");
+      "             [--tenant NAME=EPS[,DELTA]]...\n"
+      "             [--queue-cap=K] [--queue-resume=K]\n"
+      "             [--max-inflight-per-tenant=K] [--max-connections=K]\n"
+      "             [--write-buffer-mb=M] [--read-deadline=SECONDS]\n");
   return 1;
 }
 
@@ -67,6 +75,23 @@ int main(int argc, char** argv) {
     } else if (FlagValue(argv[i], "--max-frame-mb", &value)) {
       options.max_payload_bytes =
           static_cast<std::size_t>(std::atoi(value.c_str())) << 20;
+    } else if (FlagValue(argv[i], "--queue-cap", &value)) {
+      options.max_queue_depth =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argv[i], "--queue-resume", &value)) {
+      options.queue_resume_depth =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argv[i], "--max-inflight-per-tenant", &value)) {
+      options.max_inflight_per_tenant =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argv[i], "--max-connections", &value)) {
+      options.max_connections =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argv[i], "--write-buffer-mb", &value)) {
+      options.max_write_buffer_bytes =
+          static_cast<std::size_t>(std::atoi(value.c_str())) << 20;
+    } else if (FlagValue(argv[i], "--read-deadline", &value)) {
+      options.read_deadline_seconds = std::atof(value.c_str());
     } else if (FlagValue(argv[i], "--tenant", &value) ||
                (std::strcmp(argv[i], "--tenant") == 0 && i + 1 < argc &&
                 (value = argv[++i], true))) {
@@ -82,6 +107,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "htdpd: unknown argument \"%s\"\n", argv[i]);
       return Usage();
     }
+  }
+
+  htdp::StatusOr<std::optional<htdp::net::FaultPlan>> fault =
+      htdp::net::FaultPlan::FromEnv();
+  if (!fault.ok()) {
+    std::fprintf(stderr, "htdpd: HTDP_FAULT_PLAN: %s\n",
+                 fault.status().message().c_str());
+    return 1;
+  }
+  options.fault = fault.value();
+  if (options.fault.has_value()) {
+    std::fprintf(stderr, "htdpd: CHAOS MODE -- injecting wire faults (%s)\n",
+                 options.fault->ToSpec().c_str());
   }
 
   const std::string host =

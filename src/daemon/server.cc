@@ -55,6 +55,10 @@ StatusOr<std::unique_ptr<Server>> Server::Create(ServerOptions options) {
   Engine::Options engine_options;
   engine_options.workers = server->options_.engine_workers;
   engine_options.budgets = &server->budgets_;
+  engine_options.max_queue_depth = server->options_.max_queue_depth;
+  engine_options.queue_resume_depth = server->options_.queue_resume_depth;
+  engine_options.max_inflight_per_tenant =
+      server->options_.max_inflight_per_tenant;
   server->engine_ = std::make_unique<Engine>(engine_options);
 
   Server* raw = server.get();
@@ -67,8 +71,15 @@ StatusOr<std::unique_ptr<Server>> Server::Create(ServerOptions options) {
     raw->OnConnClosed(fd, reason);
   };
   callbacks.on_wake = [raw] { raw->OnWake(); };
-  server->loop_ = std::make_unique<net::EventLoop>(
-      std::move(callbacks), server->options_.idle_timeout_seconds);
+  net::EventLoop::Options loop_options;
+  loop_options.idle_timeout_seconds = server->options_.idle_timeout_seconds;
+  loop_options.max_write_buffer_bytes =
+      server->options_.max_write_buffer_bytes > 0
+          ? server->options_.max_write_buffer_bytes
+          : 2 * server->options_.max_payload_bytes;
+  loop_options.fault = server->options_.fault;
+  server->loop_ = std::make_unique<net::EventLoop>(std::move(callbacks),
+                                                   std::move(loop_options));
   HTDP_RETURN_IF_ERROR(server->loop_->Init());
   return server;
 }
@@ -110,6 +121,15 @@ void Server::RequestDrain() {
 // Loop-thread handlers
 
 void Server::OnAccept(int fd) {
+  if (options_.max_connections > 0 &&
+      conns_.size() >= options_.max_connections) {
+    const Status status = Status::Unavailable(
+        "connection cap reached (" + std::to_string(options_.max_connections) +
+        " open connections)");
+    SendError(fd, status, 0);
+    loop_->CloseAfterFlush(fd, status);
+    return;
+  }
   conns_.emplace(fd, Connection(options_.max_payload_bytes));
 }
 
@@ -127,12 +147,19 @@ void Server::OnData(int fd, const std::uint8_t* data, std::size_t n) {
       loop_->CloseAfterFlush(fd, status);
       return;
     }
-    if (!frame.has_value()) return;
+    if (!frame.has_value()) break;
     HandleFrame(fd, *frame);
     // The handler may have closed the connection (protocol error path).
     it = conns_.find(fd);
     if (it == conns_.end()) return;
   }
+  // A partial frame left buffered means the peer owes us bytes: arm the
+  // read deadline so a mid-frame stall (half-open peer) is reaped even
+  // though the connection looks recently-active to the idle sweep. A
+  // clean frame boundary disarms it.
+  loop_->SetReadDeadline(fd, it->second.decoder.buffered_bytes() > 0
+                                 ? options_.read_deadline_seconds
+                                 : 0.0);
 }
 
 void Server::OnConnClosed(int fd, const Status& reason) {
@@ -379,12 +406,16 @@ void Server::FinishJob(std::uint64_t id) {
     if (job.handle.Wait().ok()) SendResultFrames(job.origin_fd, id, job);
     loop_->MarkBusy(job.origin_fd, false);
   }
-  for (int fd : job.parked) {
+  // Iterate a detached copy: sending can trip the slow-client guard whose
+  // deferred close mutates jobs_ bookkeeping via on_close at the iteration
+  // boundary; detaching keeps this loop's footing either way.
+  std::vector<int> parked;
+  parked.swap(job.parked);
+  for (int fd : parked) {
     SendJobState(fd, id, job);
     if (job.handle.Wait().ok()) SendResultFrames(fd, id, job);
     loop_->MarkBusy(fd, false);
   }
-  job.parked.clear();
 
   // The dataset is no longer needed -- only the (small) result is retained
   // for late polls.
@@ -404,9 +435,17 @@ void Server::SendFrame(int fd, net::FrameType type,
 }
 
 void Server::SendError(int fd, const Status& status, std::uint64_t job_id) {
+  net::WireError error;
+  error.wire_code = net::WireStatusFor(status.code());
+  error.job_id = job_id;
+  error.message = std::string(status.message());
+  if (status.code() == StatusCode::kUnavailable) {
+    // Stamp the backoff hint so shed clients spread their retries instead
+    // of hammering the daemon in lockstep.
+    error.retry_after_ms = engine_->SuggestedRetryAfterMs();
+  }
   net::WireWriter writer;
-  EncodeError(writer, net::WireError{net::WireStatusFor(status.code()),
-                                     job_id, std::string(status.message())});
+  EncodeError(writer, error);
   SendFrame(fd, net::FrameType::kError, writer);
 }
 

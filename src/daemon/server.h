@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +56,31 @@ struct ServerOptions {
   /// Completed jobs kept around for late POLLs; the oldest are evicted
   /// beyond this many.
   std::size_t max_retained_jobs = 256;
+
+  // --- Overload protection (docs/protocol.md "Overload and retry") ------
+
+  /// Engine queue high watermark: submits beyond this many queued jobs are
+  /// rejected with UNAVAILABLE + retry_after_ms. 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  /// Low watermark the queue must drain to before admission resumes;
+  /// 0 (with a cap set) = max_queue_depth / 2.
+  std::size_t queue_resume_depth = 0;
+  /// Per-tenant inflight cap (queued + running); 0 = unlimited.
+  std::size_t max_inflight_per_tenant = 0;
+  /// Open-connection cap; further accepts get UNAVAILABLE + close.
+  /// 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Per-connection un-flushed reply backlog that marks a client too slow
+  /// to serve (it is disconnected). 0 = derive 2 * max_payload_bytes,
+  /// which always fits one full result stream plus protocol chatter.
+  std::size_t max_write_buffer_bytes = 0;
+  /// A connection that stalls MID-FRAME (bytes of a partial frame buffered,
+  /// nothing more arriving) is closed after this long. Catches half-open
+  /// peers the idle sweep cannot see. <= 0 disables.
+  double read_deadline_seconds = 10.0;
+  /// Server-side wire-fault injection (chaos harness; the HTDP_FAULT_PLAN
+  /// env knob in htdpd). Unset = no faults.
+  std::optional<net::FaultPlan> fault;
 };
 
 /// What the process should do about a delivery of SIGINT/SIGTERM.

@@ -1,5 +1,8 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "net/wire_status.h"
@@ -18,35 +21,101 @@ Status UnexpectedFrame(const Frame& frame) {
 
 }  // namespace
 
+double RetryBackoffMs(const RetryPolicy& policy, int attempt,
+                      std::uint32_t server_hint_ms, FaultRng& jitter) {
+  double base = policy.initial_backoff_ms;
+  for (int i = 0; i < attempt && base < policy.max_backoff_ms; ++i) {
+    base *= policy.backoff_multiplier;
+  }
+  base = std::min(base, policy.max_backoff_ms);
+  // The server knows its backlog better than our exponent does; never come
+  // back sooner than it asked.
+  base = std::max(base, static_cast<double>(server_hint_ms));
+  // Deterministic jitter to [50%, 100%]: spreads a thundering herd while
+  // keeping every schedule replayable from its seed.
+  return base * (0.5 + 0.5 * jitter.NextUniform());
+}
+
 StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
                                                   std::uint16_t port,
                                                   std::size_t max_payload) {
+  return ConnectWith([host, port] { return DialStream(host, port); },
+                     max_payload);
+}
+
+StatusOr<std::unique_ptr<Client>> Client::ConnectWith(
+    StreamFactory factory, std::size_t max_payload) {
   IgnoreSigpipeOnce();
-  StatusOr<UniqueFd> fd = DialTcp(host, port);
-  HTDP_RETURN_IF_ERROR(fd.status());
-  return std::unique_ptr<Client>(
-      new Client(std::move(fd).value(), max_payload));
+  StatusOr<std::unique_ptr<ByteStream>> stream = factory();
+  HTDP_RETURN_IF_ERROR(stream.status());
+  return std::unique_ptr<Client>(new Client(std::move(stream).value(),
+                                            std::move(factory), max_payload));
+}
+
+Status Client::Reconnect() {
+  StatusOr<std::unique_ptr<ByteStream>> stream = factory_();
+  if (!stream.ok()) {
+    // Still down; stay broken so the retry loop keeps trying.
+    return Status::Unavailable("reconnect failed: " +
+                               stream.status().ToString());
+  }
+  stream_ = std::move(stream).value();
+  decoder_ = FrameDecoder(max_payload_);
+  broken_ = false;
+  // Per-connection protocol state is void on the new connection. Completed
+  // results already collected stay collectable; half-assembled ones are
+  // lost (their submits will be retried).
+  streamed_.clear();
+  assembling_.clear();
+  pushed_states_.clear();
+  return Status::Ok();
+}
+
+Status Client::MarkBroken(Status transport_error) {
+  broken_ = true;
+  if (transport_error.code() == StatusCode::kUnavailable) {
+    return transport_error;
+  }
+  return Status::Unavailable("connection failure: " +
+                             transport_error.ToString());
+}
+
+Status Client::ErrorFromFrame(const Frame& frame) {
+  WireReader reader(frame.payload);
+  WireError error;
+  HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
+  last_retry_after_ms_ = error.retry_after_ms;
+  return StatusFromWire(error.wire_code, std::move(error.message));
 }
 
 Status Client::SendFrame(FrameType type,
                          const std::vector<std::uint8_t>& payload) {
+  if (broken_) {
+    return Status::Unavailable("connection is broken; Reconnect() first");
+  }
   std::vector<std::uint8_t> frame = EncodeFrame(type, payload, max_payload_);
-  return SendAll(fd_.get(), frame.data(), frame.size());
+  Status sent = stream_->Send(frame.data(), frame.size());
+  if (!sent.ok()) return MarkBroken(std::move(sent));
+  return Status::Ok();
 }
 
 StatusOr<Frame> Client::ReadFrame() {
+  if (broken_) {
+    return Status::Unavailable("connection is broken; Reconnect() first");
+  }
   std::uint8_t buffer[kClientReadChunk];
   while (true) {
     std::optional<Frame> frame;
     HTDP_RETURN_IF_ERROR(decoder_.Next(&frame));
     if (frame.has_value()) return std::move(*frame);
 
-    StatusOr<std::size_t> got =
-        RecvSome(fd_.get(), buffer, sizeof(buffer));
-    HTDP_RETURN_IF_ERROR(got.status());
+    StatusOr<std::size_t> got = stream_->Recv(buffer, sizeof(buffer));
+    if (!got.ok()) return MarkBroken(got.status());
     if (got.value() == 0) {
-      return Status::InvalidProblem(
-          "server closed the connection mid-conversation");
+      // Retryable by the protocol's idempotence contract: whatever request
+      // was in flight can be resubmitted verbatim on a fresh connection.
+      return MarkBroken(Status::Unavailable(
+          "server closed the connection mid-conversation"));
     }
     decoder_.Feed(buffer, got.value());
   }
@@ -123,9 +192,7 @@ StatusOr<std::uint64_t> Client::Submit(const SubmitRequest& request) {
   HTDP_RETURN_IF_ERROR(reply.status());
   WireReader reader(reply.value().payload);
   if (reply.value().type == FrameType::kError) {
-    WireError error;
-    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
-    return StatusFromWire(error.wire_code, std::move(error.message));
+    return ErrorFromFrame(reply.value());
   }
   if (reply.value().type != FrameType::kSubmitOk) {
     return UnexpectedFrame(reply.value());
@@ -133,6 +200,7 @@ StatusOr<std::uint64_t> Client::Submit(const SubmitRequest& request) {
   SubmitOk ok;
   HTDP_RETURN_IF_ERROR(DecodeSubmitOk(reader, &ok));
   if (request.stream) streamed_.insert(ok.job_id);
+  last_job_id_ = ok.job_id;
   return ok.job_id;
 }
 
@@ -145,9 +213,7 @@ StatusOr<JobStateMsg> Client::Poll(std::uint64_t job_id, bool deliver) {
   HTDP_RETURN_IF_ERROR(reply.status());
   WireReader reader(reply.value().payload);
   if (reply.value().type == FrameType::kError) {
-    WireError error;
-    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
-    return StatusFromWire(error.wire_code, std::move(error.message));
+    return ErrorFromFrame(reply.value());
   }
   if (reply.value().type != FrameType::kJobState) {
     return UnexpectedFrame(reply.value());
@@ -217,9 +283,7 @@ StatusOr<JobStateMsg> Client::Cancel(std::uint64_t job_id) {
   HTDP_RETURN_IF_ERROR(reply.status());
   WireReader reader(reply.value().payload);
   if (reply.value().type == FrameType::kError) {
-    WireError error;
-    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
-    return StatusFromWire(error.wire_code, std::move(error.message));
+    return ErrorFromFrame(reply.value());
   }
   if (reply.value().type != FrameType::kJobState) {
     return UnexpectedFrame(reply.value());
@@ -235,9 +299,7 @@ StatusOr<StatsReply> Client::Stats() {
   HTDP_RETURN_IF_ERROR(reply.status());
   WireReader reader(reply.value().payload);
   if (reply.value().type == FrameType::kError) {
-    WireError error;
-    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
-    return StatusFromWire(error.wire_code, std::move(error.message));
+    return ErrorFromFrame(reply.value());
   }
   if (reply.value().type != FrameType::kStatsOk) {
     return UnexpectedFrame(reply.value());
@@ -247,15 +309,62 @@ StatusOr<StatsReply> Client::Stats() {
   return stats;
 }
 
+StatusOr<FitResult> Client::SubmitAndWaitWithRetry(
+    const SubmitRequest& request, const RetryPolicy& policy) {
+  const auto start = std::chrono::steady_clock::now();
+  FaultRng jitter(policy.jitter_seed);
+  Status last = Status::Unavailable("no attempts were made");
+  for (int attempt = 0;
+       policy.max_attempts <= 0 || attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_used_;
+      double wait_ms =
+          RetryBackoffMs(policy, attempt - 1, last_retry_after_ms_, jitter);
+      last_retry_after_ms_ = 0;  // the hint applies to exactly one retry
+      if (policy.deadline_seconds > 0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        const double budget_ms =
+            (policy.deadline_seconds - elapsed) * 1000.0;
+        if (budget_ms <= 0) break;  // out of time: report the last failure
+        wait_ms = std::min(wait_ms, budget_ms);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(wait_ms));
+    }
+    if (broken_) {
+      Status reconnected = Reconnect();
+      if (!reconnected.ok()) {
+        last = std::move(reconnected);
+        continue;
+      }
+    }
+    StatusOr<std::uint64_t> id = Submit(request);
+    if (!id.ok()) {
+      if (!IsRetryable(id.status().code())) return id.status();
+      last = id.status();
+      continue;
+    }
+    StatusOr<FitResult> result = request.stream ? AwaitStreamed(id.value())
+                                                : WaitResult(id.value());
+    if (result.ok() || !IsRetryable(result.status().code())) return result;
+    // The connection died between SUBMIT_OK and the result. The job may
+    // still be running server-side; the retry resubmits, and determinism
+    // at the fixed seed makes the re-run's bits identical.
+    last = result.status();
+  }
+  return last;
+}
+
 StatusOr<SolverListReply> Client::ListSolvers() {
   HTDP_RETURN_IF_ERROR(SendFrame(FrameType::kListSolvers, {}));
   StatusOr<Frame> reply = ReadReply(0);
   HTDP_RETURN_IF_ERROR(reply.status());
   WireReader reader(reply.value().payload);
   if (reply.value().type == FrameType::kError) {
-    WireError error;
-    HTDP_RETURN_IF_ERROR(DecodeError(reader, &error));
-    return StatusFromWire(error.wire_code, std::move(error.message));
+    return ErrorFromFrame(reply.value());
   }
   if (reply.value().type != FrameType::kSolverList) {
     return UnexpectedFrame(reply.value());

@@ -2,6 +2,7 @@
 #define HTDP_NET_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -32,11 +33,53 @@ namespace net {
 /// RESULT_END) are absorbed whenever the client is reading and replayed by
 /// AwaitStreamed, so interleaving streamed submits with polls on one
 /// connection works.
+///
+/// Resilience: transport-level failures (connection refused mid-dial, peer
+/// reset, server closed mid-conversation) surface as kUnavailable -- the
+/// retryable class -- and mark the connection broken;
+/// SubmitAndWaitWithRetry reconnects and resubmits under a RetryPolicy.
+/// Retrying a fit is safe by construction: fits are bit-deterministic at a
+/// fixed seed, so a resubmission returns the identical result.
+
+/// Deterministic client backoff schedule. All knobs are plain data so the
+/// chaos tests, htdpctl --retry and the bench share one policy shape.
+struct RetryPolicy {
+  /// Total attempts (first try included); <= 0 = unlimited (bounded only
+  /// by deadline_seconds).
+  int max_attempts = 8;
+  double initial_backoff_ms = 25.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 2000.0;
+  /// Wall-clock cap over ALL attempts and waits; 0 = none.
+  double deadline_seconds = 0.0;
+  /// Seeds the deterministic jitter stream (net/fault.h FaultRng), so a
+  /// retry schedule replays exactly under test.
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Attempt `attempt`'s wait (attempt 0 = wait before the first retry) in
+/// milliseconds: exponential base capped at max_backoff_ms, raised to the
+/// server's retry_after_ms hint when that is larger, then jittered to
+/// [50%, 100%] by the deterministic stream. Pure given the rng state.
+double RetryBackoffMs(const RetryPolicy& policy, int attempt,
+                      std::uint32_t server_hint_ms, FaultRng& jitter);
+
 class Client {
  public:
   /// Dials host:port. The returned client owns the connection.
   static StatusOr<std::unique_ptr<Client>> Connect(
       const std::string& host, std::uint16_t port,
+      std::size_t max_payload = kDefaultMaxPayloadBytes);
+
+  /// Produces the connection's ByteStream -- called once per (re)connect.
+  /// The chaos harness hands in a factory that wraps the socket in a
+  /// FaultInjectingStream.
+  using StreamFactory =
+      std::function<StatusOr<std::unique_ptr<ByteStream>>()>;
+
+  /// Connects through `factory`; Reconnect() calls it again.
+  static StatusOr<std::unique_ptr<Client>> ConnectWith(
+      StreamFactory factory,
       std::size_t max_payload = kDefaultMaxPayloadBytes);
 
   Client(const Client&) = delete;
@@ -65,9 +108,43 @@ class Client {
   StatusOr<StatsReply> Stats();
   StatusOr<SolverListReply> ListSolvers();
 
+  /// Submit + wait (streamed or polled per request.stream), retrying
+  /// kUnavailable outcomes -- overload shedding AND transport failures --
+  /// under `policy`: exponential backoff with deterministic jitter,
+  /// honoring the server's retry_after_ms hint, reconnecting when the
+  /// connection broke. Non-retryable errors return immediately.
+  StatusOr<FitResult> SubmitAndWaitWithRetry(const SubmitRequest& request,
+                                             const RetryPolicy& policy);
+
+  /// Tears down the current stream and dials a fresh one via the factory,
+  /// resetting all per-connection protocol state. The job-id namespace is
+  /// per-daemon, not per-connection, so ids from before survive a
+  /// reconnect (but parked deliver-polls do not -- re-poll after).
+  Status Reconnect();
+
+  /// True after a transport failure; the next SubmitAndWaitWithRetry
+  /// attempt reconnects first. Requests on a broken client fail fast with
+  /// kUnavailable.
+  bool connection_broken() const { return broken_; }
+
+  /// The retry_after_ms hint of the most recent ERROR frame (0 = none).
+  std::uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
+  /// Retries SubmitAndWaitWithRetry performed over this client's lifetime
+  /// (attempts beyond each first try). The bench reports this.
+  std::size_t retries_used() const { return retries_used_; }
+
+  /// Job id of the most recent successful SUBMIT (0 = none yet). After a
+  /// SubmitAndWaitWithRetry this is the id of the attempt that completed.
+  std::uint64_t last_job_id() const { return last_job_id_; }
+
  private:
-  Client(UniqueFd fd, std::size_t max_payload)
-      : fd_(std::move(fd)), max_payload_(max_payload), decoder_(max_payload) {}
+  Client(std::unique_ptr<ByteStream> stream, StreamFactory factory,
+         std::size_t max_payload)
+      : stream_(std::move(stream)),
+        factory_(std::move(factory)),
+        max_payload_(max_payload),
+        decoder_(max_payload) {}
 
   Status SendFrame(FrameType type, const std::vector<std::uint8_t>& payload);
   /// Blocks for the next frame (pushes included).
@@ -81,10 +158,21 @@ class Client {
   Status AbsorbPush(const Frame& frame);
   /// Reads frames until job_id's result bytes are complete, then decodes.
   StatusOr<FitResult> CollectResult(std::uint64_t job_id);
+  /// Decodes an ERROR frame, recording its retry_after_ms hint, and
+  /// returns the typed Status it carries.
+  Status ErrorFromFrame(const Frame& frame);
+  /// Marks the connection broken and wraps a transport error as
+  /// kUnavailable (retryable: the daemon is fine, the wire is not).
+  Status MarkBroken(Status transport_error);
 
-  UniqueFd fd_;
+  std::unique_ptr<ByteStream> stream_;
+  StreamFactory factory_;  // Connect() installs a re-dialing factory
   std::size_t max_payload_;
   FrameDecoder decoder_;
+  bool broken_ = false;
+  std::uint32_t last_retry_after_ms_ = 0;
+  std::size_t retries_used_ = 0;
+  std::uint64_t last_job_id_ = 0;
   std::set<std::uint64_t> streamed_;  // jobs submitted with stream=true
   std::map<std::uint64_t, std::vector<std::uint8_t>> assembling_;
   std::map<std::uint64_t, std::vector<std::uint8_t>> finished_;

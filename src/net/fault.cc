@@ -1,0 +1,145 @@
+#include "net/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace htdp {
+namespace net {
+namespace {
+
+/// Splits "a=1,b=2" into (key, value) pairs; whitespace is not tolerated
+/// (the spec travels through env vars and shell one-liners, where stray
+/// spaces are always a typo).
+Status SplitSpec(const std::string& spec,
+                 std::vector<std::pair<std::string, std::string>>* out) {
+  std::istringstream stream(spec);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == field.size()) {
+      return Status::InvalidProblem("fault plan wants KEY=VALUE fields, got \"" +
+                                    field + "\" in \"" + spec + "\"");
+    }
+    out->emplace_back(field.substr(0, eq), field.substr(eq + 1));
+  }
+  return Status::Ok();
+}
+
+Status ParseProb(const std::string& key, const std::string& value,
+                 double* out) {
+  try {
+    *out = std::stod(value);
+  } catch (const std::exception&) {
+    return Status::InvalidProblem("unparseable fault plan value " + key + "=" +
+                                  value);
+  }
+  if (*out < 0.0 || *out > 1.0) {
+    return Status::InvalidProblem("fault probability " + key + "=" + value +
+                                  " outside [0, 1]");
+  }
+  return Status::Ok();
+}
+
+/// Trims trailing zeros so ToSpec stays readable ("0.05", not "0.050000").
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Chaos(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = 0.03;
+  plan.truncate_prob = 0.03;
+  plan.partial_prob = 0.25;
+  plan.delay_prob = 0.10;
+  plan.delay_ms = 2.0;
+  return plan;
+}
+
+std::string FaultPlan::ToSpec() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  if (drop_prob > 0) out << ",drop=" << FormatDouble(drop_prob);
+  if (truncate_prob > 0) out << ",truncate=" << FormatDouble(truncate_prob);
+  if (partial_prob > 0) out << ",partial=" << FormatDouble(partial_prob);
+  if (delay_prob > 0) out << ",delay=" << FormatDouble(delay_prob);
+  if (delay_ms > 0) out << ",delay_ms=" << FormatDouble(delay_ms);
+  return out.str();
+}
+
+StatusOr<FaultPlan> FaultPlan::FromSpec(const std::string& spec) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  HTDP_RETURN_IF_ERROR(SplitSpec(spec, &fields));
+  FaultPlan plan;
+  for (const auto& [key, value] : fields) {
+    if (key == "seed") {
+      try {
+        plan.seed = std::stoull(value);
+      } catch (const std::exception&) {
+        return Status::InvalidProblem("unparseable fault plan seed \"" + value +
+                                      "\"");
+      }
+    } else if (key == "drop") {
+      HTDP_RETURN_IF_ERROR(ParseProb(key, value, &plan.drop_prob));
+    } else if (key == "truncate") {
+      HTDP_RETURN_IF_ERROR(ParseProb(key, value, &plan.truncate_prob));
+    } else if (key == "partial") {
+      HTDP_RETURN_IF_ERROR(ParseProb(key, value, &plan.partial_prob));
+    } else if (key == "delay") {
+      HTDP_RETURN_IF_ERROR(ParseProb(key, value, &plan.delay_prob));
+    } else if (key == "delay_ms") {
+      try {
+        plan.delay_ms = std::stod(value);
+      } catch (const std::exception&) {
+        return Status::InvalidProblem("unparseable fault plan delay_ms \"" +
+                                      value + "\"");
+      }
+      if (plan.delay_ms < 0) {
+        return Status::InvalidProblem("fault plan delay_ms must be >= 0");
+      }
+    } else {
+      return Status::InvalidProblem("unknown fault plan key \"" + key +
+                                    "\" in \"" + spec + "\"");
+    }
+  }
+  if (plan.drop_prob + plan.truncate_prob + plan.partial_prob +
+          plan.delay_prob >
+      1.0) {
+    return Status::InvalidProblem(
+        "fault probabilities sum past 1.0 in \"" + spec +
+        "\" (one uniform draw decides among them)");
+  }
+  return plan;
+}
+
+StatusOr<std::optional<FaultPlan>> FaultPlan::FromEnv() {
+  const char* raw = std::getenv("HTDP_FAULT_PLAN");
+  if (raw == nullptr || raw[0] == '\0') {
+    return std::optional<FaultPlan>(std::nullopt);
+  }
+  StatusOr<FaultPlan> plan = FromSpec(raw);
+  HTDP_RETURN_IF_ERROR(plan.status());
+  return std::optional<FaultPlan>(plan.value());
+}
+
+FaultAction DrawFault(const FaultPlan& plan, FaultRng& rng) {
+  if (!plan.enabled()) return FaultAction::kNone;
+  const double u = rng.NextUniform();
+  double edge = plan.drop_prob;
+  if (u < edge) return FaultAction::kDrop;
+  edge += plan.truncate_prob;
+  if (u < edge) return FaultAction::kTruncate;
+  edge += plan.partial_prob;
+  if (u < edge) return FaultAction::kPartial;
+  edge += plan.delay_prob;
+  if (u < edge) return FaultAction::kDelay;
+  return FaultAction::kNone;
+}
+
+}  // namespace net
+}  // namespace htdp

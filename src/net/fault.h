@@ -1,0 +1,119 @@
+#ifndef HTDP_NET_FAULT_H_
+#define HTDP_NET_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace htdp {
+namespace net {
+
+/// ## Deterministic wire-fault injection
+///
+/// The chaos harness (tests/chaos_soak_test.cc, the CI chaos leg, and the
+/// HTDP_FAULT_PLAN knob on htdpd) perturbs the byte stream between client
+/// and daemon -- dropped connections, injected stalls, truncated writes,
+/// partial sends, mid-frame closes -- and then checks the system-level
+/// invariants the protocol promises anyway: no crash, no leak, and every
+/// fit that completes is bit-identical to a local TryFit at the same seed.
+///
+/// Faults must be DETERMINISTIC to be debuggable: a FaultPlan is a seed
+/// plus per-fault probabilities, and every decision comes from the plan's
+/// own splitmix64 stream (never from the solver RNG, never from time), so a
+/// failing chaos seed replays exactly.
+
+/// A self-seeded splitmix64 decision stream. Independent of rng/rng.h on
+/// purpose: injecting a fault must never advance (or be advanced by) the
+/// solver's random stream, or the bit-identity check would be meaningless.
+class FaultRng {
+ public:
+  explicit FaultRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1) with 53 random bits.
+  double NextUniform() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// A seeded fault schedule. Each probability is consulted per injection
+/// point (one uniform draw decides among the fault kinds, so they are
+/// mutually exclusive per event and their probabilities must sum to <= 1).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Close the connection before the operation transfers any bytes.
+  double drop_prob = 0.0;
+  /// Transfer a strict prefix of the operation's bytes, then close --
+  /// the mid-frame cut, which is what half-open peers look like.
+  double truncate_prob = 0.0;
+  /// Split a write into two separate sends (exercises every partial-read
+  /// path in the decoders without losing data).
+  double partial_prob = 0.0;
+  /// Stall the operation by delay_ms before letting it proceed.
+  double delay_prob = 0.0;
+  double delay_ms = 0.0;
+
+  bool enabled() const {
+    return drop_prob > 0 || truncate_prob > 0 || partial_prob > 0 ||
+           delay_prob > 0;
+  }
+
+  /// The canonical soak mix the chaos test and CI leg use: a few percent of
+  /// every fault kind, spicy enough that a 32-seed sweep exercises each
+  /// path many times but most requests still eventually succeed.
+  static FaultPlan Chaos(std::uint64_t seed);
+
+  /// "seed=7,drop=0.05,truncate=0.05,partial=0.2,delay=0.1,delay_ms=5" --
+  /// round-trips through FromSpec; keys may appear in any order and
+  /// unmentioned keys keep their zero defaults.
+  std::string ToSpec() const;
+  static StatusOr<FaultPlan> FromSpec(const std::string& spec);
+
+  /// Parses the HTDP_FAULT_PLAN environment variable; nullopt when unset or
+  /// empty. A malformed value surfaces as an error so a typo'd chaos run
+  /// fails loudly instead of silently running faultless.
+  static StatusOr<std::optional<FaultPlan>> FromEnv();
+};
+
+/// What a single injection decision came out to.
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  kDrop,
+  kTruncate,
+  kPartial,
+  kDelay,
+};
+
+/// Draws one decision from the stream. Pure given the RNG state: the plan's
+/// probabilities partition [0, 1).
+FaultAction DrawFault(const FaultPlan& plan, FaultRng& rng);
+
+/// Running totals a harness can assert on ("the sweep actually injected
+/// faults") and htdpd can log at exit.
+struct FaultCounters {
+  std::size_t drops = 0;
+  std::size_t truncates = 0;
+  std::size_t partials = 0;
+  std::size_t delays = 0;
+
+  std::size_t total() const { return drops + truncates + partials + delays; }
+};
+
+}  // namespace net
+}  // namespace htdp
+
+#endif  // HTDP_NET_FAULT_H_

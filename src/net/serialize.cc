@@ -371,6 +371,11 @@ void EncodeStats(WireWriter& w, const StatsReply& msg) {
   w.U64(msg.connections);
   w.U64(msg.retained_jobs);
   w.Bool(msg.draining);
+  // Overload-protection counters, appended in a later revision (the codec's
+  // trailing-bytes rule keeps older peers compatible).
+  w.U64(msg.engine.unavailable_rejected);
+  w.U64(msg.engine.shed_expired);
+  w.Bool(msg.engine.overloaded);
 }
 
 Status DecodeStats(WireReader& r, StatsReply* out) {
@@ -409,6 +414,18 @@ Status DecodeStats(WireReader& r, StatsReply* out) {
   HTDP_RETURN_IF_ERROR(r.U64(&out->connections, "stats.connections"));
   HTDP_RETURN_IF_ERROR(r.U64(&out->retained_jobs, "stats.retained_jobs"));
   HTDP_RETURN_IF_ERROR(r.Bool(&out->draining, "stats.draining"));
+  // Overload-protection counters from newer daemons; absent from older ones.
+  out->engine.unavailable_rejected = 0;
+  out->engine.shed_expired = 0;
+  out->engine.overloaded = false;
+  if (r.remaining() > 0) {
+    HTDP_RETURN_IF_ERROR(
+        r.U64(&counter, "stats.unavailable_rejected"));
+    out->engine.unavailable_rejected = static_cast<std::size_t>(counter);
+    HTDP_RETURN_IF_ERROR(r.U64(&counter, "stats.shed_expired"));
+    out->engine.shed_expired = static_cast<std::size_t>(counter);
+    HTDP_RETURN_IF_ERROR(r.Bool(&out->engine.overloaded, "stats.overloaded"));
+  }
   return Status::Ok();
 }
 
@@ -470,12 +487,18 @@ void EncodeError(WireWriter& w, const WireError& msg) {
   w.U16(msg.wire_code);
   w.U64(msg.job_id);
   w.Str(msg.message);
+  w.U32(msg.retry_after_ms);
 }
 
 Status DecodeError(WireReader& r, WireError* out) {
   HTDP_RETURN_IF_ERROR(r.U16(&out->wire_code, "error.wire_code"));
   HTDP_RETURN_IF_ERROR(r.U64(&out->job_id, "error.job_id"));
   HTDP_RETURN_IF_ERROR(r.Str(&out->message, "error.message"));
+  // Appended in a later revision; an older peer's frame simply ends here.
+  out->retry_after_ms = 0;
+  if (r.remaining() >= 4) {
+    HTDP_RETURN_IF_ERROR(r.U32(&out->retry_after_ms, "error.retry_after_ms"));
+  }
   return Status::Ok();
 }
 

@@ -215,6 +215,12 @@ struct WireError {
   std::uint16_t wire_code = 0;  // wire_status.h table
   std::uint64_t job_id = 0;
   std::string message;
+  /// For UNAVAILABLE rejections: how long the client should back off before
+  /// resubmitting, derived from the server's backlog (RetryAfterHintMs).
+  /// 0 = no hint. Appended to the payload, so a version-1 peer that
+  /// predates it decodes the frame fine and just never sees the hint (the
+  /// codec's trailing-bytes rule); this decoder tolerates its absence.
+  std::uint32_t retry_after_ms = 0;
 };
 void EncodeError(WireWriter& w, const WireError& msg);
 Status DecodeError(WireReader& r, WireError* out);

@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace htdp {
@@ -138,12 +140,112 @@ void IgnoreSigpipeOnce() {
   (void)ignored;
 }
 
+StatusOr<std::unique_ptr<ByteStream>> DialStream(const std::string& host,
+                                                 std::uint16_t port) {
+  StatusOr<UniqueFd> fd = DialTcp(host, port);
+  HTDP_RETURN_IF_ERROR(fd.status());
+  return std::unique_ptr<ByteStream>(
+      std::make_unique<SocketStream>(std::move(fd).value()));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingStream
+
+Status FaultInjectingStream::Send(const std::uint8_t* data, std::size_t n) {
+  if (severed_) {
+    return Status::Unavailable("fault injection: connection already severed");
+  }
+  switch (DrawFault(plan_, rng_)) {
+    case FaultAction::kNone:
+      return inner_->Send(data, n);
+    case FaultAction::kDrop:
+      ++counters_.drops;
+      severed_ = true;
+      inner_->Close();
+      return Status::Unavailable("fault injection: connection dropped");
+    case FaultAction::kTruncate: {
+      ++counters_.truncates;
+      severed_ = true;
+      // Deliver a strict prefix, then cut -- the server sees a mid-frame
+      // half-open peer (exactly what its read deadline exists to reap).
+      const std::size_t prefix = n > 1 ? n / 2 : 0;
+      if (prefix > 0) (void)inner_->Send(data, prefix);
+      inner_->Close();
+      return Status::Unavailable("fault injection: write truncated mid-frame");
+    }
+    case FaultAction::kPartial: {
+      ++counters_.partials;
+      // Two separate sends exercise the reassembly path; no data is lost.
+      const std::size_t prefix = n > 1 ? n / 2 : n;
+      HTDP_RETURN_IF_ERROR(inner_->Send(data, prefix));
+      if (prefix < n) {
+        return inner_->Send(data + prefix, n - prefix);
+      }
+      return Status::Ok();
+    }
+    case FaultAction::kDelay: {
+      ++counters_.delays;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(plan_.delay_ms));
+      return inner_->Send(data, n);
+    }
+  }
+  return inner_->Send(data, n);
+}
+
+StatusOr<std::size_t> FaultInjectingStream::Recv(std::uint8_t* out,
+                                                std::size_t n) {
+  if (severed_) {
+    return Status::Unavailable("fault injection: connection already severed");
+  }
+  switch (DrawFault(plan_, rng_)) {
+    case FaultAction::kDrop:
+      ++counters_.drops;
+      severed_ = true;
+      inner_->Close();
+      return Status::Unavailable("fault injection: connection dropped");
+    case FaultAction::kTruncate:
+      // On the read side a truncation IS an early orderly close: the bytes
+      // after the cut never arrive.
+      ++counters_.truncates;
+      severed_ = true;
+      inner_->Close();
+      return std::size_t{0};
+    case FaultAction::kPartial:
+      // A short read: hand back at most one byte so the decoder's
+      // incremental paths run.
+      ++counters_.partials;
+      return inner_->Recv(out, n > 0 ? 1 : 0);
+    case FaultAction::kDelay: {
+      ++counters_.delays;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(plan_.delay_ms));
+      return inner_->Recv(out, n);
+    }
+    case FaultAction::kNone:
+      break;
+  }
+  return inner_->Recv(out, n);
+}
+
 // ---------------------------------------------------------------------------
 // EventLoop
 
+EventLoop::EventLoop(Callbacks callbacks, Options options)
+    : callbacks_(std::move(callbacks)), options_(std::move(options)) {
+  if (options_.fault.has_value() && options_.fault->enabled()) {
+    fault_rng_.emplace(options_.fault->seed);
+  } else {
+    options_.fault.reset();
+  }
+}
+
 EventLoop::EventLoop(Callbacks callbacks, double idle_timeout_seconds)
-    : callbacks_(std::move(callbacks)),
-      idle_timeout_seconds_(idle_timeout_seconds) {}
+    : EventLoop(std::move(callbacks), [idle_timeout_seconds] {
+        Options options;
+        options.idle_timeout_seconds = idle_timeout_seconds;
+        return options;
+      }()) {}
 
 EventLoop::~EventLoop() = default;
 
@@ -179,12 +281,45 @@ void EventLoop::AddConnection(UniqueFd fd) {
 void EventLoop::Send(int fd, const std::uint8_t* data, std::size_t n) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
-  it->second.outbox.insert(it->second.outbox.end(), data, data + n);
+  Connection& conn = it->second;
+  if (conn.doomed) return;
+  conn.outbox.insert(conn.outbox.end(), data, data + n);
+  const std::size_t backlog = conn.outbox.size() - conn.outbox_offset;
+  if (options_.max_write_buffer_bytes > 0 &&
+      backlog > options_.max_write_buffer_bytes) {
+    // Slow-client guard: the peer is not draining its socket, so its
+    // backlog would otherwise grow without bound. The close is deferred to
+    // the iteration boundary, which keeps Send() safe to call from inside
+    // any callback (no re-entrant on_close under the caller's feet).
+    DeferClose(conn,
+               Status::Unavailable(
+                   "slow client: " + std::to_string(backlog) +
+                   " un-flushed reply bytes exceed the write-buffer cap of " +
+                   std::to_string(options_.max_write_buffer_bytes)));
+  }
+}
+
+void EventLoop::DeferClose(Connection& conn, Status reason) {
+  if (conn.doomed) return;
+  conn.doomed = true;
+  // The backlog will never be sent; release the memory immediately so the
+  // cap bounds usage even before the close lands.
+  conn.outbox.clear();
+  conn.outbox_offset = 0;
+  pending_close_.emplace_back(conn.fd.get(), std::move(reason));
+}
+
+void EventLoop::FlushPendingCloses() {
+  while (!pending_close_.empty()) {
+    std::vector<std::pair<int, Status>> batch;
+    batch.swap(pending_close_);
+    for (auto& [fd, reason] : batch) Remove(fd, reason);
+  }
 }
 
 void EventLoop::CloseAfterFlush(int fd, Status reason) {
   auto it = connections_.find(fd);
-  if (it == connections_.end()) return;
+  if (it == connections_.end() || it->second.doomed) return;
   if (it->second.outbox.size() == it->second.outbox_offset) {
     Remove(fd, reason);
     return;
@@ -201,6 +336,19 @@ void EventLoop::MarkBusy(int fd, bool busy) {
   it->second.busy += busy ? 1 : -1;
   if (it->second.busy < 0) it->second.busy = 0;
   if (!busy) it->second.last_activity = std::chrono::steady_clock::now();
+}
+
+void EventLoop::SetReadDeadline(int fd, double seconds) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (seconds <= 0) {
+    it->second.read_deadline.reset();
+    return;
+  }
+  it->second.read_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
 }
 
 void EventLoop::Wake() {
@@ -220,25 +368,52 @@ bool EventLoop::AllFlushed() const {
 void EventLoop::Stop() { running_ = false; }
 
 int EventLoop::PollTimeoutMs() const {
-  if (idle_timeout_seconds_ <= 0 || connections_.empty()) return 1000;
-  // Wake at least often enough to notice the earliest possible expiry.
-  const int ms = static_cast<int>(idle_timeout_seconds_ * 1000.0 / 2.0);
-  return std::clamp(ms, 10, 1000);
+  double ms = 1000.0;
+  if (options_.idle_timeout_seconds > 0 && !connections_.empty()) {
+    // Wake at least often enough to notice the earliest possible expiry.
+    ms = std::min(ms, options_.idle_timeout_seconds * 1000.0 / 2.0);
+  }
+  // Read deadlines and fault write-gates are short and precise: wake when
+  // the earliest one is due.
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.read_deadline) {
+      ms = std::min(ms, std::chrono::duration<double, std::milli>(
+                            *conn.read_deadline - now)
+                            .count());
+    }
+    if (conn.write_gate) {
+      ms = std::min(ms, std::chrono::duration<double, std::milli>(
+                            *conn.write_gate - now)
+                            .count());
+    }
+  }
+  return std::clamp(static_cast<int>(ms), 1, 1000);
 }
 
 void EventLoop::SweepIdle() {
-  if (idle_timeout_seconds_ <= 0) return;
   const auto now = std::chrono::steady_clock::now();
-  std::vector<int> expired;
+  std::vector<std::pair<int, Status>> expired;
   for (const auto& [fd, conn] : connections_) {
+    if (conn.doomed) continue;
+    // Read deadlines fire regardless of busy/closing: a peer that stalled
+    // MID-FRAME looks recently-active to the idle heuristic but will never
+    // deliver the rest of its frame.
+    if (conn.read_deadline && now >= *conn.read_deadline) {
+      expired.emplace_back(
+          fd, Status::DeadlineExceeded("read deadline: peer stalled mid-frame"));
+      continue;
+    }
+    if (options_.idle_timeout_seconds <= 0) continue;
     if (conn.busy > 0 || conn.closing) continue;
     const double idle =
         std::chrono::duration<double>(now - conn.last_activity).count();
-    if (idle >= idle_timeout_seconds_) expired.push_back(fd);
+    if (idle >= options_.idle_timeout_seconds) {
+      expired.emplace_back(
+          fd, Status::DeadlineExceeded("connection idle timeout"));
+    }
   }
-  for (int fd : expired) {
-    Remove(fd, Status::DeadlineExceeded("connection idle timeout"));
-  }
+  for (auto& [fd, reason] : expired) Remove(fd, reason);
 }
 
 void EventLoop::AcceptPending() {
@@ -259,7 +434,7 @@ bool EventLoop::HandleReadable(Connection& conn) {
     ssize_t rc = ::recv(conn.fd.get(), buffer, sizeof(buffer), 0);
     if (rc > 0) {
       conn.last_activity = std::chrono::steady_clock::now();
-      if (!conn.closing && callbacks_.on_data) {
+      if (!conn.closing && !conn.doomed && callbacks_.on_data) {
         callbacks_.on_data(conn.fd.get(), buffer,
                            static_cast<std::size_t>(rc));
         // The callback may have closed the connection re-entrantly.
@@ -281,10 +456,63 @@ bool EventLoop::HandleReadable(Connection& conn) {
   }
 }
 
+bool EventLoop::ApplyWriteFault(Connection& conn) {
+  if (!fault_rng_ || conn.fault_drawn) return true;
+  if (conn.outbox_offset >= conn.outbox.size()) return true;
+  conn.fault_drawn = true;
+  const std::size_t pending = conn.outbox.size() - conn.outbox_offset;
+  switch (DrawFault(*options_.fault, *fault_rng_)) {
+    case FaultAction::kNone:
+      return true;
+    case FaultAction::kDrop:
+      ++fault_counters_.drops;
+      Remove(conn.fd.get(),
+             Status::Unavailable("fault injection: connection dropped"));
+      return false;
+    case FaultAction::kTruncate: {
+      ++fault_counters_.truncates;
+      const std::size_t cut = conn.outbox_offset + pending / 2;
+      if (cut <= conn.outbox_offset) {
+        Remove(conn.fd.get(),
+               Status::Unavailable("fault injection: write truncated"));
+        return false;
+      }
+      conn.flush_limit = cut;
+      conn.close_at_limit = true;
+      return true;
+    }
+    case FaultAction::kPartial:
+      ++fault_counters_.partials;
+      conn.flush_limit = conn.outbox_offset + (pending > 1 ? pending / 2 : 1);
+      conn.close_at_limit = false;
+      return true;
+    case FaultAction::kDelay:
+      ++fault_counters_.delays;
+      conn.write_gate =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  options_.fault->delay_ms));
+      return true;
+  }
+  return true;
+}
+
 bool EventLoop::HandleWritable(Connection& conn) {
+  if (conn.doomed) return true;
+  if (!ApplyWriteFault(conn)) return false;
+  if (conn.write_gate) {
+    if (std::chrono::steady_clock::now() < *conn.write_gate) return true;
+    conn.write_gate.reset();
+  }
   while (conn.outbox_offset < conn.outbox.size()) {
+    std::size_t want = conn.outbox.size() - conn.outbox_offset;
+    if (conn.flush_limit > 0) {
+      if (conn.outbox_offset >= conn.flush_limit) break;
+      want = std::min(want, conn.flush_limit - conn.outbox_offset);
+    }
     ssize_t rc = ::send(conn.fd.get(), conn.outbox.data() + conn.outbox_offset,
-                        conn.outbox.size() - conn.outbox_offset, MSG_NOSIGNAL);
+                        want, MSG_NOSIGNAL);
     if (rc < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
@@ -294,9 +522,21 @@ bool EventLoop::HandleWritable(Connection& conn) {
     conn.outbox_offset += static_cast<std::size_t>(rc);
     conn.last_activity = std::chrono::steady_clock::now();
   }
+  if (conn.flush_limit > 0 && conn.outbox_offset >= conn.flush_limit) {
+    if (conn.close_at_limit) {
+      Remove(conn.fd.get(),
+             Status::Unavailable("fault injection: write truncated mid-frame"));
+      return false;
+    }
+    // Partial-write fault: the rest of the batch goes on a later flush.
+    conn.flush_limit = 0;
+    return true;
+  }
   if (conn.outbox_offset == conn.outbox.size()) {
     conn.outbox.clear();
     conn.outbox_offset = 0;
+    conn.fault_drawn = false;
+    conn.flush_limit = 0;
     if (conn.closing) {
       Remove(conn.fd.get(), conn.close_reason);
       return false;
@@ -324,9 +564,13 @@ Status EventLoop::Run() {
       pfds.push_back(pollfd{listener_.get(), POLLIN, 0});
     }
     const std::size_t first_conn = pfds.size();
+    const auto arm_now = std::chrono::steady_clock::now();
     for (auto& [fd, conn] : connections_) {
       short events = POLLIN;
-      if (conn.outbox_offset < conn.outbox.size()) events |= POLLOUT;
+      if (conn.outbox_offset < conn.outbox.size() &&
+          (!conn.write_gate || arm_now >= *conn.write_gate)) {
+        events |= POLLOUT;
+      }
       pfds.push_back(pollfd{fd, events, 0});
       conn_fds.push_back(fd);
     }
@@ -354,6 +598,7 @@ Status EventLoop::Run() {
       const pollfd& p = pfds[first_conn + i];
       auto it = connections_.find(conn_fds[i]);
       if (it == connections_.end()) continue;  // removed by a callback
+      if (it->second.doomed) continue;         // close pending
       if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
         // Read any final bytes the peer sent before the hangup, then drop.
         if (p.revents & POLLIN) {
@@ -367,7 +612,7 @@ Status EventLoop::Run() {
       if (p.revents & POLLIN) {
         if (!HandleReadable(it->second)) continue;
         it = connections_.find(conn_fds[i]);
-        if (it == connections_.end()) continue;
+        if (it == connections_.end() || it->second.doomed) continue;
       }
       if ((p.revents & POLLOUT) ||
           it->second.outbox_offset < it->second.outbox.size()) {
@@ -375,6 +620,7 @@ Status EventLoop::Run() {
       }
     }
 
+    FlushPendingCloses();
     SweepIdle();
   }
   return Status::Ok();

@@ -6,9 +6,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "net/fault.h"
 #include "util/status.h"
 
 namespace htdp {
@@ -80,6 +84,70 @@ StatusOr<std::size_t> RecvSome(int fd, std::uint8_t* out, std::size_t n);
 /// surface as EPIPE Statuses, not kill the daemon).
 void IgnoreSigpipeOnce();
 
+/// Blocking byte-stream interface the client side of the protocol runs on.
+/// The production implementation is a socket (SocketStream); the chaos
+/// harness wraps one in a FaultInjectingStream (net/fault.h) so every
+/// client-side wire fault flows through the exact code paths a flaky
+/// network would hit.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Writes the whole buffer or returns a typed error.
+  virtual Status Send(const std::uint8_t* data, std::size_t n) = 0;
+
+  /// One blocking read: the byte count, 0 on orderly peer shutdown, or a
+  /// typed error.
+  virtual StatusOr<std::size_t> Recv(std::uint8_t* out, std::size_t n) = 0;
+
+  virtual void Close() = 0;
+};
+
+/// The real thing: a connected TCP socket via SendAll/RecvSome.
+class SocketStream : public ByteStream {
+ public:
+  explicit SocketStream(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  Status Send(const std::uint8_t* data, std::size_t n) override {
+    return SendAll(fd_.get(), data, n);
+  }
+  StatusOr<std::size_t> Recv(std::uint8_t* out, std::size_t n) override {
+    return RecvSome(fd_.get(), out, n);
+  }
+  void Close() override { fd_.Reset(); }
+
+ private:
+  UniqueFd fd_;
+};
+
+/// Dials host:port and wraps the socket in a stream.
+StatusOr<std::unique_ptr<ByteStream>> DialStream(const std::string& host,
+                                                 std::uint16_t port);
+
+/// ByteStream decorator that perturbs traffic according to a FaultPlan.
+/// Deterministic: all decisions come from the plan's seeded stream. A
+/// kDrop or kTruncate closes the underlying stream, after which every
+/// operation fails with kUnavailable -- exactly what the retry loop sees
+/// from a real half-open connection.
+class FaultInjectingStream : public ByteStream {
+ public:
+  FaultInjectingStream(std::unique_ptr<ByteStream> inner, FaultPlan plan)
+      : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {}
+
+  Status Send(const std::uint8_t* data, std::size_t n) override;
+  StatusOr<std::size_t> Recv(std::uint8_t* out, std::size_t n) override;
+  void Close() override { inner_->Close(); }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  std::unique_ptr<ByteStream> inner_;
+  FaultPlan plan_;
+  FaultRng rng_;
+  FaultCounters counters_;
+  bool severed_ = false;  // a drop/truncate fault already cut the stream
+};
+
 /// Single-threaded poll(2) event loop.
 ///
 /// Threading contract: every method except Wake() must be called on the
@@ -101,8 +169,27 @@ class EventLoop {
     std::function<void()> on_wake;
   };
 
-  /// idle_timeout_seconds <= 0 disables idle sweeping.
+  struct Options {
+    /// Idle connections are closed after this long; <= 0 disables.
+    double idle_timeout_seconds = 0.0;
+
+    /// A connection whose un-flushed write backlog exceeds this many bytes
+    /// is disconnected -- the slow-client guard that keeps one stalled
+    /// reader from growing the daemon's memory without bound. 0 = no cap.
+    /// The close is DEFERRED to the end of the loop iteration so Send()
+    /// stays safe to call mid-iteration (no re-entrant on_close).
+    std::size_t max_write_buffer_bytes = 0;
+
+    /// Server-side wire-fault injection (the HTDP_FAULT_PLAN knob).
+    /// Unset = no faults.
+    std::optional<FaultPlan> fault;
+  };
+
+  EventLoop(Callbacks callbacks, Options options);
+
+  /// Back-compat convenience: only the idle timeout configured.
   EventLoop(Callbacks callbacks, double idle_timeout_seconds);
+
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
@@ -137,6 +224,14 @@ class EventLoop {
   /// must be matched by a MarkBusy(false).
   void MarkBusy(int fd, bool busy);
 
+  /// Arms a read deadline: unless more bytes arrive (or the deadline is
+  /// re-armed / disarmed with seconds <= 0) within `seconds`, the
+  /// connection is closed with kDeadlineExceeded. Unlike the idle sweep
+  /// this fires even on busy connections -- it is how the daemon reaps a
+  /// peer that went half-open MID-FRAME, which looks active to the idle
+  /// heuristic (recent bytes) but will never complete its frame.
+  void SetReadDeadline(int fd, double seconds);
+
   /// Runs until Stop(). Returns the first fatal poll error, else Ok.
   Status Run();
 
@@ -151,6 +246,9 @@ class EventLoop {
   /// True when every connection's write buffer is empty.
   bool AllFlushed() const;
 
+  /// Faults injected so far (zeros when Options::fault is unset).
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+
  private:
   struct Connection {
     UniqueFd fd;
@@ -158,8 +256,16 @@ class EventLoop {
     std::size_t outbox_offset = 0;
     int busy = 0;
     bool closing = false;  // close once the outbox drains
+    bool doomed = false;   // queued on pending_close_; skip further work
     Status close_reason = Status::Ok();
     std::chrono::steady_clock::time_point last_activity;
+    /// Armed read deadline (SetReadDeadline); unset = none.
+    std::optional<std::chrono::steady_clock::time_point> read_deadline;
+    /// Fault-injection write gate: no flushing before this instant.
+    std::optional<std::chrono::steady_clock::time_point> write_gate;
+    bool fault_drawn = false;  // one decision per outbox generation
+    std::size_t flush_limit = 0;   // this flush may not pass this offset
+    bool close_at_limit = false;   // truncate fault: close when it is hit
   };
 
   void AcceptPending();
@@ -169,13 +275,22 @@ class EventLoop {
   void Remove(int fd, const Status& reason);
   void SweepIdle();
   int PollTimeoutMs() const;
+  /// Schedules a close at the iteration boundary (safe mid-iteration).
+  void DeferClose(Connection& conn, Status reason);
+  void FlushPendingCloses();
+  /// Applies the per-batch fault decision; returns false when the
+  /// connection was removed (dropped).
+  bool ApplyWriteFault(Connection& conn);
 
   Callbacks callbacks_;
-  double idle_timeout_seconds_;
+  Options options_;
   UniqueFd listener_;
   UniqueFd wake_read_;
   UniqueFd wake_write_;
   std::map<int, Connection> connections_;
+  std::vector<std::pair<int, Status>> pending_close_;
+  std::optional<FaultRng> fault_rng_;
+  FaultCounters fault_counters_;
   bool running_ = false;
 };
 

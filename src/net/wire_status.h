@@ -31,7 +31,8 @@ namespace net {
   X(StatusCode::kShapeMismatch, 3)             \
   X(StatusCode::kUnknownSolver, 4)             \
   X(StatusCode::kCancelled, 5)                 \
-  X(StatusCode::kDeadlineExceeded, 6)
+  X(StatusCode::kDeadlineExceeded, 6)          \
+  X(StatusCode::kUnavailable, 7)
 
 /// The protocol code for a StatusCode. Total over the enum: the table covers
 /// every StatusCode, which the round-trip test enforces.
@@ -60,6 +61,13 @@ constexpr std::optional<StatusCode> StatusCodeFromWire(std::uint16_t wire) {
 /// over-budget tenant's SUBMIT is rejected at the socket with this value.
 inline constexpr std::uint16_t kWireBudgetExhausted =
     WireStatusFor(StatusCode::kBudgetExhausted);
+
+/// The overload-shedding code: a SUBMIT rejected because the daemon's queue,
+/// per-tenant inflight cap, or connection cap is full. The carrying ERROR
+/// frame includes a retry_after_ms hint; the rejection is retryable by
+/// contract (nothing ran, no budget was spent).
+inline constexpr std::uint16_t kWireUnavailable =
+    WireStatusFor(StatusCode::kUnavailable);
 
 /// Reconstructs a typed Status from a wire code + message, so a remote
 /// rejection branches exactly like a local one (client code switches on

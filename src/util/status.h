@@ -27,6 +27,13 @@ namespace htdp {
 ///   kCancelled         -- the fit was cooperatively cancelled through
 ///                         SolverSpec::should_stop (Engine job cancel).
 ///   kDeadlineExceeded  -- an Engine job missed its wall-clock deadline.
+///   kUnavailable       -- the service is momentarily overloaded (queue cap,
+///                         per-tenant inflight cap, connection cap) and the
+///                         request was shed WITHOUT running. Unlike every
+///                         other code this one is RETRYABLE by contract: the
+///                         request spent no privacy budget and an identical
+///                         resubmission is safe (fits are deterministic at a
+///                         fixed seed, so a retry is idempotent).
 enum class StatusCode {
   kOk = 0,
   kInvalidProblem,
@@ -35,6 +42,7 @@ enum class StatusCode {
   kUnknownSolver,
   kCancelled,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Stable lower-case name of a code, e.g. "invalid-problem".
@@ -54,8 +62,18 @@ inline const char* StatusCodeName(StatusCode code) {
       return "cancelled";
     case StatusCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
+}
+
+/// True for the codes whose contract makes an identical resubmission safe
+/// and sensible: nothing ran, no budget was spent, and the condition is
+/// transient. Clients branch on this (net::Client retry loop) instead of
+/// hard-coding code lists.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
 }
 
 /// Lightweight error carrier for the exception-free htdp library. Functions
@@ -90,6 +108,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   /// An error with an explicit code -- for re-wrapping a propagated error

@@ -562,6 +562,212 @@ TEST(EngineTenantTest, ValidationFailureRefundsTheReservation) {
   EXPECT_NEAR(remaining->delta, 1e-5, 1e-15);
 }
 
+// ---------------------------------------------------------------------------
+// Overload admission: bounded queue with watermark hysteresis, shed-at-
+// dequeue for expired deadlines, and per-tenant inflight caps. Shedding is
+// typed kUnavailable (retryable) and refunds tenant reservations in full.
+// ---------------------------------------------------------------------------
+
+TEST(EngineOverloadTest, RetryAfterHintScalesWithBacklogAndClamps) {
+  EXPECT_EQ(RetryAfterHintMs(0, 4), 50u);    // empty queue: one service slot
+  EXPECT_EQ(RetryAfterHintMs(4, 4), 100u);   // one job ahead per worker
+  EXPECT_EQ(RetryAfterHintMs(40, 4), 550u);
+  EXPECT_EQ(RetryAfterHintMs(4000, 4), 2000u);  // clamped high
+  EXPECT_EQ(RetryAfterHintMs(3, 0), 200u);      // workers <= 0 treated as 1
+}
+
+TEST(EngineOverloadTest, QueueCapShedsWithTypedUnavailable) {
+  const SharedWorkload workload;
+  Engine::Options options;
+  options.workers = 1;
+  options.max_queue_depth = 2;
+  options.queue_resume_depth = 1;
+  Engine engine(options);
+  WorkerGate gate;
+
+  FitJob blocker = workload.JobFor(kSolverAlg1DpFw, 41);
+  blocker.spec.should_stop = gate.Hook();  // parks the only worker
+  const JobHandle running = engine.Submit(std::move(blocker));
+  gate.AwaitReached();
+
+  const JobHandle q1 = engine.Submit(workload.JobFor(kSolverAlg1DpFw, 42));
+  const JobHandle q2 = engine.Submit(workload.JobFor(kSolverAlg1DpFw, 43));
+  EXPECT_EQ(engine.stats().queue_depth, 2u);
+
+  // The queue is at its high watermark: this submit is shed synchronously
+  // with the retryable typed code, naming the cap and a retry hint.
+  const JobHandle shed = engine.Submit(workload.JobFor(kSolverAlg1DpFw, 44));
+  EXPECT_TRUE(shed.done());
+  const StatusOr<FitResult>& outcome = shed.Wait();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(outcome.status().code()));
+  EXPECT_NE(outcome.status().message().find("retry after"), std::string::npos);
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.unavailable_rejected, 1u);
+  EXPECT_TRUE(stats.overloaded);
+  EXPECT_GE(engine.SuggestedRetryAfterMs(), 25u);
+
+  // Draining to the low watermark clears the latch and admission resumes.
+  JobHandle cancel_me = q2;
+  cancel_me.Cancel();
+  const JobHandle resumed =
+      engine.Submit(workload.JobFor(kSolverAlg1DpFw, 45));
+  EXPECT_FALSE(resumed.done());  // admitted, queued behind q1
+
+  gate.release.store(true);
+  engine.Drain();
+  EXPECT_TRUE(running.Wait().ok());
+  EXPECT_TRUE(q1.Wait().ok());
+  EXPECT_TRUE(resumed.Wait().ok());
+  EXPECT_FALSE(engine.stats().overloaded);
+}
+
+TEST(EngineOverloadTest, WatermarkHysteresisHoldsUntilLowWatermark) {
+  const SharedWorkload workload;
+  Engine::Options options;
+  options.workers = 1;
+  options.max_queue_depth = 4;
+  options.queue_resume_depth = 1;
+  Engine engine(options);
+  WorkerGate gate;
+
+  FitJob blocker = workload.JobFor(kSolverAlg1DpFw, 51);
+  blocker.spec.should_stop = gate.Hook();
+  const JobHandle running = engine.Submit(std::move(blocker));
+  gate.AwaitReached();
+
+  std::vector<JobHandle> queued;
+  for (std::uint64_t seed = 52; seed < 56; ++seed) {
+    queued.push_back(engine.Submit(workload.JobFor(kSolverAlg1DpFw, seed)));
+  }
+  EXPECT_EQ(engine.stats().queue_depth, 4u);
+
+  const JobHandle shed_at_cap =
+      engine.Submit(workload.JobFor(kSolverAlg1DpFw, 56));
+  EXPECT_EQ(shed_at_cap.Wait().status().code(), StatusCode::kUnavailable);
+
+  // One pop is NOT enough: the latch holds until the queue reaches the low
+  // watermark, so admission flaps once per drain cycle instead of once per
+  // popped job.
+  queued[3].Cancel();
+  EXPECT_EQ(engine.stats().queue_depth, 3u);
+  const JobHandle shed_in_band =
+      engine.Submit(workload.JobFor(kSolverAlg1DpFw, 57));
+  EXPECT_EQ(shed_in_band.Wait().status().code(), StatusCode::kUnavailable);
+
+  queued[2].Cancel();
+  queued[1].Cancel();
+  EXPECT_EQ(engine.stats().queue_depth, 1u);  // at the low watermark
+  const JobHandle resumed =
+      engine.Submit(workload.JobFor(kSolverAlg1DpFw, 58));
+  EXPECT_FALSE(resumed.done());
+
+  gate.release.store(true);
+  engine.Drain();
+  EXPECT_TRUE(running.Wait().ok());
+  EXPECT_TRUE(queued[0].Wait().ok());
+  EXPECT_TRUE(resumed.Wait().ok());
+  EXPECT_EQ(engine.stats().unavailable_rejected, 2u);
+}
+
+TEST(EngineOverloadTest, ExpiredQueuedJobShedAtDequeueRefundsTenant) {
+  const SharedWorkload workload;
+  BudgetManager budgets;
+  ASSERT_TRUE(
+      budgets.RegisterTenant("late", PrivacyBudget::Approx(1.0, 1e-5)).ok());
+  Engine engine(Engine::Options{/*workers=*/1, &budgets});
+  WorkerGate gate;
+
+  FitJob blocker = workload.JobFor(kSolverAlg1DpFw, 61);
+  blocker.spec.should_stop = gate.Hook();
+  const JobHandle running = engine.Submit(std::move(blocker));
+  gate.AwaitReached();
+
+  FitJob hurried = workload.JobFor(kSolverAlg2PrivateLasso, 62);
+  hurried.tenant = "late";
+  hurried.deadline_seconds = 1e-4;
+  const JobHandle late = engine.Submit(std::move(hurried));
+  {
+    const StatusOr<PrivacyBudget> reserved = budgets.Remaining("late");
+    ASSERT_TRUE(reserved.ok());
+    EXPECT_NEAR(reserved->epsilon, 0.0, 1e-12);  // fully reserved
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  gate.release.store(true);
+
+  // The worker pops the expired job and sheds it WITHOUT running the
+  // solver: typed kDeadlineExceeded, counted as shed, reservation back.
+  EXPECT_EQ(late.Wait().status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(running.Wait().ok());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.shed_expired, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  const StatusOr<PrivacyBudget> refunded = budgets.Remaining("late");
+  ASSERT_TRUE(refunded.ok());
+  EXPECT_NEAR(refunded->epsilon, 1.0, 1e-12);
+}
+
+TEST(EngineOverloadTest, PerTenantInflightCapShedsAndRefunds) {
+  const SharedWorkload workload;
+  BudgetManager budgets;
+  ASSERT_TRUE(
+      budgets.RegisterTenant("flood", PrivacyBudget::Approx(10.0, 1e-3))
+          .ok());
+  Engine::Options options;
+  options.workers = 1;
+  options.budgets = &budgets;
+  options.max_inflight_per_tenant = 1;
+  Engine engine(options);
+  WorkerGate gate;
+
+  FitJob blocker = workload.JobFor(kSolverAlg1DpFw, 71);  // no tenant
+  blocker.spec.should_stop = gate.Hook();
+  const JobHandle running = engine.Submit(std::move(blocker));
+  gate.AwaitReached();
+
+  FitJob first = workload.JobFor(kSolverAlg2PrivateLasso, 72);
+  first.tenant = "flood";
+  const JobHandle admitted = engine.Submit(std::move(first));
+  EXPECT_FALSE(admitted.done());  // queued, holds the tenant's one slot
+
+  // The tenant's second inflight job is shed -- and its reservation comes
+  // straight back, so the cap costs the tenant no budget.
+  FitJob second = workload.JobFor(kSolverAlg2PrivateLasso, 73);
+  second.tenant = "flood";
+  const JobHandle shed = engine.Submit(std::move(second));
+  ASSERT_TRUE(shed.done());
+  EXPECT_EQ(shed.Wait().status().code(), StatusCode::kUnavailable);
+  {
+    const StatusOr<PrivacyBudget> remaining = budgets.Remaining("flood");
+    ASSERT_TRUE(remaining.ok());
+    EXPECT_NEAR(remaining->epsilon, 9.0, 1e-12);  // only `admitted` reserved
+  }
+
+  // The cap is per tenant: untenanted work still queues freely.
+  const JobHandle other = engine.Submit(workload.JobFor(kSolverAlg1DpFw, 74));
+  EXPECT_FALSE(other.done());
+
+  gate.release.store(true);
+  engine.Drain();
+  EXPECT_TRUE(running.Wait().ok());
+  EXPECT_TRUE(admitted.Wait().ok());
+  EXPECT_TRUE(other.Wait().ok());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.unavailable_rejected, 1u);
+
+  // Once the slot frees, the tenant submits again -- and is charged only
+  // for the fits that ran.
+  FitJob third = workload.JobFor(kSolverAlg2PrivateLasso, 75);
+  third.tenant = "flood";
+  const JobHandle after = engine.Submit(std::move(third));
+  EXPECT_TRUE(after.Wait().ok());
+  const StatusOr<PrivacyBudget> remaining = budgets.Remaining("flood");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_NEAR(remaining->epsilon, 8.0, 1e-12);
+}
+
 TEST(EngineScenarioTest, EngineSweepMatchesSequentialRunTrials) {
   // The harness's Engine path must reproduce the sequential summary bit for
   // bit: same derived seeds, same per-trial metrics, same Summary.

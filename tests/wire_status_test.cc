@@ -24,10 +24,15 @@ TEST(WireStatus, PinnedNumbersNeverChange) {
   EXPECT_EQ(WireStatusFor(StatusCode::kUnknownSolver), 4);
   EXPECT_EQ(WireStatusFor(StatusCode::kCancelled), 5);
   EXPECT_EQ(WireStatusFor(StatusCode::kDeadlineExceeded), 6);
+  EXPECT_EQ(WireStatusFor(StatusCode::kUnavailable), 7);
 }
 
 TEST(WireStatus, BudgetExhaustedConstantMatchesTheTable) {
   EXPECT_EQ(kWireBudgetExhausted, 2);
+}
+
+TEST(WireStatus, UnavailableConstantMatchesTheTable) {
+  EXPECT_EQ(kWireUnavailable, 7);
 }
 
 // The table is constexpr end to end, so protocol constants can live in
@@ -47,7 +52,7 @@ TEST(WireStatus, RoundTripsEveryStatusCode) {
       StatusCode::kOk,            StatusCode::kInvalidProblem,
       StatusCode::kBudgetExhausted, StatusCode::kShapeMismatch,
       StatusCode::kUnknownSolver, StatusCode::kCancelled,
-      StatusCode::kDeadlineExceeded,
+      StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
   };
   for (StatusCode code : all) {
     const std::uint16_t wire = WireStatusFor(code);
@@ -62,7 +67,7 @@ TEST(WireStatus, WireNumbersAreDistinct) {
       StatusCode::kOk,            StatusCode::kInvalidProblem,
       StatusCode::kBudgetExhausted, StatusCode::kShapeMismatch,
       StatusCode::kUnknownSolver, StatusCode::kCancelled,
-      StatusCode::kDeadlineExceeded,
+      StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
   };
   for (StatusCode a : all) {
     for (StatusCode b : all) {
@@ -75,7 +80,7 @@ TEST(WireStatus, WireNumbersAreDistinct) {
 // Unknown codes (a peer newer than this build)
 
 TEST(WireStatus, UnknownWireCodeHasNoStatusCode) {
-  EXPECT_FALSE(StatusCodeFromWire(7).has_value());
+  EXPECT_FALSE(StatusCodeFromWire(8).has_value());
   EXPECT_FALSE(StatusCodeFromWire(999).has_value());
   EXPECT_FALSE(StatusCodeFromWire(0xffff).has_value());
 }
@@ -87,6 +92,13 @@ TEST(WireStatus, StatusFromWireReconstructsTypedStatus) {
 
   const Status cancelled = StatusFromWire(5, "stopped");
   EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+
+  // The overload code round-trips typed AND stays marked retryable, which is
+  // what the client backoff loop branches on.
+  const Status unavailable = StatusFromWire(7, "queue full");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(unavailable.code()));
+  EXPECT_FALSE(IsRetryable(budget.code()));
 
   EXPECT_TRUE(StatusFromWire(0, "").ok());
 }
