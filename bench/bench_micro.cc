@@ -26,6 +26,8 @@
 #include "core/htdp.h"
 #include "daemon/server.h"
 #include "net/client.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace htdp {
 namespace {
@@ -112,7 +114,7 @@ void BM_RobustGradient(benchmark::State& state) {
   RobustGradientWorkspace workspace;
   for (auto _ : state) {
     estimator.Estimate(loss, FullView(data), w, out, &workspace);
-    benchmark::DoNotOptimize(out.data());
+    benchmark::DoNotOptimize(out[0]);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * d));
 }
@@ -122,6 +124,80 @@ BENCHMARK(BM_RobustGradient)
     ->Args({10000, 400})
     ->Args({4096, 2048})
     ->Unit(benchmark::kMillisecond);
+
+// The tracing overhead budget, measured (acceptance: idle tracing costs
+// BM_RobustGradient < 1%). One binary cannot compare against an HTDP_OBS=0
+// build of itself, so the bound is derived: per-span cost in the
+// compiled-in-but-disabled state (the solver hot path's actual state when
+// no trace pull is active) x spans per Estimate (exactly one,
+// "robust.estimate") / the measured headline {4096, 2048} estimate time.
+// Recorded in BENCH_micro.json as trace_overhead_pct alongside the raw
+// span_ns_disabled / span_ns_enabled costs.
+void BM_TraceOverhead(benchmark::State& state) {
+  const bool was_enabled = obs::TraceEnabled();
+
+  // Per-span cost, runtime-disabled: one relaxed atomic load per guard.
+  obs::SetTraceEnabled(false);
+  constexpr int kSpans = 1 << 20;
+  WallTimer disabled_timer;
+  for (int i = 0; i < kSpans; ++i) {
+    HTDP_TRACE_SPAN("bench.disabled");
+    benchmark::DoNotOptimize(i);
+  }
+  const double span_ns_disabled =
+      disabled_timer.ElapsedSeconds() * 1e9 / kSpans;
+
+  // Per-span cost, runtime-enabled: two clock reads + a ring write.
+  obs::SetTraceEnabled(true);
+  constexpr int kEnabledSpans = 1 << 16;
+  WallTimer enabled_timer;
+  for (int i = 0; i < kEnabledSpans; ++i) {
+    HTDP_TRACE_SPAN("bench.enabled");
+    benchmark::DoNotOptimize(i);
+  }
+  const double span_ns_enabled =
+      enabled_timer.ElapsedSeconds() * 1e9 / kEnabledSpans;
+  obs::SetTraceEnabled(false);
+
+  // The headline estimate, timed directly (same shape as the
+  // BM_RobustGradient {4096, 2048} acceptance point).
+  const std::size_t n = 4096;
+  const std::size_t d = 2048;
+  Rng rng(5);
+  SyntheticConfig config{n, d, ScalarDistribution::Lognormal(0.0, 0.6),
+                         ScalarDistribution::Normal(0.0, 0.1)};
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  const Dataset data = GenerateLinear(config, w_star, rng);
+  const SquaredLoss loss;
+  const RobustGradientEstimator estimator(10.0, 1.0);
+  const Vector w(d, 0.0);
+  Vector out;
+  RobustGradientWorkspace workspace;
+  estimator.Estimate(loss, FullView(data), w, out, &workspace);  // warm
+  constexpr int kEstimates = 3;
+  WallTimer estimate_timer;
+  for (int i = 0; i < kEstimates; ++i) {
+    estimator.Estimate(loss, FullView(data), w, out, &workspace);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const double estimate_ns =
+      estimate_timer.ElapsedSeconds() * 1e9 / kEstimates;
+
+  int iterations = 0;
+  for (auto _ : state) {
+    HTDP_TRACE_SPAN("bench.loop");
+    benchmark::DoNotOptimize(iterations);
+    ++iterations;
+  }
+  obs::SetTraceEnabled(was_enabled);
+  obs::ClearTrace();
+
+  state.counters["span_ns_disabled"] = span_ns_disabled;
+  state.counters["span_ns_enabled"] = span_ns_enabled;
+  state.counters["trace_overhead_pct"] =
+      estimate_ns > 0.0 ? span_ns_disabled / estimate_ns * 100.0 : 0.0;
+}
+BENCHMARK(BM_TraceOverhead);
 
 // Accountant calibration on the release hot path: one NoiseMultiplier call
 // per (backend, T). Timing is the bench; the JSON trajectory additionally
@@ -550,7 +626,8 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
           record.wall_seconds > 0.0 ? 1.0 / record.wall_seconds : 0.0;
       for (const char* extra :
            {"sigma", "sigma_ratio", "p50_ms", "p99_ms", "p50_retry_ms",
-            "p99_retry_ms", "shed_rate", "retries_per_op"}) {
+            "p99_retry_ms", "shed_rate", "retries_per_op",
+            "trace_overhead_pct", "span_ns_disabled", "span_ns_enabled"}) {
         const auto it = run.counters.find(extra);
         if (it != run.counters.end()) {
           record.extras.emplace_back(extra, it->second.value);

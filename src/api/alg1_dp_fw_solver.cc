@@ -7,6 +7,7 @@
 #include <cstddef>
 
 #include "api/solver_common.h"
+#include "obs/trace.h"
 #include "api/solvers.h"
 #include "dp/accountant.h"
 #include "dp/exponential_mechanism.h"
@@ -63,6 +64,7 @@ class Alg1DpFwSolver final : public Solver {
     SolverWorkspace ws;
     for (int t = 1; t <= iterations; ++t) {
       if (StopRequested(resolved)) return CancelledStatus(*this);
+      HTDP_TRACE_SPAN("alg1.iteration");
       const DatasetView& fold = plan.folds[static_cast<std::size_t>(t - 1)];
       plan.estimator.Estimate(loss, fold, result.w, ws.robust_grad,
                               &ws.gradient);

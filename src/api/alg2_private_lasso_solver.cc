@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "api/solver_common.h"
+#include "obs/trace.h"
 #include "api/solvers.h"
 #include "dp/accountant.h"
 #include "dp/exponential_mechanism.h"
@@ -76,6 +77,7 @@ class Alg2PrivateLassoSolver final : public Solver {
     SolverWorkspace ws;
     for (int t = 1; t <= iterations; ++t) {
       if (StopRequested(resolved)) return CancelledStatus(*this);
+      HTDP_TRACE_SPAN("alg2.iteration");
       // g~ = (2/n) sum_i x~_i (<x~_i, w> - y~_i), the exact gradient of the
       // squared loss on the shrunken data.
       EmpiricalGradient(loss, shrunken_view, result.w, ws.robust_grad);

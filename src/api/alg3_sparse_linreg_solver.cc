@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "api/solver_common.h"
+#include "obs/trace.h"
 #include "api/solvers.h"
 #include "core/peeling.h"
 #include "dp/accountant.h"
@@ -76,6 +77,7 @@ class Alg3SparseLinRegSolver final : public Solver {
     grad.assign(d, 0.0);
     for (int t = 0; t < iterations; ++t) {
       if (StopRequested(resolved)) return CancelledStatus(*this);
+      HTDP_TRACE_SPAN("alg3.iteration");
       const DatasetView& fold = folds[static_cast<std::size_t>(t)];
       const std::size_t m = fold.size();
 

@@ -16,6 +16,7 @@
 #include <cstddef>
 
 #include "api/solver_common.h"
+#include "obs/trace.h"
 #include "api/solvers.h"
 #include "core/peeling.h"
 #include "dp/accountant.h"
@@ -78,6 +79,7 @@ class Alg4PeelingSolver final : public Solver {
 
     FitResult result;
     result.ledger.SetAccounting(resolved.accounting, resolved.budget.delta);
+    HTDP_TRACE_SPAN("alg4.iteration");
     const PeelingResult peeled =
         Peel(v, peeling, rng, &result.ledger, /*fold=*/-1);
     result.w = peeled.value;

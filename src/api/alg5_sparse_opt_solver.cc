@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "api/solver_common.h"
+#include "obs/trace.h"
 #include "api/solvers.h"
 #include "core/peeling.h"
 #include "dp/accountant.h"
@@ -62,6 +63,7 @@ class Alg5SparseOptSolver final : public Solver {
     SolverWorkspace ws;
     for (int t = 0; t < iterations; ++t) {
       if (StopRequested(resolved)) return CancelledStatus(*this);
+      HTDP_TRACE_SPAN("alg5.iteration");
       const DatasetView& fold = plan.folds[static_cast<std::size_t>(t)];
       const std::size_t m = fold.size();
 

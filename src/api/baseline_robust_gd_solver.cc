@@ -8,6 +8,7 @@
 #include <cstddef>
 
 #include "api/solver_common.h"
+#include "obs/trace.h"
 #include "api/solvers.h"
 #include "dp/accountant.h"
 #include "dp/gaussian_mechanism.h"
@@ -68,6 +69,7 @@ class BaselineRobustGdSolver final : public Solver {
     Vector& grad = ws.robust_grad;
     for (int t = 1; t <= iterations; ++t) {
       if (StopRequested(resolved)) return CancelledStatus(*this);
+      HTDP_TRACE_SPAN("baseline.iteration");
       const DatasetView& fold = plan.folds[static_cast<std::size_t>(t - 1)];
       plan.estimator.Estimate(loss, fold, result.w, grad, &ws.gradient);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace htdp {
 namespace {
 
@@ -10,6 +12,27 @@ std::string FormatBudget(double epsilon, double delta) {
   std::ostringstream out;
   out << "(epsilon=" << epsilon << ", delta=" << delta << ")";
   return out.str();
+}
+
+/// Budget burn-down, pushed at every ledger mutation so a METRICS scrape
+/// always sees the live remaining epsilon without polling the manager.
+void PublishTenantGauges(const std::string& name, double total_epsilon,
+                         double spent_epsilon) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  const obs::Labels labels{{"tenant", name}};
+  registry
+      .GetGauge("htdp_tenant_budget_epsilon_total",
+                "Tenant total privacy budget (epsilon)", labels)
+      ->Set(total_epsilon);
+  registry
+      .GetGauge("htdp_tenant_budget_epsilon_spent",
+                "Tenant epsilon currently reserved (refunds subtracted)",
+                labels)
+      ->Set(spent_epsilon);
+  registry
+      .GetGauge("htdp_tenant_budget_epsilon_remaining",
+                "Tenant epsilon still available for admission", labels)
+      ->Set(std::max(total_epsilon - spent_epsilon, 0.0));
 }
 
 }  // namespace
@@ -26,6 +49,8 @@ Status BudgetManager::RegisterTenant(const std::string& name,
     return Status::InvalidProblem("tenant \"" + name +
                                   "\" is already registered");
   }
+  PublishTenantGauges(name, it->second.total.epsilon,
+                      it->second.spent_epsilon);
   return Status::Ok();
 }
 
@@ -56,6 +81,7 @@ Status BudgetManager::TryReserve(const std::string& name,
   tenant.spent_epsilon += cost.epsilon;
   tenant.spent_delta += cost.delta;
   ++tenant.admitted;
+  PublishTenantGauges(name, tenant.total.epsilon, tenant.spent_epsilon);
   return Status::Ok();
 }
 
@@ -68,6 +94,7 @@ void BudgetManager::Refund(const std::string& name,
   tenant.spent_epsilon = std::max(tenant.spent_epsilon - cost.epsilon, 0.0);
   tenant.spent_delta = std::max(tenant.spent_delta - cost.delta, 0.0);
   ++tenant.refunded;
+  PublishTenantGauges(name, tenant.total.epsilon, tenant.spent_epsilon);
 }
 
 StatusOr<PrivacyBudget> BudgetManager::Remaining(

@@ -10,6 +10,9 @@
 #include <utility>
 
 #include "api/solver_registry.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -18,9 +21,73 @@ namespace engine_internal {
 
 using Clock = std::chrono::steady_clock;
 
-double MonotonicSeconds() {
-  return std::chrono::duration<double>(Clock::now().time_since_epoch())
-      .count();
+/// Shared monotonic epoch with the observability layer (satellite: rates
+/// and uptimes derive from one steady clock, never wall time).
+double MonotonicSeconds() { return obs::MonotonicSeconds(); }
+
+/// Registry handles for the engine's exported metrics, resolved once.
+/// Several Engines in one process (tests, sharded setups) share these --
+/// the counters aggregate, which matches how stats() consumers sum them.
+struct EngineMetrics {
+  obs::Counter* submitted;
+  obs::Counter* completed;
+  obs::Counter* succeeded;
+  obs::Counter* failed;
+  obs::Counter* cancelled;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* budget_rejected;
+  obs::Counter* shed;
+  obs::Counter* shed_expired;
+  obs::Gauge* queue_depth;
+  obs::Gauge* running;
+  obs::Gauge* overloaded;
+};
+
+EngineMetrics& Met() {
+  static EngineMetrics* metrics = [] {
+    obs::MetricRegistry& r = obs::MetricRegistry::Global();
+    auto* m = new EngineMetrics();
+    m->submitted = r.GetCounter("htdp_engine_jobs_submitted_total",
+                                "Jobs submitted to the Engine");
+    m->completed = r.GetCounter("htdp_engine_jobs_completed_total",
+                                "Jobs completed (all outcomes)");
+    m->succeeded = r.GetCounter("htdp_engine_jobs_succeeded_total",
+                                "Jobs that produced a FitResult");
+    m->failed = r.GetCounter("htdp_engine_jobs_failed_total",
+                             "Jobs that completed with an error");
+    m->cancelled = r.GetCounter("htdp_engine_jobs_cancelled_total",
+                                "Jobs cancelled before or during a fit");
+    m->deadline_exceeded =
+        r.GetCounter("htdp_engine_jobs_deadline_exceeded_total",
+                     "Jobs that missed their deadline");
+    m->budget_rejected =
+        r.GetCounter("htdp_engine_jobs_budget_rejected_total",
+                     "Submissions rejected by tenant budget admission");
+    m->shed = r.GetCounter("htdp_engine_jobs_shed_total",
+                           "Submissions shed by overload admission");
+    m->shed_expired =
+        r.GetCounter("htdp_engine_jobs_shed_expired_total",
+                     "Queued jobs shed because their deadline expired");
+    m->queue_depth =
+        r.GetGauge("htdp_engine_queue_depth", "Jobs waiting in the queue");
+    m->running =
+        r.GetGauge("htdp_engine_jobs_running", "Jobs currently on a worker");
+    m->overloaded = r.GetGauge("htdp_engine_overloaded",
+                               "1 while the shed watermark latch is on");
+    return m;
+  }();
+  return *metrics;
+}
+
+/// Per-tenant end-to-end fit latency (submit -> completion). The label
+/// value "none" keeps untenanted jobs out of the empty-label series.
+void ObserveFitLatency(const std::string& tenant, double seconds) {
+  obs::MetricRegistry::Global()
+      .GetHistogram("htdp_fit_latency_seconds",
+                    "Job latency from submit to completion",
+                    obs::MetricRegistry::LatencySecondsBuckets(),
+                    {{"tenant", tenant.empty() ? "none" : tenant}})
+      ->Observe(seconds);
 }
 
 /// Queue, counters and coordination state shared by the Engine and every
@@ -81,6 +148,10 @@ struct JobRecord {
   std::atomic<bool> cancel{false};
   bool has_deadline = false;
   Clock::time_point deadline;
+
+  /// obs::NowNanos() at Submit entry; start edge of the engine.queue_wait
+  /// span and the origin of the per-tenant fit-latency observation.
+  std::uint64_t submit_ns = 0;
 
   /// True while the job holds a tenant-budget reservation. Only the path
   /// that completes the job (the unique Complete() winner) reads or clears
@@ -195,6 +266,10 @@ void JobHandle::Cancel() {
         record_->stage = JobRecord::Stage::kDone;
         ++engine->completed;
         ++engine->cancelled;
+        engine_internal::Met().completed->Increment();
+        engine_internal::Met().cancelled->Increment();
+        engine_internal::Met().queue_depth->Set(
+            static_cast<double>(engine->queue.size()));
         ReleaseTenantInflightLocked(*engine, *record_);
         completed = true;
       }
@@ -243,6 +318,8 @@ Engine::~Engine() { Shutdown(); }
 JobHandle Engine::Submit(FitJob job) {
   auto record = std::make_shared<JobRecord>();
   record->job = std::move(job);
+  record->submit_ns = obs::NowNanos();
+  engine_internal::Met().submitted->Increment();
   if (record->job.deadline_seconds > 0.0) {
     record->has_deadline = true;
     record->deadline =
@@ -267,6 +344,8 @@ JobHandle Engine::Submit(FitJob job) {
         ++state_->failed;
         record->Complete(found.status());
       }
+      engine_internal::Met().completed->Increment();
+      engine_internal::Met().failed->Increment();
       state_->idle_cv.notify_all();
       return JobHandle(std::move(record));
     }
@@ -290,16 +369,21 @@ JobHandle Engine::Submit(FitJob job) {
                   "\" but the Engine has no BudgetManager "
                   "(set Engine::Options::budgets)");
     if (!reserved.ok()) {
+      const bool exhausted =
+          reserved.code() == StatusCode::kBudgetExhausted;
       {
         const std::lock_guard<std::mutex> lock(state_->mu);
         ++state_->submitted;
         ++state_->completed;
         ++state_->failed;
-        if (reserved.code() == StatusCode::kBudgetExhausted) {
+        if (exhausted) {
           ++state_->budget_rejected;
         }
         record->Complete(std::move(reserved));
       }
+      engine_internal::Met().completed->Increment();
+      engine_internal::Met().failed->Increment();
+      if (exhausted) engine_internal::Met().budget_rejected->Increment();
       state_->idle_cv.notify_all();
       return JobHandle(std::move(record));
     }
@@ -307,6 +391,7 @@ JobHandle Engine::Submit(FitJob job) {
   }
 
   bool rejected = false;
+  bool shed = false;
   {
     const std::lock_guard<std::mutex> lock(state_->mu);
     ++state_->submitted;
@@ -325,9 +410,12 @@ JobHandle Engine::Submit(FitJob job) {
       ++state_->unavailable_rejected;
       record->Complete(std::move(admitted));
       rejected = true;
+      shed = true;
     } else {
       record->engine = state_;
       state_->queue.push_back(record);
+      engine_internal::Met().queue_depth->Set(
+          static_cast<double>(state_->queue.size()));
       if (!record->job.tenant.empty() &&
           state_->max_inflight_per_tenant > 0) {
         ++state_->tenant_inflight[record->job.tenant];
@@ -336,6 +424,13 @@ JobHandle Engine::Submit(FitJob job) {
     }
   }
   if (rejected) {
+    engine_internal::Met().completed->Increment();
+    if (shed) {
+      engine_internal::Met().failed->Increment();
+      engine_internal::Met().shed->Increment();
+    } else {
+      engine_internal::Met().cancelled->Increment();
+    }
     record->RefundIfCharged(state_->budgets);  // never ran
     state_->idle_cv.notify_all();
     return JobHandle(std::move(record));
@@ -352,9 +447,11 @@ Status Engine::AdmitLocked(engine_internal::JobRecord& record) {
     const std::size_t depth = state_->queue.size();
     if (state_->overloaded && depth <= state_->queue_resume_depth) {
       state_->overloaded = false;
+      engine_internal::Met().overloaded->Set(0.0);
     }
     if (!state_->overloaded && depth >= state_->max_queue_depth) {
       state_->overloaded = true;
+      engine_internal::Met().overloaded->Set(1.0);
     }
     if (state_->overloaded) {
       return Status::Unavailable(
@@ -391,6 +488,8 @@ void Engine::WorkerMain() {
       if (state_->queue.empty()) return;  // stop set, nothing left to run
       record = std::move(state_->queue.front());
       state_->queue.pop_front();
+      engine_internal::Met().queue_depth->Set(
+          static_cast<double>(state_->queue.size()));
       // Deadline-aware shedding: a job whose wall-clock deadline already
       // expired while it sat queued is completed right here -- the worker
       // immediately pops the next job instead of spinning up RunJob for a
@@ -404,6 +503,9 @@ void Engine::WorkerMain() {
           ++state_->completed;
           ++state_->deadline_exceeded;
           ++state_->shed_expired;
+          engine_internal::Met().completed->Increment();
+          engine_internal::Met().deadline_exceeded->Increment();
+          engine_internal::Met().shed_expired->Increment();
           ReleaseTenantInflightLocked(*state_, *record);
         }
       } else if (!record->TryStartRunning()) {
@@ -412,6 +514,8 @@ void Engine::WorkerMain() {
         continue;
       } else {
         ++state_->running;
+        engine_internal::Met().running->Set(
+            static_cast<double>(state_->running));
       }
     }
     if (shed) {
@@ -425,6 +529,10 @@ void Engine::WorkerMain() {
 }
 
 void Engine::RunJob(JobRecord& record) {
+  // Queue wait is recorded retroactively from the submit stamp: the span
+  // covers the full time the job sat before a worker picked it up.
+  obs::RecordSpan("engine.queue_wait", record.submit_ns, obs::NowNanos());
+  HTDP_TRACE_SPAN("engine.job");
   // Refunds the tenant reservation when the outcome proves no mechanism
   // output was released: the job never started, or the solver rejected it
   // in its up-front validation (every solver validates before its first
@@ -445,17 +553,35 @@ void Engine::RunJob(JobRecord& record) {
 
   const auto finish = [&](StatusOr<FitResult> outcome,
                           std::size_t EngineShared::* counter) {
-    // Publish the result and update the counters in one engine-mutex
-    // critical section (engine mu -> record mu is the global lock order):
-    // when Drain() sees running == 0 the result is already observable, and
-    // when a waiter returns from Wait() the next stats() call -- which must
-    // acquire the engine mutex -- already includes this job.
-    const std::lock_guard<std::mutex> lock(state_->mu);
-    record.Complete(std::move(outcome));
-    --state_->running;
-    ++state_->completed;
-    ++((*state_).*counter);
-    ReleaseTenantInflightLocked(*state_, record);
+    {
+      // Publish the result and update the counters in one engine-mutex
+      // critical section (engine mu -> record mu is the global lock order):
+      // when Drain() sees running == 0 the result is already observable,
+      // and when a waiter returns from Wait() the next stats() call --
+      // which must acquire the engine mutex -- already includes this job.
+      const std::lock_guard<std::mutex> lock(state_->mu);
+      record.Complete(std::move(outcome));
+      --state_->running;
+      ++state_->completed;
+      ++((*state_).*counter);
+      ReleaseTenantInflightLocked(*state_, record);
+      engine_internal::Met().running->Set(
+          static_cast<double>(state_->running));
+    }
+    engine_internal::EngineMetrics& met = engine_internal::Met();
+    met.completed->Increment();
+    if (counter == &EngineShared::succeeded) {
+      met.succeeded->Increment();
+    } else if (counter == &EngineShared::failed) {
+      met.failed->Increment();
+    } else if (counter == &EngineShared::cancelled) {
+      met.cancelled->Increment();
+    } else if (counter == &EngineShared::deadline_exceeded) {
+      met.deadline_exceeded->Increment();
+    }
+    engine_internal::ObserveFitLatency(
+        record.job.tenant,
+        static_cast<double>(obs::NowNanos() - record.submit_ns) * 1e-9);
   };
 
   if (record.cancel.load(std::memory_order_acquire)) {
@@ -558,9 +684,12 @@ void Engine::Shutdown() {
       record->RefundIfCharged(state_->budgets);  // never ran
       ++state_->completed;
       ++state_->cancelled;
+      engine_internal::Met().completed->Increment();
+      engine_internal::Met().cancelled->Increment();
       ReleaseTenantInflightLocked(*state_, *record);
     }
     state_->queue.clear();
+    engine_internal::Met().queue_depth->Set(0.0);
   }
   state_->work_cv.notify_all();
   state_->idle_cv.notify_all();

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -18,6 +19,7 @@ void RobustGradientEstimator::Estimate(const Loss& loss,
                                        const Vector& w, Vector& out,
                                        RobustGradientWorkspace* workspace)
     const {
+  HTDP_TRACE_SPAN("robust.estimate");
   HTDP_CHECK_GT(view.size(), 0u);
   HTDP_CHECK_EQ(view.dim(), w.size());
   const std::size_t d = w.size();

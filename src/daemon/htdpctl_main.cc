@@ -11,6 +11,8 @@
 //                      [--retry] [--retry-attempts=K] [--retry-deadline=SECS]
 //   htdpctl ... poll --job=ID [--wait]
 //   htdpctl ... cancel --job=ID
+//   htdpctl ... metrics [--prom]           # observability registry dump
+//   htdpctl ... trace [--out=FILE]         # Chrome-trace JSON (Perfetto)
 //   htdpctl ... selfcheck [submit flags]   # remote fit == local fit, bit-exact
 //
 // The demo problem is generated CLIENT-side (Section 6.1 synthetic linear
@@ -71,13 +73,16 @@ struct Cli {
   bool retry = false;
   int retry_attempts = 8;
   double retry_deadline = 0.0;
+  bool prom = false;      // metrics: Prometheus text instead of JSON
+  std::string out_file;   // trace: write here instead of stdout
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: htdpctl [--host=H] [--port=P] [--json] COMMAND ...\n"
                "commands: list-solvers | stats | submit | poll --job=ID |\n"
-               "          cancel --job=ID | selfcheck\n");
+               "          cancel --job=ID | selfcheck | metrics [--prom] |\n"
+               "          trace [--out=FILE]\n");
   return 1;
 }
 
@@ -305,6 +310,45 @@ int RunCancel(const Cli& cli, htdp::net::Client& client) {
   return 0;
 }
 
+/// METRICS in the registry's JSON or Prometheus text format (--prom). The
+/// body is printed verbatim: it IS the exposition document.
+int RunMetrics(const Cli& cli, htdp::net::Client& client) {
+  const htdp::net::MetricsFormat format =
+      cli.prom ? htdp::net::MetricsFormat::kPrometheus
+               : htdp::net::MetricsFormat::kJson;
+  StatusOr<htdp::net::MetricsReply> reply = client.Metrics(format);
+  if (!reply.ok()) return Fail(reply.status());
+  std::fputs(reply.value().body.c_str(), stdout);
+  if (!reply.value().body.empty() && reply.value().body.back() != '\n') {
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
+/// METRICS(trace): pulls the daemon's span rings as Chrome trace-event
+/// JSON, written to --out=FILE (default stdout) for chrome://tracing or
+/// Perfetto.
+int RunTrace(const Cli& cli, htdp::net::Client& client) {
+  StatusOr<htdp::net::MetricsReply> reply =
+      client.Metrics(htdp::net::MetricsFormat::kTraceChrome);
+  if (!reply.ok()) return Fail(reply.status());
+  if (cli.out_file.empty()) {
+    std::fputs(reply.value().body.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  std::FILE* file = std::fopen(cli.out_file.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "htdpctl: cannot write %s\n", cli.out_file.c_str());
+    return 1;
+  }
+  std::fputs(reply.value().body.c_str(), file);
+  std::fclose(file);
+  std::fprintf(stderr, "trace written to %s (%zu bytes)\n",
+               cli.out_file.c_str(), reply.value().body.size());
+  return 0;
+}
+
 /// Submits the demo problem AND fits it locally with the same seed, then
 /// asserts the two iterates are bit-identical -- the end-to-end proof that
 /// the codec, the serializer and the daemon preserve every bit.
@@ -393,6 +437,10 @@ int main(int argc, char** argv) {
       cli.retry_attempts = std::atoi(value.c_str());
     } else if (FlagValue(argv[i], "--retry-deadline", &value)) {
       cli.retry_deadline = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      cli.prom = true;
+    } else if (FlagValue(argv[i], "--out", &value)) {
+      cli.out_file = value;
     } else if (argv[i][0] != '-' && cli.command.empty()) {
       cli.command = argv[i];
     } else {
@@ -417,6 +465,8 @@ int main(int argc, char** argv) {
   if (cli.command == "poll") return RunPoll(cli, *client.value());
   if (cli.command == "cancel") return RunCancel(cli, *client.value());
   if (cli.command == "selfcheck") return RunSelfcheck(cli, *client.value());
+  if (cli.command == "metrics") return RunMetrics(cli, *client.value());
+  if (cli.command == "trace") return RunTrace(cli, *client.value());
   std::fprintf(stderr, "htdpctl: unknown command \"%s\"\n",
                cli.command.c_str());
   return Usage();

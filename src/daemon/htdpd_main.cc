@@ -12,6 +12,11 @@
 //         [--max-frame-mb=M] [--tenant NAME=EPS[,DELTA]]...
 //         [--queue-cap=K] [--queue-resume=K] [--max-inflight-per-tenant=K]
 //         [--max-connections=K] [--write-buffer-mb=M] [--read-deadline=SECS]
+//         [--trace=on|off] [--trace-capacity=SPANS]
+//
+// Tracing defaults ON in the daemon (the runtime-enabled record path is a
+// bounded per-thread ring, <1% overhead); --trace=off flips the runtime
+// toggle, leaving the METRICS request serving empty traces.
 //
 // Chaos: set HTDP_FAULT_PLAN (e.g. "seed=7,drop=0.03,truncate=0.03") to
 // inject deterministic wire faults into every connection's writes.
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "daemon/server.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -54,7 +60,8 @@ int Usage() {
       "             [--tenant NAME=EPS[,DELTA]]...\n"
       "             [--queue-cap=K] [--queue-resume=K]\n"
       "             [--max-inflight-per-tenant=K] [--max-connections=K]\n"
-      "             [--write-buffer-mb=M] [--read-deadline=SECONDS]\n");
+      "             [--write-buffer-mb=M] [--read-deadline=SECONDS]\n"
+      "             [--trace=on|off] [--trace-capacity=SPANS]\n");
   return 1;
 }
 
@@ -62,6 +69,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   htdp::daemon::ServerOptions options;
+  bool trace = true;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (FlagValue(argv[i], "--host", &value)) {
@@ -92,6 +100,19 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(value.c_str())) << 20;
     } else if (FlagValue(argv[i], "--read-deadline", &value)) {
       options.read_deadline_seconds = std::atof(value.c_str());
+    } else if (FlagValue(argv[i], "--trace", &value)) {
+      if (value == "on") {
+        trace = true;
+      } else if (value == "off") {
+        trace = false;
+      } else {
+        std::fprintf(stderr, "htdpd: --trace wants on|off, got \"%s\"\n",
+                     value.c_str());
+        return 1;
+      }
+    } else if (FlagValue(argv[i], "--trace-capacity", &value)) {
+      htdp::obs::SetTraceCapacity(
+          static_cast<std::size_t>(std::atoll(value.c_str())));
     } else if (FlagValue(argv[i], "--tenant", &value) ||
                (std::strcmp(argv[i], "--tenant") == 0 && i + 1 < argc &&
                 (value = argv[++i], true))) {
@@ -121,6 +142,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "htdpd: CHAOS MODE -- injecting wire faults (%s)\n",
                  options.fault->ToSpec().c_str());
   }
+
+  htdp::obs::SetTraceEnabled(trace);
 
   const std::string host =
       options.host.empty() || options.host == "localhost" ? "127.0.0.1"

@@ -5,6 +5,9 @@
 
 #include "api/solver_registry.h"
 #include "net/wire_status.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace htdp {
 namespace daemon {
@@ -139,7 +142,11 @@ void Server::OnData(int fd, const std::uint8_t* data, std::size_t n) {
   it->second.decoder.Feed(data, n);
   while (true) {
     std::optional<net::Frame> frame;
-    Status status = it->second.decoder.Next(&frame);
+    Status status;
+    {
+      HTDP_TRACE_SPAN("daemon.frame_decode");
+      status = it->second.decoder.Next(&frame);
+    }
     if (!status.ok()) {
       // Header corruption: a length-prefixed stream cannot re-synchronize,
       // so explain and hang up (best effort -- the peer may be gone).
@@ -187,6 +194,12 @@ void Server::OnWake() {
 }
 
 void Server::HandleFrame(int fd, const net::Frame& frame) {
+  HTDP_TRACE_SPAN("daemon.dispatch");
+  obs::MetricRegistry::Global()
+      .GetCounter("htdp_daemon_frames_received_total",
+                  "Request frames received, by frame type",
+                  {{"type", net::FrameTypeName(frame.type)}})
+      ->Increment();
   switch (frame.type) {
     case net::FrameType::kSubmit:
       HandleSubmit(fd, frame);
@@ -202,6 +215,9 @@ void Server::HandleFrame(int fd, const net::Frame& frame) {
       return;
     case net::FrameType::kListSolvers:
       HandleListSolvers(fd);
+      return;
+    case net::FrameType::kMetrics:
+      HandleMetrics(fd, frame);
       return;
     default: {
       // A known frame type that only ever flows server -> client.
@@ -389,6 +405,34 @@ void Server::HandleListSolvers(int fd) {
   SendFrame(fd, net::FrameType::kSolverList, writer);
 }
 
+void Server::HandleMetrics(int fd, const net::Frame& frame) {
+  net::WireReader reader(frame.payload);
+  net::MetricsRequest request;
+  Status decoded = DecodeMetrics(reader, &request);
+  if (!decoded.ok()) {
+    SendError(fd, decoded, 0);
+    return;
+  }
+  net::MetricsReply reply;
+  reply.format = request.format;
+  switch (request.format) {
+    case net::MetricsFormat::kJson:
+      reply.body = obs::MetricRegistry::Global().ToJson();
+      break;
+    case net::MetricsFormat::kPrometheus:
+      reply.body = obs::MetricRegistry::Global().ToPrometheus();
+      break;
+    case net::MetricsFormat::kTraceChrome:
+      // Snapshot, not drain: repeated trace pulls each see the current ring
+      // window, and a pull never perturbs concurrent recording.
+      reply.body = obs::DumpChromeTrace();
+      break;
+  }
+  net::WireWriter writer;
+  EncodeMetricsReply(writer, reply);
+  SendFrame(fd, net::FrameType::kMetricsOk, writer);
+}
+
 // ---------------------------------------------------------------------------
 // Completion and shutdown
 
@@ -429,6 +473,7 @@ void Server::FinishJob(std::uint64_t id) {
 
 void Server::SendFrame(int fd, net::FrameType type,
                        const net::WireWriter& writer) {
+  HTDP_TRACE_SPAN("daemon.write");
   std::vector<std::uint8_t> frame =
       net::EncodeFrame(type, writer.bytes(), options_.max_payload_bytes);
   loop_->Send(fd, frame.data(), frame.size());

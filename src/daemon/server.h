@@ -147,6 +147,7 @@ class Server {
   void HandleCancel(int fd, const net::Frame& frame);
   void HandleStats(int fd);
   void HandleListSolvers(int fd);
+  void HandleMetrics(int fd, const net::Frame& frame);
 
   /// Completion processing: sends the JOB_STATE (+ result frames) to the
   /// streamed origin and every parked poller, then applies retention.

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/trace.h"
 #include "rng/distributions.h"
 #include "util/check.h"
 #include "util/simd.h"
@@ -20,6 +21,7 @@ ExponentialMechanism::ExponentialMechanism(double sensitivity, double epsilon)
 
 std::size_t ExponentialMechanism::SelectGumbel(const Vector& scores,
                                                Rng& rng) const {
+  HTDP_TRACE_SPAN("dp.select_gumbel");
   HTDP_CHECK(!scores.empty());
   const double beta = epsilon_ / (2.0 * sensitivity_);
   std::size_t best = 0;

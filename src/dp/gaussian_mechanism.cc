@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "rng/distributions.h"
 #include "util/check.h"
 
@@ -27,12 +28,14 @@ double GaussianMechanism::Privatize(double value, Rng& rng) const {
 }
 
 void GaussianMechanism::PrivatizeInPlace(Vector& value, Rng& rng) const {
+  HTDP_TRACE_SPAN("dp.privatize");
   for (double& v : value) v += SampleNormal(rng, 0.0, sigma_);
 }
 
 void GaussianMechanism::PrivatizeInPlaceFilled(Vector& value,
                                                Vector& noise_scratch,
                                                Rng& rng) const {
+  HTDP_TRACE_SPAN("dp.privatize");
   noise_scratch.resize(value.size());
   FillNormal(rng, noise_scratch.data(), noise_scratch.size());
   AxpyKernel(sigma_, noise_scratch.data(), value.data(), value.size());

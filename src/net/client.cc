@@ -309,6 +309,26 @@ StatusOr<StatsReply> Client::Stats() {
   return stats;
 }
 
+StatusOr<MetricsReply> Client::Metrics(MetricsFormat format) {
+  WireWriter writer;
+  MetricsRequest request;
+  request.format = format;
+  EncodeMetrics(writer, request);
+  HTDP_RETURN_IF_ERROR(SendFrame(FrameType::kMetrics, writer.bytes()));
+  StatusOr<Frame> reply = ReadReply(0);
+  HTDP_RETURN_IF_ERROR(reply.status());
+  WireReader reader(reply.value().payload);
+  if (reply.value().type == FrameType::kError) {
+    return ErrorFromFrame(reply.value());
+  }
+  if (reply.value().type != FrameType::kMetricsOk) {
+    return UnexpectedFrame(reply.value());
+  }
+  MetricsReply metrics;
+  HTDP_RETURN_IF_ERROR(DecodeMetricsReply(reader, &metrics));
+  return metrics;
+}
+
 StatusOr<FitResult> Client::SubmitAndWaitWithRetry(
     const SubmitRequest& request, const RetryPolicy& policy) {
   const auto start = std::chrono::steady_clock::now();

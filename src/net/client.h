@@ -108,6 +108,11 @@ class Client {
   StatusOr<StatsReply> Stats();
   StatusOr<SolverListReply> ListSolvers();
 
+  /// METRICS -> an observability export in the requested format: the
+  /// metrics registry as JSON or Prometheus text, or the span collector's
+  /// Chrome-trace JSON (kTraceChrome).
+  StatusOr<MetricsReply> Metrics(MetricsFormat format);
+
   /// Submit + wait (streamed or polled per request.stream), retrying
   /// kUnavailable outcomes -- overload shedding AND transport failures --
   /// under `policy`: exponential backoff with deterministic jitter,

@@ -30,6 +30,8 @@ bool KnownFrameType(std::uint8_t value) {
     case FrameType::kResultChunk:
     case FrameType::kResultEnd:
     case FrameType::kError:
+    case FrameType::kMetrics:
+    case FrameType::kMetricsOk:
       return true;
   }
   return false;
@@ -61,6 +63,10 @@ const char* FrameTypeName(FrameType type) {
       return "result-end";
     case FrameType::kError:
       return "error";
+    case FrameType::kMetrics:
+      return "metrics";
+    case FrameType::kMetricsOk:
+      return "metrics-ok";
   }
   return "unknown";
 }

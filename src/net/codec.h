@@ -67,6 +67,8 @@ enum class FrameType : std::uint8_t {
   kResultChunk = 11,  // server -> client: slice of a serialized FitResult
   kResultEnd = 12,    // server -> client: result complete, carries total size
   kError = 13,        // server -> client: typed request failure
+  kMetrics = 14,      // client -> server: observability export request
+  kMetricsOk = 15,    // server -> client: exported metrics/trace body
 };
 
 /// True for the type values a version-1 peer understands.

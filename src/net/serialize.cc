@@ -502,5 +502,33 @@ Status DecodeError(WireReader& r, WireError* out) {
   return Status::Ok();
 }
 
+void EncodeMetrics(WireWriter& w, const MetricsRequest& request) {
+  w.U8(static_cast<std::uint8_t>(request.format));
+}
+
+Status DecodeMetrics(WireReader& r, MetricsRequest* out) {
+  std::uint8_t format = 0;
+  HTDP_RETURN_IF_ERROR(r.U8(&format, "metrics.format"));
+  if (format > static_cast<std::uint8_t>(MetricsFormat::kTraceChrome)) {
+    return Status::InvalidProblem("metrics.format " + std::to_string(format) +
+                                  " is not a known export format");
+  }
+  out->format = static_cast<MetricsFormat>(format);
+  return Status::Ok();
+}
+
+void EncodeMetricsReply(WireWriter& w, const MetricsReply& msg) {
+  w.U8(static_cast<std::uint8_t>(msg.format));
+  w.Str(msg.body);
+}
+
+Status DecodeMetricsReply(WireReader& r, MetricsReply* out) {
+  std::uint8_t format = 0;
+  HTDP_RETURN_IF_ERROR(r.U8(&format, "metrics_ok.format"));
+  out->format = static_cast<MetricsFormat>(format);
+  HTDP_RETURN_IF_ERROR(r.Str(&out->body, "metrics_ok.body"));
+  return Status::Ok();
+}
+
 }  // namespace net
 }  // namespace htdp

@@ -225,6 +225,30 @@ struct WireError {
 void EncodeError(WireWriter& w, const WireError& msg);
 Status DecodeError(WireReader& r, WireError* out);
 
+/// Export formats a METRICS request can ask for. Wire-stable values.
+enum class MetricsFormat : std::uint8_t {
+  kJson = 0,        // MetricRegistry::ToJson()
+  kPrometheus = 1,  // MetricRegistry::ToPrometheus() text exposition
+  kTraceChrome = 2, // Chrome trace-event JSON of the span collector
+};
+
+/// METRICS payload: ask the daemon for an observability export. New
+/// formats append enum values; new knobs append payload fields under the
+/// trailing-bytes rule.
+struct MetricsRequest {
+  MetricsFormat format = MetricsFormat::kJson;
+};
+void EncodeMetrics(WireWriter& w, const MetricsRequest& request);
+Status DecodeMetrics(WireReader& r, MetricsRequest* out);
+
+/// METRICS_OK payload: the export body, verbatim in the requested format.
+struct MetricsReply {
+  MetricsFormat format = MetricsFormat::kJson;
+  std::string body;
+};
+void EncodeMetricsReply(WireWriter& w, const MetricsReply& msg);
+Status DecodeMetricsReply(WireReader& r, MetricsReply* out);
+
 }  // namespace net
 }  // namespace htdp
 

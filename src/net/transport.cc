@@ -16,6 +16,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
 namespace htdp {
 namespace net {
 namespace {
@@ -554,6 +557,24 @@ void EventLoop::Remove(int fd, const Status& reason) {
 
 Status EventLoop::Run() {
   running_ = true;
+  // Single-event-loop visibility (ROADMAP "Net state"): how long the loop
+  // blocks in poll(2), how long one service pass takes, and how much is
+  // buffered toward slow clients -- the numbers that answer whether one
+  // loop thread can carry the connection count it is given.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  obs::Gauge* poll_wait_gauge = registry.GetGauge(
+      "htdp_event_loop_poll_seconds", "Duration of the last poll(2) wait");
+  obs::Gauge* service_gauge =
+      registry.GetGauge("htdp_event_loop_service_seconds",
+                        "Duration of the last post-poll service pass");
+  obs::Gauge* conn_gauge = registry.GetGauge("htdp_net_connections",
+                                             "Open connections on the loop");
+  obs::Gauge* buffered_gauge =
+      registry.GetGauge("htdp_net_write_buffer_bytes",
+                        "Unflushed outbox bytes across all connections");
+  obs::Gauge* buffered_max_gauge =
+      registry.GetGauge("htdp_net_write_buffer_max_bytes",
+                        "Largest single-connection unflushed outbox");
   std::vector<pollfd> pfds;
   std::vector<int> conn_fds;
   while (running_) {
@@ -565,17 +586,29 @@ Status EventLoop::Run() {
     }
     const std::size_t first_conn = pfds.size();
     const auto arm_now = std::chrono::steady_clock::now();
+    std::size_t buffered_total = 0;
+    std::size_t buffered_max = 0;
     for (auto& [fd, conn] : connections_) {
       short events = POLLIN;
-      if (conn.outbox_offset < conn.outbox.size() &&
+      const std::size_t backlog = conn.outbox.size() - conn.outbox_offset;
+      buffered_total += backlog;
+      buffered_max = std::max(buffered_max, backlog);
+      if (backlog > 0 &&
           (!conn.write_gate || arm_now >= *conn.write_gate)) {
         events |= POLLOUT;
       }
       pfds.push_back(pollfd{fd, events, 0});
       conn_fds.push_back(fd);
     }
+    conn_gauge->Set(static_cast<double>(connections_.size()));
+    buffered_gauge->Set(static_cast<double>(buffered_total));
+    buffered_max_gauge->Set(static_cast<double>(buffered_max));
 
+    const std::uint64_t poll_start_ns = obs::NowNanos();
     int ready = ::poll(pfds.data(), pfds.size(), PollTimeoutMs());
+    const std::uint64_t poll_end_ns = obs::NowNanos();
+    poll_wait_gauge->Set(static_cast<double>(poll_end_ns - poll_start_ns) *
+                         1e-9);
     if (ready < 0) {
       if (errno == EINTR) continue;
       return Errno("poll");
@@ -622,6 +655,8 @@ Status EventLoop::Run() {
 
     FlushPendingCloses();
     SweepIdle();
+    service_gauge->Set(static_cast<double>(obs::NowNanos() - poll_end_ns) *
+                       1e-9);
   }
   return Status::Ok();
 }

@@ -1,0 +1,39 @@
+#ifndef HTDP_OBS_CLOCK_H_
+#define HTDP_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace htdp {
+namespace obs {
+
+/// ## obs::clock -- the one monotonic time source
+///
+/// Every observability timestamp (span edges, poll-latency gauges,
+/// EngineStats rate denominators) comes from these two functions so the
+/// whole stack shares a single, strictly monotonic epoch. steady_clock is
+/// immune to NTP steps and wall-clock adjustment, which is what makes
+/// jobs_per_second and span durations non-negative by construction.
+///
+/// One span edge = one NowNanos() call = one coarse clock read. Nothing in
+/// obs/ reads system_clock.
+
+/// Nanoseconds since an arbitrary fixed process-local epoch. Monotonic,
+/// never decreases across calls in one process.
+inline std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Same epoch as NowNanos(), as floating seconds. Engine uptime and rate
+/// computations use this (satellite: monotonic jobs_per_second).
+inline double MonotonicSeconds() {
+  return static_cast<double>(NowNanos()) * 1e-9;
+}
+
+}  // namespace obs
+}  // namespace htdp
+
+#endif  // HTDP_OBS_CLOCK_H_

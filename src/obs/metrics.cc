@@ -1,0 +1,372 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace htdp {
+namespace obs {
+namespace {
+
+/// %.12g round-trips every value we emit (counts, seconds, epsilons)
+/// without trailing-zero noise, and is locale-independent.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJsonString(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Labels Canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// `{k="v",k2="v2"}` or empty string for the label-less series. Doubles as
+/// the series map key (canonical label order makes it unique).
+std::string LabelSignature(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += kv.first;
+    out += "=\"";
+    out += EscapeLabelValue(kv.second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string LabelsJson(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += EscapeJsonString(kv.first);
+    out += "\":\"";
+    out += EscapeJsonString(kv.second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+template <typename Metric>
+struct Family {
+  std::string help;
+  std::vector<double> bounds;  // histograms only
+  // signature -> (labels, metric); std::map gives sorted, stable export.
+  std::map<std::string, std::pair<Labels, std::unique_ptr<Metric>>> series;
+};
+
+}  // namespace
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  std::uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      // +Inf bucket has no finite upper edge; clamp to the last bound.
+      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      double lower = (i == 0) ? 0.0 : bounds_[i - 1];
+      double upper = bounds_[i];
+      double fraction = (target - static_cast<double>(seen)) /
+                        static_cast<double>(in_bucket);
+      if (fraction < 0.0) fraction = 0.0;
+      if (fraction > 1.0) fraction = 1.0;
+      return lower + (upper - lower) * fraction;
+    }
+    seen += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+struct MetricRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, Family<Counter>> counters;
+  std::map<std::string, Family<Gauge>> gauges;
+  std::map<std::string, Family<Histogram>> histograms;
+};
+
+MetricRegistry::MetricRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // immortal
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    const Labels& labels) {
+  Labels canon = Canonical(labels);
+  std::string sig = LabelSignature(canon);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Family<Counter>& family = impl_->counters[name];
+  if (family.help.empty()) family.help = help;
+  auto& slot = family.series[sig];
+  if (!slot.second) {
+    slot.first = std::move(canon);
+    slot.second = std::make_unique<Counter>();
+  }
+  return slot.second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                const Labels& labels) {
+  Labels canon = Canonical(labels);
+  std::string sig = LabelSignature(canon);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Family<Gauge>& family = impl_->gauges[name];
+  if (family.help.empty()) family.help = help;
+  auto& slot = family.series[sig];
+  if (!slot.second) {
+    slot.first = std::move(canon);
+    slot.second = std::make_unique<Gauge>();
+  }
+  return slot.second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        const std::vector<double>& bounds,
+                                        const Labels& labels) {
+  Labels canon = Canonical(labels);
+  std::string sig = LabelSignature(canon);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Family<Histogram>& family = impl_->histograms[name];
+  if (family.help.empty()) {
+    family.help = help;
+    family.bounds = bounds;
+  }
+  auto& slot = family.series[sig];
+  if (!slot.second) {
+    slot.first = std::move(canon);
+    // The family's first registration fixes the ladder for every series so
+    // per-tenant histograms stay aggregatable.
+    slot.second = std::make_unique<Histogram>(family.bounds);
+  }
+  return slot.second.get();
+}
+
+std::string MetricRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  for (const auto& [name, family] : impl_->counters) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " counter\n";
+    for (const auto& [sig, series] : family.series) {
+      out += name + sig + " " +
+             std::to_string(series.second->Value()) + "\n";
+    }
+  }
+  for (const auto& [name, family] : impl_->gauges) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [sig, series] : family.series) {
+      out += name + sig + " " + FormatDouble(series.second->Value()) + "\n";
+    }
+  }
+  for (const auto& [name, family] : impl_->histograms) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [sig, series] : family.series) {
+      const Labels& labels = series.first;
+      const Histogram& h = *series.second;
+      std::vector<std::uint64_t> buckets = h.BucketCounts();
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        cumulative += buckets[i];
+        Labels le = labels;
+        le.emplace_back("le", FormatDouble(h.bounds()[i]));
+        out += name + "_bucket" + LabelSignature(le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      Labels le = labels;
+      le.emplace_back("le", "+Inf");
+      out += name + "_bucket" + LabelSignature(le) + " " +
+             std::to_string(h.Count()) + "\n";
+      out += name + "_sum" + sig + " " + FormatDouble(h.Sum()) + "\n";
+      out += name + "_count" + sig + " " + std::to_string(h.Count()) + "\n";
+    }
+    // Derived quantiles as sibling gauge families: a plain scrape (or the
+    // obs_smoke checker) sees p50/p99 without PromQL.
+    for (const char* q : {"_p50", "_p99"}) {
+      double quantile = (q[2] == '5') ? 0.50 : 0.99;
+      out += "# HELP " + name + q + " " + family.help +
+             " (derived quantile)\n";
+      out += "# TYPE " + name + q + " gauge\n";
+      for (const auto& [sig, series] : family.series) {
+        out += name + q + sig + " " +
+               FormatDouble(series.second->Quantile(quantile)) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& [name, family] : impl_->counters) {
+    for (const auto& [sig, series] : family.series) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"" + EscapeJsonString(name) +
+             "\",\"labels\":" + LabelsJson(series.first) +
+             ",\"value\":" + std::to_string(series.second->Value()) + "}";
+    }
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [name, family] : impl_->gauges) {
+    for (const auto& [sig, series] : family.series) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"" + EscapeJsonString(name) +
+             "\",\"labels\":" + LabelsJson(series.first) +
+             ",\"value\":" + FormatDouble(series.second->Value()) + "}";
+    }
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [name, family] : impl_->histograms) {
+    for (const auto& [sig, series] : family.series) {
+      if (!first) out += ',';
+      first = false;
+      const Histogram& h = *series.second;
+      out += "{\"name\":\"" + EscapeJsonString(name) +
+             "\",\"labels\":" + LabelsJson(series.first) +
+             ",\"count\":" + std::to_string(h.Count()) +
+             ",\"sum\":" + FormatDouble(h.Sum()) +
+             ",\"p50\":" + FormatDouble(h.Quantile(0.50)) +
+             ",\"p99\":" + FormatDouble(h.Quantile(0.99)) + ",\"buckets\":[";
+      std::vector<std::uint64_t> buckets = h.BucketCounts();
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (i > 0) out += ',';
+        std::string le = (i < h.bounds().size())
+                             ? FormatDouble(h.bounds()[i])
+                             : std::string("\"+Inf\"");
+        out += "{\"le\":" + le + ",\"count\":" + std::to_string(buckets[i]) +
+               "}";
+      }
+      out += "]}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, family] : impl_->counters) {
+    for (auto& [sig, series] : family.series) series.second->Reset();
+  }
+  for (auto& [name, family] : impl_->gauges) {
+    for (auto& [sig, series] : family.series) series.second->Reset();
+  }
+  for (auto& [name, family] : impl_->histograms) {
+    for (auto& [sig, series] : family.series) series.second->Reset();
+  }
+}
+
+const std::vector<double>& MetricRegistry::LatencySecondsBuckets() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+      0.25,   0.5,   1.0,    2.5,   5.0,  10.0,  30.0};
+  return *buckets;
+}
+
+}  // namespace obs
+}  // namespace htdp

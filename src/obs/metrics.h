@@ -1,0 +1,138 @@
+#ifndef HTDP_OBS_METRICS_H_
+#define HTDP_OBS_METRICS_H_
+
+/// ## obs::metrics -- process-wide counters, gauges, histograms
+///
+/// One global registry (MetricRegistry::Global()). Instrumented code looks
+/// a metric up once (mutex-guarded map, pointer is stable for the process
+/// lifetime) and afterwards touches only atomics -- the hot path is
+/// lock-free. Per-tenant series are the same name with different labels.
+///
+/// Exporters: ToPrometheus() emits text exposition format (histograms as
+/// _bucket{le=}/_sum/_count plus derived _p50/_p99 gauge families so a
+/// scrape shows quantiles without server-side PromQL), ToJson() a stable
+/// machine-readable dump. Both are wired through the METRICS wire request.
+///
+/// ResetForTest() zeroes every value but never deallocates: cached metric
+/// pointers in instrumented code stay valid across tests.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace htdp {
+namespace obs {
+
+/// Label set for one series, e.g. {{"tenant", "acme"}}. Order-insensitive
+/// (the registry canonicalizes by sorting on key).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count. Relaxed atomics: counters are
+/// statistics, not synchronization.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time double value (queue depth, buffered bytes, budget left).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: cumulative-style export, lock-free Observe
+/// (one bucket fetch_add + count fetch_add + sum CAS). Bucket bounds are
+/// ascending upper limits; an implicit +Inf bucket catches the tail.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// q in [0,1]. Linear interpolation inside the holding bucket; the +Inf
+  /// bucket clamps to the last finite bound. 0 observations -> 0.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (NOT cumulative) counts; size = bounds().size() + 1, the
+  /// last entry being the +Inf bucket.
+  std::vector<std::uint64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricRegistry {
+ public:
+  /// The process-wide registry every instrumented layer uses.
+  static MetricRegistry& Global();
+
+  /// Get-or-create. The first call fixes `help` (and bucket bounds for
+  /// histograms) for the family; later calls with the same name + labels
+  /// return the identical pointer. Pointers remain valid forever.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const std::vector<double>& bounds,
+                          const Labels& labels = {});
+
+  /// Prometheus text exposition format, families sorted by name, series by
+  /// label signature. Histograms additionally emit derived `<name>_p50` /
+  /// `<name>_p99` gauge families.
+  std::string ToPrometheus() const;
+
+  /// Stable JSON: {"counters":[...],"gauges":[...],"histograms":[...]}.
+  std::string ToJson() const;
+
+  /// Zeroes all values, keeps all registrations (pointer stability).
+  void ResetForTest();
+
+  /// Default latency bucket ladder (seconds), 500us .. 30s, roughly
+  /// exponential -- shared by fit latency and poll latency so dashboards
+  /// line up.
+  static const std::vector<double>& LatencySecondsBuckets();
+
+  MetricRegistry();
+  ~MetricRegistry();
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace obs
+}  // namespace htdp
+
+#endif  // HTDP_OBS_METRICS_H_

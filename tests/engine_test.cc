@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "gtest/gtest.h"
 #include "harness/experiment.h"
 #include "harness/scenario.h"
+#include "obs/trace.h"
 
 namespace htdp {
 namespace {
@@ -376,6 +378,92 @@ TEST(EngineTest, DrainWaitsForAllJobs) {
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_EQ(stats.running, 0u);
   for (const JobHandle& handle : handles) EXPECT_TRUE(handle.done());
+}
+
+/// Regression for the jobs_per_sec rate: it is derived from the monotonic
+/// clock (obs/clock.h), so it can never go negative or non-finite, no
+/// matter what the wall clock does, and uptime only moves forward.
+TEST(EngineTest, JobsPerSecondIsMonotonicClockDerived) {
+  const SharedWorkload workload;
+  Engine engine(Engine::Options{2});
+
+  const EngineStats before = engine.stats();
+  EXPECT_GE(before.uptime_seconds, 0.0);
+  EXPECT_GE(before.jobs_per_second, 0.0);
+  EXPECT_TRUE(std::isfinite(before.jobs_per_second));
+
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    JobHandle handle = engine.Submit(workload.JobFor(kSolverAlg1DpFw, seed));
+    handle.Wait();
+  }
+
+  const EngineStats after = engine.stats();
+  EXPECT_GE(after.uptime_seconds, before.uptime_seconds);
+  EXPECT_GT(after.jobs_per_second, 0.0);
+  EXPECT_TRUE(std::isfinite(after.jobs_per_second));
+
+  // Repeated snapshots stay sane (no negative rates, ever).
+  for (int i = 0; i < 16; ++i) {
+    const EngineStats snap = engine.stats();
+    EXPECT_GE(snap.jobs_per_second, 0.0);
+    EXPECT_TRUE(std::isfinite(snap.jobs_per_second));
+  }
+}
+
+/// Span integrity under the worker pool (the TSan CI leg runs this suite):
+/// every worker thread's ring holds well-formed spans in close order, the
+/// engine.job spans appear once per executed job, and iteration spans nest
+/// strictly inside them (depth > 0 on the same thread).
+TEST(EngineTest, TraceSpansNestCorrectlyUnderWorkerPool) {
+  obs::ClearTrace();
+  // Worker threads are created by the Engine below, so they pick up this
+  // capacity -- big enough that iteration spans cannot evict the job spans.
+  const std::size_t saved_capacity = obs::TraceCapacity();
+  obs::SetTraceCapacity(1u << 16);
+  obs::SetTraceEnabled(true);
+
+  const SharedWorkload workload;
+  const int jobs = 8;
+  {
+    Engine engine(Engine::Options{4});
+    std::vector<JobHandle> handles;
+    for (int i = 0; i < jobs; ++i) {
+      handles.push_back(engine.Submit(
+          workload.JobFor(kSolverAlg1DpFw, static_cast<std::uint64_t>(i))));
+    }
+    for (JobHandle& handle : handles) {
+      ASSERT_TRUE(handle.Wait().ok());
+    }
+  }
+  obs::SetTraceEnabled(false);
+
+  std::size_t job_spans = 0;
+  std::size_t iteration_spans = 0;
+  std::size_t queue_wait_spans = 0;
+  for (const obs::ThreadTrace& t : obs::CollectTrace()) {
+    std::uint64_t last_end = 0;
+    for (const obs::Span& s : t.spans) {
+      ASSERT_NE(s.name, nullptr);
+      EXPECT_LE(s.start_ns, s.end_ns);
+      EXPECT_GE(s.end_ns, last_end);  // rings record in close order
+      last_end = s.end_ns;
+      const std::string name(s.name);
+      if (name == "engine.job") {
+        job_spans++;
+        EXPECT_EQ(s.depth, 0u);  // top of the worker's stack
+      } else if (name == "alg1.iteration") {
+        iteration_spans++;
+        EXPECT_GT(s.depth, 0u);  // strictly inside engine.job
+      } else if (name == "engine.queue_wait") {
+        queue_wait_spans++;
+      }
+    }
+  }
+  obs::ClearTrace();
+  obs::SetTraceCapacity(saved_capacity);
+  EXPECT_EQ(job_spans, static_cast<std::size_t>(jobs));
+  EXPECT_EQ(queue_wait_spans, static_cast<std::size_t>(jobs));
+  EXPECT_GT(iteration_spans, 0u);
 }
 
 // ---------------------------------------------------------------------------
