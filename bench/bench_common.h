@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -62,10 +63,10 @@ struct BenchRecord {
   std::vector<std::pair<std::string, double>> extras;
 };
 
-/// The SIMD ISA tag recorded in the trajectory header: the compile-time ISA
-/// of the kernel layer when the runtime toggle is on, "off" when the run is
-/// forced scalar (HTDP_SIMD=off), so A/B rows are distinguishable in the
-/// archive.
+/// The SIMD ISA tag recorded in the trajectory header: the ISA the runtime
+/// dispatcher actually selected on this host when the toggle is on, "off"
+/// when the run is forced scalar (HTDP_SIMD=off), so A/B rows are
+/// distinguishable in the archive.
 inline const char* SimdTag() {
   return SimdEnabled() ? SimdInfo().isa : "off";
 }
@@ -73,11 +74,17 @@ inline const char* SimdTag() {
 /// Accumulates BenchRecords and writes the machine-readable perf-trajectory
 /// schema tracked PR-over-PR:
 ///   { "bench": <name>, "git_rev": <rev>, "threads": <NumWorkerThreads()>,
-///     "simd": <SimdTag()>,
+///     "hw_cores": <hardware_concurrency>, "simd": <SimdTag()>,
+///     "simd_compiled": <widest ISA in the binary>,
 ///     "records": [ { "name", "wall_seconds", "iterations_per_sec",
 ///                    "items_per_sec" }, ... ] }
-/// Every bench binary emits BENCH_<suffix>.json next to its table output so
-/// CI can archive the numbers alongside the human-readable tables.
+/// `simd` names the ISA the dispatcher picked at runtime; `simd_compiled`
+/// the widest table built into the binary, so a trajectory row shows both
+/// what could have run and what did. `hw_cores` pins the machine size
+/// behind the `threads` worker setting (a 4-thread run on a 2-core box is
+/// not comparable to one on a 64-core box). Every bench binary emits
+/// BENCH_<suffix>.json next to its table output so CI can archive the
+/// numbers alongside the human-readable tables.
 class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string bench_name)
@@ -90,9 +97,13 @@ class BenchJsonWriter {
     if (file == nullptr) return false;
     std::fprintf(file,
                  "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n"
-                 "  \"threads\": %d,\n  \"simd\": \"%s\",\n  \"records\": [",
+                 "  \"threads\": %d,\n  \"hw_cores\": %u,\n"
+                 "  \"simd\": \"%s\",\n  \"simd_compiled\": \"%s\",\n"
+                 "  \"records\": [",
                  Escaped(bench_name_).c_str(), Escaped(GitRevision()).c_str(),
-                 NumWorkerThreads(), Escaped(SimdTag()).c_str());
+                 NumWorkerThreads(), std::thread::hardware_concurrency(),
+                 Escaped(SimdTag()).c_str(),
+                 Escaped(SimdInfo().compiled_isa).c_str());
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
       std::fprintf(file,

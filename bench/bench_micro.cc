@@ -347,13 +347,19 @@ void BM_ShrinkDataset(benchmark::State& state) {
 }
 BENCHMARK(BM_ShrinkDataset)->Arg(100)->Arg(400);
 
-// Engine throughput: end-to-end fit jobs/sec at 1, 4 and 16 concurrent
-// jobs. Each outer iteration submits `concurrency` pinned-schedule alg1
-// fits and waits for all of them, so items_per_second in the
-// BENCH_micro.json trajectory reads directly as jobs/sec at that
-// concurrency (the "Engine throughput" section of the perf trajectory).
+// Engine throughput: end-to-end fit jobs/sec over a (concurrent jobs x
+// worker threads) grid -- 1/4/16 jobs against 1/2/4 workers. Each outer
+// iteration submits `jobs` pinned-schedule alg1 fits and waits for all of
+// them, so items_per_second in the BENCH_micro.json trajectory reads
+// directly as jobs/sec at that point (the "Engine throughput" section of
+// the perf trajectory). The grid is the work-stealing scheduler's scaling
+// sweep: the jobs > workers rows exercise queueing and stealing, the
+// jobs < workers rows measure idle-worker overhead, and comparing a fixed
+// jobs row across worker counts shows the speedup curve (flat on a 1-core
+// CI runner -- see hw_cores in the JSON header -- by design).
 void BM_EngineThroughput(benchmark::State& state) {
-  const int concurrency = static_cast<int>(state.range(0));
+  const int jobs = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
   const std::size_t n = 2000;
   const std::size_t d = 64;
   Rng rng(33);
@@ -364,12 +370,12 @@ void BM_EngineThroughput(benchmark::State& state) {
   const SquaredLoss loss;
   const L1Ball ball(d, 1.0);
 
-  Engine engine(Engine::Options{concurrency});
+  Engine engine(Engine::Options{workers});
   std::uint64_t seed = 0;
   for (auto _ : state) {
     std::vector<JobHandle> handles;
-    handles.reserve(static_cast<std::size_t>(concurrency));
-    for (int j = 0; j < concurrency; ++j) {
+    handles.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) {
       FitJob job;
       job.solver_name = kSolverAlg1DpFw;
       job.problem = Problem::ConstrainedErm(loss, data, ball);
@@ -384,13 +390,19 @@ void BM_EngineThroughput(benchmark::State& state) {
       benchmark::DoNotOptimize(handle.Wait().ok());
     }
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(concurrency));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(jobs));
 }
 BENCHMARK(BM_EngineThroughput)
-    ->Arg(1)
-    ->Arg(4)
-    ->Arg(16)
+    ->ArgNames({"jobs", "workers"})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({1, 2})
+    ->Args({4, 2})
+    ->Args({16, 2})
+    ->Args({1, 4})
+    ->Args({4, 4})
+    ->Args({16, 4})
     ->Unit(benchmark::kMillisecond);
 
 // Serving latency: one submit -> result round trip against an in-process

@@ -1,0 +1,159 @@
+#ifndef HTDP_API_WORK_STEAL_DEQUE_H_
+#define HTDP_API_WORK_STEAL_DEQUE_H_
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace htdp {
+
+/// One worker's job deque in the Engine's work-stealing scheduler: a
+/// power-of-two ring buffer with LIFO owner access (PopBack) and FIFO
+/// stealing (PopFront). The owner popping newest-first keeps its cache warm
+/// and its own submissions low-latency; thieves taking oldest-first drain
+/// the backlog in rough submission order and never contend with the owner
+/// for the same end until one element remains.
+///
+/// Synchronization: each deque carries its own mutex (sharded locking --
+/// this replaces the Engine's single global queue lock on the pop path, so
+/// workers touching different shards never serialize). Every operation is
+/// atomic under that lock; the Engine's lock order is
+/// engine mu -> deque mu -> record mu, and no deque operation ever takes
+/// another lock, so the deque can be called with or without the engine
+/// mutex held.
+///
+/// Capacity: the ring grows by doubling (amortized O(1) push), optionally
+/// up to a hard bound (`max_capacity`). In the Engine the bound is
+/// Options::max_queue_depth: admission sheds at that global depth before
+/// any single shard can reach it, so a bounded deque's PushBack failing is
+/// an invariant violation, not an expected path.
+///
+/// Remove() exists for cancellation: the Engine treats presence in the ring
+/// as completion ownership -- whichever path removes a record (worker pop,
+/// Cancel's Remove, Shutdown's DrainAll) is the unique path that completes
+/// and counts it.
+template <typename T>
+class WorkStealDeque {
+ public:
+  /// `max_capacity` 0 = unbounded growth; otherwise PushBack fails once
+  /// size() == max_capacity. `initial_capacity` is rounded up to a power of
+  /// two.
+  explicit WorkStealDeque(std::size_t initial_capacity = 8,
+                          std::size_t max_capacity = 0)
+      : max_capacity_(max_capacity) {
+    std::size_t cap = 2;
+    while (cap < initial_capacity) cap *= 2;
+    ring_.resize(cap);
+  }
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  /// Appends at the back (the end PopBack serves). False when the deque is
+  /// at its hard bound.
+  bool PushBack(T item) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (max_capacity_ != 0 && count_ == max_capacity_) return false;
+    if (count_ == ring_.size()) GrowLocked();
+    ring_[Index(count_)] = std::move(item);
+    ++count_;
+    return true;
+  }
+
+  /// Owner pop: newest element. False when empty.
+  bool PopBack(T* out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) return false;
+    --count_;
+    *out = std::move(ring_[Index(count_)]);
+    ring_[Index(count_)] = T();
+    return true;
+  }
+
+  /// Steal pop: oldest element. False when empty.
+  bool PopFront(T* out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) return false;
+    *out = std::move(ring_[head_]);
+    ring_[head_] = T();
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
+    return true;
+  }
+
+  /// Removes the first element comparing equal to `item` (cancellation
+  /// path). Linear scan plus a shift of the shorter side -- O(n), fine for
+  /// queues bounded by admission. True when found and removed.
+  bool Remove(const T& item) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (!(ring_[Index(i)] == item)) continue;
+      if (i < count_ - i - 1) {
+        // Closer to the front: shift [0, i) back by one.
+        for (std::size_t j = i; j > 0; --j) {
+          ring_[Index(j)] = std::move(ring_[Index(j - 1)]);
+        }
+        ring_[head_] = T();
+        head_ = (head_ + 1) & (ring_.size() - 1);
+      } else {
+        // Closer to the back: shift (i, count_) forward by one.
+        for (std::size_t j = i; j + 1 < count_; ++j) {
+          ring_[Index(j)] = std::move(ring_[Index(j + 1)]);
+        }
+        ring_[Index(count_ - 1)] = T();
+      }
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Empties the deque and returns the elements front-to-back (shutdown
+  /// sweep).
+  std::vector<T> DrainAll() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> out;
+    out.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      out.push_back(std::move(ring_[Index(i)]));
+      ring_[Index(i)] = T();
+    }
+    head_ = 0;
+    count_ = 0;
+    return out;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  /// Ring slot of logical position i (0 = front). Caller holds mu_.
+  std::size_t Index(std::size_t i) const {
+    return (head_ + i) & (ring_.size() - 1);
+  }
+
+  void GrowLocked() {
+    HTDP_CHECK(max_capacity_ == 0 || ring_.size() < max_capacity_);
+    std::vector<T> next(ring_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) next[i] = std::move(ring_[Index(i)]);
+    ring_ = std::move(next);
+    head_ = 0;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<T> ring_;  // power-of-two capacity
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  const std::size_t max_capacity_;
+};
+
+}  // namespace htdp
+
+#endif  // HTDP_API_WORK_STEAL_DEQUE_H_

@@ -9,7 +9,7 @@
 #include "rng/distributions.h"
 #include "util/check.h"
 #include "util/simd.h"
-#include "util/simd_math.h"
+#include "util/simd_dispatch.h"
 
 namespace htdp {
 
@@ -48,20 +48,19 @@ std::size_t ExponentialMechanism::SelectGumbelSimd(const Vector& scores,
     // noise in lanes, then scan for the argmax with SelectGumbel's strict
     // ">" tie-breaking.
     constexpr std::size_t kBlock = 128;
-    constexpr std::size_t kW = static_cast<std::size_t>(simd::kLanes);
     double uniforms[kBlock];
     double noise[kBlock];
     std::size_t best = 0;
     double best_value = -1e300;
+    // The lane transform -log(-log(u)) runs through the runtime-dispatched
+    // kernel table (util/simd_dispatch.h); it is elementwise, so the noise
+    // stream is identical per element at any lane width.
+    const SimdKernelTable* table = ActiveSimdKernels();
+    HTDP_CHECK(table != nullptr);  // SimdEnabled() implies a table
     for (std::size_t base = 0; base < n; base += kBlock) {
       const std::size_t m = std::min(kBlock, n - base);
       for (std::size_t j = 0; j < m; ++j) uniforms[j] = rng.UniformOpen();
-      std::size_t j = 0;
-      for (; j + kW <= m; j += kW) {
-        const simd::VecD u = simd::LoadU(uniforms + j);
-        simd::StoreU(noise + j, -simd::LogPd(-simd::LogPd(u)));
-      }
-      for (; j < m; ++j) noise[j] = -std::log(-std::log(uniforms[j]));
+      table->gumbel_from_uniform(uniforms, noise, m);
       for (std::size_t r = 0; r < m; ++r) {
         const double value = beta * scores[base + r] + noise[r];
         if (value > best_value) {

@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/simd.h"
+#include "util/simd_dispatch.h"
 
 namespace htdp {
 namespace {
@@ -30,68 +31,22 @@ double DistanceL2Scalar(const double* HTDP_RESTRICT a,
   return std::sqrt(acc);
 }
 
-#if HTDP_SIMD_COMPILED
-
-using simd::VecD;
-
-// Lane-widened reductions: two accumulator vectors to break the add
-// dependency chain, lanes summed in index order at the end. Reassociates
-// the sum, so results differ from the scalar reference by rounding --
-// pinned by the relative-error tests in tests/simd_test.cc.
-
-double DotSimd(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
-               std::size_t n) {
-  constexpr std::size_t kW = static_cast<std::size_t>(simd::kLanes);
-  VecD acc0 = simd::Set1(0.0);
-  VecD acc1 = simd::Set1(0.0);
-  std::size_t i = 0;
-  for (; i + 2 * kW <= n; i += 2 * kW) {
-    acc0 = acc0 + simd::LoadU(a + i) * simd::LoadU(b + i);
-    acc1 = acc1 + simd::LoadU(a + i + kW) * simd::LoadU(b + i + kW);
-  }
-  if (i + kW <= n) {
-    acc0 = acc0 + simd::LoadU(a + i) * simd::LoadU(b + i);
-    i += kW;
-  }
-  double acc = simd::ReduceAdd(acc0 + acc1);
-  for (; i < n; ++i) acc += a[i] * b[i];
-  return acc;
-}
-
-double DistanceL2Simd(const double* HTDP_RESTRICT a,
-                      const double* HTDP_RESTRICT b, std::size_t n) {
-  constexpr std::size_t kW = static_cast<std::size_t>(simd::kLanes);
-  VecD acc0 = simd::Set1(0.0);
-  VecD acc1 = simd::Set1(0.0);
-  std::size_t i = 0;
-  for (; i + 2 * kW <= n; i += 2 * kW) {
-    const VecD d0 = simd::LoadU(a + i) - simd::LoadU(b + i);
-    const VecD d1 = simd::LoadU(a + i + kW) - simd::LoadU(b + i + kW);
-    acc0 = acc0 + d0 * d0;
-    acc1 = acc1 + d1 * d1;
-  }
-  if (i + kW <= n) {
-    const VecD d0 = simd::LoadU(a + i) - simd::LoadU(b + i);
-    acc0 = acc0 + d0 * d0;
-    i += kW;
-  }
-  double acc = simd::ReduceAdd(acc0 + acc1);
-  for (; i < n; ++i) {
-    const double diff = a[i] - b[i];
-    acc += diff * diff;
-  }
-  return std::sqrt(acc);
-}
-
-#endif  // HTDP_SIMD_COMPILED
-
 }  // namespace
+
+// The lane-widened reductions (two accumulator vectors, lanes summed in
+// index order, scalar tail) moved into the per-ISA kernel tables
+// (util/simd_kernels_impl.h) so the runtime dispatcher can run them at
+// AVX-512 / AVX2 on machines that have them. They reassociate the sum, so
+// results differ from the scalar reference by rounding -- pinned by the
+// relative-error tests in tests/simd_test.cc.
 
 double DotKernel(const double* HTDP_RESTRICT a, const double* HTDP_RESTRICT b,
                  std::size_t n) {
-#if HTDP_SIMD_COMPILED
-  if (SimdEnabled()) return DotSimd(a, b, n);
-#endif
+  if (SimdEnabled()) {
+    if (const SimdKernelTable* table = ActiveSimdKernels()) {
+      return table->dot(a, b, n);
+    }
+  }
   return DotScalar(a, b, n);
 }
 
@@ -116,9 +71,11 @@ void ScaledSumKernel(double alpha, const double* HTDP_RESTRICT x, double beta,
 
 double DistanceL2Kernel(const double* HTDP_RESTRICT a,
                         const double* HTDP_RESTRICT b, std::size_t n) {
-#if HTDP_SIMD_COMPILED
-  if (SimdEnabled()) return DistanceL2Simd(a, b, n);
-#endif
+  if (SimdEnabled()) {
+    if (const SimdKernelTable* table = ActiveSimdKernels()) {
+      return table->distance_l2(a, b, n);
+    }
+  }
   return DistanceL2Scalar(a, b, n);
 }
 

@@ -3,6 +3,9 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "util/parallel.h"
+#include "util/simd.h"
+
 namespace htdp {
 namespace obs {
 namespace {
@@ -90,7 +93,16 @@ std::string SerializeChromeTrace(const std::vector<ThreadTrace>& threads) {
       out += '}';
     }
   }
-  out += "],\"displayTimeUnit\":\"ms\"}";
+  // otherData rides at the top level of the object form (ignored by the
+  // trace UIs, kept by archive tooling): the ISA the kernel dispatcher
+  // actually selected on this host and the worker-thread count, so two
+  // captures of the same workload are attributable to their runtime config.
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "],\"otherData\":{\"simd\":\"%s\",\"threads\":%d},"
+                "\"displayTimeUnit\":\"ms\"}",
+                SimdEnabled() ? SimdInfo().isa : "off", NumWorkerThreads());
+  out += buf;
   return out;
 }
 

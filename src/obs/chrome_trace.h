@@ -15,6 +15,9 @@ namespace obs {
 /// microsecond `ts`/`dur` (fractional, so nanosecond precision survives);
 /// each thread gets a thread_name metadata event, and dropped-span counts
 /// are surfaced as a counter event so truncation is visible in the UI.
+/// The top-level `otherData` object tags the capture with the runtime SIMD
+/// ISA actually dispatched and the worker-thread count, so archived traces
+/// from different machines or HTDP_SIMD settings stay distinguishable.
 std::string SerializeChromeTrace(const std::vector<ThreadTrace>& threads);
 
 /// CollectTrace() + SerializeChromeTrace() in one call -- what the daemon's

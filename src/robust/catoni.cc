@@ -4,7 +4,7 @@
 #include <cmath>
 #include <cstddef>
 
-#include "util/simd_math.h"
+#include "util/simd_dispatch.h"
 
 namespace htdp {
 namespace catoni_internal {
@@ -67,90 +67,34 @@ double SmoothedPhiBySplit(double a, double b) {
 
 }  // namespace catoni_internal
 
-#if HTDP_SIMD_COMPILED
-namespace {
+namespace simd_dispatch_internal {
 
-using simd::VecD;
-using simd::VecI;
-
-/// Vectorized SmoothedPhiClosedForm: the scalar T1..T5 operation sequence of
-/// CatoniCorrection evaluated in lanes, with ExpPd / HalfErfcFromExp in
-/// place of libm's exp / erfc and the literal divisions by 6 strength-
-/// reduced to a multiply (both are within the SmoothedPhiBatchTolerance
-/// contract). Only valid where ClosedFormApplies; the caller masks.
-inline VecD ClosedFormLanes(VecD a, VecD b) {
-  using catoni_internal::kInvSqrt2Pi;
-  using catoni_internal::kSqrt2;
-  const VecD sixth = simd::Set1(1.0 / 6.0);
-  const VecD half = simd::Set1(0.5);
-  const VecD inv_sqrt2pi = simd::Set1(kInvSqrt2Pi);
-  const VecD phi_bound = simd::Set1(PhiBound());
-
-  const VecD v_minus = (simd::Set1(kSqrt2) - a) / b;
-  const VecD v_plus = (simd::Set1(kSqrt2) + a) / b;
-  const VecD e_minus = simd::ExpPd(-(half * v_minus * v_minus));
-  const VecD e_plus = simd::ExpPd(-(half * v_plus * v_plus));
-  const VecD f_minus = simd::HalfErfcFromExp(v_minus, e_minus);
-  const VecD f_plus = simd::HalfErfcFromExp(v_plus, e_plus);
-
-  const VecD a_cubed_sixth = a * a * a * sixth;
-  const VecD t1 = phi_bound * (f_minus - f_plus);
-  const VecD t2 = -((a - a_cubed_sixth) * (f_minus + f_plus));
-  const VecD t3 =
-      b * inv_sqrt2pi * (simd::Set1(1.0) - half * a * a) * (e_plus - e_minus);
-  const VecD t4 = half * a * b * b *
-                  (f_plus + f_minus +
-                   inv_sqrt2pi * (v_plus * e_plus + v_minus * e_minus));
-  const VecD t5 = (b * b * b * sixth) * inv_sqrt2pi *
-                  ((simd::Set1(2.0) + v_minus * v_minus) * e_minus -
-                   (simd::Set1(2.0) + v_plus * v_plus) * e_plus);
-  const VecD correction = t1 + t2 + t3 + t4 + t5;
-  const VecD value =
-      a * (simd::Set1(1.0) - half * b * b) - a_cubed_sixth + correction;
-  return simd::Clamp(value, -phi_bound, phi_bound);
+// The baseline-compiled scalar spill the per-ISA batch kernels call for
+// cold lane groups and tails (see util/simd_kernels_impl.h): exactly n
+// scalar SmoothedPhi evaluations, so spilled elements are bit-identical to
+// the scalar reference no matter which ISA's kernel spilled them.
+void SmoothedPhiScalarSpill(const double* a, const double* b, double* out,
+                            std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = SmoothedPhi(a[j], b[j]);
 }
 
-}  // namespace
-#endif  // HTDP_SIMD_COMPILED
+}  // namespace simd_dispatch_internal
 
 void SmoothedPhiBatch(const double* HTDP_RESTRICT a,
                       const double* HTDP_RESTRICT b,
                       double* HTDP_RESTRICT out, std::size_t n,
                       bool use_simd) {
-  std::size_t j = 0;
-#if HTDP_SIMD_COMPILED
+  // The vector body lives in the per-ISA kernel tables
+  // (util/simd_kernels_impl.h, built once per ISA); this entry point only
+  // dispatches. With use_simd false -- or no vector layer compiled in --
+  // every element takes the scalar path: the bit-identity reference.
   if (use_simd) {
-    using catoni_internal::kCancellationLimit;
-    using catoni_internal::kTinyB;
-    constexpr std::size_t kW = static_cast<std::size_t>(simd::kLanes);
-    for (; j + kW <= n; j += kW) {
-      const VecD va = simd::LoadU(a + j);
-      const VecD vb = simd::LoadU(b + j);
-      // Branch classification with exactly the scalar ClosedFormApplies
-      // arithmetic (including the division by 6), so vector and scalar can
-      // never pick different branches for the same element.
-      const VecD abs_a = simd::Abs(va);
-      const VecD cancellation = simd::Max(
-          abs_a * abs_a * abs_a / simd::Set1(6.0),
-          simd::Set1(0.5) * abs_a * vb * vb);
-      const VecI hot = (vb >= simd::Set1(kTinyB)) &
-                       (cancellation <= simd::Set1(kCancellationLimit));
-      if (simd::AllTrue(hot)) [[likely]] {
-        simd::StoreU(out + j, ClosedFormLanes(va, vb));
-      } else {
-        // A cold element (tiny-b or exact-split) diverts its whole group to
-        // the scalar reference; outliers are rare enough that this costs
-        // nothing measurable.
-        for (std::size_t lane = 0; lane < kW; ++lane) {
-          out[j + lane] = SmoothedPhi(a[j + lane], b[j + lane]);
-        }
-      }
+    if (const SimdKernelTable* table = ActiveSimdKernels()) {
+      table->smoothed_phi_batch(a, b, out, n);
+      return;
     }
   }
-#else
-  (void)use_simd;
-#endif
-  for (; j < n; ++j) out[j] = SmoothedPhi(a[j], b[j]);
+  for (std::size_t j = 0; j < n; ++j) out[j] = SmoothedPhi(a[j], b[j]);
 }
 
 }  // namespace htdp

@@ -4,9 +4,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <numbers>
 
 #include "linalg/vector_ops.h"
+#include "robust/catoni_constants.h"
 #include "util/check.h"
 #include "util/simd.h"
 
@@ -14,19 +14,10 @@ namespace htdp {
 
 namespace catoni_internal {
 
-inline constexpr double kSqrt2 = std::numbers::sqrt2;
-inline const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
-
-/// Branch-selection thresholds of SmoothedPhi, shared with the batched
-/// kernels (robust_mean.cc) so the scalar and batch classifications can
-/// never drift apart.
-/// b below kTinyB contributes nothing at double precision.
-inline constexpr double kTinyB = 1e-12;
-/// The closed form cancels terms of magnitude ~|a|^3/6 and ~|a| b^2 / 2
-/// down to a result bounded by PhiBound(); it stays accurate while that
-/// cancellation magnitude keeps the absolute error (~magnitude * machine
-/// epsilon) below ~1e-9, and the exact split takes over beyond.
-inline constexpr double kCancellationLimit = 1e6;
+// kSqrt2, kInvSqrt2Pi, the kTinyB / kCancellationLimit branch thresholds
+// and kPhiBound now live in robust/catoni_constants.h (constexpr data only)
+// so the per-ISA kernel TUs of the runtime dispatcher can share them
+// without instantiating any inline code from this header.
 
 /// True when SmoothedPhi evaluates (a, b) by the closed form -- the common,
 /// tight-loop branch of the batched kernels.
@@ -47,7 +38,7 @@ double SmoothedPhiBySplit(double a, double b);
 
 /// Maximum magnitude of the Catoni truncation function: |phi(x)| <= 2*sqrt(2)/3.
 /// This bound is what gives the robust estimators their finite sensitivity.
-inline double PhiBound() { return 2.0 * catoni_internal::kSqrt2 / 3.0; }
+inline double PhiBound() { return catoni_internal::kPhiBound; }
 
 /// The soft truncation function of Catoni & Giulini (2017), Eq. (2):
 ///   phi(x) = x - x^3/6            for |x| <= sqrt(2)
@@ -134,8 +125,10 @@ inline double SmoothedPhi(double a, double b) {
 /// [0, n). Requires b[j] >= 0; a, b and out must not overlap.
 ///
 /// With `use_simd` true (and the SIMD layer compiled in, see util/simd.h)
-/// full lane groups whose every element classifies as ClosedFormApplies run
-/// through the vectorized closed form -- ExpPd / ErfcxPd cores from
+/// the call routes through the runtime ISA dispatcher (util/simd_dispatch.h:
+/// AVX-512 / AVX2 / baseline picked by a one-time CPUID probe): full lane
+/// groups whose every element classifies as ClosedFormApplies run through
+/// the vectorized closed form -- ExpPd / ErfcxPd cores from
 /// util/simd_math.h -- while groups containing a cold element (tiny-b or
 /// exact-split) and the remainder tail spill to the scalar SmoothedPhi.
 /// Branch classification is computed with exactly the scalar

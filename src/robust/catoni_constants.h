@@ -1,0 +1,43 @@
+#ifndef HTDP_ROBUST_CATONI_CONSTANTS_H_
+#define HTDP_ROBUST_CATONI_CONSTANTS_H_
+
+#include <numbers>
+
+/// Compile-time constants of the Catoni truncation kernels, split out of
+/// catoni.h so the per-ISA kernel translation units (util/simd_kernels_*.cc)
+/// can share the branch thresholds without pulling in any inline FUNCTION
+/// definitions. That matters for the runtime-dispatch build: a TU compiled
+/// with -mavx2/-mavx512f must never emit a weak copy of code that other TUs
+/// also emit (the linker keeps one arbitrary copy, which could then run on a
+/// CPU without that ISA), so everything here is constexpr data -- no code,
+/// no dynamic initializers.
+
+namespace htdp::catoni_internal {
+
+inline constexpr double kSqrt2 = std::numbers::sqrt2;
+
+/// 1 / sqrt(2 * pi), written as the exact bits of the computed expression
+/// (sqrt and the division are both correctly rounded, so the value is
+/// reproducible); tests/robust_test.cc pins the literal against the
+/// runtime-computed expression. A constexpr literal instead of a dynamic
+/// initializer keeps this header free of startup code (see above).
+inline constexpr double kInvSqrt2Pi = 0x1.9884533d43651p-2;
+
+/// Branch-selection thresholds of SmoothedPhi, shared with the batched
+/// kernels so the scalar and batch classifications can never drift apart.
+/// b below kTinyB contributes nothing at double precision.
+inline constexpr double kTinyB = 1e-12;
+
+/// The closed form cancels terms of magnitude ~|a|^3/6 and ~|a| b^2 / 2
+/// down to a result bounded by kPhiBound; it stays accurate while that
+/// cancellation magnitude keeps the absolute error (~magnitude * machine
+/// epsilon) below ~1e-9, and the exact split takes over beyond.
+inline constexpr double kCancellationLimit = 1e6;
+
+/// Maximum magnitude of the Catoni truncation function:
+/// |phi(x)| <= 2*sqrt(2)/3 (see PhiBound() in catoni.h).
+inline constexpr double kPhiBound = 2.0 * kSqrt2 / 3.0;
+
+}  // namespace htdp::catoni_internal
+
+#endif  // HTDP_ROBUST_CATONI_CONSTANTS_H_

@@ -5,6 +5,7 @@
 
 #include "robust/catoni.h"
 #include "util/check.h"
+#include "util/simd_dispatch.h"
 
 namespace htdp {
 namespace {
@@ -17,31 +18,29 @@ namespace {
 }
 
 // Stack-block size of the SIMD batch path: big enough to amortize the
-// per-block loop overhead, small enough that the three scratch arrays
-// (6 KiB) stay hot in L1.
+// per-block loop overhead, small enough that the scratch arrays (phi here
+// plus the a/b pair inside the dispatched kernel, 6 KiB total) stay hot in
+// L1. The dispatched transform kernel caps its own blocks at this size, so
+// the two must stay equal (see SimdKernelTable::smoothed_phi_transform).
 constexpr std::size_t kSimdBlock = 256;
 
 // The blocked SIMD transform shared by AccumulateContributions and
-// Estimate: derives SmoothedPhi's (a, b) arguments for each stack block
-// (the elementwise loop auto-vectorizes), pushes the block through
-// SmoothedPhiBatch, and hands (base, count, phi values) to `consume`.
-// Allocation-free.
+// Estimate: hands each stack block to the runtime-dispatched fused Catoni
+// kernel (util/simd_dispatch.h: derive a = x/scale, b = |a|/sqrt_beta
+// elementwise, then the SmoothedPhi batch -- at AVX-512 / AVX2 / baseline,
+// whatever the CPU probe picked) and passes (base, count, phi values) to
+// `consume`. Only reached when use_simd_ is true, which implies the vector
+// layer -- and therefore a table -- exists. Allocation-free.
 template <typename Consumer>
 void ForEachSmoothedPhiBlock(const double* HTDP_RESTRICT xs, std::size_t n,
                              double scale, double sqrt_beta,
                              Consumer&& consume) {
-  double a_buf[kSimdBlock];
-  double b_buf[kSimdBlock];
   double phi_buf[kSimdBlock];
+  const SimdKernelTable* table = ActiveSimdKernels();
+  HTDP_CHECK(table != nullptr);
   for (std::size_t base = 0; base < n; base += kSimdBlock) {
     const std::size_t m = std::min(kSimdBlock, n - base);
-    const double* HTDP_RESTRICT x_blk = xs + base;
-    for (std::size_t j = 0; j < m; ++j) {
-      const double a = x_blk[j] / scale;
-      a_buf[j] = a;
-      b_buf[j] = std::abs(a) / sqrt_beta;
-    }
-    SmoothedPhiBatch(a_buf, b_buf, phi_buf, m, /*use_simd=*/true);
+    table->smoothed_phi_transform(xs + base, m, scale, sqrt_beta, phi_buf);
     consume(base, m, phi_buf);
   }
 }

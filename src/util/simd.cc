@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/simd_dispatch.h"
+
 namespace htdp {
 namespace {
 
@@ -36,8 +38,16 @@ void SetSimdEnabled(bool enabled) {
 }
 
 SimdCaps SimdInfo() {
-  return SimdCaps{simd::kIsaName, simd::kLanes, HTDP_SIMD_COMPILED != 0,
-                  SimdEnabled()};
+  // `isa`/`lanes` follow the runtime dispatcher (the batch kernels actually
+  // executed); the compile-time baseline rides along for logging. When the
+  // vector layer is not compiled in there is no table and both collapse to
+  // the scalar description.
+  const SimdKernelTable* table = ActiveSimdKernels();
+  const char* isa = table != nullptr ? table->isa : simd::kIsaName;
+  const int lanes = table != nullptr ? table->lanes : simd::kLanes;
+  return SimdCaps{isa,           lanes,
+                  simd::kIsaName, simd::kLanes,
+                  HTDP_SIMD_COMPILED != 0, SimdEnabled()};
 }
 
 bool ResolveSimd(SimdMode mode) {

@@ -11,11 +11,19 @@
 /// vector of `simd::kLanes` doubles built on the GCC/Clang vector
 /// extensions, so the same kernel source lowers to AVX-512, AVX2, SSE2
 /// pairs or NEON pairs depending on the compile flags (see the ISA table in
-/// SimdInfo()). The ISA is selected at COMPILE time -- build with
-/// -DHTDP_NATIVE=ON (-march=native) to unlock AVX2/AVX-512 on machines that
-/// have them; the default build targets the baseline ISA of the platform --
-/// and queried at RUN time via SimdInfo(), which the bench harness records
-/// into BENCH_*.json next to `threads` and `git_rev`.
+/// SimdInfo()).
+///
+/// On x86-64 the batch kernels are additionally multi-versioned at RUNTIME:
+/// the hot-loop entry points (SmoothedPhiBatch and its Catoni transform,
+/// Dot / DistanceL2, the Gumbel noise transform) are compiled once per ISA
+/// in dedicated translation units (util/simd_kernels_{base,avx2,avx512}.cc)
+/// and selected through a one-time CPUID probe -- see util/simd_dispatch.h.
+/// One shipped binary therefore hits AVX-512 or AVX2 on machines that have
+/// them without an HTDP_NATIVE rebuild; everything outside those entry
+/// points still lowers to the compile-time baseline ISA below. SimdInfo()
+/// reports both (the dispatched `isa` and the `compiled_isa` baseline), and
+/// the bench harness records them into BENCH_*.json next to `threads` and
+/// `git_rev`.
 ///
 /// Two switches control whether vectorized kernels actually run:
 ///  - the process-wide runtime toggle (`HTDP_SIMD` environment variable,
@@ -42,10 +50,16 @@ namespace htdp {
 ///  - kOff:  force the scalar reference path for this fit.
 enum class SimdMode { kAuto, kOn, kOff };
 
-/// Runtime description of the compiled kernel layer.
+/// Runtime description of the kernel layer. `isa`/`lanes` describe the
+/// RUNTIME-DISPATCHED batch kernels (the probed best of
+/// avx512f > avx2 > compile-time baseline on x86-64; elsewhere they equal
+/// the compiled baseline); `compiled_isa`/`compiled_lanes` describe the
+/// compile-time baseline the rest of the vector layer lowers to.
 struct SimdCaps {
   const char* isa;  // "avx512f", "avx2", "sse2", "neon", "generic", "scalar"
   int lanes;        // doubles per logical vector (1 when not compiled in)
+  const char* compiled_isa;  // compile-time baseline ISA of this binary
+  int compiled_lanes;        // lanes of the compile-time baseline
   bool compiled;    // vector kernels were compiled into this binary
   bool enabled;     // current process-wide toggle state
 };
@@ -95,7 +109,32 @@ class ScopedSimdOverride {
 #define HTDP_SIMD_COMPILED 0
 #endif
 
+// The wrapper (and util/simd_math.h on top of it) lives in an inline
+// namespace keyed by the ISA the including TU is compiled for. C++ name
+// mangling ignores return types, so without this the per-ISA kernel TUs of
+// the runtime dispatcher (util/simd_kernels_*.cc, built with -mavx2 /
+// -mavx512f) would emit inline helpers like `Set1(double)` under the SAME
+// mangled name as the baseline TUs -- with different vector widths and
+// instruction encodings -- and the linker would keep one arbitrary copy: an
+// ODR violation that can SIGILL on CPUs without the wider ISA. The inline
+// namespace gives every ISA its own symbols while `simd::Set1` etc. keep
+// resolving unqualified within each TU.
+#if !HTDP_SIMD_COMPILED
+#define HTDP_SIMD_ISA_NS isa_scalar
+#elif defined(__AVX512F__)
+#define HTDP_SIMD_ISA_NS isa_avx512f
+#elif defined(__AVX2__)
+#define HTDP_SIMD_ISA_NS isa_avx2
+#elif defined(__x86_64__) || defined(_M_X64)
+#define HTDP_SIMD_ISA_NS isa_sse2
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#define HTDP_SIMD_ISA_NS isa_neon
+#else
+#define HTDP_SIMD_ISA_NS isa_generic
+#endif
+
 namespace simd {
+inline namespace HTDP_SIMD_ISA_NS {
 
 #if HTDP_SIMD_COMPILED
 
@@ -191,6 +230,7 @@ inline constexpr const char* kIsaName = "scalar";
 
 #endif  // HTDP_SIMD_COMPILED
 
+}  // namespace HTDP_SIMD_ISA_NS
 }  // namespace simd
 
 }  // namespace htdp

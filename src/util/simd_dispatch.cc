@@ -1,0 +1,109 @@
+#include "util/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/simd.h"
+
+namespace htdp {
+namespace {
+
+/// True when THIS machine can execute the named ISA. The compile-time
+/// baseline is runnable by definition; the x86 variants go through the
+/// compiler's CPUID probe (cached by libgcc after the first call).
+bool CpuSupports(const char* isa) {
+#if (defined(__GNUC__) || defined(__clang__)) && defined(__x86_64__)
+  if (std::strcmp(isa, "avx2") == 0) {
+    return __builtin_cpu_supports("avx2") != 0;
+  }
+  if (std::strcmp(isa, "avx512f") == 0) {
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512dq") != 0;
+  }
+#else
+  (void)isa;
+#endif
+  return true;  // the compile-time baseline (sse2 / neon / generic)
+}
+
+/// The candidate tables, best first. A table is usable when it is compiled
+/// in (non-null) and the CPU can run it.
+const SimdKernelTable* Candidate(int rank) {
+  using namespace simd_dispatch_internal;
+  switch (rank) {
+    case 0:
+      return Avx512Table();
+    case 1:
+      return Avx2Table();
+    default:
+      return BaseTable();
+  }
+}
+
+constexpr int kCandidates = 3;
+
+bool Usable(const SimdKernelTable* table) {
+  return table != nullptr && CpuSupports(table->isa);
+}
+
+const SimdKernelTable* FindByName(const char* name) {
+  using namespace simd_dispatch_internal;
+  if (std::strcmp(name, "baseline") == 0) {
+    return Usable(BaseTable()) ? BaseTable() : nullptr;
+  }
+  for (int rank = 0; rank < kCandidates; ++rank) {
+    const SimdKernelTable* table = Candidate(rank);
+    if (table != nullptr && std::strcmp(table->isa, name) == 0) {
+      return Usable(table) ? table : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+const SimdKernelTable* ProbeBest() {
+  for (int rank = 0; rank < kCandidates; ++rank) {
+    const SimdKernelTable* table = Candidate(rank);
+    if (Usable(table)) return table;
+  }
+  return nullptr;  // only when the vector layer is not compiled in
+}
+
+/// One-time initial pick: HTDP_SIMD_ISA pins the table when it names a
+/// usable one; otherwise (unset, unknown, or unrunnable here) the probe
+/// decides. Note this selects WHICH vector kernels run, not WHETHER they
+/// run -- HTDP_SIMD=off (util/simd.h) still forces the scalar reference.
+const SimdKernelTable* InitialTable() {
+  if (const char* requested = std::getenv("HTDP_SIMD_ISA")) {
+    if (const SimdKernelTable* table = FindByName(requested)) return table;
+  }
+  return ProbeBest();
+}
+
+std::atomic<const SimdKernelTable*>& ActiveSlot() {
+  static std::atomic<const SimdKernelTable*> slot{InitialTable()};
+  return slot;
+}
+
+}  // namespace
+
+const SimdKernelTable* ActiveSimdKernels() {
+  return ActiveSlot().load(std::memory_order_relaxed);
+}
+
+bool SimdIsaAvailable(const char* isa) { return FindByName(isa) != nullptr; }
+
+bool SetSimdIsa(const char* isa) {
+  const SimdKernelTable* table = FindByName(isa);
+  if (table == nullptr) return false;
+  ActiveSlot().store(table, std::memory_order_relaxed);
+  return true;
+}
+
+ScopedSimdIsaOverride::~ScopedSimdIsaOverride() {
+  if (previous_ != nullptr) {
+    ActiveSlot().store(previous_, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace htdp

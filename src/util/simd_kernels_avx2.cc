@@ -1,0 +1,33 @@
+// AVX2 instance of the dispatched batch kernels. CMakeLists.txt compiles
+// this file with `-march=x86-64 -mavx2 -ffp-contract=off`: the explicit
+// -march resets any HTDP_NATIVE flags so the TU targets exactly
+// baseline+AVX2, and disabled contraction (AVX2 carries no FMA here) keeps
+// every kernel's arithmetic operation-for-operation identical to the SSE2
+// baseline -- same 4 lanes, same order, bit-identical results, just VEX
+// encodings and wider copies. The guard below also compiles this TU to a
+// null table when the whole binary is already built at AVX-512 level
+// (-march=native on such a machine): the baseline table covers it.
+
+#include "util/simd.h"
+#include "util/simd_dispatch.h"
+
+#if HTDP_SIMD_COMPILED && defined(__x86_64__) && defined(__AVX2__) && \
+    !defined(__AVX512F__)
+
+#include "util/simd_kernels_impl.h"
+
+namespace htdp::simd_dispatch_internal {
+
+const SimdKernelTable* Avx2Table() { return &simd_kernel_impl::kTable; }
+
+}  // namespace htdp::simd_dispatch_internal
+
+#else  // not an avx2-flagged x86-64 build of this TU
+
+namespace htdp::simd_dispatch_internal {
+
+const SimdKernelTable* Avx2Table() { return nullptr; }
+
+}  // namespace htdp::simd_dispatch_internal
+
+#endif

@@ -1,0 +1,27 @@
+// Baseline-ISA instance of the dispatched batch kernels: compiled with the
+// binary's own flags (SSE2 on a default x86-64 build, NEON on aarch64,
+// whatever -march=native gives under HTDP_NATIVE), so this table is always
+// runnable and is the dispatcher's floor. See util/simd_dispatch.h.
+
+#include "util/simd.h"
+#include "util/simd_dispatch.h"
+
+#if HTDP_SIMD_COMPILED
+
+#include "util/simd_kernels_impl.h"
+
+namespace htdp::simd_dispatch_internal {
+
+const SimdKernelTable* BaseTable() { return &simd_kernel_impl::kTable; }
+
+}  // namespace htdp::simd_dispatch_internal
+
+#else  // !HTDP_SIMD_COMPILED
+
+namespace htdp::simd_dispatch_internal {
+
+const SimdKernelTable* BaseTable() { return nullptr; }
+
+}  // namespace htdp::simd_dispatch_internal
+
+#endif  // HTDP_SIMD_COMPILED

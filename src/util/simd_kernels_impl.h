@@ -1,0 +1,203 @@
+#ifndef HTDP_UTIL_SIMD_KERNELS_IMPL_H_
+#define HTDP_UTIL_SIMD_KERNELS_IMPL_H_
+
+// The per-ISA batch kernels behind util/simd_dispatch.h, included ONLY by
+// the kernel translation units (util/simd_kernels_{base,avx2,avx512}.cc) so
+// each compiles this one source at its own ISA. Everything here lives in
+// the ISA-keyed inline namespace (distinct symbols per TU; see the ODR note
+// in util/simd.h), and the only functions reached outside it are either
+// extern libm calls or the baseline-compiled scalar spill
+// (simd_dispatch_internal::SmoothedPhiScalarSpill) -- this TU must never
+// instantiate scalar inline code that other TUs also emit.
+//
+// The kernel bodies are the PR-5 vector paths of robust/catoni.cc and
+// linalg/vector_ops.cc, moved here verbatim so dispatch changes WHICH ISA
+// runs them, not WHAT they compute: at equal lane count the results are
+// bit-identical to the pre-dispatch kernels.
+
+#include <cmath>
+#include <cstddef>
+
+#include "robust/catoni_constants.h"
+#include "util/simd.h"
+#include "util/simd_dispatch.h"
+#include "util/simd_math.h"
+
+#if !HTDP_SIMD_COMPILED
+#error "simd_kernels_impl.h requires the vector layer (HTDP_SIMD_COMPILED)"
+#endif
+
+namespace htdp {
+namespace simd_kernel_impl {
+inline namespace HTDP_SIMD_ISA_NS {
+
+using simd::VecD;
+using simd::VecI;
+
+constexpr std::size_t kW = static_cast<std::size_t>(simd::kLanes);
+
+/// Vectorized SmoothedPhiClosedForm: the scalar T1..T5 operation sequence of
+/// CatoniCorrection evaluated in lanes, with ExpPd / HalfErfcFromExp in
+/// place of libm's exp / erfc and the literal divisions by 6 strength-
+/// reduced to a multiply (both are within the SmoothedPhiBatchTolerance
+/// contract). Only valid where ClosedFormApplies; the caller masks.
+inline VecD ClosedFormLanes(VecD a, VecD b) {
+  using catoni_internal::kInvSqrt2Pi;
+  using catoni_internal::kPhiBound;
+  using catoni_internal::kSqrt2;
+  const VecD sixth = simd::Set1(1.0 / 6.0);
+  const VecD half = simd::Set1(0.5);
+  const VecD inv_sqrt2pi = simd::Set1(kInvSqrt2Pi);
+  const VecD phi_bound = simd::Set1(kPhiBound);
+
+  const VecD v_minus = (simd::Set1(kSqrt2) - a) / b;
+  const VecD v_plus = (simd::Set1(kSqrt2) + a) / b;
+  const VecD e_minus = simd::ExpPd(-(half * v_minus * v_minus));
+  const VecD e_plus = simd::ExpPd(-(half * v_plus * v_plus));
+  const VecD f_minus = simd::HalfErfcFromExp(v_minus, e_minus);
+  const VecD f_plus = simd::HalfErfcFromExp(v_plus, e_plus);
+
+  const VecD a_cubed_sixth = a * a * a * sixth;
+  const VecD t1 = phi_bound * (f_minus - f_plus);
+  const VecD t2 = -((a - a_cubed_sixth) * (f_minus + f_plus));
+  const VecD t3 =
+      b * inv_sqrt2pi * (simd::Set1(1.0) - half * a * a) * (e_plus - e_minus);
+  const VecD t4 = half * a * b * b *
+                  (f_plus + f_minus +
+                   inv_sqrt2pi * (v_plus * e_plus + v_minus * e_minus));
+  const VecD t5 = (b * b * b * sixth) * inv_sqrt2pi *
+                  ((simd::Set1(2.0) + v_minus * v_minus) * e_minus -
+                   (simd::Set1(2.0) + v_plus * v_plus) * e_plus);
+  const VecD correction = t1 + t2 + t3 + t4 + t5;
+  const VecD value =
+      a * (simd::Set1(1.0) - half * b * b) - a_cubed_sixth + correction;
+  return simd::Clamp(value, -phi_bound, phi_bound);
+}
+
+void SmoothedPhiBatchKernel(const double* a, const double* b, double* out,
+                            std::size_t n) {
+  using catoni_internal::kCancellationLimit;
+  using catoni_internal::kTinyB;
+  std::size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    const VecD va = simd::LoadU(a + j);
+    const VecD vb = simd::LoadU(b + j);
+    // Branch classification with exactly the scalar ClosedFormApplies
+    // arithmetic (including the division by 6), so vector and scalar can
+    // never pick different branches for the same element.
+    const VecD abs_a = simd::Abs(va);
+    const VecD cancellation =
+        simd::Max(abs_a * abs_a * abs_a / simd::Set1(6.0),
+                  simd::Set1(0.5) * abs_a * vb * vb);
+    const VecI hot = (vb >= simd::Set1(kTinyB)) &
+                     (cancellation <= simd::Set1(kCancellationLimit));
+    if (simd::AllTrue(hot)) [[likely]] {
+      simd::StoreU(out + j, ClosedFormLanes(va, vb));
+    } else {
+      // A cold element (tiny-b or exact-split) diverts its whole group to
+      // the scalar reference; outliers are rare enough that this costs
+      // nothing measurable. The spill is baseline-compiled (see above).
+      simd_dispatch_internal::SmoothedPhiScalarSpill(a + j, b + j, out + j,
+                                                     kW);
+    }
+  }
+  if (j < n) {
+    simd_dispatch_internal::SmoothedPhiScalarSpill(a + j, b + j, out + j,
+                                                   n - j);
+  }
+}
+
+void SmoothedPhiTransformKernel(const double* xs, std::size_t n, double scale,
+                                double sqrt_beta, double* phi) {
+  // One stack block of the robust-mean kernels (kSimdBlock in
+  // robust/robust_mean.cc); the table contract caps n at 256.
+  constexpr std::size_t kBlock = 256;
+  double a_buf[kBlock];
+  double b_buf[kBlock];
+  if (n > kBlock) n = kBlock;
+  const VecD v_scale = simd::Set1(scale);
+  const VecD v_sqrt_beta = simd::Set1(sqrt_beta);
+  std::size_t j = 0;
+  // Elementwise derivation (division, abs, division): bit-identical to the
+  // scalar `a = x/scale; b = |a|/sqrt_beta` at any lane width.
+  for (; j + kW <= n; j += kW) {
+    const VecD a = simd::LoadU(xs + j) / v_scale;
+    simd::StoreU(a_buf + j, a);
+    simd::StoreU(b_buf + j, simd::Abs(a) / v_sqrt_beta);
+  }
+  for (; j < n; ++j) {
+    const double a = xs[j] / scale;
+    a_buf[j] = a;
+    b_buf[j] = __builtin_fabs(a) / sqrt_beta;
+  }
+  SmoothedPhiBatchKernel(a_buf, b_buf, phi, n);
+}
+
+// Lane-widened reductions: two accumulator vectors to break the add
+// dependency chain, lanes summed in index order at the end. Reassociates
+// the sum, so results differ from the scalar reference by rounding --
+// pinned by the relative-error tests in tests/simd_test.cc.
+
+double DotKernel(const double* a, const double* b, std::size_t n) {
+  VecD acc0 = simd::Set1(0.0);
+  VecD acc1 = simd::Set1(0.0);
+  std::size_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    acc0 = acc0 + simd::LoadU(a + i) * simd::LoadU(b + i);
+    acc1 = acc1 + simd::LoadU(a + i + kW) * simd::LoadU(b + i + kW);
+  }
+  if (i + kW <= n) {
+    acc0 = acc0 + simd::LoadU(a + i) * simd::LoadU(b + i);
+    i += kW;
+  }
+  double acc = simd::ReduceAdd(acc0 + acc1);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double DistanceL2Kernel(const double* a, const double* b, std::size_t n) {
+  VecD acc0 = simd::Set1(0.0);
+  VecD acc1 = simd::Set1(0.0);
+  std::size_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    const VecD d0 = simd::LoadU(a + i) - simd::LoadU(b + i);
+    const VecD d1 = simd::LoadU(a + i + kW) - simd::LoadU(b + i + kW);
+    acc0 = acc0 + d0 * d0;
+    acc1 = acc1 + d1 * d1;
+  }
+  if (i + kW <= n) {
+    const VecD d0 = simd::LoadU(a + i) - simd::LoadU(b + i);
+    acc0 = acc0 + d0 * d0;
+    i += kW;
+  }
+  double acc = simd::ReduceAdd(acc0 + acc1);
+  for (; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+void GumbelFromUniformKernel(const double* u, double* noise, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    const VecD v = simd::LoadU(u + j);
+    simd::StoreU(noise + j, -simd::LogPd(-simd::LogPd(v)));
+  }
+  // std::log resolves to the extern libm call; no scalar inline code is
+  // instantiated here (elementwise per-lane LogPd matches it within the
+  // documented ULP bound regardless of lane width).
+  for (; j < n; ++j) noise[j] = -std::log(-std::log(u[j]));
+}
+
+const SimdKernelTable kTable = {
+    simd::kIsaName,         static_cast<int>(kW),
+    &SmoothedPhiBatchKernel, &SmoothedPhiTransformKernel,
+    &DotKernel,              &DistanceL2Kernel,
+    &GumbelFromUniformKernel};
+
+}  // namespace HTDP_SIMD_ISA_NS
+}  // namespace simd_kernel_impl
+}  // namespace htdp
+
+#endif  // HTDP_UTIL_SIMD_KERNELS_IMPL_H_

@@ -15,7 +15,9 @@
 #include "gtest/gtest.h"
 #include "harness/experiment.h"
 #include "harness/scenario.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/simd.h"
 
 namespace htdp {
 namespace {
@@ -408,6 +410,18 @@ TEST(EngineTest, JobsPerSecondIsMonotonicClockDerived) {
     EXPECT_GE(snap.jobs_per_second, 0.0);
     EXPECT_TRUE(std::isfinite(snap.jobs_per_second));
   }
+}
+
+/// Constructing an Engine tags the metrics export with the runtime config:
+/// an info-style gauge whose labels carry the dispatched SIMD ISA and the
+/// worker-thread count (the value itself is a constant 1).
+TEST(EngineTest, RuntimeInfoGaugeTagsSimdModeAndThreadCount) {
+  Engine engine(Engine::Options{3});
+  const std::string text = obs::MetricRegistry::Global().ToPrometheus();
+  const std::string expected =
+      std::string("htdp_runtime_info{simd=\"") +
+      (SimdEnabled() ? SimdInfo().isa : "off") + "\",threads=\"3\"} 1";
+  EXPECT_NE(text.find(expected), std::string::npos) << text;
 }
 
 /// Span integrity under the worker pool (the TSan CI leg runs this suite):

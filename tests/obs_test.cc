@@ -190,6 +190,11 @@ TEST_F(TraceTest, ChromeTraceMatchesGoldenSchema) {
   // Drops surface as a counter event.
   EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos) << json;
   EXPECT_NE(json.find("spans_dropped"), std::string::npos) << json;
+  // The capture is tagged with its runtime config (exact values are
+  // host-dependent; the keys are the contract).
+  EXPECT_NE(json.find("\"otherData\":{\"simd\":\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"threads\":"), std::string::npos) << json;
   EXPECT_EQ(json.back(), '}');
 
   // Structural sanity without a JSON parser: brackets and quotes balance.

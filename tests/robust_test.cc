@@ -44,6 +44,17 @@ double SmoothedPhiByQuadrature(double a, double b) {
   return result + acc * h / 3.0;
 }
 
+TEST(CatoniConstantsTest, HexfloatLiteralsMatchRuntimeExpressions) {
+  // robust/catoni_constants.h keeps its constants as constexpr literals so
+  // the per-ISA kernel TUs can share them without dynamic initializers;
+  // this pins the hexfloat 1/sqrt(2*pi) to the bit pattern the runtime
+  // expression produces (the literal's provenance).
+  EXPECT_EQ(catoni_internal::kInvSqrt2Pi,
+            1.0 / std::sqrt(2.0 * std::numbers::pi));
+  EXPECT_EQ(catoni_internal::kSqrt2, std::numbers::sqrt2);
+  EXPECT_EQ(catoni_internal::kPhiBound, PhiBound());
+}
+
 TEST(PhiTest, ClampedOutsideSqrtTwo) {
   EXPECT_NEAR(Phi(10.0), PhiBound(), 1e-15);
   EXPECT_NEAR(Phi(-10.0), -PhiBound(), 1e-15);

@@ -6,14 +6,18 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdlib>
 #include <limits>
 #include <numbers>
+#include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "linalg/vector_ops.h"
+#include "robust/catoni.h"
 #include "rng/rng.h"
 #include "util/simd.h"
+#include "util/simd_dispatch.h"
 #include "util/simd_math.h"
 
 namespace htdp {
@@ -234,6 +238,150 @@ TEST(SimdKernelTest, ElementwiseKernelsAreBitIdenticalAcrossModes) {
     ASSERT_EQ(out_simd[i], out_scalar[i]) << i;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Runtime ISA dispatch (util/simd_dispatch.h): one binary, CPUID-probed
+// kernel tables. The AVX2 table is contractually bit-identical to the
+// baseline (same 4 lanes, -ffp-contract=off); AVX-512 stays within the
+// documented per-kernel tolerances; elementwise kernels are per-element
+// identical at any lane width.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchTest, InfoReportsDispatchedAndCompiledIsa) {
+  const SimdCaps caps = SimdInfo();
+  ASSERT_NE(caps.compiled_isa, nullptr);
+  EXPECT_STREQ(caps.compiled_isa, simd::kIsaName);
+  EXPECT_EQ(caps.compiled_lanes, simd::kLanes);
+  const SimdKernelTable* table = ActiveSimdKernels();
+  ASSERT_NE(table, nullptr);  // compiled => a table exists
+  EXPECT_STREQ(caps.isa, table->isa);
+  EXPECT_EQ(caps.lanes, table->lanes);
+  // The dispatcher never picks something narrower than the compiled layer.
+  EXPECT_GE(caps.lanes, caps.compiled_lanes);
+}
+
+TEST(SimdDispatchTest, BaselineAlwaysAvailableAndPinnable) {
+  EXPECT_TRUE(SimdIsaAvailable("baseline"));
+  EXPECT_FALSE(SimdIsaAvailable("not-an-isa"));
+  const SimdKernelTable* before = ActiveSimdKernels();
+  {
+    ScopedSimdIsaOverride pin("baseline");
+    ASSERT_TRUE(pin.ok());
+    const SimdKernelTable* table = ActiveSimdKernels();
+    ASSERT_NE(table, nullptr);
+    EXPECT_STREQ(table->isa, simd::kIsaName);
+  }
+  EXPECT_EQ(ActiveSimdKernels(), before);  // override restored
+  ScopedSimdIsaOverride bad("not-an-isa");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(ActiveSimdKernels(), before);  // failed pin changes nothing
+}
+
+#if defined(__x86_64__)
+
+TEST(SimdDispatchTest, ProbePicksWidestIsaTheCpuSupports) {
+  // CI's dispatch-verification step keys on this test: on an AVX2-capable
+  // runner the one portable binary must NOT be running baseline kernels.
+  // (HTDP_SIMD_ISA pins are honored over the probe, so skip under a pin.)
+  if (std::getenv("HTDP_SIMD_ISA") != nullptr) {
+    GTEST_SKIP() << "HTDP_SIMD_ISA pin overrides the probe";
+  }
+  if (!SimdIsaAvailable("avx2") && !SimdIsaAvailable("avx512f")) {
+    GTEST_SKIP() << "runner CPU supports no ISA beyond the compiled "
+                 << simd::kIsaName << "; dispatch has nothing to widen";
+  }
+  const SimdCaps caps = SimdInfo();
+  EXPECT_STRNE(caps.isa, "sse2")
+      << "CPU supports a wider ISA but the dispatcher stayed on baseline";
+  EXPECT_GE(caps.lanes, 4);
+}
+
+/// Runs every kernel in `table` against the baseline table on shared heavy-
+/// tailed inputs; `check(kernel_name, index, got, want)` judges each value.
+template <typename Check>
+void CompareTables(const SimdKernelTable& table, Check&& check) {
+  Rng rng(4242);
+  const std::size_t n = 515;  // odd tail + multiple 256-blocks
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  std::vector<double> xs(n);
+  std::vector<double> u(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(-30.0, 30.0);
+    b[i] = std::abs(a[i]) / 2.0 + 1e-3;
+    xs[i] = rng.Uniform(-40.0, 40.0);
+    u[i] = rng.UniformOpen();
+  }
+  const SimdKernelTable* base = simd_dispatch_internal::BaseTable();
+  ASSERT_NE(base, nullptr);
+
+  std::vector<double> want(n);
+  std::vector<double> got(n);
+  base->smoothed_phi_batch(a.data(), b.data(), want.data(), n);
+  table.smoothed_phi_batch(a.data(), b.data(), got.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    check("smoothed_phi_batch", i, got[i], want[i]);
+  }
+  base->smoothed_phi_transform(xs.data(), 256, 2.0, 1.5, want.data());
+  table.smoothed_phi_transform(xs.data(), 256, 2.0, 1.5, got.data());
+  for (std::size_t i = 0; i < 256; ++i) {
+    check("smoothed_phi_transform", i, got[i], want[i]);
+  }
+  base->gumbel_from_uniform(u.data(), want.data(), n);
+  table.gumbel_from_uniform(u.data(), got.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    check("gumbel_from_uniform", i, got[i], want[i]);
+  }
+  check("dot", 0, table.dot(a.data(), b.data(), n),
+        base->dot(a.data(), b.data(), n));
+  check("distance_l2", 0, table.distance_l2(a.data(), b.data(), n),
+        base->distance_l2(a.data(), b.data(), n));
+}
+
+TEST(SimdDispatchTest, Avx2TableBitIdenticalToBaseline) {
+  if (!SimdIsaAvailable("avx2")) {
+    GTEST_SKIP() << "runner CPU lacks AVX2; bit-identity pair untestable";
+  }
+  const SimdKernelTable* avx2 = simd_dispatch_internal::Avx2Table();
+  ASSERT_NE(avx2, nullptr);
+  EXPECT_EQ(avx2->lanes, 4);
+  // Same lane count, no FMA (-ffp-contract=off): every kernel must produce
+  // the same bits as the baseline table -- the documented contract that
+  // lets AVX2 machines share golden checksums with SSE2 ones.
+  CompareTables(*avx2, [](const char* kernel, std::size_t i, double got,
+                          double want) {
+    ASSERT_EQ(got, want) << kernel << "[" << i << "]";
+  });
+}
+
+TEST(SimdDispatchTest, Avx512TableWithinDocumentedTolerances) {
+  if (!SimdIsaAvailable("avx512f")) {
+    GTEST_SKIP() << "runner CPU lacks AVX-512F/DQ";
+  }
+  const SimdKernelTable* avx512 = simd_dispatch_internal::Avx512Table();
+  ASSERT_NE(avx512, nullptr);
+  EXPECT_EQ(avx512->lanes, 8);
+  // 8 lanes regroup the reductions and the cold-spill/tail classification;
+  // elementwise kernels stay per-element identical, reductions within
+  // reassociation rounding, SmoothedPhi within its documented bound
+  // (SmoothedPhiBatchTolerance is vs scalar; vs another vector lane width
+  // the gap can only be smaller, but reuse the same pinned bound).
+  CompareTables(*avx512, [](const char* kernel, std::size_t i, double got,
+                            double want) {
+    if (std::string(kernel) == "smoothed_phi_batch" ||
+        std::string(kernel) == "smoothed_phi_transform") {
+      ASSERT_NEAR(got, want, 2.0 * PhiBound() * 1e-12 + 1e-13)
+          << kernel << "[" << i << "]";
+    } else if (std::string(kernel) == "gumbel_from_uniform") {
+      ASSERT_EQ(got, want) << kernel << "[" << i << "]";  // elementwise
+    } else {
+      ASSERT_NEAR(got, want, 1e-12 * (std::abs(want) + 1.0))
+          << kernel << "[" << i << "]";
+    }
+  });
+}
+
+#endif  // defined(__x86_64__)
 
 #endif  // HTDP_SIMD_COMPILED
 

@@ -1,0 +1,366 @@
+// Tests for the work-stealing scheduler layer: the WorkStealDeque ring
+// (LIFO owner pop, FIFO steal, wraparound, Remove-based cancellation
+// arbitration, concurrent steal-vs-pop exactly-once claiming), the
+// deterministic tenant->shard placement, and the Engine-level properties
+// built on them -- tenant bursts queue on one shard, idle workers steal the
+// backlog, and the stats()/steal counters account for it. Runs on the TSan
+// CI leg: the steal-vs-pop and engine tests are the data-race probes for
+// the lock-per-shard design.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/work_steal_deque.h"
+#include "core/htdp.h"
+#include "gtest/gtest.h"
+#include "harness/scenario.h"
+
+namespace htdp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WorkStealDeque unit tests
+// ---------------------------------------------------------------------------
+
+TEST(WorkStealDequeTest, OwnerPopsLifoStealerPopsFifo) {
+  WorkStealDeque<int> deque;
+  for (int v = 1; v <= 4; ++v) ASSERT_TRUE(deque.PushBack(v));
+  EXPECT_EQ(deque.size(), 4u);
+
+  int out = 0;
+  ASSERT_TRUE(deque.PopBack(&out));  // owner: newest first
+  EXPECT_EQ(out, 4);
+  ASSERT_TRUE(deque.PopFront(&out));  // thief: oldest first
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(deque.PopBack(&out));
+  EXPECT_EQ(out, 3);
+  ASSERT_TRUE(deque.PopFront(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(deque.PopBack(&out));
+  EXPECT_FALSE(deque.PopFront(&out));
+  EXPECT_TRUE(deque.empty());
+}
+
+TEST(WorkStealDequeTest, WraparoundKeepsOrderAcrossManyCycles) {
+  // Small initial capacity plus a steady push/steal imbalance walks `head`
+  // around the ring many times and forces several growth steps; FIFO order
+  // must survive both.
+  WorkStealDeque<int> deque(/*initial_capacity=*/2);
+  int next_push = 0;
+  int next_steal = 0;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    for (int k = 0; k < 3; ++k) ASSERT_TRUE(deque.PushBack(next_push++));
+    for (int k = 0; k < 2; ++k) {
+      int out = -1;
+      ASSERT_TRUE(deque.PopFront(&out));
+      EXPECT_EQ(out, next_steal++);  // strict submission order
+    }
+  }
+  // 200 net elements remain; drain and check contiguity.
+  const std::vector<int> rest = deque.DrainAll();
+  ASSERT_EQ(rest.size(), 200u);
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    EXPECT_EQ(rest[i], next_steal + static_cast<int>(i));
+  }
+  EXPECT_TRUE(deque.empty());
+}
+
+TEST(WorkStealDequeTest, BoundedCapacityRejectsAtTheCap) {
+  WorkStealDeque<int> deque(/*initial_capacity=*/2, /*max_capacity=*/3);
+  EXPECT_TRUE(deque.PushBack(1));
+  EXPECT_TRUE(deque.PushBack(2));
+  EXPECT_TRUE(deque.PushBack(3));
+  EXPECT_FALSE(deque.PushBack(4));  // at the hard bound
+  int out = 0;
+  ASSERT_TRUE(deque.PopFront(&out));
+  EXPECT_TRUE(deque.PushBack(4));  // space freed
+  EXPECT_EQ(deque.size(), 3u);
+}
+
+TEST(WorkStealDequeTest, RemoveTakesElementsFromEitherSide) {
+  WorkStealDeque<int> deque(2);
+  for (int v = 0; v < 8; ++v) ASSERT_TRUE(deque.PushBack(v));
+
+  EXPECT_TRUE(deque.Remove(1));   // near the front
+  EXPECT_TRUE(deque.Remove(6));   // near the back
+  EXPECT_FALSE(deque.Remove(42));  // absent
+  EXPECT_FALSE(deque.Remove(1));   // already removed
+
+  std::vector<int> drained = deque.DrainAll();
+  EXPECT_EQ(drained, (std::vector<int>{0, 2, 3, 4, 5, 7}));
+}
+
+TEST(WorkStealDequeTest, RemoveAfterWraparound) {
+  // Position the live window across the ring seam, then remove from both
+  // halves: the shift logic must respect ring indices, not raw slots.
+  WorkStealDeque<int> deque(/*initial_capacity=*/8);
+  int out = 0;
+  for (int v = 0; v < 6; ++v) ASSERT_TRUE(deque.PushBack(v));
+  for (int v = 0; v < 5; ++v) ASSERT_TRUE(deque.PopFront(&out));
+  for (int v = 6; v < 12; ++v) ASSERT_TRUE(deque.PushBack(v));  // wraps
+
+  EXPECT_TRUE(deque.Remove(6));
+  EXPECT_TRUE(deque.Remove(11));
+  EXPECT_EQ(deque.DrainAll(), (std::vector<int>{5, 7, 8, 9, 10}));
+}
+
+TEST(WorkStealDequeTest, ConcurrentStealVersusPopClaimsEveryElementOnce) {
+  // One owner thread pushes then pops LIFO while several thieves hammer
+  // PopFront: every pushed value must be claimed by exactly one thread.
+  // Under TSan this is the central race probe for the self-locking ring.
+  constexpr int kValues = 2000;
+  constexpr int kThieves = 3;
+  WorkStealDeque<int> deque(/*initial_capacity=*/4);
+  std::atomic<bool> start{false};
+  std::atomic<bool> owner_done{false};
+  std::atomic<int> claimed{0};
+  std::vector<std::atomic<int>> claims(kValues);
+  for (auto& c : claims) c.store(0);
+
+  std::thread owner([&] {
+    while (!start.load()) std::this_thread::yield();
+    // Push in bursts, pop a few of our own back -- the mixed pattern keeps
+    // both ends of the ring moving concurrently with the thieves.
+    int pushed = 0;
+    while (pushed < kValues) {
+      for (int k = 0; k < 7 && pushed < kValues; ++k) {
+        ASSERT_TRUE(deque.PushBack(pushed++));
+      }
+      for (int k = 0; k < 3; ++k) {
+        int v = -1;
+        if (deque.PopBack(&v)) {
+          claims[static_cast<std::size_t>(v)].fetch_add(1);
+          claimed.fetch_add(1);
+        }
+      }
+    }
+    owner_done.store(true);
+  });
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!start.load()) std::this_thread::yield();
+      while (!owner_done.load() || !deque.empty()) {
+        int v = -1;
+        if (deque.PopFront(&v)) {
+          claims[static_cast<std::size_t>(v)].fetch_add(1);
+          claimed.fetch_add(1);
+        }
+      }
+    });
+  }
+  start.store(true);
+  owner.join();
+  for (std::thread& thief : thieves) thief.join();
+
+  EXPECT_EQ(claimed.load(), kValues);
+  for (int v = 0; v < kValues; ++v) {
+    EXPECT_EQ(claims[static_cast<std::size_t>(v)].load(), 1)
+        << "value " << v << " claimed " << claims[v].load() << " times";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tenant -> shard placement
+// ---------------------------------------------------------------------------
+
+TEST(ShardForTenantTest, DeterministicInRangeAndSpreading) {
+  // Same tenant, same shard -- every time, on every platform (FNV-1a, not
+  // std::hash). Different tenants spread across shards rather than piling
+  // onto one.
+  std::set<std::size_t> used;
+  for (int t = 0; t < 64; ++t) {
+    const std::string tenant = "tenant-" + std::to_string(t);
+    const std::size_t shard = engine_internal::ShardForTenant(tenant, 8);
+    EXPECT_LT(shard, 8u);
+    EXPECT_EQ(shard, engine_internal::ShardForTenant(tenant, 8));
+    used.insert(shard);
+  }
+  EXPECT_GT(used.size(), 4u);  // 64 tenants cannot collapse to <5 of 8 shards
+  EXPECT_EQ(engine_internal::ShardForTenant("any", 1), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level scheduler properties
+// ---------------------------------------------------------------------------
+
+Dataset StealTestData(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  SyntheticConfig config;
+  config.n = n;
+  config.d = d;
+  config.feature_dist = ScalarDistribution::Lognormal(0.0, 0.6);
+  config.noise_dist = ScalarDistribution::Normal(0.0, 0.1);
+  const Vector w_star = MakeL1BallTarget(d, rng);
+  return GenerateLinear(config, w_star, rng);
+}
+
+struct StealWorkload {
+  StealWorkload() : data(StealTestData(300, 8, 23)), ball(8, 1.0) {}
+
+  FitJob JobFor(std::uint64_t seed) const {
+    FitJob job;
+    job.solver_name = kSolverAlg1DpFw;
+    job.problem.loss = &loss;
+    job.problem.data = &data;
+    job.problem.constraint = &ball;
+    job.spec.budget = PrivacyBudget::Pure(1.0);
+    job.spec.tau = 4.0;
+    job.spec.step = 0.02;
+    job.seed = seed;
+    return job;
+  }
+
+  Dataset data;
+  SquaredLoss loss;
+  L1Ball ball;
+};
+
+/// Parks every job that reaches a worker until released; counts arrivals so
+/// tests can wait for N workers to be provably inside fits.
+struct MultiGate {
+  std::atomic<int> reached{0};
+  std::atomic<bool> release{false};
+
+  std::function<bool()> Hook() {
+    return [this] {
+      reached.fetch_add(1);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return false;
+    };
+  }
+  void AwaitReached(int n) {
+    while (reached.load() < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+TEST(EngineWorkStealTest, TenantBurstQueuesOnOneShardUntilStolen) {
+  const StealWorkload workload;
+  BudgetManager budgets;
+  ASSERT_TRUE(
+      budgets.RegisterTenant("burst", PrivacyBudget::Pure(100.0)).ok());
+  Engine engine(Engine::Options{/*workers=*/4, &budgets});
+
+  // Park all four workers on untenanted blockers so the tenant burst stays
+  // queued where Submit placed it.
+  MultiGate gate;
+  std::vector<JobHandle> blockers;
+  for (int i = 0; i < 4; ++i) {
+    FitJob blocker = workload.JobFor(100 + static_cast<std::uint64_t>(i));
+    blocker.spec.should_stop = gate.Hook();
+    blockers.push_back(engine.Submit(std::move(blocker)));
+  }
+  gate.AwaitReached(4);
+
+  constexpr std::size_t kBurst = 6;
+  std::vector<JobHandle> burst;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    FitJob job = workload.JobFor(200 + i);
+    job.tenant = "burst";
+    burst.push_back(engine.Submit(std::move(job)));
+  }
+
+  // Tenant isolation: the whole burst sits on the tenant's hash shard; no
+  // other worker's deque grew.
+  const std::size_t home =
+      engine_internal::ShardForTenant("burst", /*shard_count=*/4);
+  const EngineStats queued = engine.stats();
+  ASSERT_EQ(queued.worker_queue_depths.size(), 4u);
+  EXPECT_EQ(queued.worker_queue_depths[home], kBurst);
+  for (std::size_t s = 0; s < 4; ++s) {
+    if (s != home) EXPECT_EQ(queued.worker_queue_depths[s], 0u) << s;
+  }
+  EXPECT_EQ(queued.queue_depth, kBurst);
+
+  // Released, the three non-home workers can only make progress by
+  // stealing from the home shard -- the burst drains through the whole
+  // pool, not one worker.
+  gate.release.store(true);
+  for (const JobHandle& handle : blockers) EXPECT_TRUE(handle.Wait().ok());
+  for (const JobHandle& handle : burst) EXPECT_TRUE(handle.Wait().ok());
+  engine.Drain();
+
+  const EngineStats done = engine.stats();
+  EXPECT_EQ(done.queue_depth, 0u);
+  for (const std::size_t depth : done.worker_queue_depths) {
+    EXPECT_EQ(depth, 0u);
+  }
+  EXPECT_EQ(done.succeeded, blockers.size() + burst.size());
+}
+
+TEST(EngineWorkStealTest, IdleWorkerStealsParkedOwnersBacklog) {
+  const StealWorkload workload;
+  BudgetManager budgets;
+  ASSERT_TRUE(
+      budgets.RegisterTenant("steal-me", PrivacyBudget::Pure(100.0)).ok());
+  Engine engine(Engine::Options{/*workers=*/2, &budgets});
+
+  // Two gated jobs on the SAME tenant shard: the shard's owner pops one,
+  // so the only way a second worker ever reaches a fit (and it must, for
+  // AwaitReached(2) to return) is by stealing the other from that shard.
+  MultiGate gate;
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 2; ++i) {
+    FitJob job = workload.JobFor(300 + static_cast<std::uint64_t>(i));
+    job.tenant = "steal-me";
+    job.spec.should_stop = gate.Hook();
+    handles.push_back(engine.Submit(std::move(job)));
+  }
+  gate.AwaitReached(2);  // both run concurrently => a steal happened
+  EXPECT_GE(engine.stats().steals, 1u);
+
+  gate.release.store(true);
+  for (const JobHandle& handle : handles) EXPECT_TRUE(handle.Wait().ok());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.succeeded, 2u);
+  EXPECT_GE(stats.steals, 1u);
+}
+
+TEST(EngineWorkStealTest, StressDrainsEveryJobAcrossWorkersBitIdentically) {
+  // Throughput-shaped soak: many short jobs across several workers, with
+  // every result checked against the sequential fit at the same seed --
+  // stealing must never change which Rng runs which job.
+  const StealWorkload workload;
+  Engine engine(Engine::Options{/*workers=*/4});
+  const Solver* solver = *SolverRegistry::Global().Find(kSolverAlg1DpFw);
+
+  constexpr std::uint64_t kJobs = 24;
+  std::vector<JobHandle> handles;
+  for (std::uint64_t seed = 0; seed < kJobs; ++seed) {
+    handles.push_back(engine.Submit(workload.JobFor(seed)));
+  }
+  for (std::uint64_t seed = 0; seed < kJobs; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const StatusOr<FitResult>& concurrent = handles[seed].Wait();
+    ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
+    const FitJob job = workload.JobFor(seed);
+    Rng rng(seed);
+    const StatusOr<FitResult> sequential =
+        solver->TryFit(job.problem, job.spec, rng);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_EQ(concurrent->w.size(), sequential->w.size());
+    for (std::size_t j = 0; j < sequential->w.size(); ++j) {
+      EXPECT_EQ(concurrent->w[j], sequential->w[j]);
+    }
+  }
+  engine.Drain();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.succeeded, kJobs);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // steals + steal_failures is workload-dependent; just confirm the
+  // counters are coherent (failures only ever accompany observed backlog).
+  EXPECT_LE(stats.steals, kJobs);
+}
+
+}  // namespace
+}  // namespace htdp
