@@ -1,0 +1,186 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke of the SHIPPED binaries (htdpd + htdpctl): the CI leg
+# that proves the durable privacy-budget ledger survives a SIGKILL of the
+# real daemon process, not just the in-process test server.
+#
+#   usage: crash_smoke.sh <path-to-htdpd> <path-to-htdpctl>
+#
+# Asserts, in order:
+#   * a daemon WITHOUT --state-dir reports an in-memory ledger via
+#     `htdpctl budget`;
+#   * a daemon WITH --state-dir and a seeded HTDP_BUDGET_CRASH plan
+#     SIGKILLs itself mid-commit (exit 137) after N tenant fits completed;
+#   * a restart on the same --state-dir recovers: `htdpctl budget` shows
+#     the durable ledger and the recovery line, and `budget --json` shows
+#     epsilon_spent >= the spend of every fit the client saw complete --
+#     i.e. no tenant's remaining budget grew across the crash;
+#   * the recovered daemon still serves tenant fits, and a clean SIGINT
+#     restart preserves the spend exactly (bit-for-bit via %.17g JSON).
+
+set -u
+
+HTDPD=${1:?usage: crash_smoke.sh <htdpd> <htdpctl>}
+HTDPCTL=${2:?usage: crash_smoke.sh <htdpd> <htdpctl>}
+
+WORK=$(mktemp -d)
+STATE="$WORK/state"
+FAILURES=0
+DAEMON_PID=""
+
+cleanup() {
+  [[ -n "$DAEMON_PID" ]] && kill -9 "$DAEMON_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# run_expect <expected-exit-code> <description> <htdpctl args...>
+run_expect() {
+  local want=$1 what=$2
+  shift 2
+  "$HTDPCTL" --port="$PORT" "$@" >"$WORK/out" 2>"$WORK/err"
+  local got=$?
+  if [[ $got -ne $want ]]; then
+    fail "$what: exit $got, want $want"
+    sed 's/^/    /' "$WORK/out" "$WORK/err" >&2
+  else
+    echo "ok: $what (exit $got)"
+  fi
+}
+
+# start_daemon <logfile> <extra flags...>; sets DAEMON_PID and PORT.
+start_daemon() {
+  local log=$1
+  shift
+  "$HTDPD" --port=0 "$@" >"$log" 2>&1 &
+  DAEMON_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^htdpd listening on [0-9.]*:\([0-9]*\)$/\1/p' "$log")
+    [[ -n "$PORT" ]] && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  echo "FATAL: htdpd did not report a port:" >&2
+  sed 's/^/    /' "$log" >&2
+  exit 1
+}
+
+stop_daemon_expect() {
+  local want=$1 what=$2
+  wait "$DAEMON_PID"
+  local got=$?
+  DAEMON_PID=""
+  if [[ $got -ne $want ]]; then
+    fail "$what: daemon exit $got, want $want"
+  else
+    echo "ok: $what (daemon exit $got)"
+  fi
+}
+
+# json_field <key>: pull a top-level numeric/string value out of $WORK/out.
+json_field() {
+  sed -n "s/.*\"$1\": \(\"[^\"]*\"\|[a-z0-9.e+-]*\).*/\1/p" "$WORK/out" |
+      tr -d '"'
+}
+
+# ---------------------------------------------------------------------------
+# Daemon 1: no --state-dir -> the ledger is honest about being in-memory.
+
+start_daemon "$WORK/d1.log" --workers=1 --tenant=acme=100.0,0.1
+run_expect 0 "budget on an in-memory ledger" budget
+grep -q "ledger: in-memory" "$WORK/out" \
+    || fail "budget did not report the in-memory ledger"
+run_expect 0 "budget --json (in-memory)" --json budget
+[[ "$(json_field durable)" == "false" ]] \
+    || fail "json budget durable != false without --state-dir"
+kill -INT "$DAEMON_PID"
+stop_daemon_expect 0 "in-memory daemon drains"
+
+# ---------------------------------------------------------------------------
+# Daemon 2: durable ledger with a seeded crash plan. Appends: 1 register,
+# then reserve+commit per fit -- "post-write:9" SIGKILLs the daemon while
+# journaling the COMMIT of the 4th fit, before its result is published.
+
+export HTDP_BUDGET_CRASH="post-write:9"
+start_daemon "$WORK/d2.log" --workers=1 --state-dir="$STATE" \
+    --fsync=always --tenant=acme=100.0,0.1
+unset HTDP_BUDGET_CRASH
+
+COMMITTED=0
+for seed in 1 2 3 4 5 6; do
+  if "$HTDPCTL" --port="$PORT" submit --wait --tenant=acme --epsilon=1.0 \
+      --seed="$seed" >"$WORK/out" 2>"$WORK/err"; then
+    COMMITTED=$((COMMITTED + 1))
+  else
+    break
+  fi
+done
+echo "ok: $COMMITTED fits completed before the injected crash"
+[[ $COMMITTED -ge 1 ]] || fail "the crash fired before any fit completed"
+[[ $COMMITTED -lt 6 ]] || fail "the crash plan never fired"
+stop_daemon_expect 137 "daemon SIGKILLed itself at the fault point"
+
+# ---------------------------------------------------------------------------
+# Daemon 3: restart on the same --state-dir; recovery must be conservative.
+
+start_daemon "$WORK/d3.log" --workers=1 --state-dir="$STATE" \
+    --fsync=always --tenant=acme=100.0,0.1
+
+run_expect 0 "budget after recovery" budget
+grep -q "ledger: durable at $STATE" "$WORK/out" \
+    || fail "budget did not report the durable state dir"
+grep -q "recovery: " "$WORK/out" || fail "budget printed no recovery line"
+
+run_expect 0 "budget --json after recovery" --json budget
+[[ "$(json_field durable)" == "true" ]] || fail "json budget durable != true"
+[[ "$(json_field fsync)" == "always" ]] || fail "json budget fsync != always"
+RECOVERED=$(json_field recovered_records)
+[[ "$RECOVERED" -ge 1 ]] 2>/dev/null \
+    || fail "recovered_records is '$RECOVERED', want >= 1"
+SPENT=$(sed -n 's/.*"epsilon_spent": \([0-9.e+-]*\).*/\1/p' "$WORK/out")
+REMAINING=$(sed -n 's/.*"epsilon_remaining": \([0-9.e+-]*\).*/\1/p' \
+    "$WORK/out")
+# Every fit the client saw complete had its COMMIT journaled first
+# (commit-before-publish), so the recovered spend covers them all -- and
+# the in-flight reservation at the kill may add at most one more epsilon.
+awk -v s="$SPENT" -v c="$COMMITTED" 'BEGIN { exit !(s >= c) }' \
+    || fail "recovered epsilon_spent $SPENT < $COMMITTED committed fits"
+awk -v s="$SPENT" -v c="$COMMITTED" 'BEGIN { exit !(s <= c + 1) }' \
+    || fail "recovered epsilon_spent $SPENT overcharges past $COMMITTED+1"
+awk -v r="$REMAINING" -v c="$COMMITTED" 'BEGIN { exit !(r <= 100.0 - c) }' \
+    || fail "remaining $REMAINING grew across the crash"
+
+# The recovered ledger keeps serving: another fit lands and is charged.
+run_expect 0 "tenant fit on the recovered ledger" \
+    submit --wait --tenant=acme --epsilon=1.0 --seed=77
+run_expect 0 "budget --json after the new fit" --json budget
+SPENT2=$(sed -n 's/.*"epsilon_spent": \([0-9.e+-]*\).*/\1/p' "$WORK/out")
+awk -v a="$SPENT" -v b="$SPENT2" 'BEGIN { exit !(b > a) }' \
+    || fail "new fit did not grow the recovered spend ($SPENT -> $SPENT2)"
+
+# A clean SIGINT drain, then one more restart: the spend must round-trip
+# bit-for-bit through the journal (the JSON prints %.17g).
+kill -INT "$DAEMON_PID"
+stop_daemon_expect 0 "recovered daemon drains cleanly"
+
+start_daemon "$WORK/d4.log" --workers=1 --state-dir="$STATE" \
+    --fsync=always --tenant=acme=100.0,0.1
+run_expect 0 "budget --json after a clean restart" --json budget
+SPENT3=$(sed -n 's/.*"epsilon_spent": \([0-9.e+-]*\).*/\1/p' "$WORK/out")
+[[ "$SPENT3" == "$SPENT2" ]] \
+    || fail "clean restart changed the spend: $SPENT2 -> $SPENT3"
+kill -INT "$DAEMON_PID"
+stop_daemon_expect 0 "final daemon drains cleanly"
+
+# ---------------------------------------------------------------------------
+
+if [[ $FAILURES -ne 0 ]]; then
+  echo "crash_smoke: $FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "crash_smoke: all checks passed"

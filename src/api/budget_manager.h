@@ -2,10 +2,13 @@
 #define HTDP_API_BUDGET_MANAGER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "dp/budget_store.h"
 #include "dp/privacy.h"
 #include "util/status.h"
 
@@ -24,35 +27,83 @@ namespace htdp {
 /// kBudgetExhausted Status BEFORE any work -- or any privacy spend --
 /// happens.
 ///
-/// The Engine integrates it at Submit() (see FitJob::tenant in
-/// api/engine.h): reservation happens inline, so a rejected job never
-/// occupies a worker; jobs that complete without releasing any mechanism
-/// output (validation failures, cancelled while still queued) are refunded
-/// automatically.
+/// ### Two-phase accounting
+///
+/// Spend moves through a reservation lifecycle so the ledger is exact even
+/// across a crash (see dp/budget_store.h and docs/durability.md):
+///
+///   Reserve() -> id      budget debited, RESERVE journaled   (at Submit)
+///   Commit(id)           spend is final, COMMIT journaled    (output released)
+///   Abort(id)            spend returned, ABORT journaled     (job never ran)
+///
+/// The Engine drives this at Submit()/completion (see FitJob::tenant in
+/// api/engine.h): a rejected job never occupies a worker; jobs that
+/// complete without releasing any mechanism output (validation failures,
+/// cancelled while still queued) are aborted automatically; everything
+/// else commits. The conservation invariant -- every Reserve is closed by
+/// exactly one Commit or Abort, so open_reservations() drains to zero when
+/// the Engine does -- is exported as the `htdp_budget_reservations_open`
+/// gauge and asserted in engine_test.
+///
+/// ### Durability
+///
+/// Attach a dp::BudgetStore (AttachStore, before registering tenants) and
+/// every ledger mutation is journaled write-ahead; on restart the manager
+/// adopts the recovered spend, counting reserves whose fate died with the
+/// process as COMMITTED -- spend conservatively, never under-count. Without
+/// a store the manager is purely in-memory, exactly as before.
 ///
 /// Thread-safe; one manager may serve several Engines. The manager must
 /// outlive every Engine configured with it.
 class BudgetManager {
  public:
+  /// Handle of one open reservation; never reused within a ledger's life.
+  using ReservationId = std::uint64_t;
+
   BudgetManager() = default;
   BudgetManager(const BudgetManager&) = delete;
   BudgetManager& operator=(const BudgetManager&) = delete;
 
+  /// Makes the ledger durable: journals every mutation to `store` and
+  /// adopts the spend `store` recovered at open. Call BEFORE registering
+  /// tenants (kInvalidProblem otherwise). The store must outlive the
+  /// manager; the manager does not own it.
+  Status AttachStore(dp::BudgetStore* store);
+
   /// Creates tenant `name` with the given total budget. Errors with
   /// kInvalidProblem on a duplicate name and kBudgetExhausted (via
-  /// PrivacyBudget::Check) on an unfundable total.
+  /// PrivacyBudget::Check) on an unfundable total. A tenant known only
+  /// from recovery is NOT a duplicate: registration re-funds it with
+  /// `total` while its recovered spend stands.
   Status RegisterTenant(const std::string& name, PrivacyBudget total);
 
   /// Atomically reserves `cost` from the tenant's remaining budget under
-  /// sequential composition. Errors: kInvalidProblem for an unknown tenant,
-  /// kBudgetExhausted when the cost fails Check() or does not fit in what
-  /// remains (the message reports remaining vs. requested).
+  /// sequential composition and opens a reservation. Errors:
+  /// kInvalidProblem for an unknown tenant, kBudgetExhausted when the cost
+  /// fails Check() or does not fit in what remains (the message reports
+  /// remaining vs. requested).
+  StatusOr<ReservationId> Reserve(const std::string& name,
+                                  const PrivacyBudget& cost);
+
+  /// Finalizes a reservation's spend (the job released mechanism output).
+  /// kInvalidProblem for an id that is not open.
+  Status Commit(ReservationId id);
+
+  /// Returns a reservation whose job never released any mechanism output;
+  /// the debited budget becomes available again. kInvalidProblem for an id
+  /// that is not open.
+  Status Abort(ReservationId id);
+
+  /// One-shot reserve-and-commit: debits `cost` with no open reservation
+  /// left behind. The pre-two-phase surface, kept for callers that have no
+  /// completion edge to commit on.
   Status TryReserve(const std::string& name, const PrivacyBudget& cost);
 
-  /// Returns a reservation whose job never released any mechanism output.
-  /// Clamps at zero spend; unknown tenants are ignored (the manager never
-  /// aborts on names coming from job records).
-  void Refund(const std::string& name, const PrivacyBudget& cost);
+  /// Directly returns previously committed spend (the TryReserve
+  /// counterpart). Clamps at zero spend. kInvalidProblem for an unknown
+  /// tenant -- a refund the ledger cannot attribute is an accounting bug
+  /// the caller must hear about, not silence.
+  Status Refund(const std::string& name, const PrivacyBudget& cost);
 
   /// The tenant's remaining (total - reserved) budget, clamped at zero.
   /// kInvalidProblem for an unknown tenant.
@@ -61,12 +112,34 @@ class BudgetManager {
   /// Aggregate per-tenant accounting for dashboards.
   struct TenantStats {
     PrivacyBudget total;
-    PrivacyBudget spent;         // currently reserved (refunds subtracted)
-    std::size_t admitted = 0;    // successful TryReserve calls
-    std::size_t rejected = 0;    // TryReserve calls that did not fit
-    std::size_t refunded = 0;    // Refund calls
+    PrivacyBudget spent;       // reserved-or-committed (refunds subtracted)
+    std::size_t admitted = 0;  // successful Reserve/TryReserve calls
+    std::size_t rejected = 0;  // reservations that did not fit
+    std::size_t refunded = 0;  // Abort + Refund calls
+    std::size_t open = 0;      // reservations awaiting Commit/Abort
+    /// Spend inherited from dangling reserves at recovery (included in
+    /// `spent`), cumulative over the ledger's crash history.
+    PrivacyBudget recovered;
+    std::size_t recovered_reserves = 0;
   };
   StatusOr<TenantStats> Stats(const std::string& name) const;
+
+  /// Registered tenant names, sorted (the map order).
+  std::vector<std::string> TenantNames() const;
+
+  /// Ledger-wide conservation counters: open == reserves - commits -
+  /// aborts, and open == 0 whenever no job is in flight.
+  struct LedgerTotals {
+    std::size_t reserves = 0;
+    std::size_t commits = 0;
+    std::size_t aborts = 0;
+    std::size_t open = 0;
+  };
+  LedgerTotals Totals() const;
+
+  /// Open reservations right now (the `htdp_budget_reservations_open`
+  /// gauge).
+  std::size_t OpenReservations() const;
 
  private:
   struct Tenant {
@@ -76,10 +149,34 @@ class BudgetManager {
     std::size_t admitted = 0;
     std::size_t rejected = 0;
     std::size_t refunded = 0;
+    std::size_t recovered_reserves = 0;
+    double recovered_epsilon = 0.0;
+    double recovered_delta = 0.0;
+    /// True until the first RegisterTenant: the tenant exists only because
+    /// recovery saw it, so registration completes it instead of colliding.
+    bool recovered_only = false;
   };
 
+  struct OpenReservation {
+    std::string tenant;
+    PrivacyBudget cost;
+  };
+
+  /// Journals to the attached store; a plain Ok no-op without one. Called
+  /// under mu_.
+  Status JournalLocked(const dp::LedgerRecord& record);
+  /// Snapshot + journal truncation once the store says so. Called under
+  /// mu_.
+  void MaybeCompactLocked();
+
   mutable std::mutex mu_;
+  dp::BudgetStore* store_ = nullptr;
   std::map<std::string, Tenant> tenants_;
+  std::map<ReservationId, OpenReservation> open_;
+  ReservationId next_reservation_ = 1;
+  std::size_t reserves_ = 0;
+  std::size_t commits_ = 0;
+  std::size_t aborts_ = 0;
 };
 
 }  // namespace htdp

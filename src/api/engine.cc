@@ -202,15 +202,30 @@ struct JobRecord {
   /// it, so no extra synchronization is needed.
   bool charged = false;
 
+  /// The open reservation backing `charged` (BudgetManager::Reserve at
+  /// Submit). Closed exactly once: CommitIfCharged when the job released
+  /// mechanism output, RefundIfCharged when it provably never ran.
+  BudgetManager::ReservationId reservation = 0;
+
   /// True while the job counts against its tenant's inflight cap. Guarded
   /// by the ENGINE mutex (the count lives in EngineShared::tenant_inflight).
   bool counted_inflight = false;
 
-  /// Refunds the tenant reservation of a job that released no mechanism
-  /// output. Call only from the completing path.
+  /// Aborts the tenant reservation of a job that released no mechanism
+  /// output: the budget becomes available again (journaled as ABORT when
+  /// the manager is durable). Call only from the completing path.
   void RefundIfCharged(BudgetManager* budgets) {
     if (!charged || budgets == nullptr) return;
-    budgets->Refund(job.tenant, job.spec.budget);
+    (void)budgets->Abort(reservation);
+    charged = false;
+  }
+
+  /// Finalizes the reservation of a job whose fit ran (or may have run):
+  /// the spend is permanent (journaled as COMMIT when the manager is
+  /// durable). Call only from the completing path.
+  void CommitIfCharged(BudgetManager* budgets) {
+    if (!charged || budgets == nullptr) return;
+    (void)budgets->Commit(reservation);
     charged = false;
   }
 
@@ -320,6 +335,10 @@ void JobHandle::Cancel() {
             ->Remove(record_)) {
       const std::size_t depth =
           engine->queue_depth.fetch_sub(1, std::memory_order_relaxed) - 1;
+      // Removing the record from its ring made this path the unique
+      // completion owner; close the reservation before the result becomes
+      // observable so Wait() never races the refund.
+      record_->RefundIfCharged(engine->budgets);  // cancelled before running
       {
         const std::lock_guard<std::mutex> record_lock(record_->mu);
         record_->result.emplace(Status::Cancelled(
@@ -341,7 +360,6 @@ void JobHandle::Cancel() {
     }
   }
   if (completed) {
-    record_->RefundIfCharged(engine->budgets);  // cancelled before running
     record_->cv.notify_all();
     engine->idle_cv.notify_all();
   }
@@ -453,15 +471,16 @@ JobHandle Engine::Submit(FitJob job) {
   // BudgetManager) -- no work runs, no privacy is spent. Reservation takes
   // only the manager's own lock, never the engine mutex.
   if (!record->job.tenant.empty()) {
-    Status reserved =
+    StatusOr<BudgetManager::ReservationId> reservation =
         state_->budgets != nullptr
-            ? state_->budgets->TryReserve(record->job.tenant,
-                                          record->job.spec.budget)
-            : Status::InvalidProblem(
+            ? state_->budgets->Reserve(record->job.tenant,
+                                       record->job.spec.budget)
+            : StatusOr<BudgetManager::ReservationId>(Status::InvalidProblem(
                   record->Describe() + " names tenant \"" +
                   record->job.tenant +
                   "\" but the Engine has no BudgetManager "
-                  "(set Engine::Options::budgets)");
+                  "(set Engine::Options::budgets)"));
+    Status reserved = reservation.status();
     if (!reserved.ok()) {
       const bool exhausted =
           reserved.code() == StatusCode::kBudgetExhausted;
@@ -482,6 +501,7 @@ JobHandle Engine::Submit(FitJob job) {
       return JobHandle(std::move(record));
     }
     record->charged = true;
+    record->reservation = reservation.value();
   }
 
   bool rejected = false;
@@ -492,16 +512,19 @@ JobHandle Engine::Submit(FitJob job) {
     if (state_->stop) {
       ++state_->completed;
       ++state_->cancelled;
+      record->RefundIfCharged(state_->budgets);  // never ran
       record->Complete(Status::Cancelled(record->Describe() +
                                          " submitted after Engine shutdown"));
       rejected = true;
     } else if (Status admitted = AdmitLocked(*record); !admitted.ok()) {
       // Overload shedding: the queue watermark latch or the tenant inflight
       // cap refused the job. kUnavailable is retryable by contract -- the
-      // job never ran and the refund below returns the budget reservation.
+      // job never ran, and the reservation is closed BEFORE the completion
+      // publishes so no observer can see a shed job still holding budget.
       ++state_->completed;
       ++state_->failed;
       ++state_->unavailable_rejected;
+      record->RefundIfCharged(state_->budgets);  // never ran
       record->Complete(std::move(admitted));
       rejected = true;
       shed = true;
@@ -546,7 +569,6 @@ JobHandle Engine::Submit(FitJob job) {
     } else {
       engine_internal::Met().cancelled->Increment();
     }
-    record->RefundIfCharged(state_->budgets);  // never ran
     state_->idle_cv.notify_all();
     return JobHandle(std::move(record));
   }
@@ -662,6 +684,10 @@ void Engine::WorkerMain(int worker_index) {
       // fit that could only ever report kDeadlineExceeded.
       if (record->has_deadline &&
           engine_internal::Clock::now() >= record->deadline) {
+        // The pop made this worker the record's unique completion owner,
+        // so the reservation closes BEFORE the completion publishes: a
+        // waiter that sees the shed finds the budget already returned.
+        record->RefundIfCharged(state_->budgets);  // never ran
         shed = record->Complete(Status::DeadlineExceeded(
             record->Describe() + " deadline expired while queued; shed"));
         if (shed) {
@@ -691,7 +717,6 @@ void Engine::WorkerMain(int worker_index) {
       state_->idle_cv.notify_all();
       continue;
     }
-    if (shed) record->RefundIfCharged(state_->budgets);  // never ran
     state_->idle_cv.notify_all();
   }
 }
@@ -721,6 +746,30 @@ void Engine::RunJob(JobRecord& record) {
 
   const auto finish = [&](StatusOr<FitResult> outcome,
                           std::size_t EngineShared::* counter) {
+    // Whatever reservation the refund paths above left standing is now
+    // final: the fit ran (or may have released iterations before a cancel/
+    // deadline stop), so its spend commits. This happens BEFORE the
+    // completion is published -- when Drain() returns, every reservation
+    // is closed and the conservation invariant (open == 0) holds.
+    record.CommitIfCharged(state_->budgets);
+    // Export the obs counters BEFORE publishing the completion: a client
+    // that sees its result and immediately scrapes METRICS must find this
+    // job already counted (the registry is lock-free, so ordering is the
+    // only synchronization the scrape gets).
+    engine_internal::EngineMetrics& met = engine_internal::Met();
+    met.completed->Increment();
+    if (counter == &EngineShared::succeeded) {
+      met.succeeded->Increment();
+    } else if (counter == &EngineShared::failed) {
+      met.failed->Increment();
+    } else if (counter == &EngineShared::cancelled) {
+      met.cancelled->Increment();
+    } else if (counter == &EngineShared::deadline_exceeded) {
+      met.deadline_exceeded->Increment();
+    }
+    engine_internal::ObserveFitLatency(
+        record.job.tenant,
+        static_cast<double>(obs::NowNanos() - record.submit_ns) * 1e-9);
     {
       // Publish the result and update the counters in one engine-mutex
       // critical section (engine mu -> record mu is the global lock order):
@@ -737,20 +786,6 @@ void Engine::RunJob(JobRecord& record) {
       engine_internal::Met().running->Set(
           static_cast<double>(state_->running));
     }
-    engine_internal::EngineMetrics& met = engine_internal::Met();
-    met.completed->Increment();
-    if (counter == &EngineShared::succeeded) {
-      met.succeeded->Increment();
-    } else if (counter == &EngineShared::failed) {
-      met.failed->Increment();
-    } else if (counter == &EngineShared::cancelled) {
-      met.cancelled->Increment();
-    } else if (counter == &EngineShared::deadline_exceeded) {
-      met.deadline_exceeded->Increment();
-    }
-    engine_internal::ObserveFitLatency(
-        record.job.tenant,
-        static_cast<double>(obs::NowNanos() - record.submit_ns) * 1e-9);
   };
 
   if (record.cancel.load(std::memory_order_acquire)) {
@@ -857,9 +892,9 @@ void Engine::Shutdown() {
     for (std::size_t s = 0; s < state_->shards.size(); ++s) {
       for (const std::shared_ptr<JobRecord>& record :
            state_->shards[s]->DrainAll()) {
+        record->RefundIfCharged(state_->budgets);  // never ran
         record->Complete(Status::Cancelled(record->Describe() +
                                            " cancelled by Engine shutdown"));
-        record->RefundIfCharged(state_->budgets);  // never ran
         ++state_->completed;
         ++state_->cancelled;
         --state_->inflight;

@@ -69,6 +69,14 @@ namespace htdp {
 /// first mechanism invocation). Jobs that ran iterations (success, mid-fit
 /// kCancelled or kDeadlineExceeded) stay charged: their released outputs
 /// are privacy spend whether or not the caller keeps the FitResult.
+///
+/// The accounting is TWO-PHASE under the hood: Submit opens a
+/// BudgetManager reservation (a RESERVE record when the manager journals
+/// to a dp::BudgetStore), and the unique completing path closes it with
+/// exactly one Commit (spend final) or Abort (spend returned) before the
+/// completion is published -- so when Drain() returns, no reservation is
+/// open, and a crash between the phases is recovered conservatively (the
+/// dangling reserve counts as committed; see docs/durability.md).
 
 /// One fit request. The Problem's non-owning pointers (data, loss,
 /// constraint) must stay valid until the job completes -- the Engine copies

@@ -4,6 +4,7 @@
 //
 //   htdpctl [--host=H] [--port=P] [--json] list-solvers
 //   htdpctl ... stats
+//   htdpctl ... budget                     # per-tenant ledger + durability
 //   htdpctl ... submit --solver=NAME [--tenant=T] [--seed=S] [--n=N] [--d=D]
 //                      [--data-seed=S] [--epsilon=E] [--delta=D]
 //                      [--iterations=T] [--deadline=SECS] [--tag=TAG]
@@ -80,9 +81,9 @@ struct Cli {
 int Usage() {
   std::fprintf(stderr,
                "usage: htdpctl [--host=H] [--port=P] [--json] COMMAND ...\n"
-               "commands: list-solvers | stats | submit | poll --job=ID |\n"
-               "          cancel --job=ID | selfcheck | metrics [--prom] |\n"
-               "          trace [--out=FILE]\n");
+               "commands: list-solvers | stats | budget | submit |\n"
+               "          poll --job=ID | cancel --job=ID | selfcheck |\n"
+               "          metrics [--prom] | trace [--out=FILE]\n");
   return 1;
 }
 
@@ -252,6 +253,82 @@ int RunStats(const Cli& cli, htdp::net::Client& client) {
                 "  rejected %" PRIu64 "  refunded %" PRIu64 "\n",
                 row.name.c_str(), row.spent.epsilon, row.total.epsilon,
                 row.admitted, row.rejected, row.refunded);
+  }
+  return 0;
+}
+
+/// BUDGET: the privacy-budget ledger -- spend per tenant with the
+/// reservation lifecycle counters, plus the daemon's durability state
+/// (journal/fsync/recovery; all zero when htdpd runs without --state-dir).
+int RunBudget(const Cli& cli, htdp::net::Client& client) {
+  StatusOr<htdp::net::BudgetReply> reply = client.Budget();
+  if (!reply.ok()) return Fail(reply.status());
+  const htdp::net::BudgetReply& budget = reply.value();
+  if (cli.json) {
+    std::printf("{\"durable\": %s, \"state_dir\": \"%s\", "
+                "\"fsync\": \"%s\", \"journal_records\": %" PRIu64 ", "
+                "\"journal_bytes\": %" PRIu64 ", "
+                "\"journal_lag_records\": %" PRIu64 ", "
+                "\"snapshots\": %" PRIu64 ", "
+                "\"open_reservations\": %" PRIu64 ", "
+                "\"recovered_records\": %" PRIu64 ", "
+                "\"recovered_reserves\": %" PRIu64 ", "
+                "\"torn_bytes_discarded\": %" PRIu64 ", "
+                "\"recovery_seconds\": %.6f, \"tenants\": [",
+                budget.durable ? "true" : "false", budget.state_dir.c_str(),
+                budget.fsync_policy.c_str(), budget.journal_records,
+                budget.journal_bytes, budget.journal_lag_records,
+                budget.snapshots, budget.open_reservations,
+                budget.recovered_records, budget.recovered_reserves,
+                budget.torn_bytes_discarded, budget.recovery_seconds);
+    for (std::size_t i = 0; i < budget.tenants.size(); ++i) {
+      const auto& row = budget.tenants[i];
+      std::printf("%s{\"name\": \"%s\", \"epsilon_total\": %.17g, "
+                  "\"epsilon_spent\": %.17g, \"epsilon_remaining\": %.17g, "
+                  "\"delta_total\": %.17g, \"delta_spent\": %.17g, "
+                  "\"delta_remaining\": %.17g, "
+                  "\"epsilon_recovered\": %.17g, "
+                  "\"admitted\": %" PRIu64 ", \"rejected\": %" PRIu64 ", "
+                  "\"refunded\": %" PRIu64 ", \"open\": %" PRIu64 ", "
+                  "\"recovered_reserves\": %" PRIu64 "}",
+                  i == 0 ? "" : ", ", row.name.c_str(), row.total.epsilon,
+                  row.spent.epsilon, row.remaining.epsilon, row.total.delta,
+                  row.spent.delta, row.remaining.delta, row.recovered.epsilon,
+                  row.admitted, row.rejected, row.refunded, row.open,
+                  row.recovered_reserves);
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+  if (budget.durable) {
+    std::printf("ledger: durable at %s (fsync=%s), %" PRIu64
+                " journal records (%" PRIu64 " bytes, lag %" PRIu64
+                "), %" PRIu64 " snapshots\n",
+                budget.state_dir.c_str(), budget.fsync_policy.c_str(),
+                budget.journal_records, budget.journal_bytes,
+                budget.journal_lag_records, budget.snapshots);
+    std::printf("recovery: %" PRIu64 " records replayed in %.3fms, %" PRIu64
+                " dangling reserves kept as spend, %" PRIu64
+                " torn bytes discarded\n",
+                budget.recovered_records, budget.recovery_seconds * 1e3,
+                budget.recovered_reserves, budget.torn_bytes_discarded);
+  } else {
+    std::printf("ledger: in-memory (start htdpd with --state-dir to make it "
+                "durable)\n");
+  }
+  std::printf("open reservations: %" PRIu64 "\n", budget.open_reservations);
+  for (const auto& row : budget.tenants) {
+    std::printf("tenant %-12s eps %.3f spent / %.3f total (%.3f left)  "
+                "admitted %" PRIu64 "  rejected %" PRIu64 "  refunded %" PRIu64
+                "  open %" PRIu64,
+                row.name.c_str(), row.spent.epsilon, row.total.epsilon,
+                row.remaining.epsilon, row.admitted, row.rejected,
+                row.refunded, row.open);
+    if (row.recovered_reserves > 0) {
+      std::printf("  [recovered %" PRIu64 " reserves, eps %.3f]",
+                  row.recovered_reserves, row.recovered.epsilon);
+    }
+    std::printf("\n");
   }
   return 0;
 }
@@ -475,6 +552,7 @@ int main(int argc, char** argv) {
 
   if (cli.command == "list-solvers") return RunListSolvers(cli, *client.value());
   if (cli.command == "stats") return RunStats(cli, *client.value());
+  if (cli.command == "budget") return RunBudget(cli, *client.value());
   if (cli.command == "submit") return RunSubmit(cli, *client.value());
   if (cli.command == "poll") return RunPoll(cli, *client.value());
   if (cli.command == "cancel") return RunCancel(cli, *client.value());

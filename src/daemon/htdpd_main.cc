@@ -13,6 +13,13 @@
 //         [--queue-cap=K] [--queue-resume=K] [--max-inflight-per-tenant=K]
 //         [--max-connections=K] [--write-buffer-mb=M] [--read-deadline=SECS]
 //         [--trace=on|off] [--trace-capacity=SPANS]
+//         [--state-dir=DIR] [--fsync=always|batch|off]
+//
+// --state-dir makes the privacy-budget ledger durable: every reservation,
+// commit, and refund is journaled write-ahead under DIR, and a restart on
+// the same DIR recovers the exact committed spend (docs/durability.md).
+// --fsync trades journal latency against power-loss durability; it only
+// matters with --state-dir.
 //
 // Tracing defaults ON in the daemon (the runtime-enabled record path is a
 // bounded per-thread ring, <1% overhead); --trace=off flips the runtime
@@ -61,7 +68,8 @@ int Usage() {
       "             [--queue-cap=K] [--queue-resume=K]\n"
       "             [--max-inflight-per-tenant=K] [--max-connections=K]\n"
       "             [--write-buffer-mb=M] [--read-deadline=SECONDS]\n"
-      "             [--trace=on|off] [--trace-capacity=SPANS]\n");
+      "             [--trace=on|off] [--trace-capacity=SPANS]\n"
+      "             [--state-dir=DIR] [--fsync=always|batch|off]\n");
   return 1;
 }
 
@@ -100,6 +108,16 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(value.c_str())) << 20;
     } else if (FlagValue(argv[i], "--read-deadline", &value)) {
       options.read_deadline_seconds = std::atof(value.c_str());
+    } else if (FlagValue(argv[i], "--state-dir", &value)) {
+      options.state_dir = value;
+    } else if (FlagValue(argv[i], "--fsync", &value)) {
+      htdp::StatusOr<htdp::dp::FsyncPolicy> policy =
+          htdp::dp::ParseFsyncPolicy(value);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "htdpd: %s\n", policy.status().message().c_str());
+        return 1;
+      }
+      options.fsync = policy.value();
     } else if (FlagValue(argv[i], "--trace", &value)) {
       if (value == "on") {
         trace = true;

@@ -42,6 +42,20 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {}
 StatusOr<std::unique_ptr<Server>> Server::Create(ServerOptions options) {
   std::unique_ptr<Server> server(new Server(std::move(options)));
 
+  // The ledger store opens (and recovers) BEFORE tenants register, so the
+  // manager adopts any crash-recovered spend and registration re-funds
+  // recovered tenants instead of colliding with them.
+  if (!server->options_.state_dir.empty()) {
+    dp::BudgetStore::Options store_options;
+    store_options.dir = server->options_.state_dir;
+    store_options.fsync = server->options_.fsync;
+    StatusOr<std::unique_ptr<dp::BudgetStore>> store =
+        dp::BudgetStore::Open(std::move(store_options));
+    HTDP_RETURN_IF_ERROR(store.status());
+    server->store_ = std::move(store).value();
+    HTDP_RETURN_IF_ERROR(server->budgets_.AttachStore(server->store_.get()));
+  }
+
   for (const TenantConfig& tenant : server->options_.tenants) {
     HTDP_RETURN_IF_ERROR(
         server->budgets_.RegisterTenant(tenant.name, tenant.budget));
@@ -218,6 +232,9 @@ void Server::HandleFrame(int fd, const net::Frame& frame) {
       return;
     case net::FrameType::kMetrics:
       HandleMetrics(fd, frame);
+      return;
+    case net::FrameType::kBudget:
+      HandleBudget(fd);
       return;
     default: {
       // A known frame type that only ever flows server -> client.
@@ -431,6 +448,48 @@ void Server::HandleMetrics(int fd, const net::Frame& frame) {
   net::WireWriter writer;
   EncodeMetricsReply(writer, reply);
   SendFrame(fd, net::FrameType::kMetricsOk, writer);
+}
+
+void Server::HandleBudget(int fd) {
+  net::BudgetReply reply;
+  // TenantNames() (not options_.tenants) so tenants known only from
+  // recovery -- spend journaled by a previous life of the daemon under a
+  // tenant this invocation was not configured with -- still show up.
+  for (const std::string& name : budgets_.TenantNames()) {
+    StatusOr<BudgetManager::TenantStats> stats = budgets_.Stats(name);
+    if (!stats.ok()) continue;
+    net::BudgetReply::TenantRow row;
+    row.name = name;
+    row.total = stats.value().total;
+    row.spent = stats.value().spent;
+    StatusOr<PrivacyBudget> remaining = budgets_.Remaining(name);
+    if (remaining.ok()) row.remaining = remaining.value();
+    row.recovered = stats.value().recovered;
+    row.admitted = stats.value().admitted;
+    row.rejected = stats.value().rejected;
+    row.refunded = stats.value().refunded;
+    row.open = stats.value().open;
+    row.recovered_reserves = stats.value().recovered_reserves;
+    reply.tenants.push_back(std::move(row));
+  }
+  reply.open_reservations = budgets_.OpenReservations();
+  if (store_ != nullptr) {
+    reply.durable = true;
+    reply.state_dir = store_->dir();
+    reply.fsync_policy = dp::FsyncPolicyName(store_->fsync_policy());
+    reply.journal_records = store_->journal_records();
+    reply.journal_bytes = store_->journal_bytes();
+    reply.journal_lag_records = store_->lag_records();
+    reply.snapshots = store_->snapshots_written();
+    const dp::RecoveredLedger& recovered = store_->recovered();
+    reply.recovered_records = recovered.journal_records;
+    reply.recovered_reserves = recovered.dangling_reserves;
+    reply.torn_bytes_discarded = recovered.torn_bytes_discarded;
+    reply.recovery_seconds = recovered.recovery_seconds;
+  }
+  net::WireWriter writer;
+  EncodeBudgetReply(writer, reply);
+  SendFrame(fd, net::FrameType::kBudgetOk, writer);
 }
 
 // ---------------------------------------------------------------------------

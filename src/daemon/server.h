@@ -81,6 +81,15 @@ struct ServerOptions {
   /// Server-side wire-fault injection (chaos harness; the HTDP_FAULT_PLAN
   /// env knob in htdpd). Unset = no faults.
   std::optional<net::FaultPlan> fault;
+
+  // --- Durable budget ledger (docs/durability.md) -----------------------
+
+  /// Directory for the budget journal + snapshot (--state-dir). Empty =
+  /// in-memory accounting only, exactly as before the ledger existed.
+  std::string state_dir;
+  /// Journal fsync policy (--fsync=always|batch|off); only meaningful with
+  /// a state_dir.
+  dp::FsyncPolicy fsync = dp::FsyncPolicy::kAlways;
 };
 
 /// What the process should do about a delivery of SIGINT/SIGTERM.
@@ -148,6 +157,7 @@ class Server {
   void HandleStats(int fd);
   void HandleListSolvers(int fd);
   void HandleMetrics(int fd, const net::Frame& frame);
+  void HandleBudget(int fd);
 
   /// Completion processing: sends the JOB_STATE (+ result frames) to the
   /// streamed origin and every parked poller, then applies retention.
@@ -163,6 +173,9 @@ class Server {
   std::uint16_t port_ = 0;
   net::UniqueFd listener_;
 
+  /// Durable ledger storage; null without options_.state_dir. Declared
+  /// before budgets_ so the journal outlives the manager writing to it.
+  std::unique_ptr<dp::BudgetStore> store_;
   BudgetManager budgets_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<net::EventLoop> loop_;

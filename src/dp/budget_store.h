@@ -1,0 +1,245 @@
+#ifndef HTDP_DP_BUDGET_STORE_H_
+#define HTDP_DP_BUDGET_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace htdp {
+namespace dp {
+
+/// ## BudgetStore: the crash-safe ledger behind BudgetManager
+///
+/// The paper's (eps, delta) guarantees are only as strong as the
+/// accounting: a BudgetManager that forgets every tenant's spend on process
+/// death silently re-grants exhausted budgets after a restart -- a privacy
+/// violation, not merely lost telemetry. The BudgetStore makes spend
+/// durable with the classic write-ahead recipe:
+///
+///   * an APPEND-ONLY JOURNAL (`budget.journal`) of CRC32-framed records.
+///     Budget operations are TWO-PHASE: a RESERVE record lands when the
+///     Engine admits a job, and a COMMIT (job released mechanism output)
+///     or ABORT (job never ran) record closes it. A crash between the two
+///     leaves a DANGLING RESERVE, which recovery counts as COMMITTED --
+///     spend conservatively, never under-count.
+///   * a SNAPSHOT (`budget.snapshot`) of the full ledger state, rewritten
+///     atomically (tmp + fsync + rename) every `compact_every` journal
+///     records, after which the journal is truncated. Recovery cost is
+///     thus bounded by snapshot size + one compaction interval.
+///   * RECOVERY replay: load the snapshot, replay the journal in order,
+///     stop cleanly at a torn tail (a partial final record from a crash
+///     mid-write -- its CRC cannot match), and fold whatever reserves are
+///     still open into committed spend.
+///
+/// Record frame (all integers little-endian by byte shifts, doubles as
+/// IEEE-754 bits in a u64 -- the net/codec.h discipline, so replayed spend
+/// is BIT-IDENTICAL to the live process's arithmetic):
+///
+///   offset  size  field
+///   0       4     crc32 of the payload bytes
+///   4       4     payload length in bytes
+///   8       ...   payload: u8 type | u64 id | str tenant | f64 eps | f64 delta
+///
+/// Durability knobs (the `htdpd --fsync=` flag): `always` fsyncs after
+/// every append (a crash loses at most the record being written),
+/// `batch` fsyncs every `batch_every` appends (bounded loss window,
+/// measured as `htdp_budget_journal_lag_records`), `off` leaves flushing
+/// to the kernel (SIGKILL still loses nothing -- the page cache survives
+/// process death -- but power loss may). See docs/durability.md.
+///
+/// Thread-safety: all methods are safe to call concurrently; appends are
+/// serialized internally (in practice the owning BudgetManager already
+/// serializes them under its own mutex).
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+/// Exposed for tests that build corrupt frames by hand.
+std::uint32_t Crc32(const void* data, std::size_t n);
+
+/// When journal appends reach the disk platter.
+enum class FsyncPolicy : std::uint8_t {
+  kAlways = 0,  // fsync every append: max durability, ~1 disk sync per op
+  kBatch = 1,   // fsync every batch_every appends: bounded loss window
+  kOff = 2,     // never fsync: kernel decides (crash-safe, power-loss-unsafe)
+};
+
+/// Parses "always" | "batch" | "off" (the --fsync flag). kInvalidProblem
+/// otherwise.
+StatusOr<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// Journal record types. Values are on-disk-stable: never renumber.
+enum class LedgerRecordType : std::uint8_t {
+  kRegister = 1,  // tenant funded: tenant + total (eps, delta)
+  kReserve = 2,   // two-phase open: id + tenant + cost (eps, delta)
+  kCommit = 3,    // reservation id's spend is now permanent
+  kAbort = 4,     // reservation id's spend is returned
+  kRefund = 5,    // direct spend return outside a reservation (legacy path)
+};
+
+/// One journal record. Unused fields encode as zero/empty and are ignored
+/// on replay (e.g. kCommit carries only `id`).
+struct LedgerRecord {
+  LedgerRecordType type = LedgerRecordType::kRegister;
+  std::uint64_t id = 0;     // reservation id; 0 for non-reservation records
+  std::string tenant;       // register/reserve/refund
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+/// Encodes one record as a complete CRC-framed byte sequence.
+std::vector<std::uint8_t> EncodeLedgerFrame(const LedgerRecord& record);
+
+/// Per-tenant state reconstructed by recovery.
+struct RecoveredTenant {
+  double total_epsilon = 0.0;
+  double total_delta = 0.0;
+  /// Committed spend, dangling reserves included (the conservative fold).
+  double spent_epsilon = 0.0;
+  double spent_delta = 0.0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t refunded = 0;
+  /// Dangling reserves this tenant inherited as spend at recovery, summed
+  /// across every recovery this ledger has lived through.
+  std::uint64_t recovered_reserves = 0;
+  double recovered_epsilon = 0.0;
+  double recovered_delta = 0.0;
+};
+
+/// Everything recovery learned from the state directory.
+struct RecoveredLedger {
+  std::map<std::string, RecoveredTenant> tenants;
+  std::uint64_t next_reservation_id = 1;
+  std::size_t snapshot_tenants = 0;    // tenants loaded from the snapshot
+  std::size_t journal_records = 0;     // journal records replayed
+  std::size_t dangling_reserves = 0;   // reserves folded into spend THIS run
+  std::size_t torn_bytes_discarded = 0;  // partial-record bytes at the tail
+  /// True when replay stopped at a CRC mismatch that was NOT the final
+  /// record (mid-journal corruption: bad disk, not a torn write). Replay
+  /// halts there -- records beyond an unverifiable one cannot be trusted.
+  bool corruption_detected = false;
+  double recovery_seconds = 0.0;
+};
+
+/// Deterministic crash injection for the durability tests and the
+/// kill-and-restart smoke: HTDP_BUDGET_CRASH="<point>:<nth>[:<bytes>]"
+/// SIGKILLs the process around the `nth` journal append (1-based).
+///   pre-write:N        die before any byte of append N is written
+///   post-write:N       die after append N's bytes, before its fsync
+///   torn-write:N:K     write only K bytes of append N's frame, then die
+struct CrashPlan {
+  enum class Point : std::uint8_t {
+    kNone = 0,
+    kPreWrite = 1,
+    kPostWritePreFsync = 2,
+    kTornWrite = 3,
+  };
+  Point point = Point::kNone;
+  std::size_t nth_append = 0;  // 1-based; 0 = disabled
+  std::size_t torn_bytes = 0;  // bytes of the frame that reach the file
+
+  /// Parses the spec format above; empty string = no crashes.
+  static StatusOr<CrashPlan> Parse(const std::string& spec);
+  /// Reads HTDP_BUDGET_CRASH (unset/empty = no crashes).
+  static StatusOr<CrashPlan> FromEnv();
+};
+
+class BudgetStore {
+ public:
+  struct Options {
+    /// State directory; created if missing (one level, like mkdir).
+    std::string dir;
+    FsyncPolicy fsync = FsyncPolicy::kAlways;
+    /// Under kBatch: fsync after this many un-synced appends.
+    std::size_t batch_every = 32;
+    /// Snapshot + truncate the journal after this many journal records.
+    std::size_t compact_every = 4096;
+    /// Crash injection (tests); merged with HTDP_BUDGET_CRASH by Open().
+    CrashPlan crash;
+  };
+
+  /// Opens (creating if absent) the ledger in options.dir and runs
+  /// recovery. Errors: unreadable/uncreatable directory or files. A torn
+  /// journal tail is NOT an error -- that is the crash case recovery
+  /// exists for.
+  static StatusOr<std::unique_ptr<BudgetStore>> Open(Options options);
+
+  ~BudgetStore();
+  BudgetStore(const BudgetStore&) = delete;
+  BudgetStore& operator=(const BudgetStore&) = delete;
+
+  /// What recovery reconstructed at Open() time.
+  const RecoveredLedger& recovered() const { return recovered_; }
+
+  /// Appends one record to the journal under the configured fsync policy.
+  /// The record is on its way to disk when this returns Ok; under
+  /// --fsync=always it is durable.
+  Status Append(const LedgerRecord& record);
+
+  /// Forces an fsync of the journal now regardless of policy.
+  Status Sync();
+
+  /// True once the journal has grown past compact_every records since the
+  /// last snapshot; the owner should assemble a SnapshotState and Compact().
+  bool ShouldCompact() const;
+
+  /// Full-ledger state for a snapshot, assembled by the owning manager
+  /// under its lock so the snapshot is a consistent cut.
+  struct SnapshotTenant {
+    std::string name;
+    double total_epsilon = 0.0, total_delta = 0.0;
+    double spent_epsilon = 0.0, spent_delta = 0.0;
+    std::uint64_t admitted = 0, rejected = 0, refunded = 0;
+    std::uint64_t recovered_reserves = 0;
+    double recovered_epsilon = 0.0, recovered_delta = 0.0;
+  };
+  struct SnapshotState {
+    std::vector<SnapshotTenant> tenants;
+    /// Reservations still open at the cut (kReserve records: id, tenant,
+    /// cost); they stay replayable so a later COMMIT/ABORT still resolves.
+    std::vector<LedgerRecord> open_reservations;
+    std::uint64_t next_reservation_id = 1;
+  };
+
+  /// Writes `state` as the new snapshot (tmp + fsync + rename, atomic) and
+  /// truncates the journal. On any error the old snapshot + journal remain
+  /// the source of truth (the tmp file is simply abandoned).
+  Status Compact(const SnapshotState& state);
+
+  // --- telemetry (also exported via obs metrics) -------------------------
+  std::size_t journal_records() const;  // appended since Open (post-recovery)
+  std::size_t journal_bytes() const;    // current journal file size
+  std::size_t lag_records() const;      // appends not yet fsynced
+  std::size_t snapshots_written() const;
+  FsyncPolicy fsync_policy() const { return options_.fsync; }
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  explicit BudgetStore(Options options);
+
+  Status OpenJournalLocked();
+  Status SyncLocked();
+
+  Options options_;
+  RecoveredLedger recovered_;
+
+  mutable std::mutex mu_;
+  int journal_fd_ = -1;
+  std::size_t journal_file_bytes_ = 0;   // bytes in budget.journal
+  std::size_t journal_record_count_ = 0; // records in budget.journal
+  std::size_t appended_records_ = 0;     // appends since Open
+  std::size_t unsynced_records_ = 0;
+  std::size_t snapshots_written_ = 0;
+  std::size_t crash_countdown_ = 0;      // appends until the planned crash
+};
+
+}  // namespace dp
+}  // namespace htdp
+
+#endif  // HTDP_DP_BUDGET_STORE_H_

@@ -309,6 +309,22 @@ StatusOr<StatsReply> Client::Stats() {
   return stats;
 }
 
+StatusOr<BudgetReply> Client::Budget() {
+  HTDP_RETURN_IF_ERROR(SendFrame(FrameType::kBudget, {}));
+  StatusOr<Frame> reply = ReadReply(0);
+  HTDP_RETURN_IF_ERROR(reply.status());
+  WireReader reader(reply.value().payload);
+  if (reply.value().type == FrameType::kError) {
+    return ErrorFromFrame(reply.value());
+  }
+  if (reply.value().type != FrameType::kBudgetOk) {
+    return UnexpectedFrame(reply.value());
+  }
+  BudgetReply budget;
+  HTDP_RETURN_IF_ERROR(DecodeBudgetReply(reader, &budget));
+  return budget;
+}
+
 StatusOr<MetricsReply> Client::Metrics(MetricsFormat format) {
   WireWriter writer;
   MetricsRequest request;

@@ -108,6 +108,10 @@ class Client {
   StatusOr<StatsReply> Stats();
   StatusOr<SolverListReply> ListSolvers();
 
+  /// BUDGET -> the privacy-budget ledger: per-tenant spend with two-phase
+  /// reservation counters plus the daemon's durability/recovery state.
+  StatusOr<BudgetReply> Budget();
+
   /// METRICS -> an observability export in the requested format: the
   /// metrics registry as JSON or Prometheus text, or the span collector's
   /// Chrome-trace JSON (kTraceChrome).

@@ -32,6 +32,8 @@ bool KnownFrameType(std::uint8_t value) {
     case FrameType::kError:
     case FrameType::kMetrics:
     case FrameType::kMetricsOk:
+    case FrameType::kBudget:
+    case FrameType::kBudgetOk:
       return true;
   }
   return false;
@@ -67,6 +69,10 @@ const char* FrameTypeName(FrameType type) {
       return "metrics";
     case FrameType::kMetricsOk:
       return "metrics-ok";
+    case FrameType::kBudget:
+      return "budget";
+    case FrameType::kBudgetOk:
+      return "budget-ok";
   }
   return "unknown";
 }

@@ -69,6 +69,8 @@ enum class FrameType : std::uint8_t {
   kError = 13,        // server -> client: typed request failure
   kMetrics = 14,      // client -> server: observability export request
   kMetricsOk = 15,    // server -> client: exported metrics/trace body
+  kBudget = 16,       // client -> server: privacy-budget ledger snapshot
+  kBudgetOk = 17,     // server -> client: per-tenant spend + durability info
 };
 
 /// True for the type values a version-1 peer understands.

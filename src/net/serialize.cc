@@ -555,5 +555,86 @@ Status DecodeMetricsReply(WireReader& r, MetricsReply* out) {
   return Status::Ok();
 }
 
+void EncodeBudgetReply(WireWriter& w, const BudgetReply& msg) {
+  w.U32(static_cast<std::uint32_t>(msg.tenants.size()));
+  for (const BudgetReply::TenantRow& row : msg.tenants) {
+    w.Str(row.name);
+    w.F64(row.total.epsilon);
+    w.F64(row.total.delta);
+    w.F64(row.spent.epsilon);
+    w.F64(row.spent.delta);
+    w.F64(row.remaining.epsilon);
+    w.F64(row.remaining.delta);
+    w.F64(row.recovered.epsilon);
+    w.F64(row.recovered.delta);
+    w.U64(row.admitted);
+    w.U64(row.rejected);
+    w.U64(row.refunded);
+    w.U64(row.open);
+    w.U64(row.recovered_reserves);
+  }
+  w.Bool(msg.durable);
+  w.Str(msg.state_dir);
+  w.Str(msg.fsync_policy);
+  w.U64(msg.journal_records);
+  w.U64(msg.journal_bytes);
+  w.U64(msg.journal_lag_records);
+  w.U64(msg.snapshots);
+  w.U64(msg.open_reservations);
+  w.U64(msg.recovered_records);
+  w.U64(msg.recovered_reserves);
+  w.U64(msg.torn_bytes_discarded);
+  w.F64(msg.recovery_seconds);
+}
+
+Status DecodeBudgetReply(WireReader& r, BudgetReply* out) {
+  std::uint32_t tenants = 0;
+  HTDP_RETURN_IF_ERROR(r.U32(&tenants, "budget_ok.tenants"));
+  out->tenants.clear();
+  for (std::uint32_t i = 0; i < tenants; ++i) {
+    BudgetReply::TenantRow row;
+    HTDP_RETURN_IF_ERROR(r.Str(&row.name, "budget.name"));
+    HTDP_RETURN_IF_ERROR(r.F64(&row.total.epsilon, "budget.total.epsilon"));
+    HTDP_RETURN_IF_ERROR(r.F64(&row.total.delta, "budget.total.delta"));
+    HTDP_RETURN_IF_ERROR(r.F64(&row.spent.epsilon, "budget.spent.epsilon"));
+    HTDP_RETURN_IF_ERROR(r.F64(&row.spent.delta, "budget.spent.delta"));
+    HTDP_RETURN_IF_ERROR(
+        r.F64(&row.remaining.epsilon, "budget.remaining.epsilon"));
+    HTDP_RETURN_IF_ERROR(
+        r.F64(&row.remaining.delta, "budget.remaining.delta"));
+    HTDP_RETURN_IF_ERROR(
+        r.F64(&row.recovered.epsilon, "budget.recovered.epsilon"));
+    HTDP_RETURN_IF_ERROR(
+        r.F64(&row.recovered.delta, "budget.recovered.delta"));
+    HTDP_RETURN_IF_ERROR(r.U64(&row.admitted, "budget.admitted"));
+    HTDP_RETURN_IF_ERROR(r.U64(&row.rejected, "budget.rejected"));
+    HTDP_RETURN_IF_ERROR(r.U64(&row.refunded, "budget.refunded"));
+    HTDP_RETURN_IF_ERROR(r.U64(&row.open, "budget.open"));
+    HTDP_RETURN_IF_ERROR(
+        r.U64(&row.recovered_reserves, "budget.recovered_reserves"));
+    out->tenants.push_back(std::move(row));
+  }
+  HTDP_RETURN_IF_ERROR(r.Bool(&out->durable, "budget_ok.durable"));
+  HTDP_RETURN_IF_ERROR(r.Str(&out->state_dir, "budget_ok.state_dir"));
+  HTDP_RETURN_IF_ERROR(r.Str(&out->fsync_policy, "budget_ok.fsync_policy"));
+  HTDP_RETURN_IF_ERROR(
+      r.U64(&out->journal_records, "budget_ok.journal_records"));
+  HTDP_RETURN_IF_ERROR(r.U64(&out->journal_bytes, "budget_ok.journal_bytes"));
+  HTDP_RETURN_IF_ERROR(
+      r.U64(&out->journal_lag_records, "budget_ok.journal_lag_records"));
+  HTDP_RETURN_IF_ERROR(r.U64(&out->snapshots, "budget_ok.snapshots"));
+  HTDP_RETURN_IF_ERROR(
+      r.U64(&out->open_reservations, "budget_ok.open_reservations"));
+  HTDP_RETURN_IF_ERROR(
+      r.U64(&out->recovered_records, "budget_ok.recovered_records"));
+  HTDP_RETURN_IF_ERROR(
+      r.U64(&out->recovered_reserves, "budget_ok.recovered_reserves"));
+  HTDP_RETURN_IF_ERROR(
+      r.U64(&out->torn_bytes_discarded, "budget_ok.torn_bytes_discarded"));
+  HTDP_RETURN_IF_ERROR(
+      r.F64(&out->recovery_seconds, "budget_ok.recovery_seconds"));
+  return Status::Ok();
+}
+
 }  // namespace net
 }  // namespace htdp

@@ -249,6 +249,45 @@ struct MetricsReply {
 void EncodeMetricsReply(WireWriter& w, const MetricsReply& msg);
 Status DecodeMetricsReply(WireReader& r, MetricsReply* out);
 
+/// BUDGET_OK payload: the privacy-budget ledger -- per-tenant spend with
+/// the two-phase reservation counters, plus the daemon's durability state
+/// (journal/snapshot telemetry and what the last recovery replayed). The
+/// BUDGET request itself carries no payload, like STATS.
+struct BudgetReply {
+  struct TenantRow {
+    std::string name;
+    PrivacyBudget total;
+    PrivacyBudget spent;
+    PrivacyBudget remaining;
+    /// Spend inherited from reserves left dangling by a crash (already
+    /// included in `spent`).
+    PrivacyBudget recovered;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t refunded = 0;
+    std::uint64_t open = 0;
+    std::uint64_t recovered_reserves = 0;
+  };
+  std::vector<TenantRow> tenants;
+  /// False when the daemon runs without --state-dir: everything below the
+  /// flag is zero and the ledger dies with the process.
+  bool durable = false;
+  std::string state_dir;
+  std::string fsync_policy;  // "always" | "batch" | "off"
+  std::uint64_t journal_records = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t journal_lag_records = 0;  // appends not yet fsynced
+  std::uint64_t snapshots = 0;
+  std::uint64_t open_reservations = 0;
+  // What the startup recovery replay saw.
+  std::uint64_t recovered_records = 0;
+  std::uint64_t recovered_reserves = 0;
+  std::uint64_t torn_bytes_discarded = 0;
+  double recovery_seconds = 0.0;
+};
+void EncodeBudgetReply(WireWriter& w, const BudgetReply& msg);
+Status DecodeBudgetReply(WireReader& r, BudgetReply* out);
+
 }  // namespace net
 }  // namespace htdp
 

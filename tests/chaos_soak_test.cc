@@ -19,7 +19,12 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -34,6 +39,14 @@
 #include "net/fault.h"
 #include "net/transport.h"
 #include "rng/rng.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define HTDP_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HTDP_TSAN_BUILD 1
+#endif
+#endif
 
 namespace htdp {
 namespace {
@@ -339,6 +352,128 @@ TEST(OverloadLoopback, MidFrameStallIsReapedByReadDeadline) {
   auto client = net::Client::Connect("127.0.0.1", server.port());
   ASSERT_TRUE(client.ok());
   EXPECT_TRUE(client.value()->ListSolvers().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Crash chaos: SIGKILL a durable daemon mid-flood at a seeded journal fault
+// point, restart on the same --state-dir, and verify recovery is
+// conservative -- every spend a client saw committed is still charged, and
+// no tenant's remaining budget grew across the crash.
+
+TEST(ChaosSoak, CrashRestartNeverGrowsATenantsRemainingBudget) {
+#ifdef HTDP_TSAN_BUILD
+  GTEST_SKIP() << "fork-based crash injection is incompatible with TSan";
+#else
+  ::unsetenv("HTDP_BUDGET_CRASH");
+  std::string state_dir;
+  {
+    std::string tmpl = ::testing::TempDir() + "htdp_crashchaos_XXXXXX";
+    std::vector<char> buffer(tmpl.begin(), tmpl.end());
+    buffer.push_back('\0');
+    ASSERT_NE(::mkdtemp(buffer.data()), nullptr);
+    state_dir = buffer.data();
+  }
+  constexpr double kTenantEpsilon = 1000.0;
+  constexpr double kJobEpsilon = 1.0;  // SoakSubmit charges Pure(1.0)
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // The victim daemon: durable ledger, seeded to SIGKILL itself on the
+    // 9th journal append -- mid-commit of the 4th tenant job (append 1 is
+    // the tenant registration, then reserve+commit per job).
+    ::close(fds[0]);
+    ::setenv("HTDP_BUDGET_CRASH", "post-write:9", 1);
+    daemon::ServerOptions options;
+    options.port = 0;
+    options.state_dir = state_dir;
+    options.fsync = dp::FsyncPolicy::kOff;  // SIGKILL keeps the page cache
+    options.engine_workers = 1;
+    options.tenants.push_back(
+        {"acme", PrivacyBudget::Approx(kTenantEpsilon, 1e-2)});
+    auto server = daemon::Server::Create(std::move(options));
+    if (!server.ok()) ::_exit(44);
+    const std::uint16_t port = server.value()->port();
+    if (::write(fds[1], &port, sizeof(port)) !=
+        static_cast<ssize_t>(sizeof(port))) {
+      ::_exit(44);
+    }
+    ::close(fds[1]);
+    (void)server.value()->Run();
+    ::_exit(0);  // only reached if the crash plan never fired
+  }
+  ::close(fds[1]);
+  std::uint16_t port = 0;
+  ASSERT_EQ(::read(fds[0], &port, sizeof(port)),
+            static_cast<ssize_t>(sizeof(port)));
+  ::close(fds[0]);
+
+  // Flood tenant-accounted fits until the injected SIGKILL severs the
+  // connection. A job counts as committed only once its result frame
+  // arrived -- by then the daemon journaled the COMMIT (commit-before-
+  // publish), so that spend must survive the crash.
+  net::SubmitRequest request = SoakSubmit(95);
+  request.tenant = "acme";
+  std::size_t committed = 0;
+  {
+    auto client = net::Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok()) << client.status().message();
+    for (int i = 0; i < 64; ++i) {
+      request.seed = 400 + static_cast<std::uint64_t>(i);
+      auto job = client.value()->Submit(request);
+      if (!job.ok()) break;  // the daemon died mid-conversation
+      if (!client.value()->WaitResult(job.value()).ok()) break;
+      ++committed;
+    }
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "daemon exited "
+      << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1)
+      << " instead of crashing as planned";
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+  ASSERT_GT(committed, 0u) << "the crash fired before any job completed";
+
+  // Restart on the same state dir (no crash plan this time) and read the
+  // recovered ledger over the wire.
+  daemon::ServerOptions options;
+  options.state_dir = state_dir;
+  options.fsync = dp::FsyncPolicy::kOff;
+  options.tenants.push_back(
+      {"acme", PrivacyBudget::Approx(kTenantEpsilon, 1e-2)});
+  TestServer server(std::move(options));
+  auto client = net::Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto budget = client.value()->Budget();
+  ASSERT_TRUE(budget.ok()) << budget.status().message();
+  EXPECT_TRUE(budget.value().durable);
+  EXPECT_EQ(budget.value().state_dir, state_dir);
+  EXPECT_GT(budget.value().recovered_records, 0u);
+
+  ASSERT_EQ(budget.value().tenants.size(), 1u);
+  const net::BudgetReply::TenantRow& acme = budget.value().tenants[0];
+  EXPECT_EQ(acme.name, "acme");
+  // Conservative recovery, the invariant the crash must not break: every
+  // committed job is still charged, so the remaining budget never grew.
+  EXPECT_GE(acme.spent.epsilon,
+            static_cast<double>(committed) * kJobEpsilon);
+  EXPECT_LE(acme.remaining.epsilon,
+            kTenantEpsilon - static_cast<double>(committed) * kJobEpsilon);
+  // ...and recovery never over-charges past what was ever admitted: the
+  // committed jobs plus at most the one reservation in flight at the kill.
+  EXPECT_LE(acme.spent.epsilon,
+            static_cast<double>(committed + 1) * kJobEpsilon);
+  EXPECT_EQ(acme.open, 0u);
+
+  // The restarted daemon still serves fits on the recovered ledger.
+  request.seed = 999;
+  auto job = client.value()->Submit(request);
+  ASSERT_TRUE(job.ok()) << job.status().message();
+  ASSERT_TRUE(client.value()->WaitResult(job.value()).ok());
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,684 @@
+// Tests for the crash-safe budget ledger (dp/budget_store.h): CRC framing,
+// journal replay, torn-tail recovery cut at EVERY byte offset of the final
+// record, mid-journal corruption detection, snapshot compaction round-trips,
+// the BudgetManager's two-phase typed errors, and -- the core durability
+// claim -- a 32-seed SIGKILL sweep proving the recovered ledger equals the
+// surviving record stream's replay bit for bit, for crashes injected before
+// the write, after the write but before fsync, and mid-record (torn write).
+//
+// The fork+SIGKILL tests are skipped under TSan (fork after threads exist
+// trips die_after_fork); the byte-level recovery tests still run there.
+
+#include "dp/budget_store.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/budget_manager.h"
+#include "dp/privacy.h"
+#include "util/status.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define HTDP_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HTDP_TSAN_BUILD 1
+#endif
+#endif
+
+namespace htdp {
+namespace dp {
+namespace {
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl = ::testing::TempDir() + "htdp_" + tag + "_XXXXXX";
+  std::vector<char> buffer(tmpl.begin(), tmpl.end());
+  buffer.push_back('\0');
+  const char* dir = ::mkdtemp(buffer.data());
+  EXPECT_NE(dir, nullptr) << tmpl;
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0) << path;
+  ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  ::close(fd);
+}
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return bytes;
+  std::uint8_t buffer[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got <= 0) break;
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+StatusOr<std::unique_ptr<BudgetStore>> OpenDir(
+    const std::string& dir, FsyncPolicy fsync = FsyncPolicy::kOff) {
+  BudgetStore::Options options;
+  options.dir = dir;
+  options.fsync = fsync;
+  return BudgetStore::Open(std::move(options));
+}
+
+/// Exact (bit-for-bit) equality of two recovered ledgers. Doubles compare
+/// with ==: replay applies the identical arithmetic in the identical order,
+/// so even accumulated floating-point error must reproduce exactly.
+void ExpectRecoveredEqual(const RecoveredLedger& got,
+                          const RecoveredLedger& want) {
+  EXPECT_EQ(got.next_reservation_id, want.next_reservation_id);
+  EXPECT_EQ(got.dangling_reserves, want.dangling_reserves);
+  ASSERT_EQ(got.tenants.size(), want.tenants.size());
+  for (const auto& [name, expect] : want.tenants) {
+    const auto it = got.tenants.find(name);
+    ASSERT_NE(it, got.tenants.end()) << "missing tenant " << name;
+    const RecoveredTenant& tenant = it->second;
+    EXPECT_EQ(tenant.total_epsilon, expect.total_epsilon) << name;
+    EXPECT_EQ(tenant.total_delta, expect.total_delta) << name;
+    EXPECT_EQ(tenant.spent_epsilon, expect.spent_epsilon) << name;
+    EXPECT_EQ(tenant.spent_delta, expect.spent_delta) << name;
+    EXPECT_EQ(tenant.admitted, expect.admitted) << name;
+    EXPECT_EQ(tenant.refunded, expect.refunded) << name;
+    EXPECT_EQ(tenant.recovered_reserves, expect.recovered_reserves) << name;
+    EXPECT_EQ(tenant.recovered_epsilon, expect.recovered_epsilon) << name;
+    EXPECT_EQ(tenant.recovered_delta, expect.recovered_delta) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+
+TEST(Crc32Test, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(check, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(check, 0), 0u);
+  // Sensitivity: any byte change moves the digest.
+  EXPECT_NE(Crc32("123456780", 9), 0xCBF43926u);
+}
+
+TEST(FsyncPolicyTest, ParsesAndNamesRoundTrip) {
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kAlways, FsyncPolicy::kBatch, FsyncPolicy::kOff}) {
+    const StatusOr<FsyncPolicy> parsed =
+        ParseFsyncPolicy(FsyncPolicyName(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), policy);
+  }
+  EXPECT_EQ(ParseFsyncPolicy("sometimes").status().code(),
+            StatusCode::kInvalidProblem);
+}
+
+TEST(CrashPlanTest, ParsesSpecsAndRejectsGarbage) {
+  const StatusOr<CrashPlan> torn = CrashPlan::Parse("torn-write:7:13");
+  ASSERT_TRUE(torn.ok());
+  EXPECT_EQ(torn.value().point, CrashPlan::Point::kTornWrite);
+  EXPECT_EQ(torn.value().nth_append, 7u);
+  EXPECT_EQ(torn.value().torn_bytes, 13u);
+
+  const StatusOr<CrashPlan> none = CrashPlan::Parse("");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().point, CrashPlan::Point::kNone);
+
+  EXPECT_EQ(CrashPlan::Parse("pre-write").status().code(), StatusCode::kInvalidProblem);
+  EXPECT_EQ(CrashPlan::Parse("mid-write:3").status().code(),
+            StatusCode::kInvalidProblem);
+  EXPECT_EQ(CrashPlan::Parse("pre-write:zero").status().code(),
+            StatusCode::kInvalidProblem);
+  EXPECT_EQ(CrashPlan::Parse("pre-write:0").status().code(),
+            StatusCode::kInvalidProblem);
+}
+
+// ---------------------------------------------------------------------------
+// Journal replay
+
+TEST(BudgetStoreTest, JournalRoundTripsThroughReopen) {
+  const std::string dir = MakeTempDir("journal");
+  {
+    const StatusOr<std::unique_ptr<BudgetStore>> store = OpenDir(dir);
+    ASSERT_TRUE(store.ok()) << store.status().message();
+    BudgetStore& journal = *store.value();
+    ASSERT_TRUE(
+        journal
+            .Append({LedgerRecordType::kRegister, 0, "acme", 10.0, 1e-4})
+            .ok());
+    ASSERT_TRUE(
+        journal.Append({LedgerRecordType::kReserve, 1, "acme", 1.5, 1e-6})
+            .ok());
+    ASSERT_TRUE(journal.Append({LedgerRecordType::kCommit, 1, "", 0, 0}).ok());
+    ASSERT_TRUE(
+        journal.Append({LedgerRecordType::kReserve, 2, "acme", 0.25, 1e-6})
+            .ok());
+    ASSERT_TRUE(journal.Append({LedgerRecordType::kAbort, 2, "", 0, 0}).ok());
+    ASSERT_TRUE(
+        journal.Append({LedgerRecordType::kRefund, 0, "acme", 0.5, 0.0}).ok());
+    EXPECT_EQ(journal.journal_records(), 6u);
+  }
+  const StatusOr<std::unique_ptr<BudgetStore>> reopened = OpenDir(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  const RecoveredLedger& recovered = reopened.value()->recovered();
+  EXPECT_EQ(recovered.journal_records, 6u);
+  EXPECT_EQ(recovered.dangling_reserves, 0u);
+  EXPECT_EQ(recovered.torn_bytes_discarded, 0u);
+  EXPECT_FALSE(recovered.corruption_detected);
+  EXPECT_EQ(recovered.next_reservation_id, 3u);
+  const auto it = recovered.tenants.find("acme");
+  ASSERT_NE(it, recovered.tenants.end());
+  // 1.5 committed, 0.25 aborted back out, 0.5 refunded: 1.5 - 0.5 = 1.0.
+  EXPECT_EQ(it->second.spent_epsilon, 1.5 - 0.5);
+  EXPECT_EQ(it->second.total_epsilon, 10.0);
+  EXPECT_EQ(it->second.admitted, 2u);
+  EXPECT_EQ(it->second.refunded, 2u);  // the abort and the refund
+}
+
+TEST(BudgetStoreTest, DanglingReserveFoldsIntoCommittedSpend) {
+  const std::string dir = MakeTempDir("dangling");
+  {
+    const StatusOr<std::unique_ptr<BudgetStore>> store = OpenDir(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()
+                    ->Append({LedgerRecordType::kRegister, 0, "acme", 4.0,
+                              1e-4})
+                    .ok());
+    ASSERT_TRUE(store.value()
+                    ->Append({LedgerRecordType::kReserve, 1, "acme", 1.25,
+                              1e-6})
+                    .ok());
+    // No COMMIT/ABORT: the process "dies" here (destructor closes cleanly,
+    // but the reservation's fate was never journaled).
+  }
+  const StatusOr<std::unique_ptr<BudgetStore>> reopened = OpenDir(dir);
+  ASSERT_TRUE(reopened.ok());
+  const RecoveredLedger& recovered = reopened.value()->recovered();
+  EXPECT_EQ(recovered.dangling_reserves, 1u);
+  const auto it = recovered.tenants.find("acme");
+  ASSERT_NE(it, recovered.tenants.end());
+  // Conservative fold: the spend added at RESERVE stays spent.
+  EXPECT_EQ(it->second.spent_epsilon, 1.25);
+  EXPECT_EQ(it->second.recovered_reserves, 1u);
+  EXPECT_EQ(it->second.recovered_epsilon, 1.25);
+
+  // A manager adopting this ledger must not resurrect the budget.
+  BudgetManager budgets;
+  ASSERT_TRUE(budgets.AttachStore(reopened.value().get()).ok());
+  ASSERT_TRUE(
+      budgets.RegisterTenant("acme", PrivacyBudget::Approx(4.0, 1e-4)).ok());
+  const StatusOr<PrivacyBudget> remaining = budgets.Remaining("acme");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(remaining->epsilon, 4.0 - 1.25);
+  const StatusOr<BudgetManager::TenantStats> stats = budgets.Stats("acme");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->recovered_reserves, 1u);
+  EXPECT_EQ(stats->recovered.epsilon, 1.25);
+}
+
+// ---------------------------------------------------------------------------
+// Torn tails and corruption (satellite: truncation at every byte offset)
+
+TEST(BudgetStoreTest, TornTailRecoveryAtEveryByteOffsetOfTheFinalRecord) {
+  const std::vector<LedgerRecord> records = {
+      {LedgerRecordType::kRegister, 0, "acme", 8.0, 1e-4},
+      {LedgerRecordType::kReserve, 1, "acme", 1.0, 1e-6},
+      {LedgerRecordType::kReserve, 2, "acme", 0.5, 1e-6},
+  };
+  std::vector<std::uint8_t> full;
+  std::size_t prefix_bytes = 0;  // bytes of every record but the last
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const std::vector<std::uint8_t> frame = EncodeLedgerFrame(records[i]);
+    if (i + 1 < records.size()) prefix_bytes += frame.size();
+    full.insert(full.end(), frame.begin(), frame.end());
+  }
+  const std::size_t final_bytes = full.size() - prefix_bytes;
+  ASSERT_GT(final_bytes, 8u);
+
+  // Cut the journal after every byte count 0..final_bytes-1 of the last
+  // record: recovery must replay exactly the first two records, report the
+  // cut bytes as torn, and never flag corruption.
+  for (std::size_t cut = 0; cut < final_bytes; ++cut) {
+    const std::string dir = MakeTempDir("torn");
+    const std::vector<std::uint8_t> truncated(
+        full.begin(), full.begin() + prefix_bytes + cut);
+    WriteFileBytes(dir + "/budget.journal", truncated);
+
+    const StatusOr<std::unique_ptr<BudgetStore>> store = OpenDir(dir);
+    ASSERT_TRUE(store.ok()) << "cut=" << cut << ": "
+                            << store.status().message();
+    const RecoveredLedger& recovered = store.value()->recovered();
+    EXPECT_EQ(recovered.journal_records, 2u) << "cut=" << cut;
+    EXPECT_EQ(recovered.torn_bytes_discarded, cut) << "cut=" << cut;
+    EXPECT_FALSE(recovered.corruption_detected) << "cut=" << cut;
+    // Both reserves replayed; the second is gone with the tail, the first
+    // is dangling and folds into spend.
+    const auto it = recovered.tenants.find("acme");
+    ASSERT_NE(it, recovered.tenants.end());
+    EXPECT_EQ(it->second.spent_epsilon, 1.0) << "cut=" << cut;
+    EXPECT_EQ(recovered.dangling_reserves, 1u) << "cut=" << cut;
+    // The journal is truncated back to the verified prefix, so appends
+    // never interleave with garbage.
+    EXPECT_EQ(store.value()->journal_bytes(), prefix_bytes) << "cut=" << cut;
+  }
+}
+
+TEST(BudgetStoreTest, MidJournalCorruptionHaltsReplayConservatively) {
+  const std::vector<LedgerRecord> records = {
+      {LedgerRecordType::kRegister, 0, "acme", 8.0, 1e-4},
+      {LedgerRecordType::kReserve, 1, "acme", 1.0, 1e-6},
+      {LedgerRecordType::kCommit, 1, "", 0, 0},
+  };
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::size_t> starts;
+  for (const LedgerRecord& record : records) {
+    starts.push_back(bytes.size());
+    const std::vector<std::uint8_t> frame = EncodeLedgerFrame(record);
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  // Flip one payload byte of the MIDDLE record: its CRC fails with a valid
+  // record beyond it -- that is medium corruption, not a torn write.
+  bytes[starts[1] + 12] ^= 0xff;
+  const std::string dir = MakeTempDir("corrupt");
+  WriteFileBytes(dir + "/budget.journal", bytes);
+
+  const StatusOr<std::unique_ptr<BudgetStore>> store = OpenDir(dir);
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  const RecoveredLedger& recovered = store.value()->recovered();
+  EXPECT_TRUE(recovered.corruption_detected);
+  // Replay stopped at the unverifiable record; only the register survived.
+  EXPECT_EQ(recovered.journal_records, 1u);
+  const auto it = recovered.tenants.find("acme");
+  ASSERT_NE(it, recovered.tenants.end());
+  EXPECT_EQ(it->second.spent_epsilon, 0.0);
+}
+
+TEST(BudgetStoreTest, CorruptSnapshotRefusesToServe) {
+  const std::string dir = MakeTempDir("badsnap");
+  {
+    const StatusOr<std::unique_ptr<BudgetStore>> store = OpenDir(dir);
+    ASSERT_TRUE(store.ok());
+    BudgetStore::SnapshotState state;
+    BudgetStore::SnapshotTenant tenant;
+    tenant.name = "acme";
+    tenant.total_epsilon = 5.0;
+    tenant.spent_epsilon = 2.0;
+    state.tenants.push_back(tenant);
+    state.next_reservation_id = 9;
+    ASSERT_TRUE(store.value()->Compact(state).ok());
+  }
+  std::vector<std::uint8_t> snapshot = ReadFileBytes(dir + "/budget.snapshot");
+  ASSERT_GT(snapshot.size(), 16u);
+  snapshot[snapshot.size() / 2] ^= 0xff;  // corrupt the middle
+  WriteFileBytes(dir + "/budget.snapshot", snapshot);
+
+  const StatusOr<std::unique_ptr<BudgetStore>> reopened = OpenDir(dir);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(reopened.status().message().find("corrupt"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + compaction
+
+TEST(BudgetStoreTest, CompactionTruncatesJournalAndSurvivesReopen) {
+  const std::string dir = MakeTempDir("compact");
+  BudgetManager::TenantStats before;
+  {
+    BudgetStore::Options options;
+    options.dir = dir;
+    options.fsync = FsyncPolicy::kOff;
+    options.compact_every = 4;  // compact aggressively for the test
+    StatusOr<std::unique_ptr<BudgetStore>> store =
+        BudgetStore::Open(std::move(options));
+    ASSERT_TRUE(store.ok());
+
+    BudgetManager budgets;
+    ASSERT_TRUE(budgets.AttachStore(store.value().get()).ok());
+    ASSERT_TRUE(
+        budgets.RegisterTenant("acme", PrivacyBudget::Approx(100.0, 1e-2))
+            .ok());
+    std::vector<BudgetManager::ReservationId> open;
+    for (int i = 0; i < 9; ++i) {
+      const StatusOr<BudgetManager::ReservationId> id =
+          budgets.Reserve("acme", PrivacyBudget::Approx(0.125, 1e-7));
+      ASSERT_TRUE(id.ok());
+      if (i % 3 == 0) {
+        open.push_back(id.value());  // stays open across the snapshot
+      } else if (i % 3 == 1) {
+        ASSERT_TRUE(budgets.Commit(id.value()).ok());
+      } else {
+        ASSERT_TRUE(budgets.Abort(id.value()).ok());
+      }
+    }
+    EXPECT_GE(store.value()->snapshots_written(), 1u);
+    // Compaction truncated the journal: what's on disk is only the records
+    // appended after the last snapshot, not the full history.
+    EXPECT_EQ(store.value()->journal_bytes(),
+              ReadFileBytes(dir + "/budget.journal").size());
+    const StatusOr<BudgetManager::TenantStats> stats = budgets.Stats("acme");
+    ASSERT_TRUE(stats.ok());
+    before = stats.value();
+    EXPECT_EQ(before.open, 3u);
+    // Resolve one open reservation AFTER the last snapshot: its COMMIT must
+    // still replay against the snapshot-carried reservation on reopen.
+    ASSERT_TRUE(budgets.Commit(open.front()).ok());
+  }
+
+  const StatusOr<std::unique_ptr<BudgetStore>> reopened = OpenDir(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  BudgetManager budgets;
+  ASSERT_TRUE(budgets.AttachStore(reopened.value().get()).ok());
+  ASSERT_TRUE(
+      budgets.RegisterTenant("acme", PrivacyBudget::Approx(100.0, 1e-2))
+          .ok());
+  const StatusOr<BudgetManager::TenantStats> after = budgets.Stats("acme");
+  ASSERT_TRUE(after.ok());
+  // Spend carries over exactly; the two reservations never resolved fold
+  // into recovered spend.
+  EXPECT_EQ(after->spent.epsilon, before.spent.epsilon);
+  EXPECT_EQ(after->spent.delta, before.spent.delta);
+  EXPECT_EQ(after->admitted, before.admitted);
+  EXPECT_EQ(after->recovered_reserves, 2u);
+  EXPECT_EQ(after->open, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Manager typed errors (satellite: Refund on unknown tenant)
+
+TEST(BudgetManagerDurabilityTest, RefundUnknownTenantIsATypedError) {
+  BudgetManager budgets;
+  const Status refund =
+      budgets.Refund("never-registered", PrivacyBudget::Pure(0.5));
+  EXPECT_EQ(refund.code(), StatusCode::kInvalidProblem);
+  EXPECT_NE(refund.message().find("never-registered"), std::string::npos);
+  EXPECT_NE(refund.message().find("no spend"), std::string::npos);
+}
+
+TEST(BudgetManagerDurabilityTest, CommitAndAbortRequireAnOpenReservation) {
+  BudgetManager budgets;
+  ASSERT_TRUE(
+      budgets.RegisterTenant("acme", PrivacyBudget::Approx(2.0, 1e-4)).ok());
+  EXPECT_EQ(budgets.Commit(42).code(), StatusCode::kInvalidProblem);
+  EXPECT_EQ(budgets.Abort(42).code(), StatusCode::kInvalidProblem);
+
+  const StatusOr<BudgetManager::ReservationId> id =
+      budgets.Reserve("acme", PrivacyBudget::Approx(1.0, 1e-6));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(budgets.Commit(id.value()).ok());
+  // Double-resolve is the bug the typed error exists to catch.
+  EXPECT_EQ(budgets.Commit(id.value()).code(), StatusCode::kInvalidProblem);
+  EXPECT_EQ(budgets.Abort(id.value()).code(), StatusCode::kInvalidProblem);
+
+  const BudgetManager::LedgerTotals totals = budgets.Totals();
+  EXPECT_EQ(totals.reserves, 1u);
+  EXPECT_EQ(totals.commits, 1u);
+  EXPECT_EQ(totals.aborts, 0u);
+  EXPECT_EQ(totals.open, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The 32-seed crash sweep (tentpole acceptance)
+
+/// One deterministic ledger operation; both the child (executing against a
+/// real BudgetManager + BudgetStore) and the parent (deriving the expected
+/// journal record stream) consume the same generated list.
+struct LedgerOp {
+  enum class Kind { kRegister, kReserve, kCommit, kAbort, kTryReserve,
+                    kRefund };
+  Kind kind = Kind::kRegister;
+  std::string tenant;
+  double epsilon = 0.0;
+  double delta = 0.0;
+  std::uint64_t id = 0;  // reserve/try: id it must get; commit/abort: target
+};
+
+std::vector<LedgerOp> GenerateOps(std::uint64_t seed) {
+  std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<LedgerOp> ops;
+  ops.push_back({LedgerOp::Kind::kRegister, "t0", 1e6, 0.4, 0});
+  ops.push_back({LedgerOp::Kind::kRegister, "t1", 1e6, 0.4, 0});
+  std::vector<std::uint64_t> open;
+  std::uint64_t next_id = 1;
+  for (int i = 0; i < 40; ++i) {
+    const std::string tenant = next() % 2 == 0 ? "t0" : "t1";
+    // Irregular mantissas so replay equality is a real bit-for-bit claim.
+    const double eps = static_cast<double>(1 + next() % 997) / 813.0;
+    const double delta = eps * 1e-6;
+    std::uint64_t choice = next() % 6;
+    if (open.empty() && (choice == 2 || choice == 3)) choice = 0;
+    switch (choice) {
+      case 0:
+      case 1:
+        ops.push_back({LedgerOp::Kind::kReserve, tenant, eps, delta,
+                       next_id});
+        open.push_back(next_id++);
+        break;
+      case 2:
+      case 3: {
+        const std::size_t pick = next() % open.size();
+        ops.push_back({choice == 2 ? LedgerOp::Kind::kCommit
+                                   : LedgerOp::Kind::kAbort,
+                       "", 0.0, 0.0, open[pick]});
+        open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+        break;
+      }
+      case 4:
+        ops.push_back({LedgerOp::Kind::kTryReserve, tenant, eps, delta,
+                       next_id++});
+        break;
+      case 5:
+        ops.push_back({LedgerOp::Kind::kRefund, tenant, eps / 16.0,
+                       delta / 16.0, 0});
+        break;
+    }
+  }
+  return ops;
+}
+
+/// The exact journal records the BudgetManager appends for `ops`, in order
+/// (TryReserve journals a RESERVE immediately followed by a COMMIT).
+std::vector<LedgerRecord> ExpectedRecords(const std::vector<LedgerOp>& ops) {
+  std::vector<LedgerRecord> records;
+  for (const LedgerOp& op : ops) {
+    switch (op.kind) {
+      case LedgerOp::Kind::kRegister:
+        records.push_back({LedgerRecordType::kRegister, 0, op.tenant,
+                           op.epsilon, op.delta});
+        break;
+      case LedgerOp::Kind::kReserve:
+        records.push_back({LedgerRecordType::kReserve, op.id, op.tenant,
+                           op.epsilon, op.delta});
+        break;
+      case LedgerOp::Kind::kCommit:
+        records.push_back({LedgerRecordType::kCommit, op.id, "", 0.0, 0.0});
+        break;
+      case LedgerOp::Kind::kAbort:
+        records.push_back({LedgerRecordType::kAbort, op.id, "", 0.0, 0.0});
+        break;
+      case LedgerOp::Kind::kTryReserve:
+        records.push_back({LedgerRecordType::kReserve, op.id, op.tenant,
+                           op.epsilon, op.delta});
+        records.push_back({LedgerRecordType::kCommit, op.id, "", 0.0, 0.0});
+        break;
+      case LedgerOp::Kind::kRefund:
+        records.push_back({LedgerRecordType::kRefund, 0, op.tenant,
+                           op.epsilon, op.delta});
+        break;
+    }
+  }
+  return records;
+}
+
+/// Runs `ops` against a durable manager in a forked child that the store
+/// SIGKILLs per `plan`. Exit codes (only reached when the crash never
+/// fires): 42 = sequence completed, 43 = a reservation id diverged,
+/// 44 = an operation failed.
+void RunChildLedger(const std::string& dir, const CrashPlan& plan,
+                    const std::vector<LedgerOp>& ops, FsyncPolicy fsync) {
+  BudgetStore::Options options;
+  options.dir = dir;
+  options.fsync = fsync;
+  options.crash = plan;
+  StatusOr<std::unique_ptr<BudgetStore>> store =
+      BudgetStore::Open(std::move(options));
+  if (!store.ok()) ::_exit(44);
+  BudgetManager budgets;
+  if (!budgets.AttachStore(store.value().get()).ok()) ::_exit(44);
+  for (const LedgerOp& op : ops) {
+    switch (op.kind) {
+      case LedgerOp::Kind::kRegister: {
+        if (!budgets
+                 .RegisterTenant(op.tenant,
+                                 PrivacyBudget{op.epsilon, op.delta})
+                 .ok()) {
+          ::_exit(44);
+        }
+        break;
+      }
+      case LedgerOp::Kind::kReserve: {
+        const StatusOr<BudgetManager::ReservationId> id =
+            budgets.Reserve(op.tenant, PrivacyBudget{op.epsilon, op.delta});
+        if (!id.ok()) ::_exit(44);
+        if (id.value() != op.id) ::_exit(43);
+        break;
+      }
+      case LedgerOp::Kind::kCommit:
+        if (!budgets.Commit(op.id).ok()) ::_exit(44);
+        break;
+      case LedgerOp::Kind::kAbort:
+        if (!budgets.Abort(op.id).ok()) ::_exit(44);
+        break;
+      case LedgerOp::Kind::kTryReserve:
+        if (!budgets
+                 .TryReserve(op.tenant, PrivacyBudget{op.epsilon, op.delta})
+                 .ok()) {
+          ::_exit(44);
+        }
+        break;
+      case LedgerOp::Kind::kRefund:
+        if (!budgets
+                 .Refund(op.tenant, PrivacyBudget{op.epsilon, op.delta})
+                 .ok()) {
+          ::_exit(44);
+        }
+        break;
+    }
+  }
+  ::_exit(42);
+}
+
+TEST(BudgetCrashSweepTest, RecoveredSpendEqualsCommittedSpendAcross32Seeds) {
+#ifdef HTDP_TSAN_BUILD
+  GTEST_SKIP() << "fork-based crash injection is incompatible with TSan";
+#else
+  ::unsetenv("HTDP_BUDGET_CRASH");
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const std::vector<LedgerOp> ops = GenerateOps(seed);
+    const std::vector<LedgerRecord> records = ExpectedRecords(ops);
+    ASSERT_GT(records.size(), 8u);
+
+    CrashPlan plan;
+    plan.point = static_cast<CrashPlan::Point>(1 + seed % 3);
+    plan.nth_append =
+        1 + static_cast<std::size_t>((seed * 2654435761ull) % records.size());
+    const std::vector<std::uint8_t> nth_frame =
+        EncodeLedgerFrame(records[plan.nth_append - 1]);
+    if (plan.point == CrashPlan::Point::kTornWrite) {
+      // Always a strict prefix, so the tail really is torn.
+      plan.torn_bytes =
+          1 + static_cast<std::size_t>((seed * 40503ull) %
+                                       (nth_frame.size() - 1));
+    }
+    const FsyncPolicy fsync =
+        seed % 2 == 0 ? FsyncPolicy::kAlways : FsyncPolicy::kOff;
+
+    const std::string crash_dir = MakeTempDir("crash");
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      RunChildLedger(crash_dir, plan, ops, fsync);  // never returns
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wstatus))
+        << "child exited " << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1)
+        << " instead of being SIGKILLed";
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+    // What must be on disk: every append before the crash point, in full --
+    // SIGKILL loses no page-cache bytes -- plus, for post-write, the nth
+    // record itself, and for torn-write, its first torn_bytes bytes.
+    const std::size_t survived =
+        plan.point == CrashPlan::Point::kPostWritePreFsync
+            ? plan.nth_append
+            : plan.nth_append - 1;
+    std::vector<std::uint8_t> expected_journal;
+    for (std::size_t i = 0; i < survived; ++i) {
+      const std::vector<std::uint8_t> frame = EncodeLedgerFrame(records[i]);
+      expected_journal.insert(expected_journal.end(), frame.begin(),
+                              frame.end());
+    }
+    std::size_t expected_torn = 0;
+    if (plan.point == CrashPlan::Point::kTornWrite) {
+      expected_torn = plan.torn_bytes;
+      expected_journal.insert(expected_journal.end(), nth_frame.begin(),
+                              nth_frame.begin() +
+                                  static_cast<std::ptrdiff_t>(expected_torn));
+    }
+    EXPECT_EQ(ReadFileBytes(crash_dir + "/budget.journal"), expected_journal);
+
+    // Recovery of the crashed ledger must equal, bit for bit, a replay of
+    // the surviving record prefix written independently.
+    const std::string reference_dir = MakeTempDir("ref");
+    std::vector<std::uint8_t> reference_journal;
+    for (std::size_t i = 0; i < survived; ++i) {
+      const std::vector<std::uint8_t> frame = EncodeLedgerFrame(records[i]);
+      reference_journal.insert(reference_journal.end(), frame.begin(),
+                               frame.end());
+    }
+    WriteFileBytes(reference_dir + "/budget.journal", reference_journal);
+
+    const StatusOr<std::unique_ptr<BudgetStore>> crashed = OpenDir(crash_dir);
+    ASSERT_TRUE(crashed.ok()) << crashed.status().message();
+    const StatusOr<std::unique_ptr<BudgetStore>> reference =
+        OpenDir(reference_dir);
+    ASSERT_TRUE(reference.ok()) << reference.status().message();
+
+    const RecoveredLedger& got = crashed.value()->recovered();
+    EXPECT_EQ(got.journal_records, survived);
+    EXPECT_EQ(got.torn_bytes_discarded, expected_torn);
+    EXPECT_FALSE(got.corruption_detected);
+    ExpectRecoveredEqual(got, reference.value()->recovered());
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace htdp

@@ -664,6 +664,54 @@ TEST(EngineTenantTest, ValidationFailureRefundsTheReservation) {
   EXPECT_NEAR(remaining->delta, 1e-5, 1e-15);
 }
 
+TEST(EngineTenantTest, ReservationConservationHoldsAtDrain) {
+  // The two-phase ledger invariant: every Reserve the Engine opens is
+  // closed by exactly one Commit or Abort by the time Drain() returns --
+  // across successes, budget rejections, validation failures, and
+  // cancellations alike. The live count is the
+  // htdp_budget_reservations_open gauge, which must read zero here.
+  const SharedWorkload workload;
+  BudgetManager budgets;
+  ASSERT_TRUE(
+      budgets.RegisterTenant("mixed", PrivacyBudget::Approx(4.0, 1e-4)).ok());
+  Engine engine(Engine::Options{/*workers=*/2, &budgets});
+
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 3; ++i) {  // three that succeed (3 x eps=1)
+    FitJob job = workload.JobFor(kSolverAlg2PrivateLasso, 100 + i);
+    job.tenant = "mixed";
+    handles.push_back(engine.Submit(std::move(job)));
+  }
+  {  // one rejected at admission (only eps=1 left, asks eps=1+1e-5 deltas ok)
+    FitJob job = workload.JobFor(kSolverAlg2PrivateLasso, 200);
+    job.tenant = "mixed";
+    job.spec.budget = PrivacyBudget::Approx(2.0, 1e-5);
+    handles.push_back(engine.Submit(std::move(job)));
+  }
+  {  // one aborted after admission (validation failure: missing constraint)
+    FitJob job = workload.JobFor(kSolverAlg2PrivateLasso, 300);
+    job.tenant = "mixed";
+    job.problem.constraint = nullptr;
+    handles.push_back(engine.Submit(std::move(job)));
+  }
+  for (JobHandle& handle : handles) (void)handle.Wait();
+  engine.Drain();
+
+  const BudgetManager::LedgerTotals totals = budgets.Totals();
+  EXPECT_EQ(totals.reserves, totals.commits + totals.aborts);
+  EXPECT_EQ(totals.open, 0u);
+  EXPECT_EQ(budgets.OpenReservations(), 0u);
+  EXPECT_EQ(obs::MetricRegistry::Global()
+                .GetGauge("htdp_budget_reservations_open",
+                          "Budget reservations awaiting Commit/Abort")
+                ->Value(),
+            0.0);
+
+  // And the reserves actually happened: 4 admitted (3 ok + 1 aborted).
+  EXPECT_GE(totals.reserves, 4u);
+  EXPECT_EQ(totals.aborts, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Overload admission: bounded queue with watermark hysteresis, shed-at-
 // dequeue for expired deadlines, and per-tenant inflight caps. Shedding is
